@@ -1,0 +1,61 @@
+//! Micro-benchmark: gTopKAllReduce vs the AllGather-equivalent sparse
+//! sum (TopKAllReduce) vs the naive gTop-k, at paper-scale k on the real
+//! threaded substrate. Complements the simulated-time comparison of
+//! Fig. 9 with actual data-movement cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtopk::{gtopk_all_reduce, naive_gtopk_all_reduce, sparse_sum_recursive_doubling};
+use gtopk_comm::{Cluster, CostModel};
+use gtopk_sparse::topk_sparse;
+use std::hint::black_box;
+
+fn grad(rank: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 13)
+                .wrapping_mul(rank as u64 + 7)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_aggregation_wallclock");
+    group.sample_size(10);
+    let dim = 1_000_000usize;
+    let k = 1_000usize; // rho = 0.001
+    for &p in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("gtopk_tree", p), &p, |b, &p| {
+            let cluster = Cluster::new(p, CostModel::zero());
+            b.iter(|| {
+                cluster.run(|comm| {
+                    let local = topk_sparse(&grad(comm.rank(), dim), k);
+                    black_box(gtopk_all_reduce(comm, local, k).unwrap().0.nnz())
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("topk_allgather_sum", p), &p, |b, &p| {
+            let cluster = Cluster::new(p, CostModel::zero());
+            b.iter(|| {
+                cluster.run(|comm| {
+                    let local = topk_sparse(&grad(comm.rank(), dim), k);
+                    black_box(sparse_sum_recursive_doubling(comm, local).unwrap().nnz())
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gtopk_naive", p), &p, |b, &p| {
+            let cluster = Cluster::new(p, CostModel::zero());
+            b.iter(|| {
+                cluster.run(|comm| {
+                    let local = topk_sparse(&grad(comm.rank(), dim), k);
+                    black_box(naive_gtopk_all_reduce(comm, local, k).unwrap().0.nnz())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmark: the top-k merge operator `⊤` (Definition 1) against
+//! the naive densify-add-reselect strategy — ablation for DESIGN.md §5
+//! item 3 (sparse merge as a primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtopk_sparse::{topk_merge, topk_sparse, SparseVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sparse_input(dim: usize, k: usize, seed: u64) -> SparseVec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dense: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    topk_sparse(&dense, k)
+}
+
+fn dense_reference_merge(a: &SparseVec, b: &SparseVec, k: usize) -> SparseVec {
+    let mut dense = a.to_dense();
+    b.add_into_dense(&mut dense);
+    topk_sparse(&dense, k)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_merge");
+    let dim = 10_000_000usize;
+    for &k in &[1_000usize, 10_000, 100_000] {
+        let a = sparse_input(dim, k, 1);
+        let b = sparse_input(dim, k, 2);
+        group.bench_with_input(BenchmarkId::new("sparse_operator", k), &k, |bch, &k| {
+            bch.iter(|| black_box(topk_merge(black_box(&a), black_box(&b), k)))
+        });
+        // The dense path is what a naive implementation would do: a full
+        // m-sized buffer per merge. Only run at the smallest k to keep
+        // the benchmark quick — the gap is orders of magnitude.
+        if k == 1_000 {
+            group.bench_with_input(BenchmarkId::new("dense_reference", k), &k, |bch, &k| {
+                bch.iter(|| black_box(dense_reference_merge(black_box(&a), black_box(&b), k)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

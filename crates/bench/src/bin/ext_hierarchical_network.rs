@@ -1,0 +1,100 @@
+//! **Extension** — gTop-k on a hierarchical (rack-structured) network.
+//!
+//! The paper targets flat low-bandwidth clusters; real deployments often
+//! have fast intra-rack links behind a slow backbone. This experiment
+//! runs the executed aggregation algorithms on a 32-node cluster of 4
+//! racks (8 nodes each) with 10 GbE inside racks and 1 GbE between them,
+//! and compares against the flat-1 GbE baseline.
+//!
+//! The binomial tree with contiguous rank order is naturally rack-aware:
+//! only its top `log₂(racks)` rounds cross the backbone, so gTop-k keeps
+//! almost all of its traffic on the fast links — another consequence of
+//! the `O(k log P)` structure.
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin ext_hierarchical_network`
+
+use gtopk::{gtopk_all_reduce, sparse_sum_recursive_doubling};
+use gtopk_bench::report::{fmt_ms, Table};
+use gtopk_comm::{collectives, Cluster, CostModel};
+use gtopk_sparse::topk_sparse;
+use std::sync::Arc;
+
+fn grad(rank: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 51)
+                .wrapping_mul(rank as u64 + 19)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn racked_cluster(p: usize, rack: usize, fast: CostModel, slow: CostModel) -> Cluster {
+    Cluster::with_link_costs(
+        p,
+        slow,
+        Arc::new(move |src: usize, dst: usize| if src / rack == dst / rack { fast } else { slow }),
+    )
+}
+
+fn main() {
+    let p = 32usize;
+    let rack = 8usize;
+    let dim = 1_000_000usize;
+    let k = 1_000usize;
+    let fast = CostModel::ten_gigabit_ethernet();
+    let slow = CostModel::gigabit_ethernet();
+
+    let run = |cluster: &Cluster, algo: &str| -> f64 {
+        let algo = algo.to_string();
+        cluster
+            .run(move |comm| {
+                match algo.as_str() {
+                    "dense" => {
+                        let mut g = grad(comm.rank(), dim);
+                        collectives::allreduce_ring(comm, &mut g).expect("allreduce");
+                    }
+                    "topk" => {
+                        let local = topk_sparse(&grad(comm.rank(), dim), k);
+                        sparse_sum_recursive_doubling(comm, local).expect("sum");
+                    }
+                    "gtopk" => {
+                        let local = topk_sparse(&grad(comm.rank(), dim), k);
+                        gtopk_all_reduce(comm, local, k).expect("gtopk");
+                    }
+                    other => panic!("unknown algo {other}"),
+                }
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+
+    let flat = Cluster::new(p, slow);
+    let racked = racked_cluster(p, rack, fast, slow);
+
+    let mut table = Table::new(
+        &format!(
+            "Extension — hierarchical network, P = {p} (4 racks x {rack}), m = {dim}, k = {k}"
+        ),
+        &["algorithm", "flat 1GbE ms", "racked 10GbE/1GbE ms", "improvement"],
+    );
+    for algo in ["dense", "topk", "gtopk"] {
+        let t_flat = run(&flat, algo);
+        let t_rack = run(&racked, algo);
+        table.row(vec![
+            algo.to_string(),
+            fmt_ms(t_flat),
+            fmt_ms(t_rack),
+            format!("{:.2}x", t_flat / t_rack),
+        ]);
+    }
+    table.emit("ext_hierarchical_network");
+    println!(
+        "shape check: the dense ring gains nothing (a synchronous ring moves at the pace\n\
+         of its slowest link, and every lap crosses the backbone); the sparse algorithms\n\
+         gain modestly (their largest rounds are exactly the ones crossing racks); gTop-k\n\
+         remains cheapest overall thanks to its O(k log P) structure."
+    );
+}

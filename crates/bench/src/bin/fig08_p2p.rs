@@ -1,0 +1,78 @@
+//! **Fig. 8** — point-to-point transfer time vs message size, with the
+//! α-β model fit.
+//!
+//! The paper measures p2p latency on its 1 GbE testbed with the OSU
+//! micro-benchmark and fits α = 0.436 ms, β = 3.6×10⁻⁵ ms/element. We
+//! run the same experiment against the simulated network (ping messages
+//! of growing size between two ranks), fit α and β by least squares from
+//! the measurements alone, and verify the fit recovers the configured
+//! constants — the simulated network *is* the paper's measured network.
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin fig08_p2p`
+
+use gtopk_bench::report::Table;
+use gtopk_comm::{Cluster, CostModel, Payload};
+
+fn p2p_time_ms(n_elems: usize, net: CostModel) -> f64 {
+    let times = Cluster::new(2, net).run(move |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 0, Payload::Virtual { elems: n_elems })
+                .expect("send");
+        } else {
+            comm.recv(0, 0).expect("recv");
+        }
+        comm.now_ms()
+    });
+    times[1]
+}
+
+/// Ordinary least squares for `y = a + b x`.
+fn fit_affine(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+fn main() {
+    let net = CostModel::gigabit_ethernet();
+    let sizes: Vec<usize> = (0..=10).map(|i| i * 100_000).collect();
+
+    let mut table = Table::new(
+        "Fig. 8 — point-to-point transfer time vs message size (1 GbE model)",
+        &["elements", "measured ms", "model ms"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &sizes {
+        let measured = p2p_time_ms(n, net);
+        let model = net.transfer_ms(n);
+        xs.push(n as f64);
+        ys.push(measured);
+        table.row(vec![
+            n.to_string(),
+            format!("{measured:.3}"),
+            format!("{model:.3}"),
+        ]);
+    }
+    table.emit("fig08_p2p");
+
+    let (alpha, beta) = fit_affine(&xs, &ys);
+    println!(
+        "least-squares fit:   alpha = {alpha:.4} ms, beta = {beta:.3e} ms/element"
+    );
+    println!(
+        "paper's measurement: alpha = 0.4360 ms, beta = 3.600e-5 ms/element"
+    );
+    let alpha_err = (alpha - net.alpha_ms).abs() / net.alpha_ms;
+    let beta_err = (beta - net.beta_ms_per_elem).abs() / net.beta_ms_per_elem;
+    assert!(
+        alpha_err < 1e-6 && beta_err < 1e-6,
+        "fit must recover the configured constants"
+    );
+    println!("fit recovers the configured constants exactly (affine clock model).");
+}

@@ -1,0 +1,47 @@
+//! **Fig. 10** — weak-scaling efficiency of Dense / Top-k / gTop-k S-SGD
+//! for the four paper CNN workloads, P ∈ {4, 8, 16, 32}.
+//!
+//! Efficiency is Eq. 4, `e = (t_f + t_b) / t_iter`, with compute times
+//! taken from the paper-derived [`gtopk_perfmodel::ModelSpec`]s and
+//! communication measured from the executed message schedules on the
+//! simulated 1 GbE network.
+//!
+//! Expected shape (paper): dense S-SGD scales worst everywhere; gTop-k is
+//! the most stable as P grows; ResNet models (low comm/comp ratio) sit
+//! far above VGG-16 / AlexNet (FC-heavy gradients).
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin fig10_scaling_efficiency`
+
+use gtopk_bench::iteration::iteration_profile;
+use gtopk_bench::report::Table;
+use gtopk_comm::CostModel;
+use gtopk_perfmodel::{paper_models, scaling_efficiency, AggregationKind};
+
+fn main() {
+    let net = CostModel::gigabit_ethernet();
+    for model in paper_models() {
+        let mut table = Table::new(
+            &format!(
+                "Fig. 10 — scaling efficiency (%), {} (m = {}, k = {})",
+                model.name,
+                model.params,
+                model.k()
+            ),
+            &["P", "Dense", "Top-k", "gTop-k"],
+        );
+        for p in [4usize, 8, 16, 32] {
+            let mut cells = vec![p.to_string()];
+            for kind in AggregationKind::ALL {
+                let prof = iteration_profile(&model, kind, p, net);
+                cells.push(format!("{:.1}", 100.0 * scaling_efficiency(&prof)));
+            }
+            table.row(cells);
+        }
+        let name = format!(
+            "fig10_scaling_{}",
+            model.name.to_lowercase().replace('-', "")
+        );
+        table.emit(&name);
+    }
+    println!("shape check: Dense < Top-k <= gTop-k at every P; gap widens with P.");
+}

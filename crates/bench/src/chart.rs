@@ -1,0 +1,157 @@
+//! Terminal line charts for convergence curves.
+//!
+//! The paper's convergence results are figures; this renderer puts the
+//! same curves straight into the experiment output as ASCII plots, so a
+//! terminal run of e.g. `fig05_convergence_cifar` shows the shape
+//! comparison at a glance without post-processing the TSVs.
+
+/// Renders labelled series as an ASCII line chart.
+///
+/// All series share the x-axis (index = epoch) and the y-range is fitted
+/// to the data. Each series is drawn with its own glyph; collisions show
+/// the later series' glyph.
+///
+/// # Panics
+///
+/// Panics if `series` is empty, any series is empty, or lengths differ.
+pub fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    assert!(n > 0, "series must be non-empty");
+    for (label, s) in series {
+        assert_eq!(s.len(), n, "length mismatch in {label}");
+    }
+    let width = width.max(16);
+    let height = height.max(4);
+
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in s {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "(no finite data to plot)\n".to_string();
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (i, &v) in s.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (row, line) in grid.iter().enumerate() {
+        let y_label = if row == 0 {
+            format!("{hi:>9.3}")
+        } else if row == height - 1 {
+            format!("{lo:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&y_label);
+        out.push_str(" |");
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>9}  epoch 0 .. {}\n", "", n - 1));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {label}\n", glyphs[si % glyphs.len()]));
+    }
+    out
+}
+
+/// Convenience: chart the loss curves of labelled train reports.
+pub fn loss_chart(runs: &[(String, gtopk::TrainReport)], width: usize, height: usize) -> String {
+    let series: Vec<(String, Vec<f64>)> = runs
+        .iter()
+        .map(|(label, r)| {
+            (
+                label.clone(),
+                r.epochs.iter().map(|e| e.train_loss).collect(),
+            )
+        })
+        .collect();
+    ascii_chart(&series, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_axes_and_legend() {
+        let s = vec![
+            ("dense".to_string(), vec![2.0, 1.0, 0.5, 0.25]),
+            ("gtopk".to_string(), vec![2.0, 1.2, 0.6, 0.3]),
+        ];
+        let out = ascii_chart(&s, 40, 10);
+        assert!(out.contains("* dense"));
+        assert!(out.contains("o gtopk"));
+        assert!(out.contains("epoch 0 .. 3"));
+        assert!(out.contains("2.000"));
+        assert!(out.contains("0.250"));
+        // Drawn something.
+        assert!(out.contains('*') && out.contains('o'));
+    }
+
+    #[test]
+    fn descending_series_starts_high_ends_low() {
+        let s = vec![("loss".to_string(), vec![4.0, 3.0, 2.0, 1.0, 0.0])];
+        let out = ascii_chart(&s, 20, 6);
+        let rows: Vec<&str> = out.lines().collect();
+        // First plot row (max) contains the first point, last plot row
+        // (min) contains the last point.
+        assert!(rows[0].contains('*'), "{out}");
+        assert!(rows[5].contains('*'), "{out}");
+        // Monotone: the column of the glyph increases as rows descend.
+        let col = |row: &str| row.find('*');
+        let top = col(rows[0]).unwrap();
+        let bottom = col(rows[5]).unwrap();
+        assert!(bottom > top);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![("flat".to_string(), vec![1.0; 5])];
+        let out = ascii_chart(&s, 20, 5);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let s = vec![("one".to_string(), vec![3.0])];
+        let out = ascii_chart(&s, 20, 5);
+        assert!(out.contains("epoch 0 .. 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let s = vec![
+            ("a".to_string(), vec![1.0, 2.0]),
+            ("b".to_string(), vec![1.0]),
+        ];
+        let _ = ascii_chart(&s, 20, 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Helpers for the convergence-figure binaries: tabulating per-epoch
+//! loss / accuracy curves from [`gtopk::TrainReport`]s.
+
+use crate::report::Table;
+use gtopk::TrainReport;
+
+/// Builds a loss-per-epoch table: one column per labelled run.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or the runs have different epoch counts.
+pub fn loss_table(title: &str, runs: &[(String, TrainReport)]) -> Table {
+    assert!(!runs.is_empty(), "need at least one run");
+    let epochs = runs[0].1.epochs.len();
+    for (label, r) in runs {
+        assert_eq!(r.epochs.len(), epochs, "epoch count mismatch in {label}");
+    }
+    let mut header: Vec<&str> = vec!["epoch"];
+    let labels: Vec<&str> = runs.iter().map(|(l, _)| l.as_str()).collect();
+    header.extend(labels.iter());
+    let mut table = Table::new(title, &header);
+    for e in 0..epochs {
+        let mut cells = vec![e.to_string()];
+        for (_, r) in runs {
+            cells.push(format!("{:.4}", r.epochs[e].train_loss));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Builds an accuracy-per-epoch table (runs must have evaluation data).
+///
+/// # Panics
+///
+/// Panics if `runs` is empty, epoch counts mismatch, or any run lacks
+/// evaluation records.
+pub fn accuracy_table(title: &str, runs: &[(String, TrainReport)]) -> Table {
+    assert!(!runs.is_empty(), "need at least one run");
+    let epochs = runs[0].1.epochs.len();
+    let mut header: Vec<&str> = vec!["epoch"];
+    let labels: Vec<&str> = runs.iter().map(|(l, _)| l.as_str()).collect();
+    header.extend(labels.iter());
+    let mut table = Table::new(title, &header);
+    for e in 0..epochs {
+        let mut cells = vec![e.to_string()];
+        for (label, r) in runs {
+            let acc = r.epochs[e]
+                .eval_accuracy
+                .unwrap_or_else(|| panic!("run {label} has no evaluation"));
+            cells.push(format!("{:.4}", acc));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// One-line convergence summary: first loss, final loss, and the gap of
+/// each run's final loss to the first (reference) run.
+pub fn summarize(runs: &[(String, TrainReport)]) -> String {
+    let mut out = String::new();
+    let reference = runs.first().map(|(_, r)| r.final_loss());
+    for (label, r) in runs {
+        let first = r.epochs.first().map(|e| e.train_loss).unwrap_or(f64::NAN);
+        let last = r.final_loss();
+        let gap = reference.map(|x| last - x).unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{label}: loss {first:.4} -> {last:.4} (gap to reference {gap:+.4})\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk::{EpochRecord, TimingBreakdown};
+
+    fn report(losses: &[f64]) -> TrainReport {
+        TrainReport {
+            algorithm: "test",
+            workers: 2,
+            epochs: losses
+                .iter()
+                .enumerate()
+                .map(|(e, &l)| EpochRecord {
+                    epoch: e,
+                    train_loss: l,
+                    eval_accuracy: Some(1.0 - l),
+                    density: 0.001,
+                })
+                .collect(),
+            timing: TimingBreakdown::default(),
+            sim_time_ms: 1.0,
+            elems_sent_rank0: 0,
+            mean_update_nnz: 0.0,
+        }
+    }
+
+    #[test]
+    fn loss_table_has_one_column_per_run() {
+        let runs = vec![
+            ("dense".to_string(), report(&[2.0, 1.0])),
+            ("gtopk".to_string(), report(&[2.0, 1.1])),
+        ];
+        let t = loss_table("demo", &runs);
+        assert_eq!(t.len(), 2);
+        assert!(t.to_tsv().starts_with("epoch\tdense\tgtopk"));
+    }
+
+    #[test]
+    fn accuracy_table_uses_eval_records() {
+        let runs = vec![("a".to_string(), report(&[0.5, 0.25]))];
+        let t = accuracy_table("demo", &runs);
+        assert!(t.to_tsv().contains("0.7500"));
+    }
+
+    #[test]
+    fn summary_reports_gap_to_reference() {
+        let runs = vec![
+            ("dense".to_string(), report(&[2.0, 1.0])),
+            ("gtopk".to_string(), report(&[2.0, 1.2])),
+        ];
+        let s = summarize(&runs);
+        assert!(s.contains("gap to reference +0.2000"), "{s}");
+    }
+}

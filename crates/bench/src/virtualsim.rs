@@ -1,0 +1,248 @@
+//! Zero-allocation replays of the three aggregation algorithms' message
+//! schedules, used by the paper-scale timing experiments.
+//!
+//! Each function spawns a simulated cluster and exchanges
+//! [`Payload::Virtual`] messages following exactly the schedule of the
+//! corresponding real implementation (`gtopk_comm::collectives` /
+//! `gtopk::gtopk_all_reduce`), so the simulated clock produces the same
+//! times the real data paths would — validated by unit tests here — at
+//! `m = 25×10⁶` and beyond without allocating gradient buffers.
+//!
+//! Cluster sizes must be powers of two (the paper's own assumption,
+//! §III: "we assume that the number of workers P is the power of 2").
+
+use gtopk_comm::{Cluster, CostModel, Payload};
+
+fn assert_pow2(p: usize) {
+    assert!(p.is_power_of_two(), "virtual sims require power-of-two P, got {p}");
+}
+
+fn chunk_len(n: usize, p: usize, c: usize) -> usize {
+    (c + 1) * n / p - c * n / p
+}
+
+/// Simulated time (ms, slowest rank) of a ring DenseAllReduce over `m`
+/// elements — the message schedule of
+/// [`gtopk_comm::collectives::allreduce_ring`].
+///
+/// # Panics
+///
+/// Panics unless `p` is a power of two and `p > 0`.
+pub fn dense_allreduce_sim_ms(p: usize, m: usize, cost: CostModel) -> f64 {
+    assert_pow2(p);
+    if p == 1 {
+        return 0.0;
+    }
+    let times = Cluster::new(p, cost).run(|comm| {
+        let rank = comm.rank();
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        // Reduce-scatter then all-gather: 2(P-1) steps.
+        for s in 0..p - 1 {
+            let send_chunk = (rank + p - s) % p;
+            comm.send(right, 1, Payload::Virtual { elems: chunk_len(m, p, send_chunk) })
+                .expect("send");
+            comm.recv(left, 1).expect("recv");
+        }
+        for s in 0..p - 1 {
+            let send_chunk = (rank + 1 + p - s) % p;
+            comm.send(right, 2, Payload::Virtual { elems: chunk_len(m, p, send_chunk) })
+                .expect("send");
+            comm.recv(left, 2).expect("recv");
+        }
+        comm.now_ms()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+/// Simulated time (ms, slowest rank) of the Top-k aggregation: a
+/// recursive-doubling exact sparse sum whose partial sums grow by `k`
+/// contributions per merge (worst case: disjoint supports) — the message
+/// schedule of `gtopk::sparse_sum_recursive_doubling`.
+///
+/// # Panics
+///
+/// Panics unless `p` is a power of two and `p > 0`.
+pub fn topk_allreduce_sim_ms(p: usize, k: usize, cost: CostModel) -> f64 {
+    assert_pow2(p);
+    if p == 1 {
+        return 0.0;
+    }
+    let times = Cluster::new(p, cost).run(|comm| {
+        let rank = comm.rank();
+        let mut contributions = 1usize;
+        let mut mask = 1usize;
+        while mask < p {
+            let peer = rank ^ mask;
+            // Both sides hold `contributions` worker-sums of k nnz each;
+            // 2 wire words per nnz.
+            comm.send(peer, 10 + mask as u32, Payload::Virtual { elems: 2 * contributions * k })
+                .expect("send");
+            comm.recv(peer, 10 + mask as u32).expect("recv");
+            contributions *= 2;
+            mask <<= 1;
+        }
+        comm.now_ms()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+/// Simulated time (ms, slowest rank) of gTopKAllReduce: `log₂P` tree
+/// rounds of a `2k`-element transfer into rank 0 followed by a
+/// binomial-tree broadcast of `2k` elements — the message schedule of
+/// [`gtopk::gtopk_all_reduce`].
+///
+/// # Panics
+///
+/// Panics unless `p` is a power of two and `p > 0`.
+pub fn gtopk_allreduce_sim_ms(p: usize, k: usize, cost: CostModel) -> f64 {
+    assert_pow2(p);
+    if p == 1 {
+        return 0.0;
+    }
+    let times = Cluster::new(p, cost).run(|comm| {
+        let rank = comm.rank();
+        // Tree reduction to rank 0.
+        let mut mask = 1usize;
+        while mask < p {
+            if rank & mask == 0 {
+                let src = rank | mask;
+                if src < p {
+                    comm.recv(src, 20 + mask as u32).expect("recv");
+                }
+            } else {
+                let dst = rank & !mask;
+                comm.send(dst, 20 + mask as u32, Payload::Virtual { elems: 2 * k })
+                    .expect("send");
+                break;
+            }
+            mask <<= 1;
+        }
+        // Binomial broadcast from rank 0.
+        let mut mask = 1usize;
+        while mask < p {
+            if rank & mask != 0 {
+                comm.recv(rank & !mask, 40 + mask as u32).expect("recv");
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if (rank | mask) != rank && (rank | mask) < p {
+                comm.send(rank | mask, 40 + mask as u32, Payload::Virtual { elems: 2 * k })
+                    .expect("send");
+            }
+            mask >>= 1;
+        }
+        comm.now_ms()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_comm::collectives;
+    use gtopk_perfmodel::{dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms};
+    use gtopk_sparse::SparseVec;
+
+    const COST: CostModel = CostModel {
+        alpha_ms: 0.436,
+        beta_ms_per_elem: 3.6e-5,
+    };
+
+    #[test]
+    fn dense_virtual_matches_real_data_path() {
+        // Same schedule with real payloads must produce identical time.
+        let (p, m) = (8usize, 4096usize);
+        let virt = dense_allreduce_sim_ms(p, m, COST);
+        let real = Cluster::new(p, COST)
+            .run(|comm| {
+                let mut v = vec![1.0f32; m];
+                collectives::allreduce_ring(comm, &mut v).expect("allreduce");
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!((virt - real).abs() < 1e-9, "virtual {virt} vs real {real}");
+    }
+
+    #[test]
+    fn dense_virtual_matches_eq5() {
+        let (p, m) = (4usize, 10_000usize);
+        let virt = dense_allreduce_sim_ms(p, m, COST);
+        let analytic = dense_allreduce_ms(&COST, p, m);
+        assert!((virt - analytic).abs() / analytic < 1e-6);
+    }
+
+    #[test]
+    fn topk_virtual_matches_real_sparse_sum() {
+        // Disjoint supports — the worst case the virtual sim models.
+        let (p, k, dim) = (8usize, 16usize, 1024usize);
+        let virt = topk_allreduce_sim_ms(p, k, COST);
+        let real = Cluster::new(p, COST)
+            .run(move |comm| {
+                let r = comm.rank() as u32;
+                let pairs: Vec<(u32, f32)> =
+                    (0..k as u32).map(|j| (r * k as u32 + j, 1.0)).collect();
+                let local = SparseVec::from_pairs(dim, pairs);
+                gtopk::sparse_sum_recursive_doubling(comm, local).expect("sum");
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!((virt - real).abs() < 1e-9, "virtual {virt} vs real {real}");
+    }
+
+    #[test]
+    fn topk_virtual_matches_eq6() {
+        // Eq. 6: log(P)α + 2(P−1)kβ.
+        let (p, k) = (32usize, 25_000usize);
+        let virt = topk_allreduce_sim_ms(p, k, COST);
+        let analytic = topk_allreduce_ms(&COST, p, k);
+        assert!(
+            (virt - analytic).abs() / analytic < 1e-6,
+            "virtual {virt} vs Eq6 {analytic}"
+        );
+    }
+
+    #[test]
+    fn gtopk_virtual_matches_eq7() {
+        // Eq. 7: 2 log(P)α + 4k log(P)β.
+        let (p, k) = (32usize, 25_000usize);
+        let virt = gtopk_allreduce_sim_ms(p, k, COST);
+        let analytic = gtopk_allreduce_ms(&COST, p, k);
+        assert!(
+            (virt - analytic).abs() / analytic < 1e-6,
+            "virtual {virt} vs Eq7 {analytic}"
+        );
+    }
+
+    #[test]
+    fn gtopk_virtual_tracks_real_tree_within_slack() {
+        // The real tree's payloads can be smaller than 2k when merges
+        // overlap; virtual time upper-bounds real time.
+        let (p, k, dim) = (16usize, 8usize, 512usize);
+        let virt = gtopk_allreduce_sim_ms(p, k, COST);
+        let real = Cluster::new(p, COST)
+            .run(move |comm| {
+                let r = comm.rank() as u32;
+                let pairs: Vec<(u32, f32)> =
+                    (0..k as u32).map(|j| (r * k as u32 + j, 1.0 + j as f32)).collect();
+                let local = SparseVec::from_pairs(dim, pairs);
+                gtopk::gtopk_all_reduce(comm, local, k).expect("gtopk");
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!(real <= virt + 1e-9, "real {real} > virtual {virt}");
+        assert!(real > 0.5 * virt, "real {real} far below virtual {virt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        let _ = dense_allreduce_sim_ms(6, 100, COST);
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal dependency-free argument parsing: `--key value` and `--flag`
+//! options after a subcommand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `args` (excluding the program name).
+    ///
+    /// Grammar: `<command> (--key value | --flag)*`. A `--key` is treated
+    /// as a boolean flag when followed by another `--option` or nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if no subcommand is present, an option is
+    /// repeated, or a bare positional argument appears after options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand (try `gtopk help`)".into()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand before options, got {command}"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("unexpected positional argument {arg}")))?
+                .to_string();
+            if key.is_empty() {
+                return Err(ArgError("empty option name".into()));
+            }
+            let is_flag = match iter.peek() {
+                None => true,
+                Some(next) => next.starts_with("--"),
+            };
+            if is_flag {
+                if flags.contains(&key) {
+                    return Err(ArgError(format!("flag --{key} given twice")));
+                }
+                flags.push(key);
+            } else {
+                let value = iter.next().expect("peeked Some");
+                if options.insert(key.clone(), value).is_some() {
+                    return Err(ArgError(format!("option --{key} given twice")));
+                }
+            }
+        }
+        Ok(ParsedArgs {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// String option, or `default` if absent.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Typed option, or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Rejects unknown options/flags (catches typos early).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown option.
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} for `{}` (known: {})",
+                    self.command,
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("train --model mlp --workers 8 --verbose").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get_str("model", "x"), "mlp");
+        assert_eq!(a.get::<usize>("workers", 1).unwrap(), 8);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("train").unwrap();
+        assert_eq!(a.get::<f32>("lr", 0.1).unwrap(), 0.1);
+        assert_eq!(a.get_str("model", "mlp"), "mlp");
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(parse("").is_err());
+        assert!(parse("--model mlp").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positionals() {
+        assert!(parse("train --lr 0.1 --lr 0.2").is_err());
+        assert!(parse("train --verbose --verbose").is_err());
+        assert!(parse("train oops").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_typed_values() {
+        let a = parse("train --workers banana").unwrap();
+        assert!(a.get::<usize>("workers", 1).is_err());
+    }
+
+    #[test]
+    fn ensure_known_catches_typos() {
+        let a = parse("train --modle mlp").unwrap();
+        let err = a.ensure_known(&["model", "workers"]).unwrap_err();
+        assert!(err.to_string().contains("--modle"));
+        let ok = parse("train --model mlp").unwrap();
+        assert!(ok.ensure_known(&["model"]).is_ok());
+    }
+
+    #[test]
+    fn trailing_option_is_a_flag() {
+        let a = parse("train --momentum-correction").unwrap();
+        assert!(a.has_flag("momentum-correction"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, ParsedArgs};
+use gtopk::{train_distributed, Algorithm, DensitySchedule, Selector, TrainConfig};
+use gtopk_bench::virtualsim::{
+    dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
+};
+use gtopk_comm::CostModel;
+use gtopk_data::{GaussianMixture, MarkovText, PatternImages};
+use gtopk_nn::{models, Model};
+
+/// Executes a parsed command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands, unknown options or invalid
+/// values. (The caller prints the message plus usage.)
+pub fn run(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    match parsed.command.as_str() {
+        "train" => cmd_train(parsed),
+        "aggregate" => cmd_aggregate(parsed),
+        "sweep" => cmd_sweep(parsed),
+        "info" => Ok(cmd_info()),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(ArgError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, ArgError> {
+    Ok(match name {
+        "dense" => Algorithm::Dense,
+        "topk" => Algorithm::TopK,
+        "gtopk" => Algorithm::GTopK,
+        "naive" => Algorithm::NaiveGTopK,
+        "feedback" => Algorithm::GTopKFeedback,
+        "no-putback" => Algorithm::GTopKNoPutback,
+        other => return Err(ArgError(format!("unknown algorithm `{other}`"))),
+    })
+}
+
+fn parse_network(name: &str) -> Result<CostModel, ArgError> {
+    Ok(match name {
+        "1gbe" => CostModel::gigabit_ethernet(),
+        "10gbe" => CostModel::ten_gigabit_ethernet(),
+        "ib" => CostModel::infiniband(),
+        other => return Err(ArgError(format!("unknown network `{other}`"))),
+    })
+}
+
+fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.ensure_known(&[
+        "model",
+        "algorithm",
+        "workers",
+        "epochs",
+        "batch",
+        "lr",
+        "density",
+        "seed",
+        "sampled-selection",
+        "momentum-correction",
+        "clip",
+    ])?;
+    let model_name = parsed.get_str("model", "mlp");
+    let algorithm = parse_algorithm(&parsed.get_str("algorithm", "gtopk"))?;
+    let workers: usize = parsed.get("workers", 4)?;
+    let epochs: usize = parsed.get("epochs", 10)?;
+    let batch: usize = parsed.get("batch", 8)?;
+    let lr: f32 = parsed.get("lr", 0.05)?;
+    let density: f64 = parsed.get("density", 0.005)?;
+    let seed: u64 = parsed.get("seed", 42)?;
+    if workers == 0 || epochs == 0 || batch == 0 {
+        return Err(ArgError("workers, epochs and batch must be positive".into()));
+    }
+    if !(density > 0.0 && density <= 1.0) {
+        return Err(ArgError("density must be in (0, 1]".into()));
+    }
+
+    let mut cfg = TrainConfig::convergence(workers, batch, epochs, lr, density);
+    cfg.algorithm = algorithm;
+    cfg.density = DensitySchedule::paper_warmup(density);
+    cfg.momentum_correction = parsed.has_flag("momentum-correction");
+    let clip: f32 = parsed.get("clip", 0.0)?;
+    if clip > 0.0 {
+        cfg.clip_norm = Some(clip);
+    }
+    let sample: usize = parsed.get("sampled-selection", 0)?;
+    if sample > 0 {
+        cfg.selector = Selector::Sampled { sample };
+    }
+
+    let (report, m) = match model_name.as_str() {
+        "mlp" => {
+            let data = GaussianMixture::new(seed, 64 * workers.max(4) * batch.max(8), 16, 4, 2.5, 0.5);
+            let build = move || models::mlp(seed, 16, 32, 4);
+            let m = build().num_params();
+            (train_distributed(&cfg, build, &data, None), m)
+        }
+        "vgg" => {
+            let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
+            let build = move || models::vgg_lite(seed, 3, 8, 10);
+            let m = build().num_params();
+            (train_distributed(&cfg, build, &data, None), m)
+        }
+        "resnet" => {
+            let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
+            let build = move || models::resnet20_lite(seed, 3, 10);
+            let m = build().num_params();
+            (train_distributed(&cfg, build, &data, None), m)
+        }
+        "alexnet" => {
+            let data = PatternImages::imagenet_like(seed, 12 * workers.max(4) * batch.max(8));
+            let build = move || models::alex_lite(seed, 3, 16, 20);
+            let m = build().num_params();
+            (train_distributed(&cfg, build, &data, None), m)
+        }
+        "lstm" => {
+            let data = MarkovText::new(seed, 16 * workers.max(4) * batch.max(8), 16, 12);
+            let build = move || models::lstm_lm(seed, 16, 12, 24);
+            let m = build().num_params();
+            (train_distributed(&cfg, build, &data, None), m)
+        }
+        other => return Err(ArgError(format!("unknown model `{other}`"))),
+    };
+
+    let mut out = format!(
+        "{} on {model_name} ({} parameters), P = {}, b = {batch}, rho = {density}\n",
+        report.algorithm, m, report.workers
+    );
+    for e in &report.epochs {
+        out.push_str(&format!(
+            "epoch {:3}  density {:.4}  loss {:.4}\n",
+            e.epoch, e.density, e.train_loss
+        ));
+    }
+    out.push_str(&format!(
+        "rank-0 traffic: {} elements ({} KiB); simulated time {:.1} ms\n",
+        report.elems_sent_rank0,
+        report.elems_sent_rank0 * 4 / 1024,
+        report.sim_time_ms
+    ));
+    Ok(out)
+}
+
+fn cmd_aggregate(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.ensure_known(&["workers", "params", "density", "network"])?;
+    let p: usize = parsed.get("workers", 32)?;
+    let m: usize = parsed.get("params", 25_000_000)?;
+    let density: f64 = parsed.get("density", 0.001)?;
+    let net = parse_network(&parsed.get_str("network", "1gbe"))?;
+    if !p.is_power_of_two() {
+        return Err(ArgError("workers must be a power of two".into()));
+    }
+    let k = ((m as f64 * density) as usize).max(1);
+    let dense = dense_allreduce_sim_ms(p, m, net);
+    let topk = topk_allreduce_sim_ms(p, k, net);
+    let gtopk = gtopk_allreduce_sim_ms(p, k, net);
+    Ok(format!(
+        "P = {p}, m = {m}, rho = {density} (k = {k}), network alpha = {} ms beta = {} ms/elem\n\
+         Dense  AllReduce : {dense:10.2} ms\n\
+         TopK   AllReduce : {topk:10.2} ms  ({:.1}x vs dense)\n\
+         gTopK  AllReduce : {gtopk:10.2} ms  ({:.1}x vs dense, {:.2}x vs TopK)\n",
+        net.alpha_ms,
+        net.beta_ms_per_elem,
+        dense / topk,
+        dense / gtopk,
+        topk / gtopk,
+    ))
+}
+
+fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.ensure_known(&["params", "density", "network"])?;
+    let m: usize = parsed.get("params", 25_000_000)?;
+    let density: f64 = parsed.get("density", 0.001)?;
+    let net = parse_network(&parsed.get_str("network", "1gbe"))?;
+    let k = ((m as f64 * density) as usize).max(1);
+    let mut out = format!("aggregation time (ms) vs workers — m = {m}, k = {k}\n");
+    out.push_str(&format!("{:>5} {:>12} {:>12} {:>12}\n", "P", "Dense", "TopK", "gTopK"));
+    for p in [2usize, 4, 8, 16, 32, 64, 128] {
+        out.push_str(&format!(
+            "{:>5} {:>12.2} {:>12.2} {:>12.2}\n",
+            p,
+            dense_allreduce_sim_ms(p, m, net),
+            topk_allreduce_sim_ms(p, k, net),
+            gtopk_allreduce_sim_ms(p, k, net)
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_info() -> String {
+    let mut out = String::from(
+        "gtopk — reproduction of Shi et al., \"A Distributed Synchronous SGD\n\
+         Algorithm with Global Top-k Sparsification for Low Bandwidth Networks\"\n\
+         (ICDCS 2019, arXiv:1901.04359)\n\nalgorithms:\n",
+    );
+    for alg in Algorithm::ALL {
+        out.push_str(&format!("  {:20} ", alg.name()));
+        out.push_str(match alg {
+            Algorithm::Dense => "ring AllReduce over the dense gradient (baseline)\n",
+            Algorithm::TopK => "local top-k + exact sparse sum, O(kP) (Alg. 1)\n",
+            Algorithm::GTopK => "binomial-tree global top-k, O(k log P) (Alg. 3/4)\n",
+            Algorithm::NaiveGTopK => "exact-sum global top-k reference (Alg. 2)\n",
+            Algorithm::GTopKFeedback => "tree gTop-k + loss-free merge feedback (extension)\n",
+            Algorithm::GTopKNoPutback => "ablation: gTop-k without residual put-back\n",
+        });
+    }
+    out.push_str("\nmodels: mlp, vgg, resnet, alexnet, lstm (scaled-down analogues)\n");
+    out.push_str("networks: 1gbe (paper), 10gbe, ib\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(s: &str) -> Result<String, ArgError> {
+        run(&ParsedArgs::parse(s.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn help_and_info_render() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+        let info = run_line("info").unwrap();
+        assert!(info.contains("gTop-k"));
+        assert!(info.contains("O(k log P)"));
+    }
+
+    #[test]
+    fn aggregate_reports_all_three_algorithms() {
+        let out = run_line("aggregate --workers 32 --params 1000000").unwrap();
+        assert!(out.contains("Dense"));
+        assert!(out.contains("gTopK"));
+        assert!(out.contains("k = 1000"));
+    }
+
+    #[test]
+    fn aggregate_rejects_non_power_of_two() {
+        assert!(run_line("aggregate --workers 6").is_err());
+    }
+
+    #[test]
+    fn sweep_has_a_row_per_worker_count() {
+        let out = run_line("sweep --params 1000000").unwrap();
+        for p in ["2", "4", "8", "16", "32", "64", "128"] {
+            assert!(out.lines().any(|l| l.trim_start().starts_with(p)), "missing P={p}");
+        }
+    }
+
+    #[test]
+    fn train_mlp_quick_run() {
+        let out = run_line("train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05")
+            .unwrap();
+        assert!(out.contains("epoch   1"), "{out}");
+        assert!(out.contains("rank-0 traffic"));
+    }
+
+    #[test]
+    fn train_validates_inputs() {
+        assert!(run_line("train --algorithm nonsense").is_err());
+        assert!(run_line("train --density 2.0").is_err());
+        assert!(run_line("train --workers 0").is_err());
+        assert!(run_line("train --modle mlp").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_line("frobnicate").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Library backing the `gtopk` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `train` — run distributed S-SGD on a synthetic workload with any of
+//!   the implemented aggregation algorithms;
+//! * `aggregate` — time one aggregation step at paper scale on the
+//!   simulated network;
+//! * `sweep` — Fig.-9-style sweep of aggregation time over worker counts;
+//! * `info` — describe the reproduction (paper, algorithms, models);
+//! * `help` — usage.
+//!
+//! The binary is a thin `main` over [`run`], so everything is testable.
+
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::run;
+
+/// Usage text shown by `gtopk help` (and on argument errors).
+pub const USAGE: &str = "\
+gtopk — global Top-k sparsification S-SGD (ICDCS'19 reproduction)
+
+USAGE:
+  gtopk <command> [--option value | --flag]...
+
+COMMANDS:
+  train       train a model with distributed S-SGD on a simulated cluster
+    --model      mlp | vgg | resnet | alexnet | lstm     [mlp]
+    --algorithm  dense | topk | gtopk | naive | feedback | no-putback  [gtopk]
+    --workers    number of simulated workers             [4]
+    --epochs     training epochs                         [10]
+    --batch      per-worker batch size                   [8]
+    --lr         learning rate                           [0.05]
+    --density    gradient density rho                    [0.005]
+    --seed       model/data seed                         [42]
+    --sampled-selection N   use sampled top-k with N samples
+    --momentum-correction   apply DGC-style momentum correction
+    --clip N                clip local gradients to L2 norm N
+
+  aggregate   time one gradient aggregation at paper scale
+    --workers    worker count (power of two)             [32]
+    --params     model size m                            [25000000]
+    --density    gradient density rho                    [0.001]
+    --network    1gbe | 10gbe | ib                       [1gbe]
+
+  sweep       aggregation time vs workers (Fig. 9 style)
+    --params     model size m                            [25000000]
+    --density    gradient density rho                    [0.001]
+    --network    1gbe | 10gbe | ib                       [1gbe]
+
+  info        describe the reproduction
+  help        this text
+";

@@ -1,0 +1,233 @@
+//! Cluster construction: spawns one thread per rank wired with a full
+//! channel mesh.
+
+use crate::comm::LinkCostFn;
+use crate::{Communicator, CostModel, Message};
+use crossbeam::channel::unbounded;
+use crossbeam::channel::{Receiver, Sender};
+
+/// A simulated cluster of `P` workers.
+///
+/// `Cluster::run` spawns one OS thread per rank, hands each a
+/// [`Communicator`], and joins, returning the per-rank results in rank
+/// order. The closure is the "MPI program" every rank executes, exactly
+/// like an `mpirun` launch of the paper's PyTorch+MPI trainer.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_comm::{Cluster, CostModel};
+/// let ranks = Cluster::new(3, CostModel::zero()).run(|comm| comm.rank());
+/// assert_eq!(ranks, vec![0, 1, 2]);
+/// ```
+#[derive(Clone)]
+pub struct Cluster {
+    size: usize,
+    cost: CostModel,
+    link_costs: Option<LinkCostFn>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("size", &self.size)
+            .field("cost", &self.cost)
+            .field("per_link", &self.link_costs.is_some())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates a cluster description of `size` ranks over the given
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize, cost: CostModel) -> Self {
+        assert!(size > 0, "cluster must have at least one rank");
+        Cluster {
+            size,
+            cost,
+            link_costs: None,
+        }
+    }
+
+    /// Creates a cluster with heterogeneous links: `links(src, dst)`
+    /// gives the cost model of each directed link. `fallback` is
+    /// reported by [`Cluster::cost_model`] and used for nothing else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gtopk_comm::{Cluster, CostModel};
+    /// use std::sync::Arc;
+    /// // Two racks of 2: slow link between racks.
+    /// let cluster = Cluster::with_link_costs(4, CostModel::gigabit_ethernet(),
+    ///     Arc::new(|src: usize, dst: usize| {
+    ///         if src / 2 == dst / 2 {
+    ///             CostModel::ten_gigabit_ethernet()
+    ///         } else {
+    ///             CostModel::gigabit_ethernet()
+    ///         }
+    ///     }));
+    /// assert_eq!(cluster.size(), 4);
+    /// ```
+    pub fn with_link_costs(size: usize, fallback: CostModel, links: LinkCostFn) -> Self {
+        assert!(size > 0, "cluster must have at least one rank");
+        Cluster {
+            size,
+            cost: fallback,
+            link_costs: Some(links),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Builds the communicator endpoints without spawning threads.
+    ///
+    /// Useful for single-threaded stepwise tests; most callers want
+    /// [`Cluster::run`].
+    pub fn communicators(&self) -> Vec<Communicator> {
+        let p = self.size;
+        // mesh[s][d] transports messages from rank s to rank d.
+        let mut tx: Vec<Vec<Option<Sender<Message>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        let mut rx: Vec<Vec<Option<Receiver<Message>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        for s in 0..p {
+            for d in 0..p {
+                if s == d {
+                    continue;
+                }
+                let (t, r) = unbounded();
+                tx[s][d] = Some(t);
+                // receivers indexed by source at the destination
+                rx[d][s] = Some(r);
+            }
+        }
+        // Distribute: rank r gets senders tx[r][*] and receivers rx[r][*].
+        tx.into_iter()
+            .zip(rx)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| {
+                let mut comm = Communicator::from_mesh(rank, p, senders, receivers, self.cost);
+                if let Some(links) = &self.link_costs {
+                    comm.set_link_costs(links.clone());
+                }
+                comm
+            })
+            .collect()
+    }
+
+    /// Runs `f` on every rank concurrently and returns results in rank
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank's closure panics (the panic is propagated with
+    /// the rank id).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
+        let comms = self.communicators();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| {
+                    scope.spawn(move || f(&mut comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(v) => v,
+                    Err(_) => panic!("rank {rank} panicked"),
+                })
+                .collect()
+        })
+    }
+
+    /// Like [`Cluster::run`] but also returns each rank's final simulated
+    /// time and communication statistics, in rank order.
+    pub fn run_timed<T, F>(&self, f: F) -> Vec<(T, f64, crate::CommStats)>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
+        self.run(|comm| {
+            // The closure sees the same communicator; capture time after.
+            let v = f(comm);
+            (v, comm.now_ms(), comm.stats())
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_size_rejected() {
+        let _ = Cluster::new(0, CostModel::zero());
+    }
+
+    #[test]
+    fn single_rank_cluster_runs() {
+        let out = Cluster::new(1, CostModel::zero()).run(|comm| comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = Cluster::new(8, CostModel::zero()).run(|comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_timed_reports_clock_and_stats() {
+        let out = Cluster::new(2, CostModel::new(2.0, 0.0)).run_timed(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::Control).unwrap();
+            } else {
+                comm.recv(0, 0).unwrap();
+            }
+        });
+        assert_eq!(out[0].1, 2.0); // sender pays alpha
+        assert_eq!(out[1].1, 2.0); // receiver syncs to arrival
+        assert_eq!(out[0].2.msgs_sent, 1);
+        assert_eq!(out[1].2.msgs_received, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_is_propagated() {
+        Cluster::new(2, CostModel::zero()).run(|comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,732 @@
+//! Collective communication algorithms built from point-to-point messages.
+//!
+//! These are the textbook algorithms whose α-β costs the paper quotes
+//! (§II-D, §II-E, citing Chan et al. and Pješivac-Grbović et al.):
+//!
+//! * [`broadcast`] — binomial tree, `⌈log₂P⌉(α + nβ)`;
+//! * [`reduce_sum`] — binomial tree (mirror of broadcast);
+//! * [`allreduce_ring`] — ring reduce-scatter + ring all-gather,
+//!   `2(P−1)α + 2((P−1)/P)·nβ` (paper Eq. 5);
+//! * [`allreduce_recursive_doubling`] — `log₂P(α + nβ)` for power-of-two
+//!   P, with a fold-in step otherwise;
+//! * [`allgather`] — recursive doubling, `log₂P·α + (P−1)nβ` (the paper's
+//!   Eq. 6 uses this for TopKAllReduce), ring fallback for non-power-of-two;
+//! * [`gather`] / [`barrier`] — binomial tree.
+//!
+//! All functions must be called by *every* rank of the communicator with
+//! compatible arguments, like their MPI counterparts.
+
+use crate::{CommError, Communicator, Message, Payload, Result};
+
+const TAG_BCAST: u32 = Message::COLLECTIVE_TAG_BASE;
+const TAG_REDUCE: u32 = Message::COLLECTIVE_TAG_BASE + 1;
+const TAG_RING_RS: u32 = Message::COLLECTIVE_TAG_BASE + 2;
+const TAG_RING_AG: u32 = Message::COLLECTIVE_TAG_BASE + 3;
+const TAG_RD: u32 = Message::COLLECTIVE_TAG_BASE + 4;
+const TAG_AG: u32 = Message::COLLECTIVE_TAG_BASE + 5;
+const TAG_GATHER: u32 = Message::COLLECTIVE_TAG_BASE + 6;
+const TAG_BARRIER: u32 = Message::COLLECTIVE_TAG_BASE + 7;
+const TAG_FOLD: u32 = Message::COLLECTIVE_TAG_BASE + 8;
+const TAG_SCATTER: u32 = Message::COLLECTIVE_TAG_BASE + 9;
+const TAG_RS: u32 = Message::COLLECTIVE_TAG_BASE + 10;
+
+fn check_root(comm: &Communicator, root: usize) -> Result<()> {
+    if root >= comm.size() {
+        return Err(CommError::InvalidRank {
+            rank: root,
+            size: comm.size(),
+        });
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast of a dense vector from `root` to all ranks.
+///
+/// On non-root ranks `data` is overwritten with the root's vector; its
+/// length must already match.
+///
+/// # Errors
+///
+/// Returns [`CommError::InvalidRank`] for a bad root, or propagates
+/// transport errors.
+pub fn broadcast(comm: &mut Communicator, data: &mut Vec<f32>, root: usize) -> Result<()> {
+    check_root(comm, root)?;
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rel = (comm.rank() + p - root) % p;
+    // Receive phase: find the set bit that determines our parent.
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask != 0 {
+            let src = (comm.rank() + p - mask) % p;
+            let msg = comm.recv(src, TAG_BCAST)?;
+            *data = msg.payload.into_dense();
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children at decreasing masks.
+    mask >>= 1;
+    while mask > 0 {
+        if rel + mask < p {
+            let dst = (comm.rank() + mask) % p;
+            comm.send(dst, TAG_BCAST, Payload::Dense(data.clone()))?;
+        }
+        mask >>= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree sum-reduction of a dense vector to `root`.
+///
+/// After the call, `data` on `root` holds the element-wise sum over all
+/// ranks; on other ranks it holds intermediate partial sums (like MPI,
+/// only the root's buffer is meaningful).
+///
+/// # Errors
+///
+/// Returns [`CommError::InvalidRank`] for a bad root or
+/// [`CommError::BufferMismatch`] if a contribution has the wrong length.
+pub fn reduce_sum(comm: &mut Communicator, data: &mut [f32], root: usize) -> Result<()> {
+    check_root(comm, root)?;
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rel = (comm.rank() + p - root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask == 0 {
+            let src_rel = rel | mask;
+            if src_rel < p {
+                let src = (src_rel + root) % p;
+                let msg = comm.recv(src, TAG_REDUCE)?;
+                let v = msg.payload.into_dense();
+                if v.len() != data.len() {
+                    return Err(CommError::BufferMismatch {
+                        op: "reduce_sum",
+                        expected: data.len(),
+                        actual: v.len(),
+                    });
+                }
+                for (a, b) in data.iter_mut().zip(v) {
+                    *a += b;
+                }
+            }
+        } else {
+            let dst_rel = rel & !mask;
+            let dst = (dst_rel + root) % p;
+            comm.send(dst, TAG_REDUCE, Payload::Dense(data.to_vec()))?;
+            break;
+        }
+        mask <<= 1;
+    }
+    Ok(())
+}
+
+/// Splits `n` into `p` contiguous chunk ranges (some possibly empty).
+fn chunk_range(n: usize, p: usize, c: usize) -> std::ops::Range<usize> {
+    let start = c * n / p;
+    let end = (c + 1) * n / p;
+    start..end
+}
+
+/// Ring AllReduce (reduce-scatter + all-gather), the paper's
+/// DenseAllReduce (Eq. 5).
+///
+/// After the call every rank's `data` holds the element-wise sum across
+/// all ranks.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn allreduce_ring(comm: &mut Communicator, data: &mut [f32]) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let n = data.len();
+    let rank = comm.rank();
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    // Reduce-scatter: after P-1 steps, rank r owns the full sum of chunk
+    // (r+1) mod p.
+    for s in 0..p - 1 {
+        let send_chunk = (rank + p - s) % p;
+        let recv_chunk = (rank + p - s - 1) % p;
+        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        comm.send(right, TAG_RING_RS, payload)?;
+        let msg = comm.recv(left, TAG_RING_RS)?;
+        let v = msg.payload.into_dense();
+        let range = chunk_range(n, p, recv_chunk);
+        debug_assert_eq!(v.len(), range.len());
+        for (a, b) in data[range].iter_mut().zip(v) {
+            *a += b;
+        }
+    }
+    // All-gather: circulate the completed chunks.
+    for s in 0..p - 1 {
+        let send_chunk = (rank + 1 + p - s) % p;
+        let recv_chunk = (rank + p - s) % p;
+        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        comm.send(right, TAG_RING_AG, payload)?;
+        let msg = comm.recv(left, TAG_RING_AG)?;
+        let v = msg.payload.into_dense();
+        let range = chunk_range(n, p, recv_chunk);
+        debug_assert_eq!(v.len(), range.len());
+        data[range].copy_from_slice(&v);
+    }
+    Ok(())
+}
+
+/// Recursive-doubling AllReduce: `log₂P` rounds of pairwise full-vector
+/// exchange for power-of-two `P`; non-power-of-two sizes fold the extra
+/// ranks in and out.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn allreduce_recursive_doubling(comm: &mut Communicator, data: &mut [f32]) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let p2 = largest_power_of_two_leq(p);
+    let extra = p - p2;
+    // Fold-in: ranks >= p2 send their vector to rank - p2.
+    if rank >= p2 {
+        comm.send(rank - p2, TAG_FOLD, Payload::Dense(data.to_vec()))?;
+    } else if rank < extra {
+        let msg = comm.recv(rank + p2, TAG_FOLD)?;
+        for (a, b) in data.iter_mut().zip(msg.payload.into_dense()) {
+            *a += b;
+        }
+    }
+    if rank < p2 {
+        let mut mask = 1usize;
+        while mask < p2 {
+            let peer = rank ^ mask;
+            let msg = comm.sendrecv(peer, TAG_RD + mask as u32, Payload::Dense(data.to_vec()))?;
+            for (a, b) in data.iter_mut().zip(msg.payload.into_dense()) {
+                *a += b;
+            }
+            mask <<= 1;
+        }
+    }
+    // Fold-out: send results back to the folded ranks.
+    if rank < extra {
+        comm.send(rank + p2, TAG_FOLD, Payload::Dense(data.to_vec()))?;
+    } else if rank >= p2 {
+        let msg = comm.recv(rank - p2, TAG_FOLD)?;
+        data.copy_from_slice(&msg.payload.into_dense());
+    }
+    Ok(())
+}
+
+/// Largest power of two `<= n` (n >= 1).
+pub(crate) fn largest_power_of_two_leq(n: usize) -> usize {
+    let mut p = 1usize;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// AllGather: every rank contributes `local`; returns all contributions
+/// indexed by rank.
+///
+/// Uses recursive doubling for power-of-two `P` (`log₂P·α + (P−1)nβ` —
+/// the cost the paper quotes as Eq. 6), and a ring otherwise
+/// (`(P−1)(α + nβ)`).
+///
+/// Contributions may have different lengths (the sparse AllGather of
+/// Algorithm 1 relies on this only up to same-k, but we support the
+/// general case).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn allgather(comm: &mut Communicator, local: Vec<f32>) -> Result<Vec<Vec<f32>>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut slots: Vec<Option<Vec<f32>>> = (0..p).map(|_| None).collect();
+    slots[rank] = Some(local);
+    if p == 1 {
+        return Ok(slots.into_iter().map(|s| s.expect("own slot")).collect());
+    }
+    if p.is_power_of_two() {
+        // Recursive doubling: at round j exchange all blocks whose bit
+        // pattern matches; block ownership doubles every round.
+        let mut mask = 1usize;
+        while mask < p {
+            let peer = rank ^ mask;
+            // Send every slot we currently own, packed: [count, (idx,len,data)...]
+            let owned: Vec<(usize, Vec<f32>)> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|v| (i, v.clone())))
+                .collect();
+            let packed = pack_slots(&owned);
+            let msg = comm.sendrecv(peer, TAG_AG + mask as u32, Payload::Dense(packed))?;
+            for (i, v) in unpack_slots(&msg.payload.into_dense()) {
+                slots[i] = Some(v);
+            }
+            mask <<= 1;
+        }
+    } else {
+        // Ring all-gather.
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        let mut current = (rank, slots[rank].clone().expect("own slot"));
+        for _ in 0..p - 1 {
+            let packed = pack_slots(&[(current.0, current.1.clone())]);
+            comm.send(right, TAG_AG, Payload::Dense(packed))?;
+            let msg = comm.recv(left, TAG_AG)?;
+            let mut incoming = unpack_slots(&msg.payload.into_dense());
+            let (i, v) = incoming.pop().expect("one slot per ring message");
+            slots[i] = Some(v.clone());
+            current = (i, v);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled after allgather"))
+        .collect())
+}
+
+/// Packs `(index, data)` slots into a flat f32 buffer.
+fn pack_slots(slots: &[(usize, Vec<f32>)]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(1 + slots.iter().map(|(_, v)| v.len() + 2).sum::<usize>());
+    out.push(slots.len() as f32);
+    for (i, v) in slots {
+        out.push(*i as f32);
+        out.push(v.len() as f32);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Inverse of [`pack_slots`].
+fn unpack_slots(buf: &[f32]) -> Vec<(usize, Vec<f32>)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let count = buf[pos] as usize;
+    pos += 1;
+    for _ in 0..count {
+        let i = buf[pos] as usize;
+        let len = buf[pos + 1] as usize;
+        pos += 2;
+        out.push((i, buf[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    out
+}
+
+/// Gathers every rank's `local` vector at `root` (binomial tree).
+///
+/// Returns `Some(vec_by_rank)` on the root and `None` elsewhere.
+///
+/// # Errors
+///
+/// Returns [`CommError::InvalidRank`] for a bad root, or propagates
+/// transport errors.
+pub fn gather(
+    comm: &mut Communicator,
+    local: Vec<f32>,
+    root: usize,
+) -> Result<Option<Vec<Vec<f32>>>> {
+    check_root(comm, root)?;
+    let p = comm.size();
+    let rank = comm.rank();
+    let rel = (rank + p - root) % p;
+    let mut owned: Vec<(usize, Vec<f32>)> = vec![(rank, local)];
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask == 0 {
+            let src_rel = rel | mask;
+            if src_rel < p {
+                let src = (src_rel + root) % p;
+                let msg = comm.recv(src, TAG_GATHER)?;
+                owned.extend(unpack_slots(&msg.payload.into_dense()));
+            }
+        } else {
+            let dst_rel = rel & !mask;
+            let dst = (dst_rel + root) % p;
+            comm.send(dst, TAG_GATHER, Payload::Dense(pack_slots(&owned)))?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    owned.sort_by_key(|&(i, _)| i);
+    Ok(Some(owned.into_iter().map(|(_, v)| v).collect()))
+}
+
+/// Synchronizes all ranks (binomial reduce to rank 0 + broadcast), also
+/// aligning simulated clocks to the slowest rank plus the barrier cost.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn barrier(comm: &mut Communicator) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    // Reduce direction (control messages).
+    let mut mask = 1usize;
+    while mask < p {
+        if rank & mask == 0 {
+            let src = rank | mask;
+            if src < p {
+                comm.recv(src, TAG_BARRIER)?;
+            }
+        } else {
+            comm.send(rank & !mask, TAG_BARRIER, Payload::Control)?;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Broadcast direction.
+    let mut dummy = Vec::new();
+    broadcast(comm, &mut dummy, 0)
+}
+
+/// Scatter: the root distributes `chunks[r]` to every rank `r`; returns
+/// this rank's chunk. Non-root ranks pass `None`.
+///
+/// Implemented as direct root sends (MPI's linear scatter), which is
+/// also its α-β-optimal form when chunks differ per destination.
+///
+/// # Errors
+///
+/// Returns [`CommError::InvalidRank`] for a bad root,
+/// [`CommError::BufferMismatch`] if the root supplies the wrong number
+/// of chunks (or a non-root supplies chunks), or transport errors.
+pub fn scatter(
+    comm: &mut Communicator,
+    chunks: Option<Vec<Vec<f32>>>,
+    root: usize,
+) -> Result<Vec<f32>> {
+    check_root(comm, root)?;
+    let p = comm.size();
+    if comm.rank() == root {
+        let chunks = chunks.ok_or(CommError::BufferMismatch {
+            op: "scatter",
+            expected: p,
+            actual: 0,
+        })?;
+        if chunks.len() != p {
+            return Err(CommError::BufferMismatch {
+                op: "scatter",
+                expected: p,
+                actual: chunks.len(),
+            });
+        }
+        let mut own = Vec::new();
+        for (dst, chunk) in chunks.into_iter().enumerate() {
+            if dst == root {
+                own = chunk;
+            } else {
+                comm.send(dst, TAG_SCATTER, Payload::Dense(chunk))?;
+            }
+        }
+        Ok(own)
+    } else {
+        if chunks.is_some() {
+            return Err(CommError::BufferMismatch {
+                op: "scatter",
+                expected: 0,
+                actual: 1,
+            });
+        }
+        Ok(comm.recv(root, TAG_SCATTER)?.payload.into_dense())
+    }
+}
+
+/// Ring reduce-scatter: element-wise sum of `data` across all ranks,
+/// with rank `r` receiving (summed) chunk `(r + 1) mod P` of the result.
+///
+/// Returns `(chunk_index, chunk_data)`. This is the first half of the
+/// ring AllReduce (paper Eq. 5's `(P−1)α + ((P−1)/P)mβ` part), exposed
+/// separately for reduce-scatter-based algorithms.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn reduce_scatter_ring(
+    comm: &mut Communicator,
+    data: &mut [f32],
+) -> Result<(usize, Vec<f32>)> {
+    let p = comm.size();
+    let n = data.len();
+    let rank = comm.rank();
+    if p == 1 {
+        return Ok((0, data.to_vec()));
+    }
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_chunk = (rank + p - s) % p;
+        let recv_chunk = (rank + p - s - 1) % p;
+        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        comm.send(right, TAG_RS, payload)?;
+        let msg = comm.recv(left, TAG_RS)?;
+        let v = msg.payload.into_dense();
+        let range = chunk_range(n, p, recv_chunk);
+        debug_assert_eq!(v.len(), range.len());
+        for (a, b) in data[range].iter_mut().zip(v) {
+            *a += b;
+        }
+    }
+    let own_chunk = (rank + 1) % p;
+    Ok((own_chunk, data[chunk_range(n, p, own_chunk)].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, CostModel};
+
+    const SIZES: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 16];
+
+    #[test]
+    fn broadcast_delivers_roots_vector() {
+        for &p in SIZES {
+            for root in [0, p - 1] {
+                let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                    let mut v = if comm.rank() == root {
+                        vec![1.0, 2.0, 3.0]
+                    } else {
+                        vec![0.0; 3]
+                    };
+                    broadcast(comm, &mut v, root).unwrap();
+                    v
+                });
+                for v in out {
+                    assert_eq!(v, vec![1.0, 2.0, 3.0], "P={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_at_root() {
+        for &p in SIZES {
+            let root = p / 2;
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let mut v = vec![comm.rank() as f32 + 1.0; 4];
+                reduce_sum(comm, &mut v, root).unwrap();
+                (comm.rank(), v)
+            });
+            let expect = (p * (p + 1) / 2) as f32;
+            let (_, v) = &out[root];
+            assert!(v.iter().all(|&x| x == expect), "P={p}");
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_sums_everywhere() {
+        for &p in SIZES {
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let mut v: Vec<f32> = (0..10).map(|i| (comm.rank() * 10 + i) as f32).collect();
+                allreduce_ring(comm, &mut v).unwrap();
+                v
+            });
+            for i in 0..10 {
+                let expect: f32 = (0..p).map(|r| (r * 10 + i) as f32).sum();
+                for v in &out {
+                    assert_eq!(v[i], expect, "P={p} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_handles_short_vectors() {
+        // n < P exercises empty chunks.
+        let p = 8;
+        let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+            let mut v = vec![1.0f32, 2.0];
+            allreduce_ring(comm, &mut v).unwrap();
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![8.0, 16.0]);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_allreduce_matches_ring() {
+        for &p in SIZES {
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let mut v: Vec<f32> = (0..5).map(|i| ((comm.rank() + 1) * (i + 1)) as f32).collect();
+                allreduce_recursive_doubling(comm, &mut v).unwrap();
+                v
+            });
+            let total: usize = (0..p).map(|r| r + 1).sum();
+            for v in &out {
+                for (i, &x) in v.iter().enumerate() {
+                    assert_eq!(x, (total * (i + 1)) as f32, "P={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_collects_all_contributions() {
+        for &p in SIZES {
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let local = vec![comm.rank() as f32; comm.rank() + 1];
+                allgather(comm, local).unwrap()
+            });
+            for all in out {
+                assert_eq!(all.len(), p);
+                for (r, v) in all.iter().enumerate() {
+                    assert_eq!(v.len(), r + 1, "P={p}");
+                    assert!(v.iter().all(|&x| x == r as f32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root_only() {
+        for &p in SIZES {
+            let root = p - 1;
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                gather(comm, vec![comm.rank() as f32], root).unwrap()
+            });
+            for (r, res) in out.iter().enumerate() {
+                if r == root {
+                    let all = res.as_ref().expect("root receives");
+                    for (i, v) in all.iter().enumerate() {
+                        assert_eq!(v, &vec![i as f32]);
+                    }
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let p = 4;
+        let times = Cluster::new(p, CostModel::new(1.0, 0.0)).run(|comm| {
+            // Skewed compute before the barrier.
+            comm.advance_compute(comm.rank() as f64 * 10.0);
+            barrier(comm).unwrap();
+            comm.now_ms()
+        });
+        // All ranks end at the same simulated time, at or after the
+        // slowest rank's pre-barrier time.
+        let t0 = times[0];
+        assert!(times.iter().all(|&t| (t - t0).abs() < 1e-9), "{times:?}");
+        assert!(t0 >= 30.0);
+    }
+
+    #[test]
+    fn ring_allreduce_time_matches_eq5() {
+        // Eq. 5: 2(P-1)α + 2((P-1)/P) m β, for m divisible by P.
+        let p = 4;
+        let m = 1000usize;
+        let cost = CostModel::new(0.5, 1e-3);
+        let times = Cluster::new(p, cost).run(|comm| {
+            let mut v = vec![1.0f32; m];
+            allreduce_ring(comm, &mut v).unwrap();
+            comm.now_ms()
+        });
+        let expect = 2.0 * (p as f64 - 1.0) * cost.alpha_ms
+            + 2.0 * ((p - 1) as f64 / p as f64) * m as f64 * cost.beta_ms_per_elem;
+        for &t in &times {
+            assert!(
+                (t - expect).abs() < 1e-6,
+                "sim {t} vs analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        for &p in SIZES {
+            let root = p / 2;
+            let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let chunks = if comm.rank() == root {
+                    Some((0..p).map(|r| vec![r as f32; r + 1]).collect())
+                } else {
+                    None
+                };
+                scatter(comm, chunks, root).unwrap()
+            });
+            for (r, chunk) in out.iter().enumerate() {
+                assert_eq!(chunk, &vec![r as f32; r + 1], "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_validates_chunk_count() {
+        let out = Cluster::new(2, CostModel::zero()).run(|comm| {
+            if comm.rank() == 0 {
+                // Wrong count.
+                let res = scatter(comm, Some(vec![vec![1.0]]), 0);
+                assert!(matches!(res, Err(CommError::BufferMismatch { .. })));
+                // Retry correctly so rank 1 unblocks.
+                scatter(comm, Some(vec![vec![1.0], vec![2.0]]), 0).unwrap()
+            } else {
+                scatter(comm, None, 0).unwrap()
+            }
+        });
+        assert_eq!(out[1], vec![2.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_chunks() {
+        for &p in &[2usize, 3, 4, 8] {
+            let n = 24usize;
+            let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let mut v: Vec<f32> = (0..n).map(|i| (comm.rank() * n + i) as f32).collect();
+                reduce_scatter_ring(comm, &mut v).unwrap()
+            });
+            for (rank, (chunk_id, chunk)) in out.iter().enumerate() {
+                assert_eq!(*chunk_id, (rank + 1) % p);
+                let start = chunk_id * n / p;
+                for (j, &val) in chunk.iter().enumerate() {
+                    let i = start + j;
+                    let expect: f32 = (0..p).map(|r| (r * n + i) as f32).sum();
+                    assert_eq!(val, expect, "P={p} rank={rank} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_single_rank_is_identity() {
+        let out = Cluster::new(1, CostModel::zero()).run(|comm| {
+            let mut v = vec![1.0f32, 2.0, 3.0];
+            reduce_scatter_ring(comm, &mut v).unwrap()
+        });
+        assert_eq!(out[0], (0, vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn broadcast_time_matches_binomial_model() {
+        // Binomial bcast critical path: log2(P) rounds of (α + nβ).
+        let p = 8;
+        let n = 100usize;
+        let cost = CostModel::new(1.0, 0.01);
+        let times = Cluster::new(p, cost).run(|comm| {
+            let mut v = vec![0.0f32; n];
+            broadcast(comm, &mut v, 0).unwrap();
+            comm.now_ms()
+        });
+        let per_hop = cost.transfer_ms(n);
+        let expect = 3.0 * per_hop; // log2(8) = 3 hops on the critical path
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - expect).abs() < 1e-9, "max {max} vs {expect}");
+    }
+}

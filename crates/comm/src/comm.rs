@@ -1,0 +1,358 @@
+//! The per-rank communicator: tagged blocking point-to-point messaging over
+//! a channel mesh, with simulated-time accounting.
+
+use crate::{CommError, CostModel, Message, Payload, Result, SimClock};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Per-link cost override: maps `(src, dst)` to that link's cost model.
+/// Used to model hierarchical networks (e.g. fast intra-rack links and a
+/// slow inter-rack backbone).
+pub type LinkCostFn = Arc<dyn Fn(usize, usize) -> CostModel + Send + Sync>;
+
+/// Communication-volume counters for one rank.
+///
+/// Used by tests and benches to verify the paper's complexity claims — e.g.
+/// that gTopKAllReduce moves `O(k log P)` elements per rank while the
+/// AllGather-based TopKAllReduce moves `O(kP)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub msgs_sent: usize,
+    /// Elements (4-byte words) sent by this rank.
+    pub elems_sent: usize,
+    /// Messages received by this rank.
+    pub msgs_received: usize,
+    /// Elements received by this rank.
+    pub elems_received: usize,
+}
+
+impl CommStats {
+    /// Bytes sent (elements × 4).
+    pub fn bytes_sent(&self) -> usize {
+        self.elems_sent * 4
+    }
+}
+
+/// One rank's endpoint into the simulated cluster.
+///
+/// Mirrors the MPI calls the paper's pseudo-code uses: `Send`, `Recv`,
+/// (collectives are free functions in [`crate::collectives`]). All
+/// operations are blocking and tagged; matching is by `(source, tag)` with
+/// out-of-order messages from the same source buffered internally.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` is the channel endpoint that delivers to rank `d`.
+    senders: Vec<Option<Sender<Message>>>,
+    /// `receivers[s]` yields messages sent by rank `s`.
+    receivers: Vec<Option<Receiver<Message>>>,
+    /// Out-of-order stash, per source.
+    pending: Vec<VecDeque<Message>>,
+    clock: SimClock,
+    cost: CostModel,
+    link_costs: Option<LinkCostFn>,
+    stats: CommStats,
+    /// Simulated time at which this rank's inbound link finishes its
+    /// last delivery — messages arriving together serialize (incast).
+    rx_link_free_ms: f64,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("sim_time_ms", &self.clock.now_ms())
+            .finish()
+    }
+}
+
+impl Communicator {
+    /// Assembles a communicator endpoint. Used by
+    /// [`Cluster`](crate::Cluster); not part of the public construction
+    /// API.
+    pub(crate) fn from_mesh(
+        rank: usize,
+        size: usize,
+        senders: Vec<Option<Sender<Message>>>,
+        receivers: Vec<Option<Receiver<Message>>>,
+        cost: CostModel,
+    ) -> Self {
+        Communicator {
+            rank,
+            size,
+            senders,
+            receivers,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            clock: SimClock::new(),
+            cost,
+            link_costs: None,
+            stats: CommStats::default(),
+            rx_link_free_ms: 0.0,
+        }
+    }
+
+    /// Installs a per-link cost override (hierarchical topologies).
+    pub(crate) fn set_link_costs(&mut self, links: LinkCostFn) {
+        self.link_costs = Some(links);
+    }
+
+    /// Cost model of the directed link `src → dst` (the uniform model
+    /// unless a per-link override is installed).
+    pub fn link_cost(&self, src: usize, dst: usize) -> CostModel {
+        match &self.link_costs {
+            Some(f) => f(src, dst),
+            None => self.cost,
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Immutable view of this rank's simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    /// Advances simulated time by `dt_ms` — models local computation (the
+    /// paper's `t_f + t_b` forward/backward phases, or sparsification
+    /// time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ms` is negative or not finite.
+    pub fn advance_compute(&mut self, dt_ms: f64) {
+        self.clock.advance(dt_ms);
+    }
+
+    /// Communication-volume counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Resets counters and clock (between timed experiment repetitions).
+    pub fn reset_accounting(&mut self) {
+        self.stats = CommStats::default();
+        self.clock.reset();
+        self.rx_link_free_ms = 0.0;
+    }
+
+    fn check_peer(&self, peer: usize) -> Result<()> {
+        if peer >= self.size || peer == self.rank {
+            return Err(CommError::InvalidRank {
+                rank: peer,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Sends `payload` to `dest` with `tag`, charging `α + nβ` simulated
+    /// milliseconds to this rank.
+    ///
+    /// The transport is unbounded, so the call never blocks on the peer;
+    /// blocking flow control is modeled purely in simulated time, exactly
+    /// like the paper's cost analysis assumes.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::InvalidRank`] if `dest` is out of range or `self`;
+    /// [`CommError::Disconnected`] if the peer thread has exited.
+    pub fn send(&mut self, dest: usize, tag: u32, payload: Payload) -> Result<()> {
+        self.check_peer(dest)?;
+        let n = payload.wire_elems();
+        let cost = self.link_cost(self.rank, dest).transfer_ms(n);
+        self.clock.advance(cost);
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+            arrival_ms: self.clock.now_ms(),
+        };
+        self.stats.msgs_sent += 1;
+        self.stats.elems_sent += n;
+        self.senders[dest]
+            .as_ref()
+            .expect("sender endpoint present for valid peer")
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { peer: dest })
+    }
+
+    /// Receives the next message from `source` carrying `tag`, blocking
+    /// until it arrives. The simulated clock advances to the message's
+    /// delivery time if later than local time.
+    ///
+    /// Delivery models a full-duplex link with a serialized inbound
+    /// direction: a message of `n` elements cannot complete before the
+    /// previous inbound delivery plus its own `α + nβ` transfer time, so
+    /// incast patterns (e.g. a parameter server receiving from P−1
+    /// workers "simultaneously") pay their true serialized cost, while
+    /// symmetric exchanges (ring steps, recursive-doubling rounds) are
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::InvalidRank`] for a bad `source`;
+    /// [`CommError::Disconnected`] if the peer exited before sending.
+    pub fn recv(&mut self, source: usize, tag: u32) -> Result<Message> {
+        self.check_peer(source)?;
+        // Check the stash first.
+        if let Some(pos) = self.pending[source].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[source]
+                .remove(pos)
+                .expect("position just found");
+            self.deliver(&msg);
+            return Ok(msg);
+        }
+        loop {
+            let rx = self.receivers[source]
+                .as_ref()
+                .expect("receiver endpoint present for valid peer");
+            let mut msg = rx
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: source })?;
+            self.serialize_inbound(&mut msg);
+            if msg.tag == tag {
+                self.deliver(&msg);
+                return Ok(msg);
+            }
+            self.pending[source].push_back(msg);
+        }
+    }
+
+    /// Applies inbound-link serialization, rewriting the message's
+    /// effective delivery time.
+    fn serialize_inbound(&mut self, msg: &mut Message) {
+        let cost = self
+            .link_cost(msg.src, self.rank)
+            .transfer_ms(msg.payload.wire_elems());
+        let delivery = msg.arrival_ms.max(self.rx_link_free_ms + cost);
+        self.rx_link_free_ms = delivery;
+        msg.arrival_ms = delivery;
+    }
+
+    fn deliver(&mut self, msg: &Message) {
+        self.clock.sync_to(msg.arrival_ms);
+        self.stats.msgs_received += 1;
+        self.stats.elems_received += msg.payload.wire_elems();
+    }
+
+    /// Combined exchange with a partner: send `payload` to `peer` and
+    /// receive the message `peer` sent us with the same tag.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Communicator::send`] / [`Communicator::recv`].
+    pub fn sendrecv(&mut self, peer: usize, tag: u32, payload: Payload) -> Result<Message> {
+        self.send(peer, tag, payload)?;
+        self.recv(peer, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+
+    #[test]
+    fn ping_pong_and_clock_sync() {
+        let cluster = Cluster::new(2, CostModel::new(1.0, 0.1));
+        let times = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Payload::Dense(vec![1.0; 10])).unwrap();
+                let m = comm.recv(1, 8).unwrap();
+                assert_eq!(m.payload, Payload::Dense(vec![2.0; 10]));
+            } else {
+                let m = comm.recv(0, 7).unwrap();
+                assert_eq!(m.src, 0);
+                let mut v = m.payload.into_dense();
+                v.iter_mut().for_each(|x| *x *= 2.0);
+                comm.send(0, 8, Payload::Dense(v)).unwrap();
+            }
+            comm.now_ms()
+        });
+        // Each direction costs 1 + 10*0.1 = 2 ms.
+        // Rank1 receives at 2, sends until 4; rank0 receives at 4.
+        assert_eq!(times[0], 4.0);
+        assert_eq!(times[1], 4.0);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let cluster = Cluster::new(2, CostModel::zero());
+        cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Payload::Scalar(1.0)).unwrap();
+                comm.send(1, 2, Payload::Scalar(2.0)).unwrap();
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv(0, 2).unwrap();
+                let a = comm.recv(0, 1).unwrap();
+                assert_eq!(b.payload.into_scalar(), 2.0);
+                assert_eq!(a.payload.into_scalar(), 1.0);
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_peer_is_error() {
+        let cluster = Cluster::new(2, CostModel::zero());
+        cluster.run(|comm| {
+            assert!(matches!(
+                comm.send(5, 0, Payload::Control),
+                Err(CommError::InvalidRank { rank: 5, size: 2 })
+            ));
+            // Sending to self is also rejected.
+            let me = comm.rank();
+            assert!(comm.send(me, 0, Payload::Control).is_err());
+        });
+    }
+
+    #[test]
+    fn stats_count_messages_and_elems() {
+        let cluster = Cluster::new(2, CostModel::zero());
+        let stats = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::Dense(vec![0.0; 5])).unwrap();
+            } else {
+                comm.recv(0, 0).unwrap();
+            }
+            comm.stats()
+        });
+        assert_eq!(stats[0].msgs_sent, 1);
+        assert_eq!(stats[0].elems_sent, 5);
+        assert_eq!(stats[0].bytes_sent(), 20);
+        assert_eq!(stats[1].msgs_received, 1);
+        assert_eq!(stats[1].elems_received, 5);
+    }
+
+    #[test]
+    fn compute_advance_accumulates() {
+        let cluster = Cluster::new(2, CostModel::zero());
+        let t = cluster.run(|comm| {
+            comm.advance_compute(3.5);
+            comm.advance_compute(1.5);
+            comm.now_ms()
+        });
+        assert_eq!(t, vec![5.0, 5.0]);
+    }
+}

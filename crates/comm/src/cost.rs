@@ -1,0 +1,172 @@
+//! The α-β communication cost model and the per-rank simulated clock.
+
+/// α-β (latency–bandwidth) network cost model.
+///
+/// Transferring a message of `n` elements between two ranks costs
+/// `α + n·β` milliseconds, where an *element* is one 4-byte word (an `f32`
+/// value or a `u32` index — the paper counts a sparse gradient of k values
+/// plus k indices as `2k` elements).
+///
+/// The default constants are the paper's measured fit on its 1 GbE testbed
+/// (§IV-C, Fig. 8): α = 0.436 ms, β = 3.6×10⁻⁵ ms/element.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_comm::CostModel;
+/// let net = CostModel::gigabit_ethernet();
+/// let t = net.transfer_ms(1_000_000);
+/// assert!((t - 36.436).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message startup latency in milliseconds.
+    pub alpha_ms: f64,
+    /// Per-element (4-byte word) transmission time in milliseconds.
+    pub beta_ms_per_elem: f64,
+}
+
+impl CostModel {
+    /// Creates a model from explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either constant is negative or not finite.
+    pub fn new(alpha_ms: f64, beta_ms_per_elem: f64) -> Self {
+        assert!(
+            alpha_ms.is_finite() && alpha_ms >= 0.0,
+            "alpha must be non-negative"
+        );
+        assert!(
+            beta_ms_per_elem.is_finite() && beta_ms_per_elem >= 0.0,
+            "beta must be non-negative"
+        );
+        CostModel {
+            alpha_ms,
+            beta_ms_per_elem,
+        }
+    }
+
+    /// The paper's measured 1 Gbps Ethernet constants (Fig. 8).
+    pub fn gigabit_ethernet() -> Self {
+        CostModel::new(0.436, 3.6e-5)
+    }
+
+    /// A 10 GbE-class network (same latency, 10× bandwidth).
+    pub fn ten_gigabit_ethernet() -> Self {
+        CostModel::new(0.436, 3.6e-6)
+    }
+
+    /// An InfiniBand-class network (low latency, high bandwidth).
+    pub fn infiniband() -> Self {
+        CostModel::new(0.03, 1.0e-6)
+    }
+
+    /// A free network — useful to isolate algorithmic correctness tests
+    /// from timing.
+    pub fn zero() -> Self {
+        CostModel::new(0.0, 0.0)
+    }
+
+    /// Cost in milliseconds of one message of `n` elements.
+    pub fn transfer_ms(&self, n_elems: usize) -> f64 {
+        self.alpha_ms + n_elems as f64 * self.beta_ms_per_elem
+    }
+}
+
+impl Default for CostModel {
+    /// Defaults to the paper's 1 GbE constants.
+    fn default() -> Self {
+        CostModel::gigabit_ethernet()
+    }
+}
+
+/// Per-rank simulated clock, in milliseconds.
+///
+/// The clock advances when the rank computes ([`SimClock::advance`]) or
+/// communicates (the [`Communicator`](crate::Communicator) charges message
+/// costs), and synchronizes forward on message receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now_ms: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now_ms: 0.0 }
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Advances the clock by `dt_ms` (e.g. simulated GPU compute time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ms` is negative or not finite.
+    pub fn advance(&mut self, dt_ms: f64) {
+        assert!(dt_ms.is_finite() && dt_ms >= 0.0, "dt must be non-negative");
+        self.now_ms += dt_ms;
+    }
+
+    /// Moves the clock forward to `t_ms` if `t_ms` is later (never moves
+    /// backwards).
+    pub fn sync_to(&mut self, t_ms: f64) {
+        if t_ms > self.now_ms {
+            self.now_ms = t_ms;
+        }
+    }
+
+    /// Resets the clock to zero.
+    pub fn reset(&mut self) {
+        self.now_ms = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = CostModel::gigabit_ethernet();
+        assert_eq!(m.alpha_ms, 0.436);
+        assert_eq!(m.beta_ms_per_elem, 3.6e-5);
+        assert_eq!(CostModel::default(), m);
+    }
+
+    #[test]
+    fn transfer_cost_is_affine() {
+        let m = CostModel::new(1.0, 0.5);
+        assert_eq!(m.transfer_ms(0), 1.0);
+        assert_eq!(m.transfer_ms(10), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_rejected() {
+        let _ = CostModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn clock_advance_and_sync() {
+        let mut c = SimClock::new();
+        c.advance(5.0);
+        assert_eq!(c.now_ms(), 5.0);
+        c.sync_to(3.0); // never backwards
+        assert_eq!(c.now_ms(), 5.0);
+        c.sync_to(8.0);
+        assert_eq!(c.now_ms(), 8.0);
+        c.reset();
+        assert_eq!(c.now_ms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn clock_rejects_negative_advance() {
+        SimClock::new().advance(-1.0);
+    }
+}

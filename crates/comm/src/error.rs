@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Error type for communication operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank's channel endpoint was dropped (its thread exited or
+    /// panicked) while a transfer was in flight.
+    Disconnected {
+        /// The peer whose endpoint vanished.
+        peer: usize,
+    },
+    /// A rank argument was not a valid rank of this communicator.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// Buffer sizes passed to a collective disagree across call sites.
+    BufferMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Disconnected { peer } => {
+                write!(f, "peer rank {peer} disconnected mid-operation")
+            }
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} is invalid for a communicator of size {size}")
+            }
+            CommError::BufferMismatch { op, expected, actual } => {
+                write!(f, "buffer size mismatch in {op}: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CommError::Disconnected { peer: 3 }
+            .to_string()
+            .contains("rank 3"));
+        assert!(CommError::InvalidRank { rank: 9, size: 4 }
+            .to_string()
+            .contains("size 4"));
+        assert!(CommError::BufferMismatch {
+            op: "allreduce",
+            expected: 8,
+            actual: 4
+        }
+        .to_string()
+        .contains("allreduce"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CommError>();
+    }
+}

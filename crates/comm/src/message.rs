@@ -1,0 +1,124 @@
+//! Wire messages exchanged between ranks.
+
+use gtopk_sparse::SparseVec;
+
+/// Typed message payload.
+///
+/// The simulated network charges per *element* (4-byte word), matching the
+/// paper's accounting: a dense gradient of `m` floats is `m` elements and a
+/// k-sparse gradient is `2k` elements (k values + k indices).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A dense `f32` vector.
+    Dense(Vec<f32>),
+    /// A sparse gradient (`[V, I]` pair).
+    Sparse(SparseVec),
+    /// A single scalar (used by loss averaging and diagnostics).
+    Scalar(f64),
+    /// A zero-length control message (barriers and similar).
+    Control,
+    /// A phantom message of a given wire size carrying no data.
+    ///
+    /// Timing experiments replay paper-scale message schedules (e.g. a
+    /// ring AllReduce over m = 25×10⁶ gradients on 32 ranks) without
+    /// allocating gigabytes: the simulated clock charges `α + nβ` for the
+    /// declared size exactly as for real payloads.
+    Virtual {
+        /// Declared wire size in 4-byte elements.
+        elems: usize,
+    },
+}
+
+impl Payload {
+    /// Number of 4-byte elements this payload occupies on the wire.
+    pub fn wire_elems(&self) -> usize {
+        match self {
+            Payload::Dense(v) => v.len(),
+            Payload::Sparse(sv) => 2 * sv.nnz(),
+            Payload::Scalar(_) => 2, // one f64 = two 4-byte words
+            Payload::Control => 0,
+            Payload::Virtual { elems } => *elems,
+        }
+    }
+
+    /// Extracts a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Dense`].
+    pub fn into_dense(self) -> Vec<f32> {
+        match self {
+            Payload::Dense(v) => v,
+            other => panic!("expected dense payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts a sparse vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Sparse`].
+    pub fn into_sparse(self) -> SparseVec {
+        match self {
+            Payload::Sparse(v) => v,
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Scalar`].
+    pub fn into_scalar(self) -> f64 {
+        match self {
+            Payload::Scalar(s) => s,
+            other => panic!("expected scalar payload, got {other:?}"),
+        }
+    }
+}
+
+/// A point-to-point message with simulated-time metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag for matching (collectives reserve tags ≥ [`Message::COLLECTIVE_TAG_BASE`]).
+    pub tag: u32,
+    /// Payload.
+    pub payload: Payload,
+    /// Simulated arrival time at the receiver, in milliseconds.
+    pub arrival_ms: f64,
+}
+
+impl Message {
+    /// Tags at or above this value are reserved for collectives.
+    pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_elems_accounting() {
+        assert_eq!(Payload::Dense(vec![0.0; 7]).wire_elems(), 7);
+        let sv = SparseVec::from_pairs(100, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(Payload::Sparse(sv).wire_elems(), 6);
+        assert_eq!(Payload::Scalar(1.0).wire_elems(), 2);
+        assert_eq!(Payload::Control.wire_elems(), 0);
+        assert_eq!(Payload::Virtual { elems: 123 }.wire_elems(), 123);
+    }
+
+    #[test]
+    fn into_dense_roundtrip() {
+        let p = Payload::Dense(vec![1.0, 2.0]);
+        assert_eq!(p.into_dense(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected sparse payload")]
+    fn wrong_extraction_panics() {
+        let _ = Payload::Dense(vec![]).into_sparse();
+    }
+}

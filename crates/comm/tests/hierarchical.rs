@@ -1,0 +1,97 @@
+//! Tests for heterogeneous (per-link) network topologies.
+
+use gtopk_comm::{collectives, Cluster, CostModel, Payload};
+use std::sync::Arc;
+
+/// Two racks of `rack` nodes each: fast intra-rack, slow inter-rack.
+fn two_racks(rack: usize, fast: CostModel, slow: CostModel) -> Cluster {
+    Cluster::with_link_costs(
+        2 * rack,
+        slow,
+        Arc::new(move |src: usize, dst: usize| if src / rack == dst / rack { fast } else { slow }),
+    )
+}
+
+#[test]
+fn intra_rack_messages_are_cheaper() {
+    let fast = CostModel::new(0.1, 1e-6);
+    let slow = CostModel::new(1.0, 1e-4);
+    let cluster = two_racks(2, fast, slow);
+    let times = cluster.run(|comm| {
+        match comm.rank() {
+            0 => {
+                // intra-rack to 1, inter-rack to 2
+                comm.send(1, 0, Payload::Dense(vec![0.0; 1000])).unwrap();
+                comm.send(2, 0, Payload::Dense(vec![0.0; 1000])).unwrap();
+            }
+            1 => {
+                comm.recv(0, 0).unwrap();
+            }
+            2 => {
+                comm.recv(0, 0).unwrap();
+            }
+            _ => {}
+        }
+        comm.now_ms()
+    });
+    // Rank 1 got the fast link: 0.1 + 1000e-6 ≈ 0.101 ms.
+    assert!((times[1] - 0.101).abs() < 1e-9, "t1 = {}", times[1]);
+    // Rank 2's message left after the first (sender serialized) and
+    // crossed the slow link.
+    assert!(times[2] > 1.0, "t2 = {}", times[2]);
+}
+
+#[test]
+fn link_cost_accessor_reports_per_link_models() {
+    let fast = CostModel::new(0.1, 1e-6);
+    let slow = CostModel::new(1.0, 1e-4);
+    let cluster = two_racks(2, fast, slow);
+    cluster.run(|comm| {
+        assert_eq!(comm.link_cost(0, 1), fast);
+        assert_eq!(comm.link_cost(0, 2), slow);
+        assert_eq!(comm.link_cost(3, 2), fast);
+    });
+}
+
+#[test]
+fn uniform_cluster_link_cost_is_the_global_model() {
+    let net = CostModel::gigabit_ethernet();
+    Cluster::new(3, net).run(|comm| {
+        assert_eq!(comm.link_cost(0, 2), net);
+    });
+}
+
+#[test]
+fn collectives_work_unchanged_on_heterogeneous_networks() {
+    let fast = CostModel::new(0.05, 1e-6);
+    let slow = CostModel::new(0.5, 1e-4);
+    let cluster = two_racks(4, fast, slow);
+    let out = cluster.run(|comm| {
+        let mut v = vec![comm.rank() as f32 + 1.0; 16];
+        collectives::allreduce_ring(comm, &mut v).unwrap();
+        (v[0], comm.now_ms())
+    });
+    let expect: f32 = (1..=8).sum::<i32>() as f32;
+    for (sum, t) in &out {
+        assert_eq!(*sum, expect);
+        assert!(*t > 0.0);
+    }
+}
+
+#[test]
+fn slower_backbone_costs_more_simulated_time() {
+    let fast = CostModel::new(0.05, 1e-6);
+    let time_with_backbone = |slow: CostModel| {
+        two_racks(4, fast, slow)
+            .run(|comm| {
+                let mut v = vec![1.0f32; 4096];
+                collectives::allreduce_ring(comm, &mut v).unwrap();
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    let mild = time_with_backbone(CostModel::new(0.2, 1e-5));
+    let harsh = time_with_backbone(CostModel::new(2.0, 1e-3));
+    assert!(harsh > 2.0 * mild, "harsh {harsh} vs mild {mild}");
+}

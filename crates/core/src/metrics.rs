@@ -1,0 +1,174 @@
+//! Training metrics: per-epoch records and per-phase time breakdown.
+
+/// Per-iteration time breakdown in simulated milliseconds — the
+/// decomposition of the paper's Fig. 11 (computation, compression,
+/// communication).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingBreakdown {
+    /// Forward + backward compute time.
+    pub compute_ms: f64,
+    /// Sparsification (top-k selection) time.
+    pub compression_ms: f64,
+    /// Gradient aggregation communication time.
+    pub communication_ms: f64,
+    /// Iterations accumulated into this breakdown.
+    pub iterations: usize,
+}
+
+impl TimingBreakdown {
+    /// Total time across phases.
+    pub fn total_ms(&self) -> f64 {
+        self.compute_ms + self.compression_ms + self.communication_ms
+    }
+
+    /// Per-iteration averages `(compute, compression, communication)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no iterations were recorded.
+    pub fn per_iteration(&self) -> (f64, f64, f64) {
+        assert!(self.iterations > 0, "no iterations recorded");
+        let n = self.iterations as f64;
+        (
+            self.compute_ms / n,
+            self.compression_ms / n,
+            self.communication_ms / n,
+        )
+    }
+
+    /// Phase fractions summing to 1 (zeros if the total is zero).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_ms();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.compute_ms / t,
+            self.compression_ms / t,
+            self.communication_ms / t,
+        )
+    }
+}
+
+/// One epoch of training, averaged across workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch, averaged across workers.
+    pub train_loss: f64,
+    /// Top-1 accuracy on the evaluation set, if one was supplied.
+    pub eval_accuracy: Option<f64>,
+    /// Gradient density in force this epoch.
+    pub density: f64,
+}
+
+/// The result of a distributed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Algorithm name (paper notation).
+    pub algorithm: &'static str,
+    /// Number of workers.
+    pub workers: usize,
+    /// Epoch-by-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Accumulated time breakdown (rank 0's view).
+    pub timing: TimingBreakdown,
+    /// Total simulated wall-clock (rank 0), ms.
+    pub sim_time_ms: f64,
+    /// Total elements sent by rank 0 (communication-volume check).
+    pub elems_sent_rank0: usize,
+    /// Mean non-zero count of the applied global update — the paper's
+    /// §III-A quantity `K` for Top-k S-SGD (`k ≤ K ≤ k·P`, measuring how
+    /// much worker gradient supports overlap), exactly `k` for gTop-k,
+    /// and `m` for dense.
+    pub mean_update_nnz: f64,
+}
+
+impl TrainReport {
+    /// Final training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run recorded no epochs.
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().expect("at least one epoch").train_loss
+    }
+
+    /// Final evaluation accuracy, if evaluation ran.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.epochs.last().and_then(|e| e.eval_accuracy)
+    }
+
+    /// Throughput in samples/second given per-worker batch size, using
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no simulated time elapsed.
+    pub fn throughput(&self, batch_per_worker: usize) -> f64 {
+        assert!(self.sim_time_ms > 0.0, "no simulated time elapsed");
+        let samples =
+            (self.timing.iterations * batch_per_worker * self.workers) as f64;
+        samples / (self.sim_time_ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_and_averages() {
+        let b = TimingBreakdown {
+            compute_ms: 60.0,
+            compression_ms: 20.0,
+            communication_ms: 20.0,
+            iterations: 10,
+        };
+        assert_eq!(b.total_ms(), 100.0);
+        assert_eq!(b.per_iteration(), (6.0, 2.0, 2.0));
+        let (c, z, m) = b.fractions();
+        assert!((c - 0.6).abs() < 1e-12 && (z - 0.2).abs() < 1e-12 && (m - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        assert_eq!(TimingBreakdown::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = TrainReport {
+            algorithm: "gTop-k",
+            workers: 4,
+            epochs: vec![
+                EpochRecord {
+                    epoch: 0,
+                    train_loss: 2.0,
+                    eval_accuracy: None,
+                    density: 0.25,
+                },
+                EpochRecord {
+                    epoch: 1,
+                    train_loss: 1.0,
+                    eval_accuracy: Some(0.8),
+                    density: 0.001,
+                },
+            ],
+            timing: TimingBreakdown {
+                compute_ms: 0.0,
+                compression_ms: 0.0,
+                communication_ms: 0.0,
+                iterations: 100,
+            },
+            sim_time_ms: 1000.0,
+            elems_sent_rank0: 1234,
+            mean_update_nnz: 10.0,
+        };
+        assert_eq!(report.final_loss(), 1.0);
+        assert_eq!(report.final_accuracy(), Some(0.8));
+        // 100 iters × 8 samples × 4 workers / 1 s
+        assert_eq!(report.throughput(8), 3200.0);
+    }
+}

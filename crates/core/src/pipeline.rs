@@ -1,0 +1,261 @@
+//! Layer-wise sparsification with compute/communication overlap — the
+//! paper's stated future work (§VII: "we would like to investigate
+//! layer-wise sparsification such that the communication overheads can
+//! be further overlapped by the computation tasks", citing MG-WFBP).
+//!
+//! This module models the schedule analytically on top of the α-β
+//! network: backward-propagation produces layer gradients from the
+//! output layer backwards; each layer's (or fused bucket's)
+//! gTopKAllReduce may start as soon as its gradient is ready *and* the
+//! network is free (single FIFO channel), overlapping communication of
+//! early-finishing layers with the computation of the remaining ones.
+
+use gtopk_comm::CostModel;
+use gtopk_perfmodel::gtopk_allreduce_ms;
+
+/// Cost description of one layer (or fused bucket of layers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Parameter count of the layer.
+    pub params: usize,
+    /// Backward-propagation compute time for the layer, ms.
+    pub backward_ms: f64,
+}
+
+/// Timeline of one layer's aggregation within the pipelined schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTimeline {
+    /// When the layer's gradient becomes available (cumulative backward).
+    pub ready_ms: f64,
+    /// When its aggregation starts (network FIFO).
+    pub start_ms: f64,
+    /// When its aggregation completes.
+    pub end_ms: f64,
+}
+
+/// Result of a pipelined-schedule simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Baseline: full backward, then one whole-model gTopKAllReduce.
+    pub serial_ms: f64,
+    /// Pipelined completion time (last aggregation finished).
+    pub overlapped_ms: f64,
+    /// Per-layer (bucket) timelines in backward order.
+    pub timelines: Vec<LayerTimeline>,
+}
+
+impl PipelineReport {
+    /// Speedup of the pipelined schedule over the serial baseline.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.overlapped_ms
+    }
+}
+
+/// `k` for a bucket under density `rho` (at least 1).
+fn bucket_k(params: usize, rho: f64) -> usize {
+    ((params as f64 * rho).round() as usize).clamp(1, params.max(1))
+}
+
+/// Simulates the layer-wise pipelined schedule.
+///
+/// `layers` are listed in **backward execution order** (output layer
+/// first). Each entry may be a single layer or a pre-fused bucket.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, `p == 0`, or `rho ∉ (0, 1]`.
+pub fn simulate_layerwise(
+    layers: &[LayerCost],
+    net: &CostModel,
+    p: usize,
+    rho: f64,
+) -> PipelineReport {
+    assert!(!layers.is_empty(), "need at least one layer");
+    assert!(p > 0, "worker count must be positive");
+    assert!(rho > 0.0 && rho <= 1.0, "density must be in (0, 1]");
+
+    let total_params: usize = layers.iter().map(|l| l.params).sum();
+    let total_backward: f64 = layers.iter().map(|l| l.backward_ms).sum();
+    let serial_comm = gtopk_allreduce_ms(net, p, bucket_k(total_params, rho));
+    let serial_ms = total_backward + serial_comm;
+
+    let mut timelines = Vec::with_capacity(layers.len());
+    let mut ready = 0.0f64;
+    let mut channel_free = 0.0f64;
+    for layer in layers {
+        ready += layer.backward_ms;
+        let start = ready.max(channel_free);
+        let comm = gtopk_allreduce_ms(net, p, bucket_k(layer.params, rho));
+        let end = start + comm;
+        channel_free = end;
+        timelines.push(LayerTimeline {
+            ready_ms: ready,
+            start_ms: start,
+            end_ms: end,
+        });
+    }
+    let overlapped_ms = timelines.last().expect("non-empty").end_ms;
+    PipelineReport {
+        serial_ms,
+        overlapped_ms,
+        timelines,
+    }
+}
+
+/// Fuses consecutive layers into `buckets` groups of roughly equal
+/// parameter mass (wait-free buckets in MG-WFBP's spirit), then
+/// simulates the pipelined schedule over the buckets.
+///
+/// Fusing trades per-message latency (fewer α terms) against overlap
+/// granularity; the sweep over `buckets` is the ablation the extension
+/// experiment runs.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_layerwise`], plus `buckets >= 1`.
+pub fn simulate_fused(
+    layers: &[LayerCost],
+    buckets: usize,
+    net: &CostModel,
+    p: usize,
+    rho: f64,
+) -> PipelineReport {
+    assert!(buckets >= 1, "need at least one bucket");
+    let fused = fuse_layers(layers, buckets);
+    simulate_layerwise(&fused, net, p, rho)
+}
+
+/// Greedy contiguous fusion into `buckets` groups of roughly equal
+/// parameter mass.
+pub fn fuse_layers(layers: &[LayerCost], buckets: usize) -> Vec<LayerCost> {
+    assert!(!layers.is_empty(), "need at least one layer");
+    let buckets = buckets.min(layers.len()).max(1);
+    let total: usize = layers.iter().map(|l| l.params).sum();
+    let target = total as f64 / buckets as f64;
+    let mut out: Vec<LayerCost> = Vec::with_capacity(buckets);
+    let mut acc = LayerCost {
+        params: 0,
+        backward_ms: 0.0,
+    };
+    for (i, l) in layers.iter().enumerate() {
+        acc.params += l.params;
+        acc.backward_ms += l.backward_ms;
+        let remaining_layers = layers.len() - i - 1;
+        let remaining_buckets = buckets - out.len() - 1;
+        let over_target = (acc.params as f64) >= target * (1.0 - 1e-9);
+        if (over_target && out.len() + 1 < buckets) || remaining_layers == remaining_buckets {
+            out.push(std::mem::replace(
+                &mut acc,
+                LayerCost {
+                    params: 0,
+                    backward_ms: 0.0,
+                },
+            ));
+        }
+    }
+    if acc.params > 0 || acc.backward_ms > 0.0 {
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> CostModel {
+        CostModel::gigabit_ethernet()
+    }
+
+    #[test]
+    fn single_layer_pipelining_is_a_noop() {
+        let layers = [LayerCost {
+            params: 1_000_000,
+            backward_ms: 100.0,
+        }];
+        let r = simulate_layerwise(&layers, &net(), 32, 0.001);
+        assert!((r.serial_ms - r.overlapped_ms).abs() < 1e-9);
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_layer_overlap_hides_first_communication() {
+        // Layer A ready early; its comm hides entirely behind layer B's
+        // backward when backward is long enough.
+        let layers = [
+            LayerCost { params: 1_000_000, backward_ms: 10.0 },
+            LayerCost { params: 1_000_000, backward_ms: 500.0 },
+        ];
+        let r = simulate_layerwise(&layers, &net(), 32, 0.001);
+        // First comm starts at 10ms, finishes well before 510ms.
+        assert!(r.timelines[0].end_ms < 510.0);
+        // Second comm starts exactly when its gradient is ready.
+        assert!((r.timelines[1].start_ms - 510.0).abs() < 1e-9);
+        assert!(r.overlapped_ms < r.serial_ms);
+    }
+
+    #[test]
+    fn fifo_channel_serializes_communications() {
+        // Both gradients ready almost immediately: comms must queue.
+        let layers = [
+            LayerCost { params: 2_000_000, backward_ms: 0.1 },
+            LayerCost { params: 2_000_000, backward_ms: 0.1 },
+        ];
+        let r = simulate_layerwise(&layers, &net(), 32, 0.001);
+        assert!((r.timelines[1].start_ms - r.timelines[0].end_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_tiny_layers_pay_latency_and_fusion_recovers() {
+        // 64 small layers: 64× the α·logP cost. Fusing into 4 buckets
+        // must beat both the unfused pipeline and approach serial comm
+        // cost while retaining overlap.
+        let layers: Vec<LayerCost> = (0..64)
+            .map(|_| LayerCost {
+                params: 100_000,
+                backward_ms: 2.0,
+            })
+            .collect();
+        let unfused = simulate_layerwise(&layers, &net(), 32, 0.001);
+        let fused = simulate_fused(&layers, 4, &net(), 32, 0.001);
+        assert!(
+            fused.overlapped_ms < unfused.overlapped_ms,
+            "fused {} !< unfused {}",
+            fused.overlapped_ms,
+            unfused.overlapped_ms
+        );
+    }
+
+    #[test]
+    fn fusion_preserves_totals() {
+        let layers: Vec<LayerCost> = (1..=10)
+            .map(|i| LayerCost {
+                params: i * 1000,
+                backward_ms: i as f64,
+            })
+            .collect();
+        for buckets in [1usize, 2, 3, 5, 10, 20] {
+            let fused = fuse_layers(&layers, buckets);
+            assert!(fused.len() <= buckets.min(layers.len()));
+            let params: usize = fused.iter().map(|l| l.params).sum();
+            let back: f64 = fused.iter().map(|l| l.backward_ms).sum();
+            assert_eq!(params, 55_000, "buckets={buckets}");
+            assert!((back - 55.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlap_never_exceeds_serial_when_comm_dominates() {
+        // With enormous comm and tiny compute, pipelining cannot help
+        // (the channel is the bottleneck) but per-layer α overhead makes
+        // it slightly worse — speedup <= 1.
+        let layers: Vec<LayerCost> = (0..8)
+            .map(|_| LayerCost {
+                params: 10_000_000,
+                backward_ms: 0.01,
+            })
+            .collect();
+        let r = simulate_layerwise(&layers, &net(), 32, 0.001);
+        assert!(r.speedup() <= 1.0 + 1e-9, "speedup {}", r.speedup());
+    }
+}

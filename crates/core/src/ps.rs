@@ -1,0 +1,138 @@
+//! Parameter-server gTop-k (paper footnote 2: the mechanism "is also
+//! applicable to the Parameter Server based distributed SGD").
+//!
+//! Rank 0 acts as the server: every worker pushes its k-sparse gradient,
+//! the server computes the exact sparse sum and its global top-k, and
+//! pushes the result back to every worker (star topology). The server
+//! link carries `O(kP)` traffic — the comparison point that motivates
+//! the decentralized tree in the first place; we provide it both for
+//! completeness and as the ablation baseline for the topology choice.
+
+use gtopk_comm::{Communicator, Message, Payload, Result};
+use gtopk_sparse::{topk_sparse, Mask, SparseVec};
+
+const TAG_PS_PUSH: u32 = Message::COLLECTIVE_TAG_BASE + 96;
+const TAG_PS_PULL: u32 = Message::COLLECTIVE_TAG_BASE + 97;
+
+/// Parameter-server global top-k: push to rank 0, exact-sum + top-k
+/// there, pull back.
+///
+/// Every rank receives the identical `(global top-k of the sparse sum,
+/// selection mask)` — semantically the same result as
+/// [`crate::naive_gtopk_all_reduce`], at star-topology cost.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn ps_gtopk_all_reduce(
+    comm: &mut Communicator,
+    local: SparseVec,
+    k: usize,
+) -> Result<(SparseVec, Mask)> {
+    let p = comm.size();
+    let dim = local.dim();
+    let global = if comm.rank() == 0 {
+        let mut sum = local;
+        for src in 1..p {
+            let msg = comm.recv(src, TAG_PS_PUSH)?;
+            sum = sum.add(&msg.payload.into_sparse());
+        }
+        let dense = sum.to_dense();
+        let global = topk_sparse(&dense, k.min(sum.nnz()));
+        for dst in 1..p {
+            comm.send(dst, TAG_PS_PULL, Payload::Sparse(global.clone()))?;
+        }
+        global
+    } else {
+        comm.send(0, TAG_PS_PUSH, Payload::Sparse(local))?;
+        comm.recv(0, TAG_PS_PULL)?.payload.into_sparse()
+    };
+    debug_assert_eq!(global.dim(), dim);
+    let mask = Mask::of_sparse(&global);
+    Ok((global, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_gtopk_all_reduce;
+    use gtopk_comm::{Cluster, CostModel};
+    use gtopk_sparse::topk_sparse as tks;
+
+    fn grad(rank: usize, dim: usize) -> Vec<f32> {
+        (0..dim)
+            .map(|i| {
+                let h = (i as u64 + 29)
+                    .wrapping_mul(rank as u64 + 3)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ps_matches_naive_gtopk_semantics() {
+        for p in [1usize, 2, 3, 4, 8] {
+            let (dim, k) = (64usize, 5usize);
+            let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let local = tks(&grad(comm.rank(), dim), k);
+                let ps = ps_gtopk_all_reduce(comm, local.clone(), k).unwrap();
+                let naive = naive_gtopk_all_reduce(comm, local, k).unwrap();
+                (ps, naive)
+            });
+            for ((pv, pm), (nv, nm)) in out {
+                // Indices identical; values agree up to FP summation
+                // order (star fold vs recursive doubling).
+                assert_eq!(pv.indices(), nv.indices(), "P={p}");
+                for (a, b) in pv.values().iter().zip(nv.values()) {
+                    assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "P={p}: {a} vs {b}");
+                }
+                assert_eq!(pm, nm);
+            }
+        }
+    }
+
+    #[test]
+    fn server_traffic_is_linear_in_p() {
+        let (dim, k) = (4096usize, 16usize);
+        let server_elems = |p: usize| {
+            let stats = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let local = tks(&grad(comm.rank(), dim), k);
+                ps_gtopk_all_reduce(comm, local, k).unwrap();
+                comm.stats()
+            });
+            stats[0].elems_sent + stats[0].elems_received
+        };
+        let t4 = server_elems(4);
+        let t16 = server_elems(16);
+        let ratio = t16 as f64 / t4 as f64;
+        assert!(
+            (3.0..8.0).contains(&ratio),
+            "PS server traffic must grow ~linearly: {t4} -> {t16}"
+        );
+    }
+
+    #[test]
+    fn ps_time_scales_linearly_while_tree_scales_logarithmically() {
+        let (dim, k) = (100_000usize, 100usize);
+        let cost = CostModel::gigabit_ethernet();
+        let time = |p: usize, use_ps: bool| {
+            Cluster::new(p, cost)
+                .run(move |comm| {
+                    let local = tks(&grad(comm.rank(), dim), k);
+                    if use_ps {
+                        ps_gtopk_all_reduce(comm, local, k).unwrap();
+                    } else {
+                        crate::gtopk_all_reduce(comm, local, k).unwrap();
+                    }
+                    comm.now_ms()
+                })
+                .into_iter()
+                .fold(0.0f64, f64::max)
+        };
+        let ps_ratio = time(16, true) / time(4, true);
+        let tree_ratio = time(16, false) / time(4, false);
+        assert!(ps_ratio > 2.5, "PS time should ~4x from P=4 to 16: {ps_ratio}");
+        assert!(tree_ratio < 2.2, "tree time should ~2x: {tree_ratio}");
+    }
+}

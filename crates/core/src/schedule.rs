@@ -1,0 +1,175 @@
+//! Density and learning-rate warmup schedules (paper §IV-B).
+
+/// Gradient density ρ per epoch.
+///
+/// The paper trains the first epochs with dynamic densities
+/// `[0.25, 0.0725, 0.015, 0.004]` (and reduced learning rates) before
+/// switching to the target density (0.001 for CNNs, 0.005 for the LSTM).
+///
+/// # Examples
+///
+/// ```
+/// use gtopk::DensitySchedule;
+/// let sched = DensitySchedule::paper_warmup(0.001);
+/// assert_eq!(sched.density(0), 0.25);
+/// assert_eq!(sched.density(3), 0.004);
+/// assert_eq!(sched.density(4), 0.001);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensitySchedule {
+    warmup: Vec<f64>,
+    base: f64,
+}
+
+impl DensitySchedule {
+    /// Constant density for every epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < base <= 1`.
+    pub fn constant(base: f64) -> Self {
+        DensitySchedule::new(Vec::new(), base)
+    }
+
+    /// The paper's four-epoch warmup followed by `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < base <= 1`.
+    pub fn paper_warmup(base: f64) -> Self {
+        DensitySchedule::new(vec![0.25, 0.0725, 0.015, 0.004], base)
+    }
+
+    /// Custom warmup densities followed by `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every density is in `(0, 1]`.
+    pub fn new(warmup: Vec<f64>, base: f64) -> Self {
+        for &d in warmup.iter().chain(std::iter::once(&base)) {
+            assert!(d > 0.0 && d <= 1.0, "density {d} must be in (0, 1]");
+        }
+        DensitySchedule { warmup, base }
+    }
+
+    /// Density for the given (0-based) epoch.
+    pub fn density(&self, epoch: usize) -> f64 {
+        self.warmup.get(epoch).copied().unwrap_or(self.base)
+    }
+
+    /// Selection budget `k = max(1, round(ρ·m))` for the given epoch and
+    /// model size.
+    pub fn k(&self, epoch: usize, num_params: usize) -> usize {
+        ((self.density(epoch) * num_params as f64).round() as usize).clamp(1, num_params)
+    }
+
+    /// The post-warmup density.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+}
+
+/// Learning-rate schedule: optional warmup factor over the first epochs
+/// and step decay afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk::LrSchedule;
+/// let sched = LrSchedule::new(0.1, 4, vec![80, 120]);
+/// assert!(sched.lr(0) < 0.1);                    // warming up
+/// assert_eq!(sched.lr(10), 0.1);                 // full rate
+/// assert!((sched.lr(90) - 0.01).abs() < 1e-6);   // decayed ×0.1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSchedule {
+    base: f32,
+    warmup_epochs: usize,
+    decay_milestones: Vec<usize>,
+}
+
+impl LrSchedule {
+    /// Creates a schedule with linear warmup over `warmup_epochs` and
+    /// ×0.1 decay at each milestone epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not positive-finite.
+    pub fn new(base: f32, warmup_epochs: usize, decay_milestones: Vec<usize>) -> Self {
+        assert!(base.is_finite() && base > 0.0, "base lr must be positive");
+        LrSchedule {
+            base,
+            warmup_epochs,
+            decay_milestones,
+        }
+    }
+
+    /// Constant learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not positive-finite.
+    pub fn constant(base: f32) -> Self {
+        LrSchedule::new(base, 0, Vec::new())
+    }
+
+    /// Learning rate for the given (0-based) epoch.
+    pub fn lr(&self, epoch: usize) -> f32 {
+        let mut lr = self.base;
+        if epoch < self.warmup_epochs {
+            lr *= (epoch + 1) as f32 / (self.warmup_epochs + 1) as f32;
+        }
+        for &m in &self.decay_milestones {
+            if epoch >= m {
+                lr *= 0.1;
+            }
+        }
+        lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_warmup_sequence() {
+        let s = DensitySchedule::paper_warmup(0.001);
+        let densities: Vec<f64> = (0..6).map(|e| s.density(e)).collect();
+        assert_eq!(densities, vec![0.25, 0.0725, 0.015, 0.004, 0.001, 0.001]);
+        assert_eq!(s.base(), 0.001);
+    }
+
+    #[test]
+    fn k_scales_with_density_and_clamps() {
+        let s = DensitySchedule::constant(0.001);
+        assert_eq!(s.k(0, 1_000_000), 1_000);
+        assert_eq!(s.k(0, 10), 1); // floor of 1
+        let full = DensitySchedule::constant(1.0);
+        assert_eq!(full.k(0, 10), 10); // never exceeds m
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn zero_density_rejected() {
+        let _ = DensitySchedule::constant(0.0);
+    }
+
+    #[test]
+    fn lr_warmup_is_monotone_then_flat() {
+        let s = LrSchedule::new(1.0, 4, vec![]);
+        let rates: Vec<f32> = (0..6).map(|e| s.lr(e)).collect();
+        for w in rates.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6);
+        }
+        assert_eq!(s.lr(4), 1.0);
+    }
+
+    #[test]
+    fn lr_decays_at_milestones() {
+        let s = LrSchedule::new(1.0, 0, vec![10, 20]);
+        assert_eq!(s.lr(9), 1.0);
+        assert!((s.lr(10) - 0.1).abs() < 1e-6);
+        assert!((s.lr(25) - 0.01).abs() < 1e-6);
+    }
+}

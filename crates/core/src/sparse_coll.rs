@@ -1,0 +1,182 @@
+//! Sparse collectives built on the simulated MPI substrate.
+//!
+//! The dense collectives in `gtopk_comm` cannot carry irregularly-indexed
+//! sparse gradients (the exact difficulty the paper describes in §II-E),
+//! so the sparse variants live here, next to the algorithms that need
+//! them.
+
+use gtopk_comm::{Communicator, Message, Payload, Result};
+use gtopk_sparse::SparseVec;
+
+const TAG_SBCAST: u32 = Message::COLLECTIVE_TAG_BASE + 32;
+const TAG_SSUM: u32 = Message::COLLECTIVE_TAG_BASE + 33;
+const TAG_SFOLD: u32 = Message::COLLECTIVE_TAG_BASE + 34;
+
+/// Binomial-tree broadcast of a sparse vector from `root`.
+///
+/// Non-root ranks pass any placeholder (e.g. `SparseVec::empty(dim)`); the
+/// root's vector is returned on every rank. This is the second phase of
+/// gTopKAllReduce (Algorithm 3, line 19), costing
+/// `⌈log₂P⌉·(α + 2kβ)` — the paper's `log(P)α + 2k·log(P)β` term.
+///
+/// # Errors
+///
+/// Propagates transport errors; rejects an invalid root rank.
+pub fn sparse_broadcast(
+    comm: &mut Communicator,
+    local: SparseVec,
+    root: usize,
+) -> Result<SparseVec> {
+    let p = comm.size();
+    if root >= p {
+        return Err(gtopk_comm::CommError::InvalidRank { rank: root, size: p });
+    }
+    if p == 1 {
+        return Ok(local);
+    }
+    let rel = (comm.rank() + p - root) % p;
+    let mut value = local;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask != 0 {
+            let src = (comm.rank() + p - mask) % p;
+            value = comm.recv(src, TAG_SBCAST)?.payload.into_sparse();
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if rel + mask < p {
+            let dst = (comm.rank() + mask) % p;
+            comm.send(dst, TAG_SBCAST, Payload::Sparse(value.clone()))?;
+        }
+        mask >>= 1;
+    }
+    Ok(value)
+}
+
+/// Exact sparse sum across all ranks by recursive doubling.
+///
+/// Every rank contributes a sparse vector and receives the exact (merge-
+/// added, untruncated) sum. With each worker contributing `k` non-zeros,
+/// round `j` exchanges partial sums of up to `2ʲ·k` non-zeros, so the
+/// total per-rank traffic is `2k(P−1)` elements over `log₂P` rounds —
+/// exactly the paper's Eq. 6 cost for the AllGather-based TopKAllReduce
+/// (which this operation replaces semantically: Algorithm 1 only ever
+/// uses the gathered vectors to compute their sum).
+///
+/// Non-power-of-two sizes fold extra ranks in and out.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn sparse_sum_recursive_doubling(
+    comm: &mut Communicator,
+    local: SparseVec,
+) -> Result<SparseVec> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(local);
+    }
+    let rank = comm.rank();
+    let mut p2 = 1usize;
+    while p2 * 2 <= p {
+        p2 *= 2;
+    }
+    let extra = p - p2;
+    let mut acc = local;
+    // Fold-in.
+    if rank >= p2 {
+        comm.send(rank - p2, TAG_SFOLD, Payload::Sparse(acc.clone()))?;
+    } else if rank < extra {
+        let other = comm.recv(rank + p2, TAG_SFOLD)?.payload.into_sparse();
+        acc = acc.add(&other);
+    }
+    if rank < p2 {
+        let mut mask = 1usize;
+        while mask < p2 {
+            let peer = rank ^ mask;
+            let msg = comm.sendrecv(peer, TAG_SSUM + mask as u32, Payload::Sparse(acc.clone()))?;
+            acc = acc.add(&msg.payload.into_sparse());
+            mask <<= 1;
+        }
+    }
+    // Fold-out.
+    if rank < extra {
+        comm.send(rank + p2, TAG_SFOLD, Payload::Sparse(acc.clone()))?;
+    } else if rank >= p2 {
+        acc = comm.recv(rank - p2, TAG_SFOLD)?.payload.into_sparse();
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_comm::{Cluster, CostModel};
+
+    const SIZES: &[usize] = &[1, 2, 3, 4, 5, 8];
+
+    #[test]
+    fn broadcast_delivers_sparse_everywhere() {
+        for &p in SIZES {
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let local = if comm.rank() == 0 {
+                    SparseVec::from_pairs(10, vec![(2, 1.5), (7, -3.0)])
+                } else {
+                    SparseVec::empty(10)
+                };
+                sparse_broadcast(comm, local, 0).unwrap()
+            });
+            for v in out {
+                assert_eq!(v.indices(), &[2, 7], "P={p}");
+                assert_eq!(v.values(), &[1.5, -3.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_matches_dense_reference() {
+        for &p in SIZES {
+            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let r = comm.rank() as u32;
+                // Overlapping and unique coordinates.
+                let local = SparseVec::from_pairs(
+                    32,
+                    vec![(0, 1.0), (r + 1, 10.0 * (r + 1) as f32)],
+                );
+                sparse_sum_recursive_doubling(comm, local).unwrap()
+            });
+            let mut expect = vec![0.0f32; 32];
+            for r in 0..p {
+                expect[0] += 1.0;
+                expect[r + 1] += 10.0 * (r + 1) as f32;
+            }
+            for v in out {
+                assert_eq!(v.to_dense(), expect, "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_traffic_matches_eq6_volume() {
+        // For power-of-two P, per-rank sent elements must be 2k(P-1) when
+        // all contributions have disjoint supports.
+        let p = 8usize;
+        let k = 4usize;
+        let stats = Cluster::new(p, CostModel::zero()).run(|comm| {
+            let r = comm.rank() as u32;
+            let pairs: Vec<(u32, f32)> = (0..k as u32)
+                .map(|j| (r * k as u32 + j, 1.0))
+                .collect();
+            let local = SparseVec::from_pairs(64, pairs);
+            sparse_sum_recursive_doubling(comm, local).unwrap();
+            comm.stats()
+        });
+        for s in stats {
+            // k + 2k + 4k partial sums, 2 wire words per nnz.
+            assert_eq!(s.elems_sent, 2 * k * (p - 1), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Distributed S-SGD training loops (paper Algorithms 1, 2 and 4, plus
+//! the dense baseline) over the simulated cluster.
+
+use crate::{Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown, TrainReport, Update};
+use gtopk_comm::{Cluster, Communicator, CostModel};
+use gtopk_data::{shard_indices, BatchIter, Dataset};
+use gtopk_nn::{accuracy, softmax_cross_entropy, Model, MomentumSgd};
+use gtopk_sparse::Residual;
+
+/// Simulated per-iteration local costs, used by the timing experiments
+/// (Figs. 10–11, Table IV). When present, each iteration advances the
+/// simulated clock by `compute_ms` (the GPU's forward+backward, which we
+/// cannot measure without the paper's hardware) and `sparsify_ms` (top-k
+/// selection). Communication time always comes from the simulated α-β
+/// network. `None` leaves the clock driven by communication alone —
+/// appropriate for pure convergence experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComputeCost {
+    /// Forward + backward time per iteration, ms.
+    pub compute_ms: f64,
+    /// Sparsification time per iteration, ms (charged for sparse
+    /// algorithms only).
+    pub sparsify_ms: f64,
+}
+
+/// Configuration of a distributed training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of simulated workers `P`.
+    pub workers: usize,
+    /// Per-worker mini-batch size `b` (global batch is `b·P`).
+    pub batch_per_worker: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Gradient aggregation algorithm.
+    pub algorithm: Algorithm,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Momentum coefficient (the paper uses 0.9 everywhere).
+    pub momentum: f32,
+    /// Gradient density schedule ρ(epoch).
+    pub density: DensitySchedule,
+    /// Network cost model for the simulated cluster.
+    pub cost_model: CostModel,
+    /// Optional modeled local compute costs (see [`ComputeCost`]).
+    pub compute_cost: Option<ComputeCost>,
+    /// Local top-k selection kernel (exact or sampled-threshold).
+    pub selector: Selector,
+    /// DGC-style momentum correction (Lin et al., cited in §VI): apply
+    /// momentum *locally before* residual accumulation, so delayed
+    /// coordinates carry their momentum history when finally selected;
+    /// the global update is then applied with plain SGD.
+    pub momentum_correction: bool,
+    /// Gradient clipping: rescale each worker's local gradient to this
+    /// maximum L2 norm before residual accumulation (the DGC trick the
+    /// paper cites for protecting accuracy under sparsification).
+    pub clip_norm: Option<f32>,
+    /// Seed for batch shuffling (model seeds belong to the builder).
+    pub data_seed: u64,
+}
+
+impl TrainConfig {
+    /// A small-scale convergence-experiment configuration matching the
+    /// paper's defaults: momentum 0.9, the paper's warmup (reduced
+    /// density *and* reduced learning rate over the first four epochs,
+    /// §IV-B), 1 GbE network, no modeled compute.
+    pub fn convergence(workers: usize, batch: usize, epochs: usize, lr: f32, density: f64) -> Self {
+        TrainConfig {
+            workers,
+            batch_per_worker: batch,
+            epochs,
+            algorithm: Algorithm::GTopK,
+            lr: LrSchedule::new(lr, 4, Vec::new()),
+            momentum: 0.9,
+            density: DensitySchedule::paper_warmup(density),
+            cost_model: CostModel::gigabit_ethernet(),
+            compute_cost: None,
+            selector: Selector::Exact,
+            momentum_correction: false,
+            clip_norm: None,
+            data_seed: 0x5eed,
+        }
+    }
+
+    /// Returns a copy with a different algorithm (for baseline sweeps).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+struct RankOutcome {
+    losses: Vec<f64>,
+    evals: Vec<Option<f64>>,
+    timing: TimingBreakdown,
+    sim_time_ms: f64,
+    elems_sent: usize,
+    update_nnz_sum: u64,
+    param_checksum: f64,
+}
+
+/// Runs distributed S-SGD with the configured aggregation algorithm.
+///
+/// `build_model` is invoked once per rank and must produce bit-identical
+/// replicas (seed it deterministically); `train_data` is sharded by rank;
+/// `eval_data`, when given, is evaluated on rank 0 at the end of every
+/// epoch (replicas stay identical across ranks, so one rank suffices —
+/// this is asserted at the end of the run).
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent with the dataset (e.g. a
+/// shard smaller than one batch), if model replicas diverge, or if a
+/// communication error occurs (worker threads treat transport failures
+/// as fatal, like an MPI abort).
+pub fn train_distributed<M, F>(
+    cfg: &TrainConfig,
+    build_model: F,
+    train_data: &dyn Dataset,
+    eval_data: Option<&dyn Dataset>,
+) -> TrainReport
+where
+    M: Model,
+    F: Fn() -> M + Send + Sync,
+{
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
+    assert!(
+        iters_per_epoch > 0,
+        "dataset too small: {} items for {} workers × batch {}",
+        train_data.len(),
+        cfg.workers,
+        cfg.batch_per_worker
+    );
+
+    let cluster = Cluster::new(cfg.workers, cfg.cost_model);
+    let outcomes: Vec<RankOutcome> = cluster.run(|comm| {
+        run_rank(cfg, comm, &build_model, train_data, eval_data, iters_per_epoch)
+    });
+
+    // Replica-consistency invariant: identical updates everywhere.
+    let checksum0 = outcomes[0].param_checksum;
+    for (r, o) in outcomes.iter().enumerate() {
+        assert!(
+            (o.param_checksum - checksum0).abs() <= 1e-3 * checksum0.abs().max(1.0),
+            "rank {r} model diverged: {} vs {}",
+            o.param_checksum,
+            checksum0
+        );
+    }
+
+    let epochs = (0..cfg.epochs)
+        .map(|e| {
+            let mean_loss = outcomes.iter().map(|o| o.losses[e]).sum::<f64>()
+                / outcomes.len() as f64;
+            EpochRecord {
+                epoch: e,
+                train_loss: mean_loss,
+                eval_accuracy: outcomes[0].evals[e],
+                density: cfg.density.density(e),
+            }
+        })
+        .collect();
+
+    let iterations = outcomes[0].timing.iterations.max(1);
+    TrainReport {
+        algorithm: cfg.algorithm.name(),
+        workers: cfg.workers,
+        epochs,
+        timing: outcomes[0].timing,
+        sim_time_ms: outcomes[0].sim_time_ms,
+        elems_sent_rank0: outcomes[0].elems_sent,
+        mean_update_nnz: outcomes[0].update_nnz_sum as f64 / iterations as f64,
+    }
+}
+
+fn run_rank<M, F>(
+    cfg: &TrainConfig,
+    comm: &mut Communicator,
+    build_model: &F,
+    train_data: &dyn Dataset,
+    eval_data: Option<&dyn Dataset>,
+    iters_per_epoch: usize,
+) -> RankOutcome
+where
+    M: Model,
+    F: Fn() -> M,
+{
+    let mut model = build_model();
+    let m = model.num_params();
+    // With momentum correction, momentum is applied locally (DGC style)
+    // and the aggregated update is applied with plain SGD.
+    let opt_momentum = if cfg.momentum_correction { 0.0 } else { cfg.momentum };
+    let mut opt = MomentumSgd::new(m, cfg.lr.lr(0), opt_momentum);
+    let mut local_velocity: Option<Vec<f32>> = if cfg.momentum_correction {
+        Some(vec![0.0; m])
+    } else {
+        None
+    };
+    let mut residual = Residual::new(m);
+    let mut aggregator = cfg.algorithm.aggregator_with(cfg.selector);
+    let shard = shard_indices(train_data.len(), comm.rank(), comm.size());
+    let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
+
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut evals = Vec::with_capacity(cfg.epochs);
+    let mut timing = TimingBreakdown::default();
+    let mut update_nnz_sum = 0u64;
+
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.lr.lr(epoch));
+        let k = cfg.density.k(epoch, m);
+        let mut epoch_loss = 0.0f64;
+        for _ in 0..iters_per_epoch {
+            let idx = batches
+                .next_batch()
+                .expect("iters_per_epoch fits every shard")
+                .to_vec();
+            let (x, ys) = train_data.batch(&idx);
+
+            let t0 = comm.now_ms();
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &ys);
+            model.backward(&grad);
+            let mut g = model.flat_grads();
+            if let Some(max_norm) = cfg.clip_norm {
+                clip_to_norm(&mut g, max_norm);
+            }
+            if let Some(cost) = cfg.compute_cost {
+                comm.advance_compute(cost.compute_ms);
+            }
+            let t1 = comm.now_ms();
+
+            match &mut local_velocity {
+                Some(u) => {
+                    for (ui, &gi) in u.iter_mut().zip(g.iter()) {
+                        *ui = cfg.momentum * *ui + gi;
+                    }
+                    residual.accumulate(u);
+                }
+                None => residual.accumulate(&g),
+            }
+            if cfg.algorithm != Algorithm::Dense {
+                if let Some(cost) = cfg.compute_cost {
+                    comm.advance_compute(cost.sparsify_ms);
+                }
+            }
+            let t2 = comm.now_ms();
+
+            let update = aggregator
+                .aggregate(comm, &mut residual, k)
+                .expect("aggregation must not fail mid-training");
+            let t3 = comm.now_ms();
+
+            update_nnz_sum += update.nnz() as u64;
+            match &update {
+                Update::Dense(v) => opt.step_dense(&mut model, v),
+                Update::Sparse(sv) => opt.step_sparse(&mut model, sv),
+            }
+
+            epoch_loss += loss as f64;
+            timing.compute_ms += t1 - t0;
+            timing.compression_ms += t2 - t1;
+            timing.communication_ms += t3 - t2;
+            timing.iterations += 1;
+        }
+        batches.next_epoch();
+        losses.push(epoch_loss / iters_per_epoch as f64);
+
+        // Rank-0 evaluation (replicas are identical across ranks).
+        let eval = if comm.rank() == 0 {
+            eval_data.map(|ds| evaluate(&mut model, ds))
+        } else {
+            eval_data.map(|_| 0.0) // placeholder; only rank 0's is reported
+        };
+        evals.push(eval);
+    }
+
+    let params = model.flat_params();
+    RankOutcome {
+        losses,
+        evals,
+        timing,
+        sim_time_ms: comm.now_ms(),
+        elems_sent: comm.stats().elems_sent,
+        update_nnz_sum,
+        param_checksum: params.iter().map(|&v| v as f64).sum(),
+    }
+}
+
+/// Rescales `g` in place so its L2 norm is at most `max_norm`.
+fn clip_to_norm(g: &mut [f32], max_norm: f32) {
+    debug_assert!(max_norm > 0.0, "clip norm must be positive");
+    let norm = g.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        g.iter_mut().for_each(|v| *v *= scale);
+    }
+}
+
+/// Top-1 accuracy of `model` over the whole dataset, in chunks.
+fn evaluate(model: &mut dyn Model, ds: &dyn Dataset) -> f64 {
+    let chunk = 32usize;
+    let mut correct_weighted = 0.0f64;
+    let mut total = 0usize;
+    let mut i = 0usize;
+    while i < ds.len() {
+        let end = (i + chunk).min(ds.len());
+        let idx: Vec<usize> = (i..end).collect();
+        let (x, ys) = ds.batch(&idx);
+        let logits = model.forward(&x, false);
+        let acc = accuracy(&logits, &ys) as f64;
+        correct_weighted += acc * ys.len() as f64;
+        total += ys.len();
+        i = end;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct_weighted / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_data::GaussianMixture;
+    use gtopk_nn::models;
+
+    fn quick_cfg(alg: Algorithm, workers: usize) -> TrainConfig {
+        TrainConfig {
+            workers,
+            batch_per_worker: 8,
+            epochs: 3,
+            algorithm: alg,
+            lr: LrSchedule::constant(0.2),
+            momentum: 0.9,
+            density: DensitySchedule::constant(0.05),
+            cost_model: CostModel::zero(),
+            compute_cost: None,
+            selector: Selector::Exact,
+            momentum_correction: false,
+            clip_norm: None,
+            data_seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_algorithms_reduce_loss() {
+        let data = GaussianMixture::new(3, 256, 8, 4, 2.0, 0.4);
+        for alg in Algorithm::ALL {
+            let cfg = quick_cfg(alg, 4);
+            let report = train_distributed(&cfg, || models::mlp(7, 8, 16, 4), &data, None);
+            let first = report.epochs[0].train_loss;
+            let last = report.final_loss();
+            assert!(
+                last < first,
+                "{}: loss did not drop ({first} -> {last})",
+                alg.name()
+            );
+            assert_eq!(report.workers, 4);
+            assert_eq!(report.epochs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn eval_accuracy_improves_with_training() {
+        let train = GaussianMixture::new(5, 256, 8, 4, 3.0, 0.3);
+        // Same seed so train and eval share the class means; item noise
+        // still differs because item indices map to different RNG streams.
+        let eval = GaussianMixture::new(5, 64, 8, 4, 3.0, 0.3);
+        let cfg = quick_cfg(Algorithm::GTopK, 4);
+        let report =
+            train_distributed(&cfg, || models::mlp(9, 8, 16, 4), &train, Some(&eval));
+        let acc = report.final_accuracy().expect("eval ran");
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn replicas_stay_consistent_across_ranks() {
+        // train_distributed asserts this internally; failure would panic.
+        let data = GaussianMixture::new(8, 128, 6, 3, 2.0, 0.4);
+        for alg in [Algorithm::Dense, Algorithm::GTopK, Algorithm::TopK] {
+            let cfg = quick_cfg(alg, 3); // non-power-of-two on purpose
+            let _ = train_distributed(&cfg, || models::mlp(11, 6, 8, 3), &data, None);
+        }
+    }
+
+    #[test]
+    fn gtopk_sends_fewer_elements_than_topk_at_scale() {
+        let data = GaussianMixture::new(9, 512, 8, 4, 2.0, 0.4);
+        let send = |alg| {
+            let cfg = quick_cfg(alg, 8);
+            train_distributed(&cfg, || models::mlp(13, 8, 32, 4), &data, None).elems_sent_rank0
+        };
+        let topk = send(Algorithm::TopK);
+        let gtopk = send(Algorithm::GTopK);
+        let dense = send(Algorithm::Dense);
+        assert!(gtopk < topk, "gTop-k {gtopk} !< Top-k {topk}");
+        assert!(topk < dense, "Top-k {topk} !< Dense {dense}");
+    }
+
+    #[test]
+    fn timing_breakdown_reflects_compute_cost() {
+        let data = GaussianMixture::new(10, 128, 6, 3, 2.0, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 2);
+        cfg.cost_model = CostModel::gigabit_ethernet();
+        cfg.compute_cost = Some(ComputeCost {
+            compute_ms: 5.0,
+            sparsify_ms: 1.0,
+        });
+        let report = train_distributed(&cfg, || models::mlp(15, 6, 8, 3), &data, None);
+        let (comp, compr, comm) = report.timing.per_iteration();
+        assert!((comp - 5.0).abs() < 1e-9);
+        assert!((compr - 1.0).abs() < 1e-9);
+        assert!(comm > 0.0, "communication time must be charged");
+        assert!(report.sim_time_ms > 0.0);
+        assert!(report.throughput(8) > 0.0);
+    }
+
+    #[test]
+    fn update_nnz_reflects_algorithm_semantics() {
+        let data = GaussianMixture::new(14, 256, 16, 4, 2.0, 0.4);
+        let build = || models::mlp(23, 16, 32, 4);
+        let m = build().num_params();
+        let run = |alg| {
+            let mut cfg = quick_cfg(alg, 4);
+            cfg.density = DensitySchedule::constant(0.02);
+            cfg.epochs = 1;
+            train_distributed(&cfg, build, &data, None)
+        };
+        let k = (0.02 * m as f64).round();
+        let dense = run(Algorithm::Dense);
+        assert_eq!(dense.mean_update_nnz, m as f64);
+        let gtopk = run(Algorithm::GTopK);
+        assert!(gtopk.mean_update_nnz <= k + 0.5, "gTop-k applies exactly k");
+        let topk = run(Algorithm::TopK);
+        assert!(
+            topk.mean_update_nnz >= k - 0.5 && topk.mean_update_nnz <= 4.0 * k + 0.5,
+            "Top-k applies K in [k, kP]: {}",
+            topk.mean_update_nnz
+        );
+        assert!(topk.mean_update_nnz > gtopk.mean_update_nnz);
+    }
+
+    #[test]
+    fn clip_to_norm_rescales_only_when_needed() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        clip_to_norm(&mut g, 10.0);
+        assert_eq!(g, vec![3.0, 4.0]);
+        clip_to_norm(&mut g, 1.0);
+        let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6, "direction preserved");
+    }
+
+    #[test]
+    fn clipped_training_converges() {
+        let data = GaussianMixture::new(16, 256, 8, 4, 2.5, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.clip_norm = Some(1.0);
+        let report = train_distributed(&cfg, || models::mlp(27, 8, 16, 4), &data, None);
+        assert!(report.final_loss() < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn momentum_correction_trains_and_stays_consistent() {
+        let data = GaussianMixture::new(12, 256, 8, 4, 2.5, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.momentum_correction = true;
+        cfg.density = DensitySchedule::constant(0.01);
+        cfg.epochs = 5;
+        let report = train_distributed(&cfg, || models::mlp(21, 8, 16, 4), &data, None);
+        assert!(
+            report.final_loss() < 0.7 * report.epochs[0].train_loss,
+            "correction run must converge: {} -> {}",
+            report.epochs[0].train_loss,
+            report.final_loss()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset too small")]
+    fn undersized_dataset_rejected() {
+        let data = GaussianMixture::new(11, 8, 4, 2, 2.0, 0.4);
+        let cfg = quick_cfg(Algorithm::Dense, 4);
+        let _ = train_distributed(&cfg, || models::mlp(1, 4, 4, 2), &data, None);
+    }
+}

@@ -1,0 +1,144 @@
+use crate::Dataset;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Class-conditioned pattern images: each class has a fixed random
+/// `[C, H, W]` template; an item is its class template plus per-item
+/// noise. The Cifar-10 / ImageNet stand-in for the CNN convergence
+/// experiments.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_data::{Dataset, PatternImages};
+/// let ds = PatternImages::cifar_like(0, 256);
+/// assert_eq!(ds.input_dims(), vec![3, 8, 8]);
+/// assert_eq!(ds.num_classes(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternImages {
+    seed: u64,
+    n: usize,
+    channels: usize,
+    size: usize,
+    classes: usize,
+    noise: f32,
+    templates: Vec<Vec<f32>>,
+}
+
+impl PatternImages {
+    /// Creates a pattern-image dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `noise` is negative.
+    pub fn new(seed: u64, n: usize, channels: usize, size: usize, classes: usize, noise: f32) -> Self {
+        assert!(
+            n > 0 && channels > 0 && size > 0 && classes > 0,
+            "dimensions must be positive"
+        );
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+        let vol = channels * size * size;
+        let templates = (0..classes)
+            .map(|_| (0..vol).map(|_| dist.sample(&mut rng)).collect())
+            .collect();
+        PatternImages {
+            seed,
+            n,
+            channels,
+            size,
+            classes,
+            noise,
+            templates,
+        }
+    }
+
+    /// Cifar-10-like configuration: 10 classes of 3×8×8 images, moderate
+    /// noise.
+    pub fn cifar_like(seed: u64, n: usize) -> Self {
+        PatternImages::new(seed, n, 3, 8, 10, 0.4)
+    }
+
+    /// ImageNet-like configuration: more classes, larger images, higher
+    /// noise (a harder task, as ImageNet is to Cifar).
+    pub fn imagenet_like(seed: u64, n: usize) -> Self {
+        PatternImages::new(seed, n, 3, 16, 20, 0.6)
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Dataset for PatternImages {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn input_dims(&self) -> Vec<usize> {
+        vec![self.channels, self.size, self.size]
+    }
+
+    fn targets_per_item(&self) -> usize {
+        1
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn item(&self, i: usize) -> (Vec<f32>, Vec<usize>) {
+        assert!(i < self.n, "index {i} out of range");
+        let class = i % self.classes;
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+        let x = self.templates[class]
+            .iter()
+            .map(|&t| t + dist.sample(&mut rng) * self.noise)
+            .collect();
+        (x, vec![class])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_purity() {
+        let ds = PatternImages::cifar_like(4, 100);
+        let (x, y) = ds.item(42);
+        assert_eq!(x.len(), 3 * 8 * 8);
+        assert_eq!(y, vec![2]); // 42 % 10
+        assert_eq!(ds.item(42), ds.item(42));
+    }
+
+    #[test]
+    fn imagenet_like_is_bigger_and_harder() {
+        let c = PatternImages::cifar_like(0, 10);
+        let i = PatternImages::imagenet_like(0, 10);
+        assert!(i.input_dims().iter().product::<usize>() > c.input_dims().iter().product::<usize>());
+        assert!(i.num_classes() > c.num_classes());
+    }
+
+    #[test]
+    fn same_class_items_correlate_templates() {
+        let ds = PatternImages::new(5, 40, 1, 4, 2, 0.1);
+        let (a, ya) = ds.item(0);
+        let (b, yb) = ds.item(2); // same class (0), different noise
+        assert_eq!(ya, yb);
+        let dist2: f32 = a.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum();
+        // Both are template ± 0.1 noise, so the gap is small...
+        assert!(dist2 < 16.0 * 0.04 + 1e-3);
+        // ...while different classes are typically far apart.
+        let (c, yc) = ds.item(1);
+        assert_ne!(ya, yc);
+        let cross: f32 = a.iter().zip(&c).map(|(p, q)| (p - q) * (p - q)).sum();
+        assert!(cross > dist2);
+    }
+}

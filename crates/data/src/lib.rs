@@ -1,0 +1,30 @@
+//! Deterministic synthetic datasets for the gTop-k reproduction.
+//!
+//! The paper trains on Cifar-10, ImageNet and the Penn Treebank. Those
+//! datasets cannot ship with this repository, so we substitute
+//! procedurally generated tasks with learnable structure (DESIGN.md §2):
+//!
+//! * [`GaussianMixture`] — linearly separable-ish vector classification
+//!   (the quickstart workload);
+//! * [`PatternImages`] — class-conditioned image patterns plus noise in
+//!   `[C, H, W]` layout, in a Cifar-like (3×8×8) and an ImageNet-like
+//!   (3×16×16) configuration;
+//! * [`MarkovText`] — a first-order Markov character stream with
+//!   next-token targets, the PTB analogue for the LSTM experiments.
+//!
+//! Every dataset is **pure**: `item(i)` depends only on `(seed, i)`, so
+//! all simulated workers can share a dataset object and shard it by rank
+//! ([`shard_indices`]) without any I/O or synchronization, and every
+//! experiment is bit-reproducible.
+
+#![warn(missing_docs)]
+
+mod images;
+mod loader;
+mod mixture;
+mod text;
+
+pub use images::PatternImages;
+pub use loader::{shard_indices, BatchIter, Dataset, Subset};
+pub use mixture::GaussianMixture;
+pub use text::MarkovText;

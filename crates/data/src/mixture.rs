@@ -1,0 +1,130 @@
+use crate::Dataset;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Gaussian-mixture classification: each class is an isotropic Gaussian
+/// blob around a random unit-ish mean scaled by `separation`.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_data::{Dataset, GaussianMixture};
+/// let ds = GaussianMixture::new(7, 100, 8, 4, 2.0, 0.5);
+/// assert_eq!(ds.len(), 100);
+/// let (x, y) = ds.item(3);
+/// assert_eq!(x.len(), 8);
+/// assert!(y[0] < 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    seed: u64,
+    n: usize,
+    dim: usize,
+    classes: usize,
+    noise: f32,
+    means: Vec<Vec<f32>>,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`, `dim` or `classes` is zero, or noise/separation is
+    /// negative.
+    pub fn new(seed: u64, n: usize, dim: usize, classes: usize, separation: f32, noise: f32) -> Self {
+        assert!(n > 0 && dim > 0 && classes > 0, "dimensions must be positive");
+        assert!(separation >= 0.0 && noise >= 0.0, "scales must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+        let means = (0..classes)
+            .map(|_| (0..dim).map(|_| dist.sample(&mut rng) * separation).collect())
+            .collect();
+        GaussianMixture {
+            seed,
+            n,
+            dim,
+            classes,
+            noise,
+            means,
+        }
+    }
+
+    /// Class means (for diagnostics).
+    pub fn means(&self) -> &[Vec<f32>] {
+        &self.means
+    }
+}
+
+impl Dataset for GaussianMixture {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn input_dims(&self) -> Vec<usize> {
+        vec![self.dim]
+    }
+
+    fn targets_per_item(&self) -> usize {
+        1
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn item(&self, i: usize) -> (Vec<f32>, Vec<usize>) {
+        assert!(i < self.n, "index {i} out of range");
+        let class = i % self.classes;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+        let x = self.means[class]
+            .iter()
+            .map(|&m| m + dist.sample(&mut rng) * self.noise)
+            .collect();
+        (x, vec![class])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_are_pure() {
+        let ds = GaussianMixture::new(1, 50, 4, 3, 2.0, 0.1);
+        assert_eq!(ds.item(17), ds.item(17));
+        assert_ne!(ds.item(17).0, ds.item(20).0);
+    }
+
+    #[test]
+    fn classes_are_balanced_round_robin() {
+        let ds = GaussianMixture::new(2, 30, 4, 3, 2.0, 0.1);
+        let counts = (0..30).fold(vec![0usize; 3], |mut c, i| {
+            c[ds.item(i).1[0]] += 1;
+            c
+        });
+        assert_eq!(counts, vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn low_noise_items_cluster_around_means() {
+        let ds = GaussianMixture::new(3, 60, 6, 2, 3.0, 0.01);
+        for i in 0..10 {
+            let (x, y) = ds.item(i);
+            let mean = &ds.means()[y[0]];
+            let dist2: f32 = x.iter().zip(mean.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!(dist2 < 0.01, "item {i} too far from its mean");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_dataset() {
+        let a = GaussianMixture::new(9, 10, 3, 2, 1.0, 0.5);
+        let b = GaussianMixture::new(9, 10, 3, 2, 1.0, 0.5);
+        for i in 0..10 {
+            assert_eq!(a.item(i), b.item(i));
+        }
+    }
+}

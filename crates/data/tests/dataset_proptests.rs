@@ -1,0 +1,74 @@
+//! Property-based tests over the synthetic datasets and loaders.
+
+use gtopk_data::{shard_indices, BatchIter, Dataset, GaussianMixture, MarkovText, PatternImages, Subset};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sharding partitions the index space for any (len, size).
+    #[test]
+    fn prop_shards_partition(len in 1usize..300, size in 1usize..17) {
+        let mut all: Vec<usize> = (0..size).flat_map(|r| shard_indices(len, r, size)).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Every epoch of a BatchIter covers its shard exactly once (modulo
+    /// the dropped remainder), with no duplicates.
+    #[test]
+    fn prop_batch_iter_covers_without_duplicates(
+        n in 4usize..100, batch in 1usize..8, seed in 0u64..50, epochs in 1u64..4,
+    ) {
+        prop_assume!(n >= batch);
+        let mut it = BatchIter::new((100..100 + n).collect(), batch, seed);
+        for _ in 0..epochs {
+            let mut seen = Vec::new();
+            while let Some(b) = it.next_batch() {
+                seen.extend_from_slice(b);
+            }
+            let full_batches = n / batch;
+            prop_assert_eq!(seen.len(), full_batches * batch);
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), seen.len(), "duplicates within an epoch");
+            it.next_epoch();
+        }
+    }
+
+    /// Dataset items are pure: repeated access is identical, and batches
+    /// are concatenations of items.
+    #[test]
+    fn prop_items_pure_and_batches_concatenate(seed in 0u64..30, idx in 0usize..50) {
+        let ds = GaussianMixture::new(seed, 50, 6, 3, 2.0, 0.5);
+        prop_assert_eq!(ds.item(idx), ds.item(idx));
+        let (t, ys) = ds.batch(&[idx, (idx + 7) % 50]);
+        let (x0, y0) = ds.item(idx);
+        let (x1, y1) = ds.item((idx + 7) % 50);
+        prop_assert_eq!(&t.data()[..6], x0.as_slice());
+        prop_assert_eq!(&t.data()[6..], x1.as_slice());
+        prop_assert_eq!(ys, vec![y0[0], y1[0]]);
+    }
+
+    /// Subsets window their parent consistently for any valid window.
+    #[test]
+    fn prop_subset_windows(offset in 0usize..40, len in 1usize..20) {
+        let ds = PatternImages::new(3, 64, 1, 4, 4, 0.2);
+        prop_assume!(offset + len <= ds.len());
+        let sub = Subset::new(&ds, offset, len);
+        for i in (0..len).step_by(5) {
+            prop_assert_eq!(sub.item(i), ds.item(offset + i));
+        }
+        prop_assert_eq!(sub.num_classes(), ds.num_classes());
+    }
+
+    /// Markov text targets always equal inputs shifted by one position
+    /// within a window.
+    #[test]
+    fn prop_markov_shift_invariant(seed in 0u64..20, item in 0usize..30) {
+        let ds = MarkovText::new(seed, 30, 8, 10);
+        let (x, y) = ds.item(item);
+        for j in 0..9 {
+            prop_assert_eq!(y[j], x[j + 1] as usize);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Stateless activation layers.
+
+use crate::Layer;
+use gtopk_tensor::{relu, relu_backward, sigmoid, sigmoid_backward, tanh_backward, tanh_forward, Tensor};
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = Tensor::zeros(input.shape().clone());
+        relu(input.data(), out.data_mut());
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called without forward");
+        let mut grad_in = Tensor::zeros(input.shape().clone());
+        relu_backward(input.data(), grad_out.data(), grad_in.data_mut());
+        grad_in
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { cached_output: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = Tensor::zeros(input.shape().clone());
+        sigmoid(input.data(), out.data_mut());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self
+            .cached_output
+            .take()
+            .expect("backward called without forward");
+        let mut grad_in = Tensor::zeros(out.shape().clone());
+        sigmoid_backward(out.data(), grad_out.data(), grad_in.data_mut());
+        grad_in
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { cached_output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = Tensor::zeros(input.shape().clone());
+        tanh_forward(input.data(), out.data_mut());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self
+            .cached_output
+            .take()
+            .expect("backward called without forward");
+        let mut grad_in = Tensor::zeros(out.shape().clone());
+        tanh_backward(out.data(), grad_out.data(), grad_in.data_mut());
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use gtopk_tensor::Shape;
+
+    #[test]
+    fn relu_forward_backward_shapes() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(Shape::d2(1, 3), vec![-1.0, 0.5, 2.0]).unwrap();
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let dy = Tensor::full(Shape::d2(1, 3), 1.0);
+        let dx = l.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        check_layer_gradients(Box::new(Relu::new()), Shape::d2(3, 7), 1e-2, 11);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        check_layer_gradients(Box::new(Sigmoid::new()), Shape::d2(3, 7), 1e-2, 12);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        check_layer_gradients(Box::new(Tanh::new()), Shape::d2(3, 7), 1e-2, 13);
+    }
+
+    #[test]
+    fn activations_are_parameter_free() {
+        assert_eq!(Relu::new().param_len(), 0);
+        assert_eq!(Sigmoid::new().param_len(), 0);
+        assert_eq!(Tanh::new().param_len(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+use crate::Layer;
+use gtopk_tensor::{kaiming_uniform, matmul_at_flat_acc, matmul_bt_flat, matmul_flat, Shape, Tensor};
+use rand::Rng;
+
+/// 2-D convolution over `[N, C, H, W]` tensors via im2col + GEMM.
+///
+/// Weights are stored `[out_c, in_c·kh·kw]` followed by a bias of `out_c`,
+/// as one contiguous parameter buffer.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_nn::{Conv2d, Layer};
+/// use gtopk_tensor::{Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1); // 3→8 channels, 3×3, stride 1, pad 1
+/// let x = Tensor::zeros(Shape::d4(2, 3, 8, 8));
+/// let y = conv.forward(&x, true);
+/// assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
+/// ```
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// `[W (out_c · in_c·k·k) | b (out_c)]`
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a square-kernel convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_c`, `out_c`, `k`, `stride` is zero.
+    pub fn new(
+        rng: &mut impl Rng,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "conv dims must be positive");
+        let fan_in = in_c * k * k;
+        let mut params = kaiming_uniform(rng, out_c * fan_in, fan_in);
+        params.extend(std::iter::repeat_n(0.0, out_c));
+        let n = params.len();
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            params,
+            grads: vec![0.0; n],
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of spatial size `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_size(&self, h: usize) -> usize {
+        let padded = h + 2 * self.pad;
+        assert!(padded >= self.k, "kernel larger than padded input");
+        (padded - self.k) / self.stride + 1
+    }
+
+    fn weight(&self) -> &[f32] {
+        &self.params[..self.out_c * self.in_c * self.k * self.k]
+    }
+
+    /// im2col for one sample: returns `[in_c·k·k, oh·ow]` (row-major).
+    fn im2col(&self, x: &[f32], h: usize, w: usize, oh: usize, ow: usize) -> Vec<f32> {
+        let (c, k, s, p) = (self.in_c, self.k, self.stride, self.pad);
+        let mut cols = vec![0.0f32; c * k * k * oh * ow];
+        let l = oh * ow;
+        for ci in 0..c {
+            let plane = &x[ci * h * w..(ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k * k + ky * k + kx) * l;
+                    for oy in 0..oh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[row + oy * ow + ox] = plane[iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Scatter-add of a col matrix back to an image (inverse of im2col).
+    fn col2im(&self, cols: &[f32], dx: &mut [f32], h: usize, w: usize, oh: usize, ow: usize) {
+        let (c, k, s, p) = (self.in_c, self.k, self.stride, self.pad);
+        let l = oh * ow;
+        for ci in 0..c {
+            let plane = &mut dx[ci * h * w..(ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k * k + ky * k + kx) * l;
+                    for oy in 0..oh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            plane[iy as usize * w + ix as usize] += cols[row + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "conv2d expects [N, C, H, W]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_c, "channel mismatch");
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let l = oh * ow;
+        let ckk = self.in_c * self.k * self.k;
+        let mut out = Tensor::zeros(Shape::d4(n, self.out_c, oh, ow));
+        for s in 0..n {
+            let xin = &input.data()[s * c * h * w..(s + 1) * c * h * w];
+            let cols = self.im2col(xin, h, w, oh, ow);
+            let yout = &mut out.data_mut()[s * self.out_c * l..(s + 1) * self.out_c * l];
+            matmul_flat(self.weight(), &cols, yout, self.out_c, ckk, l);
+        }
+        // Add bias per output channel.
+        let bias = self.params[self.out_c * ckk..].to_vec();
+        for s in 0..n {
+            for (oc, &b) in bias.iter().enumerate() {
+                let off = (s * self.out_c + oc) * l;
+                for v in &mut out.data_mut()[off..off + l] {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called without forward");
+        let dims = input.shape().dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let l = oh * ow;
+        let ckk = self.in_c * self.k * self.k;
+        assert_eq!(grad_out.len(), n * self.out_c * l);
+
+        let mut grad_in = Tensor::zeros(input.shape().clone());
+        let mut dw_tmp = vec![0.0f32; self.out_c * ckk];
+        for s in 0..n {
+            let xin = &input.data()[s * c * h * w..(s + 1) * c * h * w];
+            let cols = self.im2col(xin, h, w, oh, ow);
+            let dy = &grad_out.data()[s * self.out_c * l..(s + 1) * self.out_c * l];
+            // dW += dY [oc, l] · colsᵀ [l, ckk]
+            dw_tmp.iter_mut().for_each(|v| *v = 0.0);
+            matmul_bt_flat(dy, &cols, &mut dw_tmp, self.out_c, l, ckk);
+            let (wg, bg) = self.grads.split_at_mut(self.out_c * ckk);
+            for (g, d) in wg.iter_mut().zip(dw_tmp.iter()) {
+                *g += d;
+            }
+            // db += per-channel sum of dY.
+            for oc in 0..self.out_c {
+                bg[oc] += dy[oc * l..(oc + 1) * l].iter().sum::<f32>();
+            }
+            // dcols = Wᵀ [ckk, oc] · dY [oc, l]
+            let mut dcols = vec![0.0f32; ckk * l];
+            matmul_at_flat_acc(self.weight(), dy, &mut dcols, self.out_c, ckk, l);
+            let dxs = &mut grad_in.data_mut()[s * c * h * w..(s + 1) * c * h * w];
+            self.col2im(&dcols, dxs, h, w, oh, ow);
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.params, &mut self.grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 1, 1, 0);
+        conv.params_mut().copy_from_slice(&[1.0, 0.0]); // 1x1 kernel = 1, bias 0
+        let x = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1);
+        // Sum kernel, bias 0: each output = sum of the 3x3 neighbourhood.
+        let mut p = vec![1.0f32; 9];
+        p.push(0.0);
+        conv.params_mut().copy_from_slice(&p);
+        let x = Tensor::full(Shape::d4(1, 1, 3, 3), 1.0);
+        let y = conv.forward(&x, true);
+        // Center sees 9 ones, corners see 4, edges see 6.
+        assert_eq!(y.get(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(y.get(&[0, 0, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 3, 2, 1);
+        let x = Tensor::zeros(Shape::d4(1, 2, 8, 8));
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 1, 1, 0);
+        conv.params_mut().copy_from_slice(&[0.0, 0.0, 5.0, -3.0]); // zero kernels, biases 5 / -3
+        let x = Tensor::full(Shape::d4(1, 1, 2, 2), 7.0);
+        let y = conv.forward(&x, true);
+        assert!(y.data()[..4].iter().all(|&v| v == 5.0));
+        assert!(y.data()[4..].iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    fn gradcheck_padded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        check_layer_gradients(Box::new(conv), Shape::d4(2, 2, 5, 5), 2e-2, 7);
+    }
+
+    #[test]
+    fn gradcheck_strided_unpadded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(&mut rng, 1, 2, 2, 2, 0);
+        check_layer_gradients(Box::new(conv), Shape::d4(2, 1, 6, 6), 2e-2, 8);
+    }
+}

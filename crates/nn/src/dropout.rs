@@ -1,0 +1,144 @@
+use crate::Layer;
+use gtopk_tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; evaluation is
+/// the identity. (AlexNet and VGG — two of the paper's workloads — use
+/// dropout in their FC heads.)
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    cached_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a
+    /// deterministic seed (all worker replicas must agree on masks only
+    /// if they share batches; in data-parallel training each replica's
+    /// dropout is independent, like the paper's per-GPU PyTorch dropout).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let dist = Uniform::new(0.0f32, 1.0);
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if dist.sample(&mut self.rng) < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self.cached_mask.take() {
+            None => grad_out.clone(), // eval-mode or p = 0 forward
+            Some(mask) => {
+                let mut grad_in = grad_out.clone();
+                for (g, &m) in grad_in.data_mut().iter_mut().zip(mask.iter()) {
+                    *g *= m;
+                }
+                grad_in
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_tensor::Shape;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::full(Shape::d2(2, 8), 3.0);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+        let dy = Tensor::full(Shape::d2(2, 8), 1.0);
+        assert_eq!(d.backward(&dy), dy);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Tensor::full(Shape::d1(16), 2.0);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn training_mask_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::full(Shape::d1(10_000), 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 10_000, "values are 0 or 1/(1-p)");
+        // ~50% drop rate (binomial, generous bounds).
+        assert!((4_500..5_500).contains(&zeros), "zeros = {zeros}");
+        // Expectation preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_applies_the_same_mask() {
+        let mut d = Dropout::new(0.3, 11);
+        let x = Tensor::full(Shape::d1(64), 1.0);
+        let y = d.forward(&x, true);
+        let dy = Tensor::full(Shape::d1(64), 1.0);
+        let dx = d.backward(&dy);
+        // dx must be nonzero exactly where y is nonzero, with the same scale.
+        for (a, b) in y.data().iter().zip(dx.data()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn invalid_probability_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn dropout_is_parameter_free() {
+        assert_eq!(Dropout::new(0.2, 0).param_len(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+use crate::Layer;
+use gtopk_tensor::{uniform, Shape, Tensor};
+use rand::Rng;
+
+/// Token embedding: maps `[B, S]` integer ids (stored as `f32`) to
+/// `[B, S, dim]` vectors.
+///
+/// The id representation follows the crate's single-dtype tensor design;
+/// ids must be exact non-negative integers below `vocab`.
+pub struct Embedding {
+    vocab: usize,
+    dim: usize,
+    /// `W [vocab, dim]`
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    cached_ids: Option<(Shape, Vec<usize>)>,
+}
+
+impl Embedding {
+    /// Creates an embedding table with uniform ±0.1 initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0` or `dim == 0`.
+    pub fn new(rng: &mut impl Rng, vocab: usize, dim: usize) -> Self {
+        assert!(vocab > 0 && dim > 0, "embedding dims must be positive");
+        let params = uniform(rng, vocab * dim, 0.1);
+        let n = params.len();
+        Embedding {
+            vocab,
+            dim,
+            params,
+            grads: vec![0.0; n],
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 2, "embedding expects [B, S] ids");
+        let (b, s) = (dims[0], dims[1]);
+        let ids: Vec<usize> = input
+            .data()
+            .iter()
+            .map(|&v| {
+                let id = v as usize;
+                assert!(
+                    v >= 0.0 && v.fract() == 0.0 && id < self.vocab,
+                    "invalid token id {v}"
+                );
+                id
+            })
+            .collect();
+        let mut out = Tensor::zeros(Shape::d3(b, s, self.dim));
+        for (pos, &id) in ids.iter().enumerate() {
+            out.data_mut()[pos * self.dim..(pos + 1) * self.dim]
+                .copy_from_slice(&self.params[id * self.dim..(id + 1) * self.dim]);
+        }
+        self.cached_ids = Some((input.shape().clone(), ids));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, ids) = self
+            .cached_ids
+            .take()
+            .expect("backward called without forward");
+        assert_eq!(grad_out.len(), ids.len() * self.dim);
+        for (pos, &id) in ids.iter().enumerate() {
+            let gslice = &grad_out.data()[pos * self.dim..(pos + 1) * self.dim];
+            let wslice = &mut self.grads[id * self.dim..(id + 1) * self.dim];
+            for (g, &d) in wslice.iter_mut().zip(gslice.iter()) {
+                *g += d;
+            }
+        }
+        // Token ids carry no gradient.
+        Tensor::zeros(in_shape)
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.params, &mut self.grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_param_gradients_with_input;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(&mut rng, 3, 2);
+        emb.params_mut().copy_from_slice(&[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let ids = Tensor::from_vec(Shape::d2(1, 3), vec![2.0, 0.0, 1.0]).unwrap();
+        let y = emb.forward(&ids, true);
+        assert_eq!(y.data(), &[20.0, 21.0, 0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new(&mut rng, 4, 1);
+        let ids = Tensor::from_vec(Shape::d2(1, 3), vec![1.0, 1.0, 3.0]).unwrap();
+        emb.forward(&ids, true);
+        let dy = Tensor::from_vec(Shape::d3(1, 3, 1), vec![0.5, 0.25, 2.0]).unwrap();
+        emb.backward(&dy);
+        assert_eq!(emb.grads(), &[0.0, 0.75, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid token id")]
+    fn out_of_vocab_id_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut emb = Embedding::new(&mut rng, 2, 2);
+        let ids = Tensor::from_vec(Shape::d2(1, 1), vec![5.0]).unwrap();
+        emb.forward(&ids, true);
+    }
+
+    #[test]
+    fn gradcheck_params_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = Embedding::new(&mut rng, 5, 3);
+        let ids = Tensor::from_vec(Shape::d2(2, 3), vec![0.0, 2.0, 4.0, 1.0, 1.0, 3.0]).unwrap();
+        check_layer_param_gradients_with_input(Box::new(emb), ids, 1e-2, 33);
+    }
+}

@@ -1,0 +1,234 @@
+//! Finite-difference gradient checking for [`Layer`] implementations.
+//!
+//! Every layer's hand-written backward pass is validated against central
+//! finite differences of a randomized linear objective
+//! `L = Σ out · R` (with fixed random `R`), in both parameter space and
+//! input space. All checks are fully deterministic given a seed.
+
+use crate::layer::{collect_grads, collect_params, set_param_at};
+use crate::Layer;
+use gtopk_tensor::{uniform, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maximum number of coordinates probed per buffer (evenly strided).
+const MAX_PROBES: usize = 48;
+
+/// Checks parameter and input gradients of `layer` on a random input of
+/// the given shape.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic message) if any probed coordinate's analytic
+/// gradient deviates from the finite-difference estimate by a relative
+/// error above `tol`.
+pub fn check_layer_gradients(layer: Box<dyn Layer>, input_shape: Shape, tol: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = input_shape.volume();
+    let x = Tensor::from_vec(input_shape, uniform(&mut rng, n, 1.0)).expect("shape/volume match");
+    check_layer_gradients_with_input(layer, x, tol, seed ^ 0x9e37_79b9);
+}
+
+/// Like [`check_layer_gradients`] but with a caller-provided input —
+/// needed for layers with non-continuous inputs (e.g. [`crate::Embedding`]
+/// takes token ids), for which input-space gradients are skipped.
+///
+/// # Panics
+///
+/// Same conditions as [`check_layer_gradients`].
+pub fn check_layer_gradients_with_input(
+    layer: Box<dyn Layer>,
+    x: Tensor,
+    tol: f32,
+    seed: u64,
+) {
+    run_check(layer, x, tol, seed, true);
+}
+
+/// Parameter-space-only variant of [`check_layer_gradients_with_input`]
+/// for layers whose inputs are not continuous (e.g. [`crate::Embedding`]
+/// token ids, which cannot be perturbed by ±ε without becoming invalid).
+///
+/// # Panics
+///
+/// Same conditions as [`check_layer_gradients`].
+pub fn check_layer_param_gradients_with_input(
+    layer: Box<dyn Layer>,
+    x: Tensor,
+    tol: f32,
+    seed: u64,
+) {
+    run_check(layer, x, tol, seed, false);
+}
+
+fn run_check(mut layer: Box<dyn Layer>, x: Tensor, tol: f32, seed: u64, probe_inputs: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Discover output shape, then fix the random objective direction R.
+    let y_probe = layer.forward(&x, true);
+    let r = uniform(&mut rng, y_probe.len(), 1.0);
+    let r_tensor =
+        Tensor::from_vec(y_probe.shape().clone(), r.clone()).expect("objective matches output");
+
+    // Analytic gradients.
+    layer.zero_grads();
+    let _ = layer.forward(&x, true);
+    let analytic_in = layer.backward(&r_tensor);
+    let analytic_params = collect_grads(layer.as_ref());
+
+    let objective = |layer: &mut dyn Layer, x: &Tensor| -> f64 {
+        let y = layer.forward(x, true);
+        y.data()
+            .iter()
+            .zip(r.iter())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum()
+    };
+
+    let eps = 1e-3f32;
+    // Parameter-space probes (flat indexing spans nested layers).
+    let flat_params = collect_params(layer.as_ref());
+    for idx in probe_indices(flat_params.len()) {
+        let orig = flat_params[idx];
+        set_param_at(layer.as_mut(), idx, orig + eps);
+        let lp = objective(layer.as_mut(), &x);
+        set_param_at(layer.as_mut(), idx, orig - eps);
+        let lm = objective(layer.as_mut(), &x);
+        set_param_at(layer.as_mut(), idx, orig);
+        let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        assert_close(analytic_params[idx], numeric, tol, "param", idx, layer.name());
+    }
+
+    // Input-space probes (skipped for integer-typed inputs by callers).
+    if probe_inputs && analytic_in.len() == x.len() {
+        let mut x = x;
+        for idx in probe_indices(x.len()) {
+            // Skip coordinates near a ReLU/MaxPool kink where finite
+            // differences are invalid.
+            let orig = x.data()[idx];
+            if orig.abs() < 5.0 * eps {
+                continue;
+            }
+            x.data_mut()[idx] = orig + eps;
+            let lp = objective(layer.as_mut(), &x);
+            x.data_mut()[idx] = orig - eps;
+            let lm = objective(layer.as_mut(), &x);
+            x.data_mut()[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert_close(analytic_in.data()[idx], numeric, tol, "input", idx, layer.name());
+        }
+    }
+}
+
+/// Evenly strided probe coordinates covering a buffer of length `len`.
+fn probe_indices(len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let stride = (len / MAX_PROBES).max(1);
+    (0..len).step_by(stride).take(MAX_PROBES).collect()
+}
+
+fn assert_close(analytic: f32, numeric: f32, tol: f32, kind: &str, idx: usize, layer: &str) {
+    let denom = analytic.abs().max(numeric.abs()).max(0.1);
+    let rel = (analytic - numeric).abs() / denom;
+    assert!(
+        rel <= tol,
+        "{layer} {kind} grad mismatch at {idx}: analytic {analytic} vs numeric {numeric} (rel {rel})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A layer with an intentionally wrong backward pass: gradcheck must
+    /// catch it.
+    struct BrokenScale {
+        params: Vec<f32>,
+        grads: Vec<f32>,
+        cached: Option<Tensor>,
+    }
+
+    impl Layer for BrokenScale {
+        fn name(&self) -> &'static str {
+            "broken-scale"
+        }
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            self.cached = Some(input.clone());
+            input.map(|v| v * self.params[0])
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            let input = self.cached.take().unwrap();
+            // WRONG: parameter gradient off by 2x.
+            self.grads[0] += 2.0 * input.dot(grad_out).unwrap();
+            grad_out.map(|v| v * self.params[0])
+        }
+        fn params(&self) -> &[f32] {
+            &self.params
+        }
+        fn params_mut(&mut self) -> &mut [f32] {
+            &mut self.params
+        }
+        fn grads(&self) -> &[f32] {
+            &self.grads
+        }
+        fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+            (&mut self.params, &mut self.grads)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "param grad mismatch")]
+    fn detects_wrong_parameter_gradient() {
+        let layer = BrokenScale {
+            params: vec![1.5],
+            grads: vec![0.0],
+            cached: None,
+        };
+        check_layer_gradients(Box::new(layer), Shape::d1(8), 1e-2, 0);
+    }
+
+    /// The fixed version must pass.
+    struct Scale {
+        params: Vec<f32>,
+        grads: Vec<f32>,
+        cached: Option<Tensor>,
+    }
+
+    impl Layer for Scale {
+        fn name(&self) -> &'static str {
+            "scale"
+        }
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            self.cached = Some(input.clone());
+            input.map(|v| v * self.params[0])
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            let input = self.cached.take().unwrap();
+            self.grads[0] += input.dot(grad_out).unwrap();
+            grad_out.map(|v| v * self.params[0])
+        }
+        fn params(&self) -> &[f32] {
+            &self.params
+        }
+        fn params_mut(&mut self) -> &mut [f32] {
+            &mut self.params
+        }
+        fn grads(&self) -> &[f32] {
+            &self.grads
+        }
+        fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+            (&mut self.params, &mut self.grads)
+        }
+    }
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let layer = Scale {
+            params: vec![1.5],
+            grads: vec![0.0],
+            cached: None,
+        };
+        check_layer_gradients(Box::new(layer), Shape::d1(8), 1e-2, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! From-scratch neural-network substrate for the gTop-k reproduction.
+//!
+//! The paper trains CNNs (VGG-16, ResNet-20, AlexNet, ResNet-50) and a
+//! 2-layer LSTM language model under PyTorch. This crate provides the
+//! equivalent training machinery, written directly in Rust:
+//!
+//! * a [`Layer`] trait with explicit `forward`/`backward` and contiguous
+//!   parameter/gradient storage (framework style of the paper's era);
+//! * layers: [`Linear`], [`Conv2d`] (im2col), [`MaxPool2d`],
+//!   [`GlobalAvgPool`], [`BatchNorm2d`], activations, [`Flatten`],
+//!   [`Embedding`], [`Lstm`] (full BPTT) and [`ResidualBlock`];
+//! * a [`Sequential`] container and a [`Model`] trait exposing the whole
+//!   network as one **flat parameter/gradient vector** — the paper's
+//!   algorithms sparsify and aggregate exactly such a vector (`k = ρ·m`
+//!   over the full model);
+//! * losses ([`softmax_cross_entropy`], [`mse_loss`]) and a
+//!   [`MomentumSgd`] optimizer matching the paper's momentum-0.9 setup;
+//! * a model zoo ([`models`]) of scaled-down analogues used by the
+//!   convergence experiments, and [`gradcheck`] utilities that verify
+//!   every layer's backward pass against finite differences.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtopk_nn::{models, Model, softmax_cross_entropy, MomentumSgd};
+//! use gtopk_tensor::{Shape, Tensor};
+//!
+//! let mut model = models::mlp(42, 4, 16, 3);
+//! let x = Tensor::zeros(Shape::d2(2, 4));
+//! let logits = model.forward(&x, true);
+//! let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+//! assert!(loss > 0.0);
+//! model.backward(&grad);
+//! let mut opt = MomentumSgd::new(model.num_params(), 0.1, 0.9);
+//! let grads = model.flat_grads();
+//! opt.step_dense(&mut model, &grads);
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dropout;
+mod embedding;
+pub mod gradcheck;
+mod layer;
+mod linear;
+mod loss;
+mod lstm;
+pub mod models;
+mod norm;
+mod optimizer;
+mod pool;
+mod residual;
+mod sequential;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use layer::Layer;
+pub use linear::Linear;
+pub use loss::{accuracy, mse_loss, softmax_cross_entropy};
+pub use lstm::Lstm;
+pub use norm::BatchNorm2d;
+pub use optimizer::MomentumSgd;
+pub use pool::{AvgPool2d, Flatten, GlobalAvgPool, MaxPool2d};
+pub use residual::ResidualBlock;
+pub use sequential::{Model, Sequential};

@@ -1,0 +1,152 @@
+//! Loss functions returning `(scalar loss, gradient w.r.t. logits)`.
+
+use gtopk_tensor::{log_softmax_rows, softmax_rows, Shape, Tensor};
+
+/// Mean softmax cross-entropy over a `[N, C]` logits batch.
+///
+/// Returns the mean loss and its gradient w.r.t. the logits
+/// (`(softmax − one_hot) / N`), ready to feed into
+/// [`crate::Model::backward`].
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "cross-entropy expects [N, C] logits");
+    let (n, c) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut log_probs = vec![0.0f32; n * c];
+    log_softmax_rows(logits.data(), &mut log_probs, n, c);
+    let mut probs = vec![0.0f32; n * c];
+    softmax_rows(logits.data(), &mut probs, n, c);
+
+    let mut loss = 0.0f64;
+    for (row, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        loss -= log_probs[row * c + label] as f64;
+    }
+    let loss = (loss / n as f64) as f32;
+
+    let mut grad = Tensor::from_vec(Shape::d2(n, c), probs).expect("probs match logits shape");
+    let inv_n = 1.0 / n as f32;
+    for (row, &label) in labels.iter().enumerate() {
+        grad.data_mut()[row * c + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    (loss, grad)
+}
+
+/// Mean squared error `mean((pred − target)²)` and its gradient.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shapes must match");
+    let n = pred.len() as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(pred.shape().clone());
+    for i in 0..pred.len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += (d as f64) * (d as f64);
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Top-1 accuracy of a `[N, C]` logits batch.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "accuracy expects [N, C] logits");
+    let (n, c) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (row, &label) in labels.iter().enumerate() {
+        let slice = &logits.data()[row * c..(row + 1) * c];
+        let argmax = slice
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty class axis");
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(Shape::d2(4, 8));
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot_over_n() {
+        let logits = Tensor::from_vec(Shape::d2(1, 2), vec![0.0, 0.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!((grad.data()[0] - 0.5).abs() < 1e-6);
+        assert!((grad.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(Shape::d2(2, 3), vec![0.3, -0.1, 0.8, 1.2, 0.0, -0.5]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "coord {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(Shape::d2(1, 2));
+        let _ = softmax_cross_entropy(&logits, &[2]);
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let pred = Tensor::from_vec(Shape::d1(2), vec![1.0, 3.0]).unwrap();
+        let target = Tensor::from_vec(Shape::d1(2), vec![0.0, 1.0]).unwrap();
+        let (loss, grad) = mse_loss(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data(), &[1.0, 2.0]); // 2d/n
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec(Shape::d2(3, 2), vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+}

@@ -1,0 +1,354 @@
+use crate::Layer;
+use gtopk_tensor::{matmul_at_flat_acc, matmul_bt_flat, Shape, Tensor};
+use gtopk_tensor::xavier_uniform;
+use rand::Rng;
+
+/// Single-layer LSTM over `[B, S, in] → [B, S, hidden]` with full
+/// backpropagation through time.
+///
+/// Gate order in all stacked buffers is `i, f, g, o` (input, forget, cell
+/// candidate, output). Parameters are stored contiguously as
+/// `[W_ih (4H·in) | W_hh (4H·H) | b (4H)]`. Initial hidden and cell states
+/// are zero for every sequence (stateless truncated-BPTT training, as the
+/// paper's LSTM-PTB setup uses per-batch sequences).
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    cache: Option<LstmCache>,
+}
+
+struct LstmCache {
+    input: Tensor,
+    /// Per timestep: gates after nonlinearity `[B, 4H]` (i, f, g, o).
+    gates: Vec<Vec<f32>>,
+    /// Per timestep: cell state `[B, H]` *after* the update.
+    cells: Vec<Vec<f32>>,
+    /// Per timestep: hidden state `[B, H]` after the update.
+    hiddens: Vec<Vec<f32>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with Xavier-uniform weights, zero bias, and a
+    /// forget-gate bias of 1.0 (the standard trick for gradient flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dim == 0` or `hidden == 0`.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, hidden: usize) -> Self {
+        assert!(in_dim > 0 && hidden > 0, "lstm dims must be positive");
+        let h4 = 4 * hidden;
+        let mut params = xavier_uniform(rng, h4 * in_dim, in_dim, hidden);
+        params.extend(xavier_uniform(rng, h4 * hidden, hidden, hidden));
+        let mut bias = vec![0.0f32; h4];
+        // Forget-gate block is rows [hidden, 2*hidden).
+        for b in bias.iter_mut().take(2 * hidden).skip(hidden) {
+            *b = 1.0;
+        }
+        params.extend(bias);
+        let n = params.len();
+        Lstm {
+            in_dim,
+            hidden,
+            params,
+            grads: vec![0.0; n],
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn w_ih(&self) -> &[f32] {
+        &self.params[..4 * self.hidden * self.in_dim]
+    }
+
+    fn w_hh(&self) -> &[f32] {
+        let off = 4 * self.hidden * self.in_dim;
+        &self.params[off..off + 4 * self.hidden * self.hidden]
+    }
+
+    fn bias(&self) -> &[f32] {
+        let off = 4 * self.hidden * (self.in_dim + self.hidden);
+        &self.params[off..]
+    }
+}
+
+fn sigm(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 3, "lstm expects [B, S, in]");
+        let (b, s, din) = (dims[0], dims[1], dims[2]);
+        assert_eq!(din, self.in_dim, "lstm input width mismatch");
+        let h = self.hidden;
+        let h4 = 4 * h;
+
+        let mut out = Tensor::zeros(Shape::d3(b, s, h));
+        let mut gates_all = Vec::with_capacity(s);
+        let mut cells_all = Vec::with_capacity(s);
+        let mut hiddens_all = Vec::with_capacity(s);
+
+        let mut h_prev = vec![0.0f32; b * h];
+        let mut c_prev = vec![0.0f32; b * h];
+
+        for t in 0..s {
+            // x_t: [B, in] gathered from the strided input.
+            let mut xt = vec![0.0f32; b * din];
+            for bi in 0..b {
+                let off = (bi * s + t) * din;
+                xt[bi * din..(bi + 1) * din].copy_from_slice(&input.data()[off..off + din]);
+            }
+            // z = x_t·W_ihᵀ + h_prev·W_hhᵀ + bias : [B, 4H]
+            let mut z = vec![0.0f32; b * h4];
+            matmul_bt_flat(&xt, self.w_ih(), &mut z, b, din, h4);
+            let mut zh = vec![0.0f32; b * h4];
+            matmul_bt_flat(&h_prev, self.w_hh(), &mut zh, b, h, h4);
+            let bias = self.bias();
+            for bi in 0..b {
+                for j in 0..h4 {
+                    z[bi * h4 + j] += zh[bi * h4 + j] + bias[j];
+                }
+            }
+            // Nonlinearities per gate block.
+            let mut gates = vec![0.0f32; b * h4];
+            let mut c_t = vec![0.0f32; b * h];
+            let mut h_t = vec![0.0f32; b * h];
+            for bi in 0..b {
+                let zrow = &z[bi * h4..(bi + 1) * h4];
+                let grow = &mut gates[bi * h4..(bi + 1) * h4];
+                for j in 0..h {
+                    let i_g = sigm(zrow[j]);
+                    let f_g = sigm(zrow[h + j]);
+                    let g_g = zrow[2 * h + j].tanh();
+                    let o_g = sigm(zrow[3 * h + j]);
+                    grow[j] = i_g;
+                    grow[h + j] = f_g;
+                    grow[2 * h + j] = g_g;
+                    grow[3 * h + j] = o_g;
+                    let c = f_g * c_prev[bi * h + j] + i_g * g_g;
+                    c_t[bi * h + j] = c;
+                    h_t[bi * h + j] = o_g * c.tanh();
+                }
+            }
+            for bi in 0..b {
+                let off = (bi * s + t) * h;
+                out.data_mut()[off..off + h].copy_from_slice(&h_t[bi * h..(bi + 1) * h]);
+            }
+            gates_all.push(gates);
+            cells_all.push(c_t.clone());
+            hiddens_all.push(h_t.clone());
+            h_prev = h_t;
+            c_prev = c_t;
+        }
+        self.cache = Some(LstmCache {
+            input: input.clone(),
+            gates: gates_all,
+            cells: cells_all,
+            hiddens: hiddens_all,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("backward called without forward");
+        let dims = cache.input.shape().dims().to_vec();
+        let (b, s, din) = (dims[0], dims[1], dims[2]);
+        let h = self.hidden;
+        let h4 = 4 * h;
+        assert_eq!(grad_out.len(), b * s * h);
+
+        let mut grad_in = Tensor::zeros(cache.input.shape().clone());
+        let mut dh_next = vec![0.0f32; b * h];
+        let mut dc_next = vec![0.0f32; b * h];
+
+        let w_ih_off = 0usize;
+        let w_hh_off = h4 * din;
+        let bias_off = h4 * (din + h);
+
+        // Accumulate weight grads locally, add at the end.
+        let mut d_wih = vec![0.0f32; h4 * din];
+        let mut d_whh = vec![0.0f32; h4 * h];
+        let mut d_b = vec![0.0f32; h4];
+
+        for t in (0..s).rev() {
+            let gates = &cache.gates[t];
+            let c_t = &cache.cells[t];
+            let c_prev: Vec<f32> = if t == 0 {
+                vec![0.0; b * h]
+            } else {
+                cache.cells[t - 1].clone()
+            };
+            let h_prev: Vec<f32> = if t == 0 {
+                vec![0.0; b * h]
+            } else {
+                cache.hiddens[t - 1].clone()
+            };
+            // dh = grad from output at t + carried dh_next.
+            let mut dh = dh_next.clone();
+            for bi in 0..b {
+                let off = (bi * s + t) * h;
+                for j in 0..h {
+                    dh[bi * h + j] += grad_out.data()[off + j];
+                }
+            }
+            // Through the gates.
+            let mut dz = vec![0.0f32; b * h4];
+            let mut dc = dc_next.clone();
+            for bi in 0..b {
+                let grow = &gates[bi * h4..(bi + 1) * h4];
+                for j in 0..h {
+                    let (i_g, f_g, g_g, o_g) =
+                        (grow[j], grow[h + j], grow[2 * h + j], grow[3 * h + j]);
+                    let c = c_t[bi * h + j];
+                    let tc = c.tanh();
+                    let dh_ij = dh[bi * h + j];
+                    // h = o · tanh(c)
+                    let do_g = dh_ij * tc;
+                    dc[bi * h + j] += dh_ij * o_g * (1.0 - tc * tc);
+                    let dc_ij = dc[bi * h + j];
+                    // c = f·c_prev + i·g
+                    let di_g = dc_ij * g_g;
+                    let df_g = dc_ij * c_prev[bi * h + j];
+                    let dg_g = dc_ij * i_g;
+                    // carried to t-1
+                    dc_next[bi * h + j] = dc_ij * f_g;
+                    // pre-activation grads
+                    dz[bi * h4 + j] = di_g * i_g * (1.0 - i_g);
+                    dz[bi * h4 + h + j] = df_g * f_g * (1.0 - f_g);
+                    dz[bi * h4 + 2 * h + j] = dg_g * (1.0 - g_g * g_g);
+                    dz[bi * h4 + 3 * h + j] = do_g * o_g * (1.0 - o_g);
+                }
+            }
+            // x_t gathered again.
+            let mut xt = vec![0.0f32; b * din];
+            for bi in 0..b {
+                let off = (bi * s + t) * din;
+                xt[bi * din..(bi + 1) * din]
+                    .copy_from_slice(&cache.input.data()[off..off + din]);
+            }
+            // dW_ih += dzᵀ·x_t ; dW_hh += dzᵀ·h_prev ; db += Σ dz
+            matmul_at_flat_acc(&dz, &xt, &mut d_wih, b, h4, din);
+            matmul_at_flat_acc(&dz, &h_prev, &mut d_whh, b, h4, h);
+            for bi in 0..b {
+                for j in 0..h4 {
+                    d_b[j] += dz[bi * h4 + j];
+                }
+            }
+            // dx_t = dz·W_ih ; dh_prev = dz·W_hh
+            let mut dxt = vec![0.0f32; b * din];
+            gtopk_tensor::matmul_flat(&dz, self.w_ih(), &mut dxt, b, h4, din);
+            let mut dhp = vec![0.0f32; b * h];
+            gtopk_tensor::matmul_flat(&dz, self.w_hh(), &mut dhp, b, h4, h);
+            dh_next = dhp;
+            for bi in 0..b {
+                let off = (bi * s + t) * din;
+                for j in 0..din {
+                    grad_in.data_mut()[off + j] = dxt[bi * din + j];
+                }
+            }
+        }
+        for (g, d) in self.grads[w_ih_off..w_ih_off + h4 * din]
+            .iter_mut()
+            .zip(d_wih)
+        {
+            *g += d;
+        }
+        for (g, d) in self.grads[w_hh_off..w_hh_off + h4 * h].iter_mut().zip(d_whh) {
+            *g += d;
+        }
+        for (g, d) in self.grads[bias_off..].iter_mut().zip(d_b) {
+            *g += d;
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.params, &mut self.grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(&mut rng, 3, 5);
+        let x = Tensor::full(Shape::d3(2, 4, 3), 0.5);
+        let y = lstm.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 4, 5]);
+        // h = o·tanh(c) ∈ (−1, 1)
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(&mut rng, 2, 3);
+        let bias = lstm.bias();
+        assert_eq!(&bias[3..6], &[1.0, 1.0, 1.0]);
+        assert!(bias[..3].iter().all(|&v| v == 0.0));
+        assert!(bias[6..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn hidden_state_propagates_through_time() {
+        // With nonzero input at t=0 only, later outputs must still be
+        // nonzero (memory), and differ from t=0.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(&mut rng, 2, 4);
+        let mut x = Tensor::zeros(Shape::d3(1, 3, 2));
+        x.data_mut()[0] = 1.0;
+        x.data_mut()[1] = -1.0;
+        let y = lstm.forward(&x, true);
+        let h0: Vec<f32> = y.data()[0..4].to_vec();
+        let h2: Vec<f32> = y.data()[8..12].to_vec();
+        assert!(h0.iter().any(|&v| v.abs() > 1e-4));
+        assert!(h2.iter().any(|&v| v.abs() > 1e-4));
+        assert_ne!(h0, h2);
+    }
+
+    #[test]
+    fn gradcheck_bptt() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(&mut rng, 3, 4);
+        check_layer_gradients(Box::new(lstm), Shape::d3(2, 3, 3), 2e-2, 44);
+    }
+
+    #[test]
+    fn param_layout_lengths() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lstm = Lstm::new(&mut rng, 3, 4);
+        assert_eq!(lstm.param_len(), 16 * 3 + 16 * 4 + 16);
+    }
+}

@@ -1,0 +1,292 @@
+//! The model zoo: scaled-down analogues of the paper's five DNN workloads.
+//!
+//! The paper's convergence experiments (Figs. 1, 5–7, 12–14) compare
+//! *algorithms against each other* on fixed architectures; the dynamics
+//! they probe (error feedback, warmup density schedules, global-vs-local
+//! top-k selection) do not depend on model scale. These constructors build
+//! architecturally faithful miniatures — a VGG-style plain CNN with
+//! FC-heavy parameters, a ResNet with true residual blocks, an
+//! AlexNet-style net with an extreme conv/FC imbalance, and a 2-layer
+//! LSTM language model — small enough to train many epochs across many
+//! simulated workers in CI.
+//!
+//! Every constructor takes a seed and produces a bit-identical replica for
+//! the same seed, which is how all P simulated workers start from a
+//! consistent model (paper §II-C).
+
+use crate::{
+    Conv2d, Embedding, Flatten, GlobalAvgPool, Linear, Lstm, MaxPool2d, Relu, ResidualBlock,
+    Sequential,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Multinomial logistic regression (a single linear layer) — the smallest
+/// convergent model, used by unit tests and the quickstart example.
+pub fn logistic(seed: u64, in_dim: usize, classes: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Linear::new(&mut rng, in_dim, classes));
+    net
+}
+
+/// Two-layer MLP with ReLU.
+pub fn mlp(seed: u64, in_dim: usize, hidden: usize, classes: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Linear::new(&mut rng, in_dim, hidden));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, hidden, classes));
+    net
+}
+
+/// VGG-style plain CNN for `[N, in_c, img, img]` inputs: two conv/pool
+/// stages followed by an FC-heavy classifier head (most parameters in the
+/// fully-connected layers, like the real VGG-16).
+///
+/// # Panics
+///
+/// Panics if `img` is not divisible by 4.
+pub fn vgg_lite(seed: u64, in_c: usize, img: usize, classes: usize) -> Sequential {
+    assert_eq!(img % 4, 0, "image size must be divisible by 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(&mut rng, in_c, 16, 3, 1, 1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(&mut rng, 16, 32, 3, 1, 1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    let feat = 32 * (img / 4) * (img / 4);
+    net.push(Linear::new(&mut rng, feat, 128));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, 128, classes));
+    net
+}
+
+/// ResNet-20-style CNN: a conv stem, three residual stages (the middle
+/// and last with stride-2 projection blocks), global average pooling and
+/// a linear head — the same topology family as the paper's ResNet-20,
+/// scaled down in width.
+pub fn resnet20_lite(seed: u64, in_c: usize, classes: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(&mut rng, in_c, 8, 3, 1, 1));
+    net.push(Relu::new());
+    net.push(ResidualBlock::new(&mut rng, 8, 8, 1));
+    net.push(ResidualBlock::new(&mut rng, 8, 16, 2));
+    net.push(ResidualBlock::new(&mut rng, 16, 16, 1));
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(&mut rng, 16, classes));
+    net
+}
+
+/// The full ResNet-20 topology at reduced width: a conv stem and three
+/// stages of three residual blocks each (widths 8/16/32, stride-2
+/// transitions), global average pooling and a linear head — 20 weighted
+/// layers, exactly the paper's ResNet-20 structure.
+pub fn resnet20_full(seed: u64, in_c: usize, classes: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(&mut rng, in_c, 8, 3, 1, 1));
+    net.push(Relu::new());
+    for _ in 0..3 {
+        net.push(ResidualBlock::new(&mut rng, 8, 8, 1));
+    }
+    net.push(ResidualBlock::new(&mut rng, 8, 16, 2));
+    for _ in 0..2 {
+        net.push(ResidualBlock::new(&mut rng, 16, 16, 1));
+    }
+    net.push(ResidualBlock::new(&mut rng, 16, 32, 2));
+    for _ in 0..2 {
+        net.push(ResidualBlock::new(&mut rng, 32, 32, 1));
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(&mut rng, 32, classes));
+    net
+}
+
+/// AlexNet-style CNN: a small convolutional trunk feeding very large
+/// fully-connected layers, reproducing AlexNet's extreme parameter
+/// imbalance (the property the paper blames for AlexNet's low scaling
+/// efficiency and its sensitivity to uniform densities, §IV-B).
+///
+/// # Panics
+///
+/// Panics if `img` is not divisible by 4.
+pub fn alex_lite(seed: u64, in_c: usize, img: usize, classes: usize) -> Sequential {
+    assert_eq!(img % 4, 0, "image size must be divisible by 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(&mut rng, in_c, 8, 3, 1, 1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(&mut rng, 8, 8, 3, 1, 1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    let feat = 8 * (img / 4) * (img / 4);
+    net.push(Linear::new(&mut rng, feat, 256));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, 256, 128));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, 128, classes));
+    net
+}
+
+/// Two-layer LSTM language model (embedding → LSTM → LSTM → per-timestep
+/// linear projection), the analogue of the paper's LSTM-PTB. Consumes
+/// `[B, S]` token ids and produces `[B·S, vocab]` logits.
+pub fn lstm_lm(seed: u64, vocab: usize, embed: usize, hidden: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Embedding::new(&mut rng, vocab, embed));
+    net.push(Lstm::new(&mut rng, embed, hidden));
+    net.push(Lstm::new(&mut rng, hidden, hidden));
+    net.push(Flatten::fold_time());
+    net.push(Linear::new(&mut rng, hidden, vocab));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{softmax_cross_entropy, Model, MomentumSgd};
+    use gtopk_tensor::{Shape, Tensor};
+    use rand::Rng;
+
+    #[test]
+    fn vgg_lite_shapes_and_fc_dominance() {
+        let mut net = vgg_lite(0, 3, 8, 10);
+        let x = Tensor::zeros(Shape::d4(2, 3, 8, 8));
+        let y = Model::forward(&mut net, &x, true);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+        // FC params (128·128 + …) dominate conv params, like real VGG.
+        let fc_params = 128 * 128 + 128 + 128 * 10 + 10;
+        assert!(net.num_params() < 3 * fc_params);
+    }
+
+    #[test]
+    fn resnet20_lite_forward_shape() {
+        let mut net = resnet20_lite(0, 3, 10);
+        let x = Tensor::zeros(Shape::d4(2, 3, 8, 8));
+        let y = Model::forward(&mut net, &x, true);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn alex_lite_is_fc_heavy() {
+        let net = alex_lite(0, 3, 8, 10);
+        let conv_params = (8 * 3 * 9 + 8) + (8 * 8 * 9 + 8);
+        // > 80% of parameters must sit in the FC head.
+        assert!(conv_params * 5 < net.num_params());
+    }
+
+    #[test]
+    fn lstm_lm_output_is_per_timestep_logits() {
+        let mut net = lstm_lm(0, 12, 6, 8);
+        let ids = Tensor::from_vec(Shape::d2(2, 5), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let y = Model::forward(&mut net, &ids, true);
+        assert_eq!(y.shape().dims(), &[10, 12]);
+    }
+
+    #[test]
+    fn same_seed_same_model_different_seed_different() {
+        let a = resnet20_lite(5, 3, 10);
+        let b = resnet20_lite(5, 3, 10);
+        let c = resnet20_lite(6, 3, 10);
+        assert_eq!(a.flat_params(), b.flat_params());
+        assert_ne!(a.flat_params(), c.flat_params());
+    }
+
+    /// Single-worker sanity training: every zoo model must fit a tiny
+    /// random-but-fixed mapping, i.e. loss must drop substantially.
+    fn train_drops_loss(mut net: Sequential, x: Tensor, labels: Vec<usize>, lr: f32) {
+        let (l0, _) = softmax_cross_entropy(&Model::forward(&mut net, &x, true), &labels);
+        let mut opt = MomentumSgd::new(net.num_params(), lr, 0.9);
+        let mut last = l0;
+        for _ in 0..60 {
+            Model::zero_grads(&mut net);
+            let logits = Model::forward(&mut net, &x, true);
+            let (l, grad) = softmax_cross_entropy(&logits, &labels);
+            Model::backward(&mut net, &grad);
+            let g = net.flat_grads();
+            opt.step_dense(&mut net, &g);
+            last = l;
+        }
+        assert!(
+            last < 0.5 * l0,
+            "loss must at least halve: {l0} -> {last}"
+        );
+    }
+
+    #[test]
+    fn mlp_learns() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::from_vec(
+            Shape::d2(8, 4),
+            (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        train_drops_loss(mlp(1, 4, 16, 3), x, labels, 0.1);
+    }
+
+    #[test]
+    fn vgg_lite_learns() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Tensor::from_vec(
+            Shape::d4(4, 3, 8, 8),
+            (0..4 * 3 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        train_drops_loss(vgg_lite(2, 3, 8, 4), x, vec![0, 1, 2, 3], 0.05);
+    }
+
+    #[test]
+    fn resnet20_lite_learns() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::from_vec(
+            Shape::d4(4, 3, 8, 8),
+            (0..4 * 3 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        train_drops_loss(resnet20_lite(3, 3, 4), x, vec![0, 1, 2, 3], 0.05);
+    }
+
+    #[test]
+    fn resnet20_full_has_twenty_weighted_layers() {
+        let net = resnet20_full(0, 3, 10);
+        // stem conv + 9 blocks x 2 convs + final linear = 20 weighted
+        // layers (projection convs excluded, as in the original count).
+        // Sanity-check via parameter count and a forward pass.
+        let m = net.num_params();
+        assert!(m > 30_000 && m < 120_000, "m = {m}");
+        let mut net = net;
+        let x = Tensor::zeros(Shape::d4(1, 3, 8, 8));
+        let y = Model::forward(&mut net, &x, true);
+        assert_eq!(y.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn resnet20_full_learns() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::from_vec(
+            Shape::d4(4, 3, 8, 8),
+            (0..4 * 3 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        train_drops_loss(resnet20_full(5, 3, 4), x, vec![0, 1, 2, 3], 0.05);
+    }
+
+    #[test]
+    fn lstm_lm_learns() {
+        let vocab = 6;
+        // Fixed periodic sequence: predict next token.
+        let ids: Vec<f32> = (0..10).map(|i| (i % vocab) as f32).collect();
+        let x = Tensor::from_vec(Shape::d2(1, 10), ids).unwrap();
+        let labels: Vec<usize> = (1..11).map(|i| i % vocab).collect();
+        train_drops_loss(lstm_lm(4, vocab, 8, 16), x, labels, 0.5);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::Layer;
+use gtopk_tensor::{Shape, Tensor};
+
+/// Batch normalization over the channel axis of `[N, C, H, W]` tensors.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.9); evaluation mode uses the running estimates.
+/// Trainable parameters are per-channel `[γ | β]`.
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    /// `[γ (C) | β (C)]`
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    shape: Shape,
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+    centered: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer with γ = 1, β = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        let mut params = vec![1.0f32; channels];
+        params.extend(std::iter::repeat_n(0.0, channels));
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.9,
+            grads: vec![0.0; 2 * channels],
+            params,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Running mean estimate (for tests/diagnostics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance estimate.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "batchnorm expects [N, C, H, W]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.channels, "channel mismatch");
+        let hw = h * w;
+        let m = (n * hw) as f32; // reduction size per channel
+        let gamma = &self.params[..c];
+        let beta = &self.params[c..];
+        let mut out = Tensor::zeros(input.shape().clone());
+
+        let mut x_hat = vec![0.0f32; input.len()];
+        let mut inv_std_v = vec![0.0f32; c];
+        let mut centered = vec![0.0f32; input.len()];
+
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for s in 0..n {
+                    let off = (s * c + ci) * hw;
+                    for &v in &input.data()[off..off + hw] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                self.running_mean[ci] =
+                    self.momentum * self.running_mean[ci] + (1.0 - self.momentum) * mean;
+                self.running_var[ci] =
+                    self.momentum * self.running_var[ci] + (1.0 - self.momentum) * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_std_v[ci] = inv_std;
+            for s in 0..n {
+                let off = (s * c + ci) * hw;
+                for i in off..off + hw {
+                    let cen = input.data()[i] - mean;
+                    centered[i] = cen;
+                    let xh = cen * inv_std;
+                    x_hat[i] = xh;
+                    out.data_mut()[i] = gamma[ci] * xh + beta[ci];
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                shape: input.shape().clone(),
+                x_hat,
+                inv_std: inv_std_v,
+                centered,
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("backward called without training-mode forward");
+        let dims = cache.shape.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = h * w;
+        let m = (n * hw) as f32;
+        let gamma = self.params[..c].to_vec();
+        let mut grad_in = Tensor::zeros(cache.shape.clone());
+
+        #[allow(clippy::needless_range_loop)] // ci indexes four parallel buffers
+        for ci in 0..c {
+            // dβ = Σ dy ; dγ = Σ dy·x̂
+            let mut dbeta = 0.0f64;
+            let mut dgamma = 0.0f64;
+            let mut dxhat_sum = 0.0f64;
+            let mut dxhat_xhat_sum = 0.0f64;
+            for s in 0..n {
+                let off = (s * c + ci) * hw;
+                for i in off..off + hw {
+                    let dy = grad_out.data()[i] as f64;
+                    let xh = cache.x_hat[i] as f64;
+                    dbeta += dy;
+                    dgamma += dy * xh;
+                    let dxh = dy * gamma[ci] as f64;
+                    dxhat_sum += dxh;
+                    dxhat_xhat_sum += dxh * xh;
+                }
+            }
+            self.grads[ci] += dgamma as f32;
+            self.grads[c + ci] += dbeta as f32;
+            // dx = (1/m)·inv_std·(m·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂))
+            let inv_std = cache.inv_std[ci] as f64;
+            for s in 0..n {
+                let off = (s * c + ci) * hw;
+                for i in off..off + hw {
+                    let dy = grad_out.data()[i] as f64;
+                    let dxh = dy * gamma[ci] as f64;
+                    let xh = cache.x_hat[i] as f64;
+                    let dx = inv_std / m as f64
+                        * (m as f64 * dxh - dxhat_sum - xh * dxhat_xhat_sum);
+                    grad_in.data_mut()[i] = dx as f32;
+                }
+            }
+            // `centered` kept for clarity of the derivation; silence unused.
+            let _ = &cache.centered;
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn param_grad_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.params, &mut self.grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            Shape::d4(2, 2, 1, 2),
+            vec![1.0, 3.0, 10.0, 30.0, 5.0, 7.0, 20.0, 40.0],
+        )
+        .unwrap();
+        let y = bn.forward(&x, true);
+        // Per channel: mean ≈ 0, var ≈ 1 after normalization (γ=1, β=0).
+        for ci in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|s| {
+                    let off = (s * 2 + ci) * 2;
+                    y.data()[off..off + 2].to_vec()
+                })
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(Shape::d4(2, 1, 1, 2), vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        // A few training passes move the running stats toward (5, 5).
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.1);
+        // Eval on a constant input: output ≈ (c - mean)·inv_std.
+        let c = Tensor::full(Shape::d4(1, 1, 1, 2), 5.0);
+        let y = bn.forward(&c, false);
+        assert!(y.data().iter().all(|v| v.abs() < 0.1), "{:?}", y.data());
+    }
+
+    #[test]
+    fn gradcheck_batchnorm() {
+        let bn = BatchNorm2d::new(3);
+        check_layer_gradients(Box::new(bn), Shape::d4(4, 3, 2, 2), 2e-2, 31);
+    }
+
+    #[test]
+    fn params_are_gamma_then_beta() {
+        let bn = BatchNorm2d::new(2);
+        assert_eq!(bn.params(), &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(bn.param_len(), 4);
+    }
+}

@@ -1,0 +1,173 @@
+use crate::Model;
+use gtopk_sparse::SparseVec;
+
+/// Momentum SGD over the model's flat parameter vector:
+/// `v ← μ·v + g`, `W ← W − η·v` — the paper trains every model with
+/// momentum 0.9 (§IV-A).
+///
+/// The gradient `g` may be dense (the S-SGD baseline) or sparse (the
+/// aggregated gTop-k / Top-k update); sparse updates are scattered into a
+/// dense buffer first so velocity semantics are identical across
+/// algorithms.
+#[derive(Debug, Clone)]
+pub struct MomentumSgd {
+    velocity: Vec<f32>,
+    scratch: Vec<f32>,
+    lr: f32,
+    momentum: f32,
+}
+
+impl MomentumSgd {
+    /// Creates an optimizer for a model of `num_params` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive-finite or `momentum ∉ [0, 1)`.
+    pub fn new(num_params: usize, lr: f32, momentum: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        MomentumSgd {
+            velocity: vec![0.0; num_params],
+            scratch: vec![0.0; num_params],
+            lr,
+            momentum,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for warmup / decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive-finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies a dense gradient step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len()` differs from the model's parameter count.
+    pub fn step_dense(&mut self, model: &mut dyn Model, grad: &[f32]) {
+        assert_eq!(grad.len(), self.velocity.len(), "gradient length mismatch");
+        assert_eq!(model.num_params(), self.velocity.len(), "model size mismatch");
+        for ((v, s), &g) in self
+            .velocity
+            .iter_mut()
+            .zip(self.scratch.iter_mut())
+            .zip(grad.iter())
+        {
+            *v = self.momentum * *v + g;
+            *s = -self.lr * *v;
+        }
+        model.add_to_flat_params(&self.scratch);
+    }
+
+    /// Applies a sparse aggregated gradient step (gTop-k / Top-k updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparse vector's dimension differs from the model's
+    /// parameter count.
+    pub fn step_sparse(&mut self, model: &mut dyn Model, grad: &SparseVec) {
+        assert_eq!(grad.dim(), self.velocity.len(), "gradient dim mismatch");
+        let mut dense = vec![0.0f32; self.velocity.len()];
+        grad.add_into_dense(&mut dense);
+        self.step_dense(model, &dense);
+    }
+
+    /// Resets accumulated velocity (e.g. between experiment phases).
+    pub fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, Model};
+    use gtopk_sparse::SparseVec;
+
+    fn tiny_model() -> Box<dyn Model> {
+        Box::new(models::logistic(0, 2, 2))
+    }
+
+    #[test]
+    fn dense_step_moves_against_gradient() {
+        let mut model = tiny_model();
+        let before = model.flat_params();
+        let mut opt = MomentumSgd::new(model.num_params(), 0.1, 0.0);
+        let grad = vec![1.0; model.num_params()];
+        opt.step_dense(model.as_mut(), &grad);
+        for (a, b) in model.flat_params().iter().zip(before.iter()) {
+            assert!((a - (b - 0.1)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut model = tiny_model();
+        let n = model.num_params();
+        let before = model.flat_params();
+        let mut opt = MomentumSgd::new(n, 1.0, 0.5);
+        let grad = vec![1.0; n];
+        opt.step_dense(model.as_mut(), &grad); // v=1, W -= 1
+        opt.step_dense(model.as_mut(), &grad); // v=1.5, W -= 1.5
+        for (a, b) in model.flat_params().iter().zip(before.iter()) {
+            assert!((a - (b - 2.5)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparse_step_equals_dense_of_scattered() {
+        let mut m1 = tiny_model();
+        let mut m2 = tiny_model();
+        assert_eq!(m1.flat_params(), m2.flat_params());
+        let n = m1.num_params();
+        let sv = SparseVec::from_pairs(n, vec![(1, 0.5), (3, -0.25)]);
+        let mut o1 = MomentumSgd::new(n, 0.1, 0.9);
+        let mut o2 = MomentumSgd::new(n, 0.1, 0.9);
+        o1.step_sparse(m1.as_mut(), &sv);
+        o2.step_dense(m2.as_mut(), &sv.to_dense());
+        assert_eq!(m1.flat_params(), m2.flat_params());
+        // A second step exercises the restored scratch buffer.
+        o1.step_sparse(m1.as_mut(), &sv);
+        o2.step_dense(m2.as_mut(), &sv.to_dense());
+        assert_eq!(m1.flat_params(), m2.flat_params());
+    }
+
+    #[test]
+    fn lr_can_be_rescheduled() {
+        let mut opt = MomentumSgd::new(4, 0.1, 0.9);
+        opt.set_lr(0.01);
+        assert!((opt.lr() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn invalid_momentum_rejected() {
+        let _ = MomentumSgd::new(4, 0.1, 1.0);
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut model = tiny_model();
+        let n = model.num_params();
+        let mut opt = MomentumSgd::new(n, 1.0, 0.9);
+        opt.step_dense(model.as_mut(), &vec![1.0; n]);
+        opt.reset();
+        let before = model.flat_params();
+        // With zero gradient and zero velocity, nothing moves.
+        opt.step_dense(model.as_mut(), &vec![0.0; n]);
+        assert_eq!(model.flat_params(), before);
+    }
+}

@@ -1,0 +1,376 @@
+//! Pooling and reshaping layers.
+
+use crate::Layer;
+use gtopk_tensor::{Shape, Tensor};
+
+/// Max pooling over `[N, C, H, W]` with a square window and equal stride.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    cached: Option<(Shape, Vec<usize>)>, // input shape + argmax flat indices
+}
+
+impl MaxPool2d {
+    /// Creates a `k×k` max pool with stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        MaxPool2d { k, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "maxpool expects [N, C, H, W]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        assert!(h >= k && w >= k, "input smaller than pool window");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(Shape::d4(n, c, oh, ow));
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for s in 0..n {
+            for ci in 0..c {
+                let plane_off = (s * c + ci) * h * w;
+                let out_off = (s * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let idx = plane_off + (oy * k + dy) * w + ox * k + dx;
+                                let v = input.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data_mut()[out_off + oy * ow + ox] = best;
+                        argmax[out_off + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached = Some((input.shape().clone(), argmax));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, argmax) = self
+            .cached
+            .take()
+            .expect("backward called without forward");
+        assert_eq!(grad_out.len(), argmax.len());
+        let mut grad_in = Tensor::zeros(in_shape);
+        for (pos, &src) in argmax.iter().enumerate() {
+            grad_in.data_mut()[src] += grad_out.data()[pos];
+        }
+        grad_in
+    }
+}
+
+/// Average pooling over `[N, C, H, W]` with a square window and equal
+/// stride.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    cached_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates a `k×k` average pool with stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        AvgPool2d {
+            k,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "avgpool expects [N, C, H, W]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        assert!(h >= k && w >= k, "input smaller than pool window");
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(Shape::d4(n, c, oh, ow));
+        for s in 0..n {
+            for ci in 0..c {
+                let plane_off = (s * c + ci) * h * w;
+                let out_off = (s * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut sum = 0.0f32;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                sum += input.data()[plane_off + (oy * k + dy) * w + ox * k + dx];
+                            }
+                        }
+                        out.data_mut()[out_off + oy * ow + ox] = sum * inv;
+                    }
+                }
+            }
+        }
+        self.cached_shape = Some(input.shape().clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_shape
+            .take()
+            .expect("backward called without forward");
+        let dims = in_shape.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut grad_in = Tensor::zeros(in_shape);
+        for s in 0..n {
+            for ci in 0..c {
+                let plane_off = (s * c + ci) * h * w;
+                let out_off = (s * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.data()[out_off + oy * ow + ox] * inv;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                grad_in.data_mut()
+                                    [plane_off + (oy * k + dy) * w + ox * k + dx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global-avg-pool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "gap expects [N, C, H, W]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = h * w;
+        assert!(hw > 0, "empty spatial plane");
+        let mut out = Tensor::zeros(Shape::d2(n, c));
+        for s in 0..n {
+            for ci in 0..c {
+                let off = (s * c + ci) * hw;
+                let sum: f32 = input.data()[off..off + hw].iter().sum();
+                out.data_mut()[s * c + ci] = sum / hw as f32;
+            }
+        }
+        self.cached_shape = Some(input.shape().clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_shape
+            .take()
+            .expect("backward called without forward");
+        let dims = in_shape.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = h * w;
+        let mut grad_in = Tensor::zeros(in_shape);
+        for s in 0..n {
+            for ci in 0..c {
+                let g = grad_out.data()[s * c + ci] / hw as f32;
+                let off = (s * c + ci) * hw;
+                for v in &mut grad_in.data_mut()[off..off + hw] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Flattens `[N, ...] → [N, rest]` (also used to fold `[B, S, H]` into
+/// `[B·S, H]` when `fold_time` is set, for per-timestep projections in
+/// language models).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    fold_time: bool,
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// `[N, d1, d2, ...] → [N, d1·d2·…]`.
+    pub fn new() -> Self {
+        Flatten {
+            fold_time: false,
+            cached_shape: None,
+        }
+    }
+
+    /// `[B, S, H] → [B·S, H]` — merges batch and time axes instead.
+    pub fn fold_time() -> Self {
+        Flatten {
+            fold_time: true,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims().to_vec();
+        self.cached_shape = Some(input.shape().clone());
+        let out_shape = if self.fold_time {
+            assert_eq!(dims.len(), 3, "fold_time expects [B, S, H]");
+            Shape::d2(dims[0] * dims[1], dims[2])
+        } else {
+            let rest: usize = dims[1..].iter().product();
+            Shape::d2(dims[0], rest)
+        };
+        input
+            .clone()
+            .reshape(out_shape)
+            .expect("flatten preserves volume")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_shape
+            .take()
+            .expect("backward called without forward");
+        grad_out
+            .clone()
+            .reshape(in_shape)
+            .expect("flatten backward preserves volume")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 4),
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 7.0, 2.0],
+        )
+        .unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0]);
+        let dy = Tensor::from_vec(Shape::d4(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let dx = pool.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        check_layer_gradients(Box::new(MaxPool2d::new(2)), Shape::d4(2, 2, 4, 4), 2e-2, 21);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 4),
+            vec![1.0, 3.0, 2.0, 0.0, 5.0, 7.0, 6.0, 8.0],
+        )
+        .unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[4.0, 4.0]);
+        let dy = Tensor::from_vec(Shape::d4(1, 1, 1, 2), vec![4.0, 8.0]).unwrap();
+        let dx = pool.backward(&dy);
+        assert_eq!(dx.data(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        check_layer_gradients(Box::new(AvgPool2d::new(2)), Shape::d4(2, 2, 4, 4), 1e-2, 23);
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(Shape::d4(1, 2, 1, 2), vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let y = gap.forward(&x, true);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+        let dy = Tensor::from_vec(Shape::d2(1, 2), vec![2.0, 4.0]).unwrap();
+        let dx = gap.backward(&dy);
+        assert_eq!(dx.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_gradcheck() {
+        check_layer_gradients(Box::new(GlobalAvgPool::new()), Shape::d4(2, 3, 3, 3), 1e-2, 22);
+    }
+
+    #[test]
+    fn flatten_and_fold_time_shapes() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(Shape::d4(2, 3, 4, 5));
+        assert_eq!(f.forward(&x, true).shape().dims(), &[2, 60]);
+        assert_eq!(
+            f.backward(&Tensor::zeros(Shape::d2(2, 60))).shape().dims(),
+            &[2, 3, 4, 5]
+        );
+
+        let mut ft = Flatten::fold_time();
+        let x = Tensor::zeros(Shape::d3(2, 5, 7));
+        assert_eq!(ft.forward(&x, true).shape().dims(), &[10, 7]);
+        assert_eq!(
+            ft.backward(&Tensor::zeros(Shape::d2(10, 7))).shape().dims(),
+            &[2, 5, 7]
+        );
+    }
+
+    #[test]
+    fn pools_are_parameter_free() {
+        assert_eq!(MaxPool2d::new(2).param_len(), 0);
+        assert_eq!(GlobalAvgPool::new().param_len(), 0);
+        assert_eq!(Flatten::new().param_len(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+use crate::{BatchNorm2d, Conv2d, Layer, Relu};
+use gtopk_tensor::Tensor;
+use rand::Rng;
+
+/// A basic pre-activation-free residual block:
+/// `y = ReLU(BN₂(Conv₂(ReLU(BN₁(Conv₁(x))))) + skip(x))`, where `skip` is
+/// the identity when shapes match and a 1×1 strided projection otherwise
+/// (the standard ResNet "option B").
+///
+/// This is the building block of the `resnet20_lite` model used to
+/// reproduce the paper's ResNet-20 convergence experiments.
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    projection: Option<Conv2d>,
+    cached_pre_relu: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a block mapping `in_c` channels to `out_c` with the given
+    /// stride on the first convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(rng: &mut impl Rng, in_c: usize, out_c: usize, stride: usize) -> Self {
+        let projection = if in_c != out_c || stride != 1 {
+            Some(Conv2d::new(rng, in_c, out_c, 1, stride, 0))
+        } else {
+            None
+        };
+        ResidualBlock {
+            conv1: Conv2d::new(rng, in_c, out_c, 3, stride, 1),
+            bn1: BatchNorm2d::new(out_c),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(rng, out_c, out_c, 3, 1, 1),
+            bn2: BatchNorm2d::new(out_c),
+            projection,
+            cached_pre_relu: None,
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn name(&self) -> &'static str {
+        "residual-block"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut main = self.conv1.forward(input, train);
+        main = self.bn1.forward(&main, train);
+        main = self.relu1.forward(&main, train);
+        main = self.conv2.forward(&main, train);
+        main = self.bn2.forward(&main, train);
+        let skip = match &mut self.projection {
+            Some(p) => p.forward(input, train),
+            None => input.clone(),
+        };
+        main.add_assign(&skip).expect("skip shape matches main path");
+        self.cached_pre_relu = Some(main.clone());
+        // Final ReLU (inline so we keep the pre-activation for backward).
+        main.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let pre = self
+            .cached_pre_relu
+            .take()
+            .expect("backward called without forward");
+        // Through the final ReLU.
+        let mut d_sum = Tensor::zeros(pre.shape().clone());
+        for i in 0..pre.len() {
+            d_sum.data_mut()[i] = if pre.data()[i] > 0.0 {
+                grad_out.data()[i]
+            } else {
+                0.0
+            };
+        }
+        // Main path.
+        let mut d = self.bn2.backward(&d_sum);
+        d = self.conv2.backward(&d);
+        d = self.relu1.backward(&d);
+        d = self.bn1.backward(&d);
+        let mut d_input = self.conv1.backward(&d);
+        // Skip path.
+        let d_skip = match &mut self.projection {
+            Some(p) => p.backward(&d_sum),
+            None => d_sum,
+        };
+        d_input
+            .add_assign(&d_skip)
+            .expect("skip gradient shape matches");
+        d_input
+    }
+
+    fn for_each_param_buf(&self, f: &mut dyn FnMut(&[f32], &[f32])) {
+        self.conv1.for_each_param_buf(f);
+        self.bn1.for_each_param_buf(f);
+        self.conv2.for_each_param_buf(f);
+        self.bn2.for_each_param_buf(f);
+        if let Some(p) = &self.projection {
+            p.for_each_param_buf(f);
+        }
+    }
+
+    fn for_each_param_buf_mut(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.conv1.for_each_param_buf_mut(f);
+        self.bn1.for_each_param_buf_mut(f);
+        self.conv2.for_each_param_buf_mut(f);
+        self.bn2.for_each_param_buf_mut(f);
+        if let Some(p) = &mut self.projection {
+            p.for_each_param_buf_mut(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use gtopk_tensor::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = ResidualBlock::new(&mut rng, 4, 4, 1);
+        let x = Tensor::zeros(Shape::d4(2, 4, 6, 6));
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn projection_block_changes_channels_and_resolution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = ResidualBlock::new(&mut rng, 4, 8, 2);
+        let x = Tensor::zeros(Shape::d4(1, 4, 8, 8));
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn param_len_counts_all_sublayers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = ResidualBlock::new(&mut rng, 2, 2, 1);
+        // conv1: 2*2*9+2, bn1: 4, conv2: 2*2*9+2, bn2: 4, no projection.
+        assert_eq!(block.param_len(), (36 + 2) * 2 + 8);
+        let proj = ResidualBlock::new(&mut rng, 2, 4, 2);
+        // adds a 1x1 projection: 4*2*1+4.
+        assert!(proj.param_len() > block.param_len());
+    }
+
+    #[test]
+    fn gradcheck_identity_block() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = ResidualBlock::new(&mut rng, 2, 2, 1);
+        check_layer_gradients(Box::new(block), Shape::d4(2, 2, 4, 4), 3e-2, 55);
+    }
+
+    #[test]
+    fn gradcheck_projection_block() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = ResidualBlock::new(&mut rng, 2, 4, 2);
+        check_layer_gradients(Box::new(block), Shape::d4(2, 2, 4, 4), 3e-2, 56);
+    }
+
+    #[test]
+    fn zero_grads_reaches_nested_layers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut block = ResidualBlock::new(&mut rng, 2, 2, 1);
+        let x = Tensor::full(Shape::d4(1, 2, 4, 4), 0.3);
+        let y = block.forward(&x, true);
+        block.backward(&Tensor::full(y.shape().clone(), 1.0));
+        let mut nonzero = 0;
+        block.for_each_param_buf(&mut |_, g| nonzero += g.iter().filter(|&&v| v != 0.0).count());
+        assert!(nonzero > 0, "backward must have produced gradients");
+        block.zero_grads();
+        let mut remaining = 0;
+        block.for_each_param_buf(&mut |_, g| remaining += g.iter().filter(|&&v| v != 0.0).count());
+        assert_eq!(remaining, 0);
+    }
+}

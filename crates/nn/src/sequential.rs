@@ -1,0 +1,244 @@
+use crate::layer::{add_to_params, collect_grads, collect_params, scatter_params};
+use crate::Layer;
+use gtopk_tensor::Tensor;
+
+/// A trainable network exposed as one flat parameter/gradient vector.
+///
+/// The paper's algorithms operate on the *whole-model* gradient vector of
+/// size `m` (selecting `k = ρ·m` of its entries); this trait is that
+/// boundary between the NN substrate and the distributed optimizer.
+pub trait Model: Send {
+    /// Total number of trainable parameters `m`.
+    fn num_params(&self) -> usize;
+
+    /// Forward pass: maps an input batch to logits.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass from the loss gradient w.r.t. the logits;
+    /// accumulates parameter gradients.
+    fn backward(&mut self, grad_logits: &Tensor);
+
+    /// Zeroes accumulated gradients.
+    fn zero_grads(&mut self);
+
+    /// The accumulated gradient as one flat vector of length
+    /// [`Model::num_params`].
+    fn flat_grads(&self) -> Vec<f32>;
+
+    /// Current parameters as one flat vector.
+    fn flat_params(&self) -> Vec<f32>;
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_params()`.
+    fn set_flat_params(&mut self, values: &[f32]);
+
+    /// Adds `delta` element-wise into the parameters (the optimizer's
+    /// update step applies `-lr·velocity` through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != self.num_params()`.
+    fn add_to_flat_params(&mut self, delta: &[f32]);
+}
+
+/// A chain of layers executed in order.
+///
+/// `Sequential` is itself a [`Layer`], so blocks can nest; it also
+/// implements [`Model`].
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_nn::{Linear, Relu, Sequential, Model};
+/// use gtopk_tensor::{Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(&mut rng, 4, 8));
+/// net.push(Relu::new());
+/// net.push(Linear::new(&mut rng, 8, 2));
+/// let y = Model::forward(&mut net, &Tensor::zeros(Shape::d2(1, 4)), true);
+/// assert_eq!(y.shape().dims(), &[1, 2]);
+/// assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (for dynamically built networks).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in execution order (model summary).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn for_each_param_buf(&self, f: &mut dyn FnMut(&[f32], &[f32])) {
+        for layer in &self.layers {
+            layer.for_each_param_buf(f);
+        }
+    }
+
+    fn for_each_param_buf_mut(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.for_each_param_buf_mut(f);
+        }
+    }
+}
+
+impl Model for Sequential {
+    fn num_params(&self) -> usize {
+        self.param_len()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        Layer::forward(self, input, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let _ = Layer::backward(self, grad_logits);
+    }
+
+    fn zero_grads(&mut self) {
+        Layer::zero_grads(self);
+    }
+
+    fn flat_grads(&self) -> Vec<f32> {
+        collect_grads(self)
+    }
+
+    fn flat_params(&self) -> Vec<f32> {
+        collect_params(self)
+    }
+
+    fn set_flat_params(&mut self, values: &[f32]) {
+        scatter_params(self, values);
+    }
+
+    fn add_to_flat_params(&mut self, delta: &[f32]) {
+        add_to_params(self, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::{Linear, Relu};
+    use gtopk_tensor::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 3, 5));
+        net.push(Relu::new());
+        net.push(Linear::new(&mut rng, 5, 2));
+        net
+    }
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut net = small_net(0);
+        let x = Tensor::full(Shape::d2(2, 3), 0.5);
+        let y = Layer::forward(&mut net, &x, true);
+        assert_eq!(y.shape().dims(), &[2, 2]);
+        let dx = Layer::backward(&mut net, &Tensor::full(Shape::d2(2, 2), 1.0));
+        assert_eq!(dx.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn gradcheck_composite() {
+        check_layer_gradients(Box::new(small_net(1)), Shape::d2(2, 3), 2e-2, 66);
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut net = small_net(2);
+        let p = net.flat_params();
+        assert_eq!(p.len(), net.num_params());
+        let doubled: Vec<f32> = p.iter().map(|v| v * 2.0).collect();
+        net.set_flat_params(&doubled);
+        assert_eq!(net.flat_params(), doubled);
+        let delta = vec![1.0; p.len()];
+        net.add_to_flat_params(&delta);
+        for (after, before) in net.flat_params().iter().zip(doubled.iter()) {
+            assert!((after - before - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_params_validates_length() {
+        let mut net = small_net(3);
+        net.set_flat_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn two_replicas_same_seed_are_identical() {
+        // The distributed trainers rely on all P workers constructing
+        // bit-identical replicas from a shared seed.
+        let a = small_net(7);
+        let b = small_net(7);
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn layer_names_summary() {
+        let net = small_net(4);
+        assert_eq!(net.layer_names(), vec!["linear", "relu", "linear"]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over whole models: gradient correctness for
+//! random architectures, flat-vector roundtrips, and determinism.
+
+use gtopk_nn::gradcheck::check_layer_gradients;
+use gtopk_nn::{models, Linear, Model, Sequential, Sigmoid, Tanh};
+use gtopk_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random MLP with 1–3 hidden layers and mixed *smooth*
+/// activations. (ReLU is excluded here on purpose: central finite
+/// differences are invalid when a parameter perturbation flips a
+/// pre-activation across the kink, which random configurations hit;
+/// ReLU has dedicated fixed-input gradchecks in the unit tests.)
+fn random_mlp(seed: u64, in_dim: usize, widths: &[usize], classes: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    let mut prev = in_dim;
+    for (i, &w) in widths.iter().enumerate() {
+        net.push(Linear::new(&mut rng, prev, w));
+        if i % 2 == 0 {
+            net.push(Tanh::new());
+        } else {
+            net.push(Sigmoid::new());
+        }
+        prev = w;
+    }
+    net.push(Linear::new(&mut rng, prev, classes));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every randomly-shaped MLP passes the finite-difference check.
+    #[test]
+    fn prop_random_mlps_pass_gradcheck(
+        seed in 0u64..1000,
+        in_dim in 2usize..6,
+        widths in proptest::collection::vec(2usize..8, 1..4),
+        classes in 2usize..5,
+    ) {
+        let net = random_mlp(seed, in_dim, &widths, classes);
+        check_layer_gradients(Box::new(net), Shape::d2(2, in_dim), 2e-2, seed ^ 0xabc);
+    }
+
+    /// flat_params → set_flat_params is the identity for any model, and
+    /// add_to_flat_params composes additively.
+    #[test]
+    fn prop_flat_vector_roundtrip(seed in 0u64..500, widths in proptest::collection::vec(2usize..6, 1..3)) {
+        let mut net = random_mlp(seed, 4, &widths, 3);
+        let p = net.flat_params();
+        net.set_flat_params(&p);
+        prop_assert_eq!(net.flat_params(), p.clone());
+        let delta: Vec<f32> = (0..p.len()).map(|i| (i % 5) as f32 * 0.25).collect();
+        net.add_to_flat_params(&delta);
+        let neg: Vec<f32> = delta.iter().map(|d| -d).collect();
+        net.add_to_flat_params(&neg);
+        for (a, b) in net.flat_params().iter().zip(p.iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Forward passes are pure: same input, same output, repeatedly.
+    #[test]
+    fn prop_forward_is_deterministic(seed in 0u64..200) {
+        let mut net = models::mlp(seed, 6, 12, 3);
+        let x = Tensor::full(Shape::d2(3, 6), 0.25);
+        let y1 = Model::forward(&mut net, &x, true);
+        let y2 = Model::forward(&mut net, &x, true);
+        prop_assert_eq!(y1, y2);
+    }
+
+    /// Gradients are additive over batches: grad(b1 ∪ b2) computed as
+    /// two accumulating backward passes equals the sum of separate runs.
+    #[test]
+    fn prop_gradient_accumulation_is_additive(seed in 0u64..100) {
+        use gtopk_nn::softmax_cross_entropy;
+        let build = || models::mlp(seed, 4, 8, 2);
+        let x1 = Tensor::full(Shape::d2(2, 4), 0.3);
+        let x2 = Tensor::full(Shape::d2(2, 4), -0.2);
+        let y1 = vec![0usize, 1];
+        let y2 = vec![1usize, 0];
+
+        // Accumulated in one model.
+        let mut net = build();
+        Model::zero_grads(&mut net);
+        let l1 = Model::forward(&mut net, &x1, true);
+        let (_, g1) = softmax_cross_entropy(&l1, &y1);
+        Model::backward(&mut net, &g1);
+        let l2 = Model::forward(&mut net, &x2, true);
+        let (_, g2) = softmax_cross_entropy(&l2, &y2);
+        Model::backward(&mut net, &g2);
+        let acc = net.flat_grads();
+
+        // Separate runs summed.
+        let run = |x: &Tensor, y: &[usize]| {
+            let mut n = build();
+            Model::zero_grads(&mut n);
+            let l = Model::forward(&mut n, x, true);
+            let (_, g) = softmax_cross_entropy(&l, y);
+            Model::backward(&mut n, &g);
+            n.flat_grads()
+        };
+        let s1 = run(&x1, &y1);
+        let s2 = run(&x2, &y2);
+        for i in 0..acc.len() {
+            prop_assert!((acc[i] - (s1[i] + s2[i])).abs() < 1e-5,
+                         "coord {i}: {} vs {}", acc[i], s1[i] + s2[i]);
+        }
+    }
+}
+
+#[test]
+fn zoo_models_have_documented_sizes() {
+    // Parameter counts are part of the experiment design (k = ρ·m);
+    // pin them so silent architecture changes are caught.
+    assert_eq!(models::logistic(0, 16, 4).num_params(), 16 * 4 + 4);
+    assert_eq!(models::mlp(0, 16, 32, 4).num_params(), 16 * 32 + 32 + 32 * 4 + 4);
+    let vgg = models::vgg_lite(0, 3, 8, 10).num_params();
+    assert!(vgg > 15_000 && vgg < 40_000, "vgg_lite m = {vgg}");
+    let resnet = models::resnet20_lite(0, 3, 10).num_params();
+    assert!(resnet > 5_000 && resnet < 20_000, "resnet20_lite m = {resnet}");
+    let lstm = models::lstm_lm(0, 16, 12, 24).num_params();
+    assert!(lstm > 5_000 && lstm < 20_000, "lstm_lm m = {lstm}");
+}

@@ -1,0 +1,178 @@
+//! Closed-form α-β time costs of the three gradient aggregation
+//! algorithms (paper Table I and Eqs. 5–7).
+
+use gtopk_comm::CostModel;
+
+/// Which gradient aggregation algorithm a cost refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregationKind {
+    /// Ring AllReduce over the dense gradient (the S-SGD baseline).
+    Dense,
+    /// AllGather of per-worker top-k sparse gradients (Top-k S-SGD).
+    TopK,
+    /// Tree-based global top-k reduction (gTop-k S-SGD, this paper).
+    GTopK,
+}
+
+impl AggregationKind {
+    /// All three algorithms, in the paper's presentation order.
+    pub const ALL: [AggregationKind; 3] =
+        [AggregationKind::Dense, AggregationKind::TopK, AggregationKind::GTopK];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationKind::Dense => "Dense",
+            AggregationKind::TopK => "Top-k",
+            AggregationKind::GTopK => "gTop-k",
+        }
+    }
+
+    /// The paper's complexity class for this aggregation (Table I).
+    pub fn complexity(&self) -> &'static str {
+        match self {
+            AggregationKind::Dense => "O(m)",
+            AggregationKind::TopK => "O(kP)",
+            AggregationKind::GTopK => "O(k log P)",
+        }
+    }
+
+    /// Analytic communication time for `P` workers, model size `m`, `k`
+    /// selected gradients.
+    pub fn time_ms(&self, net: &CostModel, p: usize, m: usize, k: usize) -> f64 {
+        match self {
+            AggregationKind::Dense => dense_allreduce_ms(net, p, m),
+            AggregationKind::TopK => topk_allreduce_ms(net, p, k),
+            AggregationKind::GTopK => gtopk_allreduce_ms(net, p, k),
+        }
+    }
+}
+
+/// Eq. 5 — ring DenseAllReduce: `2(P−1)α + 2((P−1)/P)·mβ`.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn dense_allreduce_ms(net: &CostModel, p: usize, m: usize) -> f64 {
+    assert!(p > 0, "worker count must be positive");
+    let pf = p as f64;
+    2.0 * (pf - 1.0) * net.alpha_ms + 2.0 * ((pf - 1.0) / pf) * m as f64 * net.beta_ms_per_elem
+}
+
+/// Eq. 6 — AllGather-based TopKAllReduce: `log₂(P)·α + 2(P−1)·kβ`.
+///
+/// The `2k` factor counts k values plus k indices.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn topk_allreduce_ms(net: &CostModel, p: usize, k: usize) -> f64 {
+    assert!(p > 0, "worker count must be positive");
+    let pf = p as f64;
+    pf.log2() * net.alpha_ms + 2.0 * (pf - 1.0) * k as f64 * net.beta_ms_per_elem
+}
+
+/// Eq. 7 — gTopKAllReduce: `2·log₂(P)·α + 4k·log₂(P)·β`.
+///
+/// `log₂(P)` rounds of a `2k`-element exchange for the tree reduction plus
+/// the same again for the broadcast.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn gtopk_allreduce_ms(net: &CostModel, p: usize, k: usize) -> f64 {
+    assert!(p > 0, "worker count must be positive");
+    let lg = (p as f64).log2();
+    2.0 * lg * net.alpha_ms + 4.0 * k as f64 * lg * net.beta_ms_per_elem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_net() -> CostModel {
+        CostModel::gigabit_ethernet()
+    }
+
+    #[test]
+    fn eq5_known_point() {
+        // P=4, m=1000, α=0.5, β=1e-3: 2*3*0.5 + 2*(3/4)*1000*1e-3 = 4.5
+        let net = CostModel::new(0.5, 1e-3);
+        assert!((dense_allreduce_ms(&net, 4, 1000) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_known_point() {
+        // P=8, k=100: 3α + 2*7*100β
+        let net = CostModel::new(1.0, 0.01);
+        assert!((topk_allreduce_ms(&net, 8, 100) - (3.0 + 14.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq7_known_point() {
+        // P=8, k=100: 2*3α + 4*100*3β = 6 + 12
+        let net = CostModel::new(1.0, 0.01);
+        assert!((gtopk_allreduce_ms(&net, 8, 100) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_fig9_crossover_behaviour() {
+        // With the paper's constants, m=25e6, ρ=0.001 (k=25000):
+        // TopK is competitive at small P but loses badly at P=32+ (Fig. 9).
+        let net = paper_net();
+        let k = 25_000;
+        let t_top_4 = topk_allreduce_ms(&net, 4, k);
+        let t_gtop_4 = gtopk_allreduce_ms(&net, 4, k);
+        // At P=4 they are of the same order (TopK may even win slightly).
+        assert!(t_top_4 < 2.0 * t_gtop_4);
+        let t_top_32 = topk_allreduce_ms(&net, 32, k);
+        let t_gtop_32 = gtopk_allreduce_ms(&net, 32, k);
+        assert!(
+            t_top_32 > 2.0 * t_gtop_32,
+            "at P=32 gTopK must win clearly: {t_top_32} vs {t_gtop_32}"
+        );
+        // And dense is far worse than both at this density.
+        let t_dense_32 = dense_allreduce_ms(&net, 32, 25_000_000);
+        assert!(t_dense_32 > 10.0 * t_top_32);
+    }
+
+    #[test]
+    fn gtopk_grows_logarithmically() {
+        let net = paper_net();
+        let k = 10_000;
+        let t32 = gtopk_allreduce_ms(&net, 32, k);
+        let t64 = gtopk_allreduce_ms(&net, 64, k);
+        // Ratio must match log2(64)/log2(32) = 6/5 exactly.
+        assert!(((t64 / t32) - 6.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topk_grows_linearly_in_p() {
+        let net = CostModel::new(0.0, 1.0); // isolate the bandwidth term
+        let k = 7;
+        let t8 = topk_allreduce_ms(&net, 8, k);
+        let t16 = topk_allreduce_ms(&net, 16, k);
+        assert!(((t16 / t8) - 15.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(AggregationKind::GTopK.name(), "gTop-k");
+        assert_eq!(AggregationKind::TopK.complexity(), "O(kP)");
+        assert_eq!(AggregationKind::ALL.len(), 3);
+        let net = paper_net();
+        // Dispatch matches the free functions.
+        assert_eq!(
+            AggregationKind::Dense.time_ms(&net, 4, 100, 10),
+            dense_allreduce_ms(&net, 4, 100)
+        );
+        assert_eq!(
+            AggregationKind::TopK.time_ms(&net, 4, 100, 10),
+            topk_allreduce_ms(&net, 4, 10)
+        );
+        assert_eq!(
+            AggregationKind::GTopK.time_ms(&net, 4, 100, 10),
+            gtopk_allreduce_ms(&net, 4, 10)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Scaling efficiency and throughput (paper Eq. 4 and Table IV).
+
+/// Per-iteration time breakdown of one S-SGD iteration on one worker, in
+/// milliseconds. This is exactly the decomposition of the paper's Fig. 11:
+/// computation (forward+backward), compression (sparsification), and
+/// communication (gradient aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterationProfile {
+    /// Forward + backward compute time (`t_f + t_b`).
+    pub compute_ms: f64,
+    /// Local sparsification (top-k selection) time.
+    pub compression_ms: f64,
+    /// Gradient aggregation communication time (`t_c`).
+    pub communication_ms: f64,
+}
+
+impl IterationProfile {
+    /// Total iteration time.
+    pub fn total_ms(&self) -> f64 {
+        self.compute_ms + self.compression_ms + self.communication_ms
+    }
+
+    /// Fractions `(compute, compression, communication)` of the iteration,
+    /// summing to 1 (all zeros for a zero-length iteration).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_ms();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.compute_ms / t,
+            self.compression_ms / t,
+            self.communication_ms / t,
+        )
+    }
+}
+
+/// Weak-scaling efficiency, paper Eq. 4:
+/// `e = (t_f + t_b) / (t_f + t_b + t_c)`.
+///
+/// Compression time, when present, is charged to the denominator only —
+/// it is overhead introduced by sparsification, exactly as the paper's
+/// measured efficiencies absorb it.
+///
+/// # Panics
+///
+/// Panics if the profile total is zero.
+pub fn scaling_efficiency(profile: &IterationProfile) -> f64 {
+    let t = profile.total_ms();
+    assert!(t > 0.0, "iteration must take positive time");
+    profile.compute_ms / t
+}
+
+/// System throughput in images (samples) per second for `p` workers each
+/// processing `batch_per_worker` samples per iteration (Table IV).
+///
+/// # Panics
+///
+/// Panics if the profile total is zero.
+pub fn throughput_images_per_sec(profile: &IterationProfile, p: usize, batch_per_worker: usize) -> f64 {
+    let t_sec = profile.total_ms() / 1000.0;
+    assert!(t_sec > 0.0, "iteration must take positive time");
+    (p * batch_per_worker) as f64 / t_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_compute_fraction() {
+        let prof = IterationProfile {
+            compute_ms: 80.0,
+            compression_ms: 0.0,
+            communication_ms: 20.0,
+        };
+        assert!((scaling_efficiency(&prof) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_counts_as_overhead() {
+        let prof = IterationProfile {
+            compute_ms: 50.0,
+            compression_ms: 25.0,
+            communication_ms: 25.0,
+        };
+        assert!((scaling_efficiency(&prof) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_known_point() {
+        let prof = IterationProfile {
+            compute_ms: 500.0,
+            compression_ms: 0.0,
+            communication_ms: 500.0,
+        };
+        // 1 s/iter, 32 workers × 128 images = 4096 images/s.
+        assert!((throughput_images_per_sec(&prof, 32, 128) - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let prof = IterationProfile {
+            compute_ms: 1.0,
+            compression_ms: 2.0,
+            communication_ms: 3.0,
+        };
+        let (a, b, c) = prof.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-12);
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_profile_fractions_are_zero() {
+        assert_eq!(IterationProfile::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive time")]
+    fn zero_profile_efficiency_panics() {
+        let _ = scaling_efficiency(&IterationProfile::default());
+    }
+}

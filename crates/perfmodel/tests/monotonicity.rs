@@ -1,0 +1,58 @@
+//! Property tests: the analytic cost models behave monotonically in
+//! every argument, as the closed forms require.
+
+use gtopk_comm::CostModel;
+use gtopk_perfmodel::{dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms};
+use proptest::prelude::*;
+
+fn net() -> CostModel {
+    CostModel::gigabit_ethernet()
+}
+
+proptest! {
+    /// Dense time strictly increases with m and with P (both terms grow).
+    #[test]
+    fn prop_dense_monotone(p in 2usize..128, m in 1usize..10_000_000) {
+        let n = net();
+        prop_assert!(dense_allreduce_ms(&n, p, m + 1) > dense_allreduce_ms(&n, p, m));
+        prop_assert!(dense_allreduce_ms(&n, p + 1, m) > dense_allreduce_ms(&n, p, m));
+    }
+
+    /// TopK time increases with k and P.
+    #[test]
+    fn prop_topk_monotone(p in 2usize..128, k in 1usize..100_000) {
+        let n = net();
+        prop_assert!(topk_allreduce_ms(&n, p, k + 1) > topk_allreduce_ms(&n, p, k));
+        prop_assert!(topk_allreduce_ms(&n, p + 1, k) > topk_allreduce_ms(&n, p, k));
+    }
+
+    /// gTopK time increases with k and P. For non-trivial k it is
+    /// dominated by TopK at large P; for tiny k (alpha-dominated regime,
+    /// e.g. k = 1) TopK's single-alpha AllGather can stay ahead — the
+    /// same boundary behaviour the ResNet-20 row of Table IV shows.
+    #[test]
+    fn prop_gtopk_monotone_and_wins_at_scale(k in 1usize..100_000) {
+        let n = net();
+        prop_assert!(gtopk_allreduce_ms(&n, 8, k + 1) > gtopk_allreduce_ms(&n, 8, k));
+        prop_assert!(gtopk_allreduce_ms(&n, 16, k) > gtopk_allreduce_ms(&n, 8, k));
+        // Once the bandwidth term is non-negligible, O(kP) must lose to
+        // O(k log P) at P = 1024.
+        if k >= 200 {
+            prop_assert!(topk_allreduce_ms(&n, 1024, k) > gtopk_allreduce_ms(&n, 1024, k));
+        }
+    }
+
+    /// The gTopK/TopK advantage grows monotonically with P beyond the
+    /// crossover — the paper's central scalability claim.
+    #[test]
+    fn prop_advantage_grows_with_p(k in 1000usize..100_000) {
+        let n = net();
+        let ratio = |p: usize| topk_allreduce_ms(&n, p, k) / gtopk_allreduce_ms(&n, p, k);
+        let mut prev = ratio(16);
+        for p in [32usize, 64, 128, 256] {
+            let r = ratio(p);
+            prop_assert!(r > prev, "ratio must grow: {prev} -> {r} at P = {p}");
+            prev = r;
+        }
+    }
+}

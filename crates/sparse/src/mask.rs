@@ -1,0 +1,182 @@
+use crate::SparseVec;
+
+/// A set of selected coordinates over a vector of dimension `dim`.
+///
+/// The paper's algorithms pass boolean masks (`Mask`, `gMask`) alongside
+/// sparse gradients to tell workers which coordinates survived a global
+/// selection. We store the selected indices sorted, so membership is a
+/// binary search and set algebra is a linear merge.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_sparse::Mask;
+/// let m = Mask::from_indices(10, vec![3, 1, 7]);
+/// assert!(m.contains(7));
+/// assert!(!m.contains(2));
+/// assert_eq!(m.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    dim: usize,
+    indices: Vec<u32>,
+}
+
+impl Mask {
+    /// An empty mask over dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        Mask {
+            dim,
+            indices: Vec::new(),
+        }
+    }
+
+    /// Builds a mask from (possibly unsorted) indices; duplicates collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= dim`.
+    pub fn from_indices(dim: usize, mut indices: Vec<u32>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dim, "index {last} out of bounds for dim {dim}");
+        }
+        Mask { dim, indices }
+    }
+
+    /// The mask selecting exactly the stored coordinates of a sparse vector.
+    pub fn of_sparse(v: &SparseVec) -> Self {
+        Mask {
+            dim: v.dim(),
+            indices: v.indices().to_vec(),
+        }
+    }
+
+    /// Logical dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of selected coordinates.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` if no coordinate is selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Sorted selected indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// `true` if coordinate `i` is selected.
+    pub fn contains(&self, i: u32) -> bool {
+        self.indices.binary_search(&i).is_ok()
+    }
+
+    /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn intersect(&self, other: &Mask) -> Mask {
+        assert_eq!(self.dim, other.dim, "mask dimension mismatch");
+        let mut out = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Equal => {
+                    out.push(self.indices[a]);
+                    a += 1;
+                    b += 1;
+                }
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+            }
+        }
+        Mask {
+            dim: self.dim,
+            indices: out,
+        }
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn difference(&self, other: &Mask) -> Mask {
+        assert_eq!(self.dim, other.dim, "mask dimension mismatch");
+        let indices = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|&i| !other.contains(i))
+            .collect();
+        Mask {
+            dim: self.dim,
+            indices,
+        }
+    }
+
+    /// Densifies into a boolean vector of length `dim`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = vec![false; self.dim];
+        for &i in &self.indices {
+            out[i as usize] = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let m = Mask::from_indices(8, vec![5, 1, 5, 3]);
+        assert_eq!(m.indices(), &[1, 3, 5]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_panics() {
+        let _ = Mask::from_indices(4, vec![9]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Mask::from_indices(10, vec![1, 2, 3, 4]);
+        let b = Mask::from_indices(10, vec![3, 4, 5]);
+        assert_eq!(a.intersect(&b).indices(), &[3, 4]);
+        assert_eq!(a.difference(&b).indices(), &[1, 2]);
+        assert_eq!(b.difference(&a).indices(), &[5]);
+    }
+
+    #[test]
+    fn of_sparse_matches_stored_indices() {
+        let v = SparseVec::from_pairs(6, vec![(5, 1.0), (0, 2.0)]);
+        let m = Mask::of_sparse(&v);
+        assert_eq!(m.indices(), v.indices());
+        assert_eq!(m.dim(), 6);
+    }
+
+    #[test]
+    fn to_bools_densifies() {
+        let m = Mask::from_indices(4, vec![0, 2]);
+        assert_eq!(m.to_bools(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = Mask::empty(3);
+        assert!(m.is_empty());
+        assert!(!m.contains(0));
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's Definition 1: the binary top-k merge operator `⊤`.
+//!
+//! `a ⊤ b = mask ⊙ (a + b)` where `mask` keeps the `k` largest magnitudes
+//! of the sparse sum. The operator is the reduction step of
+//! gTopKAllReduce's binomial tree: each round a worker receives its
+//! partner's k-sparse vector, merge-adds it into its own, and re-selects
+//! the top-k of the (≤ 2k)-entry result.
+
+use crate::{topk_indices, SparseVec};
+
+/// Applies the paper's `⊤` operator: top-`k` of the sparse sum `a + b`.
+///
+/// The result has at most `min(k, nnz(a+b))` entries.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_sparse::{SparseVec, topk_merge};
+/// let a = SparseVec::from_pairs(6, vec![(0, 3.0), (2, -1.0)]);
+/// let b = SparseVec::from_pairs(6, vec![(2, -1.5), (5, 0.5)]);
+/// let m = topk_merge(&a, &b, 2);
+/// assert_eq!(m.indices(), &[0, 2]);
+/// assert_eq!(m.values(), &[3.0, -2.5]);
+/// ```
+pub fn topk_merge(a: &SparseVec, b: &SparseVec, k: usize) -> SparseVec {
+    let sum = a.add(b);
+    truncate_topk(sum, k)
+}
+
+/// Reduces many sparse vectors with `⊤` left-to-right.
+///
+/// `topk_merge_many([g1, g2, g3], k) = (g1 ⊤ g2) ⊤ g3`, matching the order
+/// the paper writes `G̃ = G̃₁ ⊤ G̃₂ ⊤ … ⊤ G̃_P`. Returns an empty vector of
+/// dimension 0 when `vs` is empty.
+pub fn topk_merge_many(vs: &[SparseVec], k: usize) -> SparseVec {
+    let mut iter = vs.iter();
+    let first = match iter.next() {
+        Some(v) => truncate_topk(v.clone(), k),
+        None => return SparseVec::empty(0),
+    };
+    iter.fold(first, |acc, v| topk_merge(&acc, v, k))
+}
+
+/// Keeps only the `k` largest-magnitude entries of a sparse vector.
+fn truncate_topk(v: SparseVec, k: usize) -> SparseVec {
+    if v.nnz() <= k {
+        return v;
+    }
+    let (dim, indices, values) = v.into_parts();
+    let sel = topk_indices(&values, k);
+    let mut out_idx = Vec::with_capacity(k);
+    let mut out_val = Vec::with_capacity(k);
+    for &pos in &sel {
+        out_idx.push(indices[pos as usize]);
+        out_val.push(values[pos as usize]);
+    }
+    // `sel` is ascending over positions, and positions are ascending over
+    // coordinate indices, so `out_idx` stays sorted.
+    SparseVec::from_sorted(dim, out_idx, out_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk_sparse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_keeps_global_largest() {
+        let a = SparseVec::from_pairs(8, vec![(0, 1.0), (1, 5.0)]);
+        let b = SparseVec::from_pairs(8, vec![(2, -4.0), (3, 0.5)]);
+        let m = topk_merge(&a, &b, 2);
+        assert_eq!(m.indices(), &[1, 2]);
+        assert_eq!(m.values(), &[5.0, -4.0]);
+    }
+
+    #[test]
+    fn merge_sums_overlapping_coordinates_before_selecting() {
+        // Two small values on the same coordinate outrank one big value.
+        let a = SparseVec::from_pairs(4, vec![(0, 2.0), (1, 1.6)]);
+        let b = SparseVec::from_pairs(4, vec![(1, 1.6)]);
+        let m = topk_merge(&a, &b, 1);
+        assert_eq!(m.indices(), &[1]);
+        assert!((m.values()[0] - 3.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_many_empty_and_single() {
+        assert_eq!(topk_merge_many(&[], 3).dim(), 0);
+        let a = SparseVec::from_pairs(4, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let m = topk_merge_many(std::slice::from_ref(&a), 2);
+        assert_eq!(m.indices(), &[1, 2]);
+    }
+
+    #[test]
+    fn result_never_exceeds_k_entries() {
+        let a = SparseVec::from_pairs(10, (0..5).map(|i| (i, 1.0 + i as f32)).collect());
+        let b = SparseVec::from_pairs(10, (5..10).map(|i| (i, 1.0 + i as f32)).collect());
+        let m = topk_merge(&a, &b, 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.indices(), &[7, 8, 9]);
+    }
+
+    proptest! {
+        /// ⊤ agrees with "densify, add, exact top-k".
+        #[test]
+        fn prop_merge_matches_dense_reference(
+            pa in proptest::collection::vec((0u32..50, -10.0f32..10.0), 0..20),
+            pb in proptest::collection::vec((0u32..50, -10.0f32..10.0), 0..20),
+            k in 1usize..12,
+        ) {
+            let a = SparseVec::from_pairs(50, pa);
+            let b = SparseVec::from_pairs(50, pb);
+            let m = topk_merge(&a, &b, k);
+
+            let mut dense = a.to_dense();
+            for (x, y) in dense.iter_mut().zip(b.to_dense()) { *x += y; }
+            let reference = topk_sparse(&dense, k);
+
+            // Compare magnitudes rather than exact index sets: ties between
+            // an explicit zero entry and an absent entry may legitimately
+            // differ. Selected magnitudes must match as multisets.
+            let mut got: Vec<f32> = m.values().iter().map(|v| v.abs()).collect();
+            let mut want: Vec<f32> = reference.values().iter().map(|v| v.abs()).collect();
+            got.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            want.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            want.truncate(got.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert!((g - w).abs() < 1e-4, "got {g} want {w}");
+            }
+        }
+
+        /// ⊤ is commutative in the selected magnitude multiset.
+        #[test]
+        fn prop_merge_commutative_magnitudes(
+            pa in proptest::collection::vec((0u32..30, -5.0f32..5.0), 0..15),
+            pb in proptest::collection::vec((0u32..30, -5.0f32..5.0), 0..15),
+            k in 1usize..8,
+        ) {
+            let a = SparseVec::from_pairs(30, pa);
+            let b = SparseVec::from_pairs(30, pb);
+            let ab = topk_merge(&a, &b, k);
+            let ba = topk_merge(&b, &a, k);
+            let mut ma: Vec<f32> = ab.values().iter().map(|v| v.abs()).collect();
+            let mut mb: Vec<f32> = ba.values().iter().map(|v| v.abs()).collect();
+            ma.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            mb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(ma.len(), mb.len());
+            for (x, y) in ma.iter().zip(mb.iter()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+}

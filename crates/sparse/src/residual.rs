@@ -1,0 +1,189 @@
+//! Error-feedback residual accumulator (paper Algorithms 1/2/4).
+//!
+//! Every worker keeps a dense buffer `G` into which each iteration's fresh
+//! stochastic gradient is accumulated (line 4: `Gᵢ = Gᵢ₋₁ + ∇L`). Top-k
+//! extraction removes the selected coordinates from the buffer (line 8
+//! stores `¬Mask ⊙ G` as residual); coordinates rejected by the *global*
+//! selection are put back (Algorithm 4, line 10) so no gradient mass is
+//! ever silently dropped — only delayed.
+
+use crate::{sampled_topk_sparse, topk_sparse, SparseVec};
+use rand::Rng;
+
+/// Dense error-feedback buffer with top-k extraction.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_sparse::Residual;
+/// let mut r = Residual::new(4);
+/// r.accumulate(&[1.0, -3.0, 0.5, 2.0]);
+/// let top = r.extract_topk(2); // takes coordinates 1 and 3
+/// assert_eq!(top.indices(), &[1, 3]);
+/// // The extracted mass left the buffer; the rest stayed.
+/// assert_eq!(r.dense(), &[1.0, 0.0, 0.5, 0.0]);
+/// // A globally-rejected coordinate can be returned:
+/// r.put_back(&top);
+/// assert_eq!(r.dense(), &[1.0, -3.0, 0.5, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residual {
+    acc: Vec<f32>,
+}
+
+impl Residual {
+    /// A zeroed residual buffer of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Residual {
+            acc: vec![0.0; dim],
+        }
+    }
+
+    /// Buffer dimension.
+    pub fn dim(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Adds a fresh gradient into the buffer (`G += grad`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != self.dim()`.
+    pub fn accumulate(&mut self, grad: &[f32]) {
+        assert_eq!(grad.len(), self.acc.len(), "gradient length mismatch");
+        for (a, &g) in self.acc.iter_mut().zip(grad.iter()) {
+            *a += g;
+        }
+    }
+
+    /// Extracts the top-`k` coordinates by |value|, zeroing them in the
+    /// buffer and returning them as a sparse vector.
+    pub fn extract_topk(&mut self, k: usize) -> SparseVec {
+        let sv = topk_sparse(&self.acc, k);
+        for &i in sv.indices() {
+            self.acc[i as usize] = 0.0;
+        }
+        sv
+    }
+
+    /// Like [`Residual::extract_topk`] but using the sampled-threshold
+    /// selection kernel — exactly `min(k, dim)` coordinates are extracted.
+    pub fn extract_topk_sampled(&mut self, k: usize, sample: usize, rng: &mut impl Rng) -> SparseVec {
+        let sv = sampled_topk_sparse(&self.acc, k, sample, rng);
+        for &i in sv.indices() {
+            self.acc[i as usize] = 0.0;
+        }
+        sv
+    }
+
+    /// Returns previously extracted coordinates to the buffer
+    /// (`G += rejected`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn put_back(&mut self, rejected: &SparseVec) {
+        assert_eq!(rejected.dim(), self.acc.len(), "sparse dim mismatch");
+        rejected.add_into_dense(&mut self.acc);
+    }
+
+    /// Immutable view of the dense buffer.
+    pub fn dense(&self) -> &[f32] {
+        &self.acc
+    }
+
+    /// Sum of |values| remaining in the buffer — the "delayed gradient
+    /// mass" diagnostics used in tests and experiment logs.
+    pub fn l1(&self) -> f32 {
+        self.acc.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Zeroes the whole buffer.
+    pub fn clear(&mut self) {
+        self.acc.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accumulate_then_extract_conserves_mass() {
+        let mut r = Residual::new(6);
+        let g = [0.1, -2.0, 0.3, 4.0, -0.5, 0.6];
+        r.accumulate(&g);
+        let before_l1 = r.l1();
+        let top = r.extract_topk(2);
+        let extracted_l1: f32 = top.values().iter().map(|v| v.abs()).sum();
+        assert!((r.l1() + extracted_l1 - before_l1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extracted_coordinates_zeroed() {
+        let mut r = Residual::new(3);
+        r.accumulate(&[5.0, 1.0, -7.0]);
+        let top = r.extract_topk(1);
+        assert_eq!(top.indices(), &[2]);
+        assert_eq!(r.dense(), &[5.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn put_back_restores() {
+        let mut r = Residual::new(3);
+        r.accumulate(&[1.0, 2.0, 3.0]);
+        let top = r.extract_topk(3);
+        r.put_back(&top);
+        assert_eq!(r.dense(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn residual_accumulates_across_iterations() {
+        // A small value ignored twice must eventually win top-1.
+        let mut r = Residual::new(2);
+        r.accumulate(&[0.6, 1.0]);
+        let t1 = r.extract_topk(1);
+        assert_eq!(t1.indices(), &[1]);
+        r.accumulate(&[0.6, 1.0]);
+        let t2 = r.extract_topk(1);
+        // residual on coord 0 is now 1.2 > 1.0
+        assert_eq!(t2.indices(), &[0]);
+        assert!((t2.values()[0] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut r = Residual::new(2);
+        r.accumulate(&[1.0, 2.0]);
+        r.clear();
+        assert_eq!(r.l1(), 0.0);
+    }
+
+    proptest! {
+        /// No gradient is ever lost: dense(buffer) + densify(extracted)
+        /// equals the running sum of all accumulated gradients.
+        #[test]
+        fn prop_error_feedback_conserves_gradient(
+            grads in proptest::collection::vec(
+                proptest::collection::vec(-3.0f32..3.0, 16), 1..6),
+            k in 1usize..8,
+        ) {
+            let dim = 16;
+            let mut r = Residual::new(dim);
+            let mut applied = vec![0.0f64; dim];
+            let mut total = vec![0.0f64; dim];
+            for g in &grads {
+                r.accumulate(g);
+                for (t, &x) in total.iter_mut().zip(g.iter()) { *t += x as f64; }
+                let ext = r.extract_topk(k);
+                for (i, v) in ext.iter() { applied[i as usize] += v as f64; }
+            }
+            for i in 0..dim {
+                let reconstructed = applied[i] + r.dense()[i] as f64;
+                prop_assert!((reconstructed - total[i]).abs() < 1e-3,
+                             "coord {i}: {reconstructed} vs {}", total[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+use std::fmt;
+
+/// A sparse gradient vector: sorted unique indices with their values.
+///
+/// This is the `[V, I]` pair the paper transmits for every sparsified
+/// gradient. Indices are `u32` (models up to 2³²−1 parameters, far beyond
+/// the paper's 25M-parameter ResNet-50), sorted ascending and unique, which
+/// makes merge-adds a linear two-pointer walk.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_sparse::SparseVec;
+/// let v = SparseVec::from_pairs(8, vec![(5, 1.0), (2, -3.0)]);
+/// assert_eq!(v.indices(), &[2, 5]);
+/// assert_eq!(v.get(2), -3.0);
+/// assert_eq!(v.get(0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// An empty sparse vector of logical dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        SparseVec {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from `(index, value)` pairs, sorting and summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= dim`.
+    pub fn from_pairs(dim: usize, mut pairs: Vec<(u32, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "index {i} out of bounds for dim {dim}");
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("values parallel to indices") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds from already-sorted unique indices and parallel values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, indices are not strictly ascending, or any
+    /// index is `>= dim`.
+    pub fn from_sorted(dim: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly ascending");
+        }
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dim, "index {last} out of bounds for dim {dim}");
+        }
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Densifies into a `Vec<f32>` of length `dim`.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Adds this sparse vector into an existing dense buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.len() != self.dim()`.
+    pub fn add_into_dense(&self, dense: &mut [f32]) {
+        assert_eq!(dense.len(), self.dim, "dense buffer length mismatch");
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            dense[i as usize] += v;
+        }
+    }
+
+    /// Logical dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Sorted coordinate indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Values parallel to [`SparseVec::indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Value at coordinate `i` (0.0 if not stored).
+    pub fn get(&self, i: u32) -> f32 {
+        match self.indices.binary_search(&i) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `true` if coordinate `i` is stored.
+    pub fn contains(&self, i: u32) -> bool {
+        self.indices.binary_search(&i).is_ok()
+    }
+
+    /// Iterator over `(index, value)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Multiplies every stored value by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+
+    /// Merge-adds two sparse vectors (exact sparse sum, no truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add(&self, other: &SparseVec) -> SparseVec {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in sparse add");
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.nnz() || b < other.nnz() {
+            let ia = self.indices.get(a).copied();
+            let ib = other.indices.get(b).copied();
+            match (ia, ib) {
+                (Some(x), Some(y)) if x == y => {
+                    indices.push(x);
+                    values.push(self.values[a] + other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+                (Some(x), Some(y)) if x < y => {
+                    indices.push(x);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                (Some(_), Some(y)) => {
+                    indices.push(y);
+                    values.push(other.values[b]);
+                    b += 1;
+                }
+                (Some(x), None) => {
+                    indices.push(x);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                (None, Some(y)) => {
+                    indices.push(y);
+                    values.push(other.values[b]);
+                    b += 1;
+                }
+                (None, None) => unreachable!("loop condition guarantees one side"),
+            }
+        }
+        SparseVec {
+            dim: self.dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Splits entries into those whose index is in `keep` and the rest.
+    ///
+    /// Used by the trainer to separate globally-accepted coordinates from
+    /// locally-selected-but-globally-rejected ones (Algorithm 4, line 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` was built for a different dimension.
+    pub fn partition_by(&self, keep: &crate::Mask) -> (SparseVec, SparseVec) {
+        assert_eq!(self.dim, keep.dim(), "mask dimension mismatch");
+        let mut kept = SparseVec::empty(self.dim);
+        let mut rejected = SparseVec::empty(self.dim);
+        for (i, v) in self.iter() {
+            if keep.contains(i) {
+                kept.indices.push(i);
+                kept.values.push(v);
+            } else {
+                rejected.indices.push(i);
+                rejected.values.push(v);
+            }
+        }
+        (kept, rejected)
+    }
+
+    /// L2 norm of the stored values.
+    pub fn norm2(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Consumes the vector into `(dim, indices, values)`.
+    pub fn into_parts(self) -> (usize, Vec<u32>, Vec<f32>) {
+        (self.dim, self.indices, self.values)
+    }
+}
+
+impl fmt::Display for SparseVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SparseVec(dim={}, nnz={})", self.dim, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = SparseVec::from_pairs(10, vec![(7, 1.0), (2, 2.0), (7, 0.5)]);
+        assert_eq!(v.indices(), &[2, 7]);
+        assert_eq!(v.values(), &[2.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_pairs_rejects_out_of_range() {
+        let _ = SparseVec::from_pairs(4, vec![(4, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = SparseVec::from_sorted(4, vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = SparseVec::from_pairs(5, vec![(0, 1.0), (4, -2.0)]);
+        assert_eq!(v.to_dense(), vec![1.0, 0.0, 0.0, 0.0, -2.0]);
+        let mut buf = vec![1.0; 5];
+        v.add_into_dense(&mut buf);
+        assert_eq!(buf, vec![2.0, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let v = SparseVec::from_pairs(5, vec![(1, 9.0)]);
+        assert_eq!(v.get(1), 9.0);
+        assert_eq!(v.get(2), 0.0);
+        assert!(v.contains(1));
+        assert!(!v.contains(0));
+    }
+
+    #[test]
+    fn sparse_add_matches_dense_add() {
+        let a = SparseVec::from_pairs(6, vec![(0, 1.0), (3, 2.0), (5, -1.0)]);
+        let b = SparseVec::from_pairs(6, vec![(1, 4.0), (3, -2.0)]);
+        let c = a.add(&b);
+        let mut expect = a.to_dense();
+        for (x, y) in expect.iter_mut().zip(b.to_dense()) {
+            *x += y;
+        }
+        assert_eq!(c.to_dense(), expect);
+        // exact cancellation keeps the explicit entry (value 0.0) — that is
+        // fine for correctness; nnz may count it.
+        assert_eq!(c.get(3), 0.0);
+    }
+
+    #[test]
+    fn scale_scales_all() {
+        let mut v = SparseVec::from_pairs(3, vec![(0, 2.0), (2, -4.0)]);
+        v.scale(0.5);
+        assert_eq!(v.values(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let v = SparseVec::empty(4);
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.to_dense(), vec![0.0; 4]);
+        assert_eq!(v.add(&v).nnz(), 0);
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        let v = SparseVec::from_pairs(9, vec![(3, 1.0)]);
+        assert_eq!(v.to_string(), "SparseVec(dim=9, nnz=1)");
+    }
+}

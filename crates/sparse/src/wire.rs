@@ -1,0 +1,218 @@
+//! Wire codec for sparse gradients.
+//!
+//! The paper transmits a sparsified gradient as the pair `[V, I]` — `k`
+//! 32-bit values plus `k` 32-bit indices, i.e. `2k` four-byte words, the
+//! count behind every `2k` term in Eqs. 6–7. This module makes that wire
+//! format explicit: a little-endian framing with a validated decoder, so
+//! the byte accounting used by the simulated network corresponds to real
+//! serialized bytes.
+//!
+//! Layout: `dim: u64 | nnz: u64 | indices: nnz × u32 | values: nnz × f32`.
+
+use crate::SparseVec;
+use std::fmt;
+
+/// Bytes of framing overhead (dim + nnz header).
+pub const HEADER_BYTES: usize = 16;
+
+/// Decoding error for the sparse wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than its header or declared body.
+    Truncated {
+        /// Bytes required.
+        expected: usize,
+        /// Bytes present.
+        actual: usize,
+    },
+    /// `nnz` exceeds `dim`, or an index is out of range / out of order.
+    Malformed {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { expected, actual } => {
+                write!(f, "buffer truncated: need {expected} bytes, have {actual}")
+            }
+            WireError::Malformed { reason } => write!(f, "malformed sparse frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a sparse vector to the wire format.
+///
+/// The body is exactly `8·nnz` bytes (`2·nnz` four-byte words) plus the
+/// 16-byte header — the paper's `2k` accounting.
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_sparse::{SparseVec, wire};
+/// let v = SparseVec::from_pairs(100, vec![(3, 1.5), (42, -2.0)]);
+/// let bytes = wire::encode(&v);
+/// assert_eq!(bytes.len(), wire::HEADER_BYTES + 2 * 8);
+/// assert_eq!(wire::decode(&bytes).unwrap(), v);
+/// ```
+pub fn encode(v: &SparseVec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + 8 * v.nnz());
+    out.extend_from_slice(&(v.dim() as u64).to_le_bytes());
+    out.extend_from_slice(&(v.nnz() as u64).to_le_bytes());
+    for &i in v.indices() {
+        out.extend_from_slice(&i.to_le_bytes());
+    }
+    for &x in v.values() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes and validates a sparse vector from the wire format.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the buffer is too short;
+/// [`WireError::Malformed`] if `nnz > dim`, indices are out of range, or
+/// not strictly ascending.
+pub fn decode(bytes: &[u8]) -> Result<SparseVec, WireError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(WireError::Truncated {
+            expected: HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let dim = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let nnz = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    if nnz > dim {
+        return Err(WireError::Malformed {
+            reason: "nnz exceeds dimension",
+        });
+    }
+    let need = HEADER_BYTES + 8 * nnz;
+    if bytes.len() < need {
+        return Err(WireError::Truncated {
+            expected: need,
+            actual: bytes.len(),
+        });
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    let mut pos = HEADER_BYTES;
+    for _ in 0..nnz {
+        let i = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if (i as usize) >= dim {
+            return Err(WireError::Malformed {
+                reason: "index out of range",
+            });
+        }
+        if let Some(&prev) = indices.last() {
+            if i <= prev {
+                return Err(WireError::Malformed {
+                    reason: "indices not strictly ascending",
+                });
+            }
+        }
+        indices.push(i);
+        pos += 4;
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(f32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")));
+        pos += 4;
+    }
+    Ok(SparseVec::from_sorted(dim, indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let v = SparseVec::from_pairs(64, vec![(0, 1.0), (7, -2.5), (63, 0.25)]);
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_vector_roundtrips() {
+        let v = SparseVec::empty(10);
+        let bytes = encode(&v);
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        assert_eq!(decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn body_is_2k_words() {
+        let k = 25usize;
+        let v = SparseVec::from_pairs(1000, (0..k as u32).map(|i| (i * 3, 1.0)).collect());
+        assert_eq!(encode(&v).len() - HEADER_BYTES, 2 * k * 4);
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let v = SparseVec::from_pairs(16, vec![(1, 1.0), (2, 2.0)]);
+        let bytes = encode(&v);
+        assert!(matches!(decode(&bytes[..10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        // nnz > dim
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u64.to_le_bytes());
+        bad.extend_from_slice(&3u64.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 24]);
+        assert!(matches!(decode(&bad), Err(WireError::Malformed { .. })));
+
+        // index out of range
+        let v = SparseVec::from_pairs(4, vec![(1, 1.0)]);
+        let mut bytes = encode(&v);
+        bytes[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Malformed { .. })));
+
+        // out-of-order indices
+        let v2 = SparseVec::from_pairs(8, vec![(2, 1.0), (5, 2.0)]);
+        let mut bytes2 = encode(&v2);
+        bytes2[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&6u32.to_le_bytes());
+        assert!(matches!(decode(&bytes2), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WireError::Truncated {
+            expected: 16,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("16"));
+        let m = WireError::Malformed {
+            reason: "index out of range",
+        };
+        assert!(m.to_string().contains("index"));
+    }
+
+    proptest! {
+        /// Every valid sparse vector roundtrips bit-exactly, and the
+        /// frame size matches the paper's 2k accounting.
+        #[test]
+        fn prop_roundtrip(pairs in proptest::collection::btree_map(0u32..500, -1e6f32..1e6, 0..64)) {
+            let v = SparseVec::from_pairs(500, pairs.into_iter().collect());
+            let bytes = encode(&v);
+            prop_assert_eq!(bytes.len(), HEADER_BYTES + 8 * v.nnz());
+            let back = decode(&bytes).unwrap();
+            prop_assert_eq!(back.indices(), v.indices());
+            // Bit-exact values (NaN-free domain).
+            for (a, b) in back.values().iter().zip(v.values()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

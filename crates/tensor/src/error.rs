@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Error type for tensor construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the number of elements the
+    /// shape requires.
+    LengthMismatch {
+        /// Elements required by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: Vec<usize>,
+        /// Shape of the right operand.
+        rhs: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Total number of elements.
+        len: usize,
+    },
+    /// A tensor with zero dimensions (or a zero-sized axis where not
+    /// permitted) was supplied.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![2, 3],
+            },
+            TensorError::IndexOutOfBounds { index: 9, len: 4 },
+            TensorError::EmptyShape,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,89 @@
+//! Seeded weight initializers.
+//!
+//! All initializers take an explicit RNG so that every worker replica can be
+//! constructed with an identical seed — the reproduction relies on all P
+//! workers starting from a bit-identical model, exactly like broadcasting
+//! initial weights from rank 0 in the paper's setup.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// A vector of `n` zeros (convenience for bias initialization).
+pub fn zeros_vec(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+
+/// Uniform initialization in `[-bound, bound]`.
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or not finite.
+pub fn uniform(rng: &mut impl Rng, n: usize, bound: f32) -> Vec<f32> {
+    assert!(bound.is_finite() && bound >= 0.0, "bound must be >= 0");
+    if bound == 0.0 {
+        return vec![0.0; n];
+    }
+    let dist = Uniform::new_inclusive(-bound, bound);
+    (0..n).map(|_| dist.sample(rng)).collect()
+}
+
+/// Xavier/Glorot uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(rng: &mut impl Rng, n: usize, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, n, bound)
+}
+
+/// Kaiming/He uniform initialization for ReLU networks:
+/// `U(±sqrt(6/fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(rng: &mut impl Rng, n: usize, fan_in: usize) -> Vec<f32> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, n, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(xavier_uniform(&mut r1, 16, 4, 4), xavier_uniform(&mut r2, 16, 4, 4));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        assert_ne!(uniform(&mut r1, 32, 1.0), uniform(&mut r2, 32, 1.0));
+    }
+
+    #[test]
+    fn values_within_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = kaiming_uniform(&mut rng, 1000, 24);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(v.iter().all(|x| x.abs() <= bound + 1e-6));
+        // Not all zero, spread over both signs.
+        assert!(v.iter().any(|&x| x > 0.0) && v.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn zero_bound_gives_zeros() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(uniform(&mut rng, 4, 0.0), vec![0.0; 4]);
+        assert_eq!(zeros_vec(3), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Matrix multiplication kernels, including the transposed variants used by
+//! backpropagation (`dX = dY·Wᵀ`, `dW = Xᵀ·dY`).
+//!
+//! All kernels operate on flat row-major slices so they can be reused on
+//! tensor views without reshaping, and are written i-k-j loop-ordered for
+//! cache friendliness.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// `C[m,n] = A[m,k] · B[k,n]` over flat row-major slices.
+///
+/// # Panics
+///
+/// Debug-asserts that slice lengths match the given dimensions.
+pub fn matmul_flat(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]` (accumulating variant).
+pub fn matmul_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` — right operand stored transposed.
+///
+/// This is the `dX = dY · Wᵀ` step of a linear layer's backward pass when
+/// `W` is stored `[n_out, n_in]`.
+pub fn matmul_bt_flat(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// `C[k,n] += A[m,k]ᵀ · B[m,n]` — left operand transposed, accumulating.
+///
+/// This is the `dW += Xᵀ · dY` step of a linear layer's backward pass.
+pub fn matmul_at_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m,k]` and
+    /// `other` is `[k,n]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gtopk_tensor::{Shape, Tensor};
+    /// let a = Tensor::from_vec(Shape::d2(1, 2), vec![1.0, 2.0]).unwrap();
+    /// let b = Tensor::from_vec(Shape::d2(2, 1), vec![3.0, 4.0]).unwrap();
+    /// assert_eq!(a.matmul(&b).unwrap().data(), &[11.0]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (ls, rs) = (self.shape(), other.shape());
+        if ls.rank() != 2 || rs.rank() != 2 || ls.dim(1) != rs.dim(0) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: ls.dims().to_vec(),
+                rhs: rs.dims().to_vec(),
+            });
+        }
+        let (m, k, n) = (ls.dim(0), ls.dim(1), rs.dim(1));
+        let mut out = Tensor::zeros(Shape::d2(m, n));
+        matmul_flat(self.data(), other.data(), out.data_mut(), m, k, n);
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for non-rank-2 tensors.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        let s = self.shape();
+        if s.rank() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "transpose2",
+                lhs: s.dims().to_vec(),
+                rhs: vec![],
+            });
+        }
+        let (m, n) = (s.dim(0), s.dim(1));
+        let mut out = Tensor::zeros(Shape::d2(n, m));
+        for i in 0..m {
+            for j in 0..n {
+                out.data_mut()[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut c = vec![0.0; m * n];
+        matmul_flat(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let (m, k, n) = (2, 3, 4);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        // b stored [n, k]
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32) * 0.5).collect();
+        // build bT [k, n]
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        matmul_bt_flat(&a, &b, &mut c1, m, k, n);
+        let c2 = naive(&a, &bt, m, k, n);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn matmul_at_acc_matches_explicit_transpose() {
+        let (m, k, n) = (4, 2, 3);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.25).collect();
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c1 = vec![1.0; k * n]; // accumulates onto existing
+        matmul_at_flat_acc(&a, &b, &mut c1, m, k, n);
+        let mut c2 = naive(&at, &b, k, m, n);
+        for v in &mut c2 {
+            *v += 1.0;
+        }
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn acc_variant_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        matmul_flat_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn tensor_matmul_shape_errors() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(2, 3));
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(Shape::d1(3));
+        assert!(a.matmul(&c).is_err());
+    }
+
+    #[test]
+    fn transpose2_roundtrip() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let at = a.transpose2().unwrap();
+        assert_eq!(at.shape().dims(), &[3, 2]);
+        assert_eq!(at.data(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(at.transpose2().unwrap(), a);
+    }
+}

@@ -1,0 +1,179 @@
+use std::fmt;
+
+/// Row-major tensor shape: an ordered list of axis extents.
+///
+/// A `Shape` is cheap to clone and compares structurally. Volume (the number
+/// of elements) is the product of the extents; the empty product is 1, but
+/// empty shapes are rejected by [`Shape::new`].
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_tensor::Shape;
+/// let s = Shape::d3(2, 3, 4);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.dims(), &[2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty. (Construction is infallible otherwise;
+    /// zero-length axes are allowed and give volume 0.)
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one axis");
+        Shape { dims }
+    }
+
+    /// 1-D shape of `n` elements.
+    pub fn d1(n: usize) -> Self {
+        Shape::new(vec![n])
+    }
+
+    /// 2-D shape `(rows, cols)`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// 3-D shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape::new(vec![a, b, c])
+    }
+
+    /// 4-D shape, conventionally `(batch, channels, height, width)`.
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape::new(vec![n, c, h, w])
+    }
+
+    /// Axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use gtopk_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != self.rank()` or any coordinate is out of
+    /// bounds (debug assertions).
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (i, (&x, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            debug_assert!(x < self.dims[i], "index {x} out of bounds on axis {i}");
+            off += x * s;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        assert_eq!(Shape::d1(7).volume(), 7);
+        assert_eq!(Shape::d2(3, 5).volume(), 15);
+        assert_eq!(Shape::d4(2, 3, 4, 5).volume(), 120);
+        assert_eq!(Shape::d4(2, 3, 4, 5).rank(), 4);
+    }
+
+    #[test]
+    fn zero_axis_gives_zero_volume() {
+        assert_eq!(Shape::d2(0, 5).volume(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one axis")]
+    fn empty_shape_panics() {
+        let _ = Shape::new(vec![]);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::d1(4).strides(), vec![1]);
+        assert_eq!(Shape::d2(2, 3).strides(), vec![3, 1]);
+        assert_eq!(Shape::d4(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::d3(2, 3, 4);
+        let mut seen = vec![false; s.volume()];
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    let off = s.offset(&[a, b, c]);
+                    assert!(!seen[off], "offset collision");
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::d3(2, 3, 4).to_string(), "(2x3x4)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Convergence comparison on the Cifar-10 stand-in: dense vs Top-k vs
+//! gTop-k S-SGD training a ResNet-style CNN on 4 simulated workers —
+//! the workload family of the paper's Fig. 5.
+//!
+//! Run: `cargo run --release -p gtopk-core --example cifar_convergence`
+
+use gtopk::{train_distributed, Algorithm, TrainConfig};
+use gtopk_data::PatternImages;
+use gtopk_nn::{models, Model};
+
+fn main() {
+    let data = PatternImages::cifar_like(42, 512);
+    let build = || models::resnet20_lite(3, 3, 10);
+    println!(
+        "model: ResNet-20-lite with {} parameters; dataset: 512 Cifar-like images",
+        build().num_params()
+    );
+
+    let base = TrainConfig::convergence(4, 8, 12, 0.05, 0.005);
+    let mut rows: Vec<(String, Vec<f64>, usize)> = Vec::new();
+    for alg in [Algorithm::Dense, Algorithm::TopK, Algorithm::GTopK] {
+        let cfg = base.clone().with_algorithm(alg);
+        let report = train_distributed(&cfg, build, &data, None);
+        rows.push((
+            report.algorithm.to_string(),
+            report.epochs.iter().map(|e| e.train_loss).collect(),
+            report.elems_sent_rank0,
+        ));
+    }
+
+    println!("\nepoch  {}", rows.iter().map(|r| format!("{:>12}", r.0)).collect::<String>());
+    let epochs = rows[0].1.len();
+    for e in 0..epochs {
+        print!("{e:5}");
+        for (_, losses, _) in &rows {
+            print!("  {:>10.4}", losses[e]);
+        }
+        println!();
+    }
+    println!("\ncommunication volume (elements sent by rank 0 over the whole run):");
+    for (name, _, elems) in &rows {
+        println!("  {name:>8}: {elems}");
+    }
+    println!("\nall three converge; the sparsified runs move orders of magnitude less data.");
+}

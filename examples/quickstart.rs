@@ -1,0 +1,49 @@
+//! Quickstart: train a small classifier with gTop-k S-SGD on a simulated
+//! 4-worker cluster and compare against dense S-SGD.
+//!
+//! Run: `cargo run --release -p gtopk-core --example quickstart`
+
+use gtopk::{train_distributed, Algorithm, TrainConfig};
+use gtopk_data::{Dataset, GaussianMixture, Subset};
+use gtopk_nn::models;
+
+fn main() {
+    // A deterministic synthetic classification task: 4 Gaussian blobs in
+    // 16 dimensions, split 512 train / 128 eval.
+    let corpus = GaussianMixture::new(7, 640, 16, 4, 2.5, 0.6);
+    let train = Subset::new(&corpus, 0, 512);
+    let eval = Subset::new(&corpus, 512, 128);
+    println!(
+        "dataset: {} train / {} eval items, {} classes",
+        train.len(),
+        eval.len(),
+        train.num_classes()
+    );
+
+    // Every worker builds a bit-identical replica from the same seed.
+    let build = || models::mlp(42, 16, 32, 4);
+
+    // 4 workers, batch 8 per worker, 10 epochs, the paper's warmup
+    // density schedule ending at rho = 0.01.
+    let base = TrainConfig::convergence(4, 8, 10, 0.1, 0.01);
+
+    for alg in [Algorithm::Dense, Algorithm::GTopK] {
+        let cfg = base.clone().with_algorithm(alg);
+        let report = train_distributed(&cfg, build, &train, Some(&eval));
+        println!("\n=== {} ===", report.algorithm);
+        for e in &report.epochs {
+            println!(
+                "epoch {:2}  density {:.4}  loss {:.4}  accuracy {:.3}",
+                e.epoch,
+                e.density,
+                e.train_loss,
+                e.eval_accuracy.unwrap_or(f64::NAN)
+            );
+        }
+        println!(
+            "rank-0 sent {} elements over the simulated network",
+            report.elems_sent_rank0
+        );
+    }
+    println!("\ngTop-k reaches dense-level accuracy while communicating far fewer elements.");
+}

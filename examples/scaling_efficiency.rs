@@ -1,0 +1,59 @@
+//! Scaling-efficiency projection for the paper's full-size DNN workloads
+//! on the simulated 1 GbE cluster — the machinery behind Fig. 10 and
+//! Table IV, exposed as a small planning tool: "how would my model scale
+//! on a low-bandwidth cluster under each aggregation algorithm?"
+//!
+//! Run: `cargo run --release -p gtopk-core --example scaling_efficiency`
+
+use gtopk_comm::CostModel;
+use gtopk_perfmodel::{
+    dense_allreduce_ms, gtopk_allreduce_ms, paper_models, scaling_efficiency,
+    topk_allreduce_ms, AggregationKind, IterationProfile,
+};
+
+fn main() {
+    let net = CostModel::gigabit_ethernet();
+    println!(
+        "network: 1 GbE (alpha = {} ms, beta = {} ms/element)\n",
+        net.alpha_ms, net.beta_ms_per_elem
+    );
+    for model in paper_models() {
+        println!(
+            "{} — m = {}, k = {} (rho = {}), compute {} ms/iter",
+            model.name,
+            model.params,
+            model.k(),
+            model.density,
+            model.compute_ms
+        );
+        println!("  {:>4}  {:>8}  {:>8}  {:>8}", "P", "Dense", "Top-k", "gTop-k");
+        for p in [4usize, 8, 16, 32, 64] {
+            let eff = |kind: AggregationKind| {
+                let comm = match kind {
+                    AggregationKind::Dense => dense_allreduce_ms(&net, p, model.params),
+                    AggregationKind::TopK => topk_allreduce_ms(&net, p, model.k()),
+                    AggregationKind::GTopK => gtopk_allreduce_ms(&net, p, model.k()),
+                };
+                let prof = IterationProfile {
+                    compute_ms: model.compute_ms,
+                    compression_ms: if kind == AggregationKind::Dense {
+                        0.0
+                    } else {
+                        model.sparsify_ms
+                    },
+                    communication_ms: comm,
+                };
+                100.0 * scaling_efficiency(&prof)
+            };
+            println!(
+                "  {:>4}  {:>7.1}%  {:>7.1}%  {:>7.1}%",
+                p,
+                eff(AggregationKind::Dense),
+                eff(AggregationKind::TopK),
+                eff(AggregationKind::GTopK)
+            );
+        }
+        println!();
+    }
+    println!("gTop-k's O(k log P) communication keeps efficiency nearly flat in P.");
+}

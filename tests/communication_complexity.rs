@@ -1,0 +1,140 @@
+//! Integration tests pinning the paper's communication-complexity claims
+//! (Table I) to the *measured* per-rank traffic of the executed
+//! algorithms, using the comm substrate's element counters.
+
+use gtopk::{Selector, 
+    gtopk_all_reduce, sparse_sum_recursive_doubling, Algorithm, DensitySchedule, LrSchedule,
+    TrainConfig,
+};
+use gtopk_comm::{collectives, Cluster, CostModel};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use gtopk_sparse::topk_sparse;
+
+/// Deterministic per-rank pseudo-gradient.
+fn grad(rank: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 11)
+                .wrapping_mul(rank as u64 + 5)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn rank0_elems_gtopk(p: usize, dim: usize, k: usize) -> usize {
+    let stats = Cluster::new(p, CostModel::zero()).run(move |comm| {
+        let local = topk_sparse(&grad(comm.rank(), dim), k);
+        gtopk_all_reduce(comm, local, k).unwrap();
+        comm.stats()
+    });
+    stats[0].elems_sent + stats[0].elems_received
+}
+
+fn rank0_elems_topk(p: usize, dim: usize, k: usize) -> usize {
+    let stats = Cluster::new(p, CostModel::zero()).run(move |comm| {
+        let local = topk_sparse(&grad(comm.rank(), dim), k);
+        sparse_sum_recursive_doubling(comm, local).unwrap();
+        comm.stats()
+    });
+    stats[0].elems_sent + stats[0].elems_received
+}
+
+fn rank0_elems_dense(p: usize, dim: usize) -> usize {
+    let stats = Cluster::new(p, CostModel::zero()).run(move |comm| {
+        let mut g = grad(comm.rank(), dim);
+        collectives::allreduce_ring(comm, &mut g).unwrap();
+        comm.stats()
+    });
+    stats[0].elems_sent + stats[0].elems_received
+}
+
+#[test]
+fn gtopk_traffic_grows_logarithmically_with_p() {
+    let (dim, k) = (8192usize, 32usize);
+    let t4 = rank0_elems_gtopk(4, dim, k);
+    let t16 = rank0_elems_gtopk(16, dim, k);
+    let t64 = rank0_elems_gtopk(64, dim, k);
+    // O(k log P): quadrupling P adds a constant amount, not a factor.
+    let d1 = t16 as f64 - t4 as f64;
+    let d2 = t64 as f64 - t16 as f64;
+    assert!(d1 > 0.0 && d2 > 0.0, "traffic grows with P: {t4} {t16} {t64}");
+    assert!(
+        d2 < 1.5 * d1,
+        "increments must be ~constant (log growth): {d1} then {d2}"
+    );
+    // And far below linear growth.
+    assert!((t64 as f64) < 4.0 * t4 as f64, "t64 {t64} vs t4 {t4}");
+}
+
+#[test]
+fn topk_traffic_grows_linearly_with_p() {
+    let (dim, k) = (8192usize, 32usize);
+    let t4 = rank0_elems_topk(4, dim, k);
+    let t16 = rank0_elems_topk(16, dim, k);
+    // O(kP): 4× the workers ≈ 4-5× the traffic (disjoint supports).
+    let ratio = t16 as f64 / t4 as f64;
+    assert!(
+        (3.0..8.0).contains(&ratio),
+        "expected ~linear growth, got ratio {ratio} ({t4} -> {t16})"
+    );
+}
+
+#[test]
+fn dense_traffic_is_independent_of_p_and_linear_in_m() {
+    let m = 4096usize;
+    let t4 = rank0_elems_dense(4, m);
+    let t16 = rank0_elems_dense(16, m);
+    // Ring allreduce: each rank sends and receives 2((P−1)/P)·m elements
+    // (reduce-scatter + allgather), i.e. 4m(P−1)/P counting both
+    // directions — essentially independent of P for large P.
+    for (p, t) in [(4usize, t4), (16, t16)] {
+        let expect = 4.0 * m as f64 * (p as f64 - 1.0) / p as f64;
+        let err = (t as f64 - expect).abs() / expect;
+        assert!(err < 0.05, "P={p}: {t} vs expected ~{expect}");
+    }
+}
+
+#[test]
+fn gtopk_vs_topk_vs_dense_ordering_at_scale() {
+    let (dim, k, p) = (100_000usize, 100usize, 32usize);
+    let g = rank0_elems_gtopk(p, dim, k);
+    let t = rank0_elems_topk(p, dim, k);
+    let d = rank0_elems_dense(p, dim);
+    assert!(g < t, "gTop-k {g} !< Top-k {t}");
+    assert!(t < d, "Top-k {t} !< Dense {d}");
+    // gTop-k must be at least an order of magnitude below dense here.
+    assert!(g * 10 < d, "gTop-k {g} vs dense {d}");
+}
+
+#[test]
+fn training_volume_matches_aggregation_volume() {
+    // The full trainer's per-rank traffic must be dominated by the
+    // aggregation algorithm's traffic (no hidden heavy collectives).
+    let data = GaussianMixture::new(21, 256, 16, 4, 2.0, 0.4);
+    let mk = |alg| TrainConfig {
+        workers: 8,
+        batch_per_worker: 4,
+        epochs: 1,
+        algorithm: alg,
+        lr: LrSchedule::constant(0.1),
+        momentum: 0.9,
+        density: DensitySchedule::constant(0.01),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 2,
+    };
+    let dense = gtopk::train_distributed(&mk(Algorithm::Dense), || models::mlp(3, 16, 64, 4), &data, None);
+    let gtopk_run =
+        gtopk::train_distributed(&mk(Algorithm::GTopK), || models::mlp(3, 16, 64, 4), &data, None);
+    assert!(
+        gtopk_run.elems_sent_rank0 * 10 < dense.elems_sent_rank0,
+        "gTop-k {} vs dense {}",
+        gtopk_run.elems_sent_rank0,
+        dense.elems_sent_rank0
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the paper's central empirical claim: gTop-k
+//! S-SGD converges like dense S-SGD (Figs. 1, 5–7), across model
+//! families, and the warmup density schedule behaves as described.
+
+use gtopk::{Selector, train_distributed, Algorithm, DensitySchedule, LrSchedule, TrainConfig, TrainReport};
+use gtopk_comm::CostModel;
+use gtopk_data::{Dataset, GaussianMixture, MarkovText, PatternImages};
+use gtopk_nn::{models, Sequential};
+
+fn cfg(alg: Algorithm, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
+    TrainConfig {
+        workers: 4,
+        batch_per_worker: 8,
+        epochs,
+        algorithm: alg,
+        lr: LrSchedule::constant(lr),
+        momentum: 0.9,
+        density: DensitySchedule::paper_warmup(rho),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 9,
+    }
+}
+
+fn run_pair(
+    build: impl Fn() -> Sequential + Send + Sync,
+    data: &dyn Dataset,
+    epochs: usize,
+    lr: f32,
+    rho: f64,
+) -> (TrainReport, TrainReport) {
+    let dense = train_distributed(&cfg(Algorithm::Dense, epochs, lr, rho), &build, data, None);
+    let gtopk = train_distributed(&cfg(Algorithm::GTopK, epochs, lr, rho), &build, data, None);
+    (dense, gtopk)
+}
+
+/// Relative final-loss parity: gTop-k within `tol` of the dense drop.
+fn assert_parity(dense: &TrainReport, gtopk: &TrainReport, tol: f64) {
+    let d0 = dense.epochs[0].train_loss;
+    let (df, gf) = (dense.final_loss(), gtopk.final_loss());
+    let dense_drop = d0 - df;
+    assert!(dense_drop > 0.0, "dense must make progress");
+    let gtopk_drop = gtopk.epochs[0].train_loss - gf;
+    assert!(
+        gtopk_drop > (1.0 - tol) * dense_drop,
+        "gTop-k drop {gtopk_drop:.4} vs dense drop {dense_drop:.4} (tol {tol})"
+    );
+}
+
+#[test]
+fn mlp_parity_on_mixture() {
+    let data = GaussianMixture::new(31, 256, 12, 4, 2.5, 0.5);
+    let (dense, gtopk) = run_pair(|| models::mlp(1, 12, 24, 4), &data, 8, 0.1, 0.01);
+    assert_parity(&dense, &gtopk, 0.25);
+}
+
+#[test]
+fn cnn_parity_on_images() {
+    let data = PatternImages::new(32, 256, 3, 8, 6, 0.4);
+    let (dense, gtopk) = run_pair(|| models::vgg_lite(2, 3, 8, 6), &data, 10, 0.03, 0.005);
+    assert_parity(&dense, &gtopk, 0.3);
+}
+
+#[test]
+fn residual_cnn_parity_on_images() {
+    let data = PatternImages::new(33, 256, 3, 8, 6, 0.4);
+    let (dense, gtopk) = run_pair(|| models::resnet20_lite(3, 3, 6), &data, 10, 0.05, 0.005);
+    assert_parity(&dense, &gtopk, 0.3);
+}
+
+#[test]
+fn lstm_parity_on_text() {
+    let data = MarkovText::new(34, 192, 10, 8);
+    // Sparse LSTM training needs a few more epochs to match the dense
+    // trajectory (the paper's Fig. 7 shows the same early lag closing).
+    let (dense, gtopk) = run_pair(|| models::lstm_lm(4, 10, 10, 20), &data, 14, 0.5, 0.05);
+    assert_parity(&dense, &gtopk, 0.4);
+    assert!(gtopk.final_loss() < data.uniform_loss() as f64);
+}
+
+#[test]
+fn error_feedback_is_essential() {
+    // Ablation: the residual put-back is what makes extreme sparsity
+    // work. Train gTop-k at a very low density — with the residual
+    // machinery it must still make clear progress.
+    let data = GaussianMixture::new(35, 256, 16, 4, 2.5, 0.4);
+    let mut c = cfg(Algorithm::GTopK, 10, 0.1, 0.002);
+    c.density = DensitySchedule::constant(0.002); // k = max(1, ~2) of ~1k params
+    let report = train_distributed(&c, || models::mlp(5, 16, 32, 4), &data, None);
+    let drop = report.epochs[0].train_loss - report.final_loss();
+    assert!(
+        drop > 0.3 * report.epochs[0].train_loss,
+        "extreme sparsity with error feedback must still learn (drop {drop:.4})"
+    );
+}
+
+#[test]
+fn feedback_extension_at_least_matches_plain_gtopk() {
+    let data = PatternImages::new(36, 256, 3, 8, 6, 0.4);
+    let build = || models::vgg_lite(6, 3, 8, 6);
+    let plain = train_distributed(&cfg(Algorithm::GTopK, 8, 0.03, 0.005), build, &data, None);
+    let fb = train_distributed(
+        &cfg(Algorithm::GTopKFeedback, 8, 0.03, 0.005),
+        build,
+        &data,
+        None,
+    );
+    // Both converge; the feedback variant must not be materially worse.
+    let p_drop = plain.epochs[0].train_loss - plain.final_loss();
+    let f_drop = fb.epochs[0].train_loss - fb.final_loss();
+    assert!(f_drop > 0.8 * p_drop, "feedback drop {f_drop} vs plain {p_drop}");
+}
+
+#[test]
+fn naive_and_tree_gtopk_converge_similarly() {
+    let data = GaussianMixture::new(37, 256, 12, 4, 2.5, 0.5);
+    let build = || models::mlp(7, 12, 24, 4);
+    let tree = train_distributed(&cfg(Algorithm::GTopK, 8, 0.1, 0.01), build, &data, None);
+    let naive = train_distributed(&cfg(Algorithm::NaiveGTopK, 8, 0.1, 0.01), build, &data, None);
+    let t_drop = tree.epochs[0].train_loss - tree.final_loss();
+    let n_drop = naive.epochs[0].train_loss - naive.final_loss();
+    assert!(
+        (t_drop - n_drop).abs() < 0.3 * n_drop.max(t_drop),
+        "tree {t_drop:.4} vs naive {n_drop:.4}"
+    );
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration tests: full distributed training runs across
+//! model families, datasets, aggregation algorithms and cluster sizes.
+
+use gtopk::{Selector, train_distributed, Algorithm, DensitySchedule, LrSchedule, TrainConfig};
+use gtopk_comm::CostModel;
+use gtopk_data::{GaussianMixture, MarkovText, PatternImages, Subset};
+use gtopk_nn::models;
+
+fn cfg(alg: Algorithm, workers: usize, batch: usize, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
+    TrainConfig {
+        workers,
+        batch_per_worker: batch,
+        epochs,
+        algorithm: alg,
+        lr: LrSchedule::constant(lr),
+        momentum: 0.9,
+        density: DensitySchedule::constant(rho),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 3,
+    }
+}
+
+#[test]
+fn cnn_on_images_all_algorithms() {
+    let data = PatternImages::new(1, 128, 3, 8, 4, 0.3);
+    for alg in [Algorithm::Dense, Algorithm::TopK, Algorithm::GTopK] {
+        let report = train_distributed(
+            &cfg(alg, 4, 4, 2, 0.05, 0.01),
+            || models::vgg_lite(5, 3, 8, 4),
+            &data,
+            None,
+        );
+        assert!(
+            report.final_loss() < report.epochs[0].train_loss,
+            "{}: no progress",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn residual_cnn_trains_with_gtopk() {
+    let data = PatternImages::new(2, 128, 3, 8, 4, 0.3);
+    let report = train_distributed(
+        &cfg(Algorithm::GTopK, 4, 4, 3, 0.05, 0.01),
+        || models::resnet20_lite(6, 3, 4),
+        &data,
+        None,
+    );
+    assert!(report.final_loss() < report.epochs[0].train_loss);
+}
+
+#[test]
+fn lstm_lm_trains_distributed_and_beats_uniform() {
+    let vocab = 8;
+    let data = MarkovText::new(3, 128, vocab, 8);
+    let report = train_distributed(
+        &cfg(Algorithm::GTopK, 4, 4, 6, 0.5, 0.02),
+        || models::lstm_lm(7, vocab, 8, 16),
+        &data,
+        None,
+    );
+    assert!(
+        report.final_loss() < data.uniform_loss() as f64,
+        "loss {} must beat ln({vocab}) = {}",
+        report.final_loss(),
+        data.uniform_loss()
+    );
+}
+
+#[test]
+fn works_on_non_power_of_two_clusters() {
+    // The paper assumes P = 2^x; our generalization must train correctly
+    // on P = 3, 5, 6 too (fold-in/fold-out paths).
+    let data = GaussianMixture::new(4, 240, 8, 4, 2.0, 0.4);
+    for p in [3usize, 5, 6] {
+        for alg in [Algorithm::GTopK, Algorithm::TopK] {
+            let report = train_distributed(
+                &cfg(alg, p, 4, 2, 0.1, 0.05),
+                || models::mlp(9, 8, 16, 4),
+                &data,
+                None,
+            );
+            assert!(
+                report.final_loss() < report.epochs[0].train_loss,
+                "{} P={p}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_worker_degenerates_to_sequential_sgd() {
+    let data = GaussianMixture::new(5, 64, 6, 3, 2.0, 0.3);
+    let report = train_distributed(
+        &cfg(Algorithm::GTopK, 1, 8, 3, 0.1, 0.1),
+        || models::mlp(10, 6, 12, 3),
+        &data,
+        None,
+    );
+    assert_eq!(report.workers, 1);
+    assert!(report.final_loss() < report.epochs[0].train_loss);
+}
+
+#[test]
+fn evaluation_accuracy_is_reported_per_epoch() {
+    let corpus = GaussianMixture::new(6, 320, 8, 4, 3.0, 0.3);
+    let train = Subset::new(&corpus, 0, 256);
+    let eval = Subset::new(&corpus, 256, 64);
+    let report = train_distributed(
+        &cfg(Algorithm::GTopK, 4, 8, 4, 0.2, 0.05),
+        || models::mlp(11, 8, 16, 4),
+        &train,
+        Some(&eval),
+    );
+    assert_eq!(report.epochs.len(), 4);
+    for e in &report.epochs {
+        let acc = e.eval_accuracy.expect("accuracy recorded each epoch");
+        assert!((0.0..=1.0).contains(&acc));
+    }
+    assert!(report.final_accuracy().unwrap() > 0.5);
+}
+
+#[test]
+fn warmup_schedule_is_applied_epoch_by_epoch() {
+    let data = GaussianMixture::new(7, 128, 6, 3, 2.0, 0.4);
+    let mut c = cfg(Algorithm::GTopK, 2, 4, 6, 0.1, 0.001);
+    c.density = DensitySchedule::paper_warmup(0.001);
+    let report = train_distributed(&c, || models::mlp(12, 6, 12, 3), &data, None);
+    let densities: Vec<f64> = report.epochs.iter().map(|e| e.density).collect();
+    assert_eq!(densities, vec![0.25, 0.0725, 0.015, 0.004, 0.001, 0.001]);
+}
+
+#[test]
+fn deterministic_given_identical_config() {
+    let data = PatternImages::new(8, 96, 3, 8, 3, 0.3);
+    let run = || {
+        train_distributed(
+            &cfg(Algorithm::GTopK, 4, 4, 2, 0.05, 0.02),
+            || models::vgg_lite(13, 3, 8, 3),
+            &data,
+            None,
+        )
+    };
+    let a = run();
+    let b = run();
+    for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+        assert_eq!(ea.train_loss, eb.train_loss, "bit-identical reruns expected");
+    }
+}
+
+#[test]
+fn simulated_time_orders_algorithms_correctly() {
+    // On the 1 GbE model with a large-ish MLP, dense pays for the full
+    // gradient; sparse algorithms must finish sooner in simulated time.
+    let data = GaussianMixture::new(9, 128, 32, 4, 2.0, 0.4);
+    let time = |alg: Algorithm| {
+        let mut c = cfg(alg, 8, 4, 1, 0.1, 0.001);
+        c.cost_model = CostModel::gigabit_ethernet();
+        train_distributed(&c, || models::mlp(14, 32, 256, 4), &data, None).sim_time_ms
+    };
+    let dense = time(Algorithm::Dense);
+    let gtopk = time(Algorithm::GTopK);
+    assert!(gtopk < dense, "gTop-k {gtopk} !< dense {dense}");
+}

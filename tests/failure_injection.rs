@@ -1,0 +1,123 @@
+//! Failure-injection tests: worker loss must surface as explicit
+//! [`gtopk_comm::CommError::Disconnected`] errors (an MPI-abort-style
+//! model), never as silent hangs or corrupted aggregates.
+
+use gtopk::{gtopk_all_reduce, ps_gtopk_all_reduce};
+use gtopk_comm::{collectives, Cluster, CommError, CostModel, Payload};
+use gtopk_sparse::SparseVec;
+
+#[test]
+fn recv_from_dead_peer_errors_instead_of_hanging() {
+    let out = Cluster::new(2, CostModel::zero()).run(|comm| {
+        if comm.rank() == 1 {
+            // Rank 1 dies immediately (returns without participating).
+            return None;
+        }
+        Some(comm.recv(1, 0).err())
+    });
+    match &out[0] {
+        Some(Some(CommError::Disconnected { peer: 1 })) => {}
+        other => panic!("expected Disconnected from peer 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn send_to_dead_peer_errors_once_channel_closes() {
+    // The transport is buffered, so the *first* send may succeed even if
+    // the peer is gone; a send after observing the closed channel fails.
+    let out = Cluster::new(3, CostModel::zero()).run(|comm| {
+        match comm.rank() {
+            2 => None, // dies
+            0 => {
+                // Wait for rank 2's death to become observable.
+                let recv_err = comm.recv(2, 9).expect_err("no message ever sent");
+                let send_err = comm.send(2, 9, Payload::Control).expect_err("channel closed");
+                Some((recv_err, send_err))
+            }
+            _ => None,
+        }
+    });
+    let (recv_err, send_err) = out[0].clone().expect("rank 0 observed errors");
+    assert_eq!(recv_err, CommError::Disconnected { peer: 2 });
+    assert_eq!(send_err, CommError::Disconnected { peer: 2 });
+}
+
+#[test]
+fn gtopk_all_reduce_fails_cleanly_when_a_worker_dies() {
+    // With rank 3 absent, some rank's tree receive must observe the
+    // disconnect; no rank may hang or return a bogus aggregate as Ok.
+    let out = Cluster::new(4, CostModel::zero()).run(|comm| {
+        if comm.rank() == 3 {
+            return (comm.rank(), None);
+        }
+        let local = SparseVec::from_pairs(16, vec![(comm.rank() as u32, 1.0)]);
+        (comm.rank(), Some(gtopk_all_reduce(comm, local, 2)))
+    });
+    // Rank 1 (rank 3's tree partner at mask 2... structure-dependent):
+    // at least one surviving rank must report Disconnected.
+    let errors: Vec<usize> = out
+        .iter()
+        .filter_map(|(r, res)| match res {
+            Some(Err(CommError::Disconnected { .. })) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !errors.is_empty(),
+        "some rank must observe the dead worker: {out:?}"
+    );
+}
+
+#[test]
+fn ps_server_death_is_observed_by_all_workers() {
+    let out = Cluster::new(4, CostModel::zero()).run(|comm| {
+        if comm.rank() == 0 {
+            return None; // the server dies
+        }
+        let local = SparseVec::from_pairs(8, vec![(comm.rank() as u32, 1.0)]);
+        Some(ps_gtopk_all_reduce(comm, local, 2))
+    });
+    for (r, res) in out.iter().enumerate().skip(1) {
+        match res {
+            Some(Err(CommError::Disconnected { peer: 0 })) => {}
+            other => panic!("rank {r}: expected Disconnected from server, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn collective_after_partial_failure_reports_error() {
+    // A dense allreduce with a dead member: every survivor must
+    // eventually error (ring dependencies propagate the failure).
+    let out = Cluster::new(4, CostModel::zero()).run(|comm| {
+        if comm.rank() == 2 {
+            return None;
+        }
+        let mut v = vec![comm.rank() as f32; 8];
+        Some(collectives::allreduce_ring(comm, &mut v))
+    });
+    let failed = out
+        .iter()
+        .enumerate()
+        .filter(|(r, res)| *r != 2 && matches!(res, Some(Err(_))))
+        .count();
+    assert!(failed >= 1, "ring must break when a member dies: {out:?}");
+}
+
+#[test]
+fn errors_are_values_not_panics() {
+    // The substrate's failure model is Result-based: a rank can observe
+    // an error, handle it, and still produce a value (here: a fallback).
+    let out = Cluster::new(2, CostModel::zero()).run(|comm| {
+        if comm.rank() == 1 {
+            return "dead".to_string();
+        }
+        match comm.recv(1, 0) {
+            Ok(_) => "unexpected".to_string(),
+            Err(CommError::Disconnected { .. }) => "recovered".to_string(),
+            Err(e) => format!("other: {e}"),
+        }
+    });
+    assert_eq!(out[0], "recovered");
+    assert_eq!(out[1], "dead");
+}

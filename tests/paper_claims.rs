@@ -1,0 +1,143 @@
+//! One test per headline claim of the paper — the reproduction's
+//! executive summary, pinned as executable assertions.
+
+use gtopk::{train_distributed, Algorithm, DensitySchedule, LrSchedule, Selector, TrainConfig};
+use gtopk_comm::{Cluster, CostModel};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use gtopk_perfmodel::{dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms};
+use gtopk_sparse::topk_sparse;
+
+/// Abstract: "gTopKAllReduce reduces the communication complexity from
+/// O(kP) to O(k log P)" — at the paper's own operating point the
+/// analytic times order Dense ≫ TopK > gTopK.
+#[test]
+fn claim_complexity_reduction_at_paper_scale() {
+    let net = CostModel::gigabit_ethernet();
+    let (m, k, p) = (25_000_000usize, 25_000usize, 32usize);
+    let dense = dense_allreduce_ms(&net, p, m);
+    let topk = topk_allreduce_ms(&net, p, k);
+    let gtopk = gtopk_allreduce_ms(&net, p, k);
+    assert!(dense > 20.0 * topk, "dense {dense} vs topk {topk}");
+    assert!(topk > 2.0 * gtopk, "topk {topk} vs gtopk {gtopk}");
+}
+
+/// §IV-C / Fig. 9: the TopK→gTopK crossover falls between P = 4 and
+/// P = 16 at the paper's density, measured on executed algorithms.
+#[test]
+fn claim_crossover_between_4_and_16_workers() {
+    // The crossover is a bandwidth-regime phenomenon, so this runs at the
+    // paper's own operating point: k = 25 000 (ρ = 0.001 of a 25M-param
+    // model, here over a 2M-dim buffer for tractability) with disjoint
+    // per-worker supports (the worst case Eq. 6 models; see the
+    // ext_support_overlap diagnostic for why that is also the common
+    // case).
+    let net = CostModel::gigabit_ethernet();
+    let dim = 2_000_000usize;
+    let k = 25_000usize;
+    let measure = |p: usize, tree: bool| {
+        Cluster::new(p, net)
+            .run(move |comm| {
+                let mut g = vec![0.0f32; dim];
+                // Heavy support disjoint across ranks (stride 32 covers
+                // both P = 4 and P = 16).
+                let mut placed = 0usize;
+                let mut i = comm.rank();
+                while placed < k {
+                    g[i] = 100.0 + (i % 7) as f32;
+                    i += 32;
+                    placed += 1;
+                }
+                let local = topk_sparse(&g, k);
+                if tree {
+                    gtopk::gtopk_all_reduce(comm, local, k).unwrap();
+                } else {
+                    gtopk::sparse_sum_recursive_doubling(comm, local).unwrap();
+                }
+                comm.now_ms()
+            })
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    // At P = 4, TopK is not (much) slower — it can even be faster.
+    assert!(measure(4, false) < 1.5 * measure(4, true));
+    // At P = 16, gTopK clearly wins.
+    assert!(measure(16, false) > 1.2 * measure(16, true));
+}
+
+/// §IV-B: "gTop-k S-SGD has nearly consistent convergence performance
+/// with S-SGD" — trained end-to-end on the simulated cluster.
+#[test]
+fn claim_convergence_parity_with_dense() {
+    let data = GaussianMixture::new(51, 256, 12, 4, 2.5, 0.5);
+    let cfg = |alg| TrainConfig {
+        workers: 4,
+        batch_per_worker: 8,
+        epochs: 8,
+        algorithm: alg,
+        lr: LrSchedule::constant(0.1),
+        momentum: 0.9,
+        density: DensitySchedule::paper_warmup(0.01),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 4,
+    };
+    let build = || models::mlp(61, 12, 24, 4);
+    let dense = train_distributed(&cfg(Algorithm::Dense), build, &data, None);
+    let gtopk = train_distributed(&cfg(Algorithm::GTopK), build, &data, None);
+    let dense_drop = dense.epochs[0].train_loss - dense.final_loss();
+    let gtopk_drop = gtopk.epochs[0].train_loss - gtopk.final_loss();
+    assert!(
+        gtopk_drop > 0.75 * dense_drop,
+        "gTop-k {gtopk_drop:.4} vs dense {dense_drop:.4}"
+    );
+}
+
+/// Abstract: "higher scaling efficiency than S-SGD with dense gradients"
+/// — simulated end-to-end iteration time on the 1 GbE model must favour
+/// gTop-k, and the advantage must grow with P.
+#[test]
+fn claim_speedup_grows_with_workers() {
+    let data = GaussianMixture::new(52, 512, 32, 4, 2.0, 0.4);
+    let time = |alg, p: usize| {
+        let cfg = TrainConfig {
+            workers: p,
+            batch_per_worker: 4,
+            epochs: 1,
+            algorithm: alg,
+            lr: LrSchedule::constant(0.1),
+            momentum: 0.9,
+            density: DensitySchedule::constant(0.002),
+            cost_model: CostModel::gigabit_ethernet(),
+            compute_cost: None,
+            selector: Selector::Exact,
+            momentum_correction: false,
+            clip_norm: None,
+            data_seed: 5,
+        };
+        train_distributed(&cfg, || models::mlp(63, 32, 256, 4), &data, None).sim_time_ms
+    };
+    let speedup4 = time(Algorithm::Dense, 4) / time(Algorithm::GTopK, 4);
+    let speedup8 = time(Algorithm::Dense, 8) / time(Algorithm::GTopK, 8);
+    assert!(speedup4 > 1.0, "gTop-k must beat dense at P=4: {speedup4}");
+    assert!(
+        speedup8 > speedup4,
+        "advantage must grow with P: {speedup4} -> {speedup8}"
+    );
+}
+
+/// Table I note: the sparse wire format is 2k four-byte words per
+/// k-sparse gradient — the constant behind every formula.
+#[test]
+fn claim_wire_format_is_2k_words() {
+    let k = 123usize;
+    let v = gtopk_sparse::SparseVec::from_pairs(
+        10_000,
+        (0..k as u32).map(|i| (i * 37, 1.0)).collect(),
+    );
+    let bytes = gtopk_sparse::wire::encode(&v);
+    assert_eq!(bytes.len() - gtopk_sparse::wire::HEADER_BYTES, 2 * k * 4);
+}
