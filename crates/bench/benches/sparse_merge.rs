@@ -3,7 +3,7 @@
 //! item 3 (sparse merge as a primitive).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gtopk_sparse::{topk_merge, topk_sparse, SparseVec};
+use gtopk_sparse::{topk_merge, topk_merge_into, topk_sparse, MergeScratch, SparseVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -28,6 +28,16 @@ fn bench_merge(c: &mut Criterion) {
         let b = sparse_input(dim, k, 2);
         group.bench_with_input(BenchmarkId::new("sparse_operator", k), &k, |bch, &k| {
             bch.iter(|| black_box(topk_merge(black_box(&a), black_box(&b), k)))
+        });
+        // In-place two-pointer merge into reused buffers — the
+        // zero-allocation path every tree-reduce round now takes.
+        let mut scratch = MergeScratch::new();
+        let mut out = SparseVec::empty(dim);
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", k), &k, |bch, &k| {
+            bch.iter(|| {
+                topk_merge_into(black_box(&a), black_box(&b), k, &mut scratch, &mut out);
+                black_box(&out);
+            })
         });
         // The dense path is what a naive implementation would do: a full
         // m-sized buffer per merge. Only run at the smallest k to keep

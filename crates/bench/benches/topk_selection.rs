@@ -3,7 +3,8 @@
 //! highlights as a real overhead) — ablation for DESIGN.md §5 item 6.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gtopk_sparse::{sampled_topk_sparse, topk_sparse};
+use gtopk_sparse::{sampled_topk_sparse, topk_sparse, topk_sparse_into, SparseVec, TopkScratch};
+use gtopk_tensor::parallel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -25,6 +26,34 @@ fn bench_selection(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(11);
             b.iter(|| black_box(sampled_topk_sparse(black_box(d), k, 512, &mut rng)))
         });
+        // The zero-allocation path, serial vs parallel: same quickselect,
+        // reused scratch, and (for threads > 1) per-chunk candidate
+        // selection with a final select over <= threads*k candidates.
+        for threads in [1usize, 2, 4] {
+            let mut scratch = TopkScratch::new();
+            let mut out = SparseVec::empty(m);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    if threads == 1 {
+                        "scratch_serial"
+                    } else if threads == 2 {
+                        "scratch_2threads"
+                    } else {
+                        "scratch_4threads"
+                    },
+                    m,
+                ),
+                &dense,
+                |b, d| {
+                    b.iter(|| {
+                        parallel::with_thread_limit(threads, || {
+                            topk_sparse_into(black_box(d), k, &mut scratch, &mut out);
+                        });
+                        black_box(&out);
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

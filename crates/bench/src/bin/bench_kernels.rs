@@ -1,0 +1,248 @@
+//! Hot-path kernel throughput at paper scale → `BENCH_kernels.json`.
+//!
+//! Measures elements/sec for the three kernels the trainer spends its
+//! compute budget on — top-k selection, sparse top-k merge, and matmul —
+//! at VGG-16 scale (~14M parameters, ρ = 0.001 → k = 14 000), comparing:
+//!
+//! * the zero-allocation scratch-reuse paths against the allocating ones;
+//! * the blocked/row-parallel matmul against the naive i-k-j loop;
+//! * thread counts 1/2/4 via the `crate::parallel` runtime (on a
+//!   single-core CI machine the thread rows document oversubscription
+//!   rather than speedup — `cpus` in the JSON records what was available).
+//!
+//! Run with `cargo run --release -p gtopk-bench --bin bench_kernels`;
+//! the JSON lands in the repository root so future PRs have a perf
+//! trajectory to compare against.
+
+use gtopk_sparse::{
+    topk_merge, topk_merge_into, topk_sparse, topk_sparse_into, MergeScratch, SparseVec,
+    TopkScratch,
+};
+use gtopk_tensor::{matmul_flat, parallel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// VGG-16 has ~14.7M convolutional + fc parameters; ρ = 0.001.
+const N: usize = 14_000_000;
+const K: usize = 14_000;
+const THREADS: &[usize] = &[1, 2, 4];
+
+struct Row {
+    kernel: &'static str,
+    variant: &'static str,
+    threads: usize,
+    elements: usize,
+    secs: f64,
+}
+
+impl Row {
+    fn elements_per_sec(&self) -> f64 {
+        self.elements as f64 / self.secs
+    }
+}
+
+/// Median-of-`runs` wall time for `f`, after one warm-up call.
+fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// The pre-optimization matmul: plain scalar i-k-j, no blocking, no
+/// threads. Kept here as the ablation baseline.
+fn naive_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn bench_select(rows: &mut Vec<Row>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dense: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    rows.push(Row {
+        kernel: "topk_select",
+        variant: "alloc_per_call",
+        threads: 1,
+        elements: N,
+        secs: parallel::with_thread_limit(1, || {
+            time_median(5, || {
+                black_box(topk_sparse(black_box(&dense), K));
+            })
+        }),
+    });
+    for &t in THREADS {
+        let mut scratch = TopkScratch::new();
+        let mut out = SparseVec::empty(N);
+        rows.push(Row {
+            kernel: "topk_select",
+            variant: "scratch_reuse",
+            threads: t,
+            elements: N,
+            secs: parallel::with_thread_limit(t, || {
+                time_median(5, || {
+                    topk_sparse_into(black_box(&dense), K, &mut scratch, &mut out);
+                    black_box(&out);
+                })
+            }),
+        });
+    }
+}
+
+fn bench_merge(rows: &mut Vec<Row>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mk_sparse = |rng: &mut StdRng| {
+        let dense: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        topk_sparse(&dense, K)
+    };
+    let a = mk_sparse(&mut rng);
+    let b = mk_sparse(&mut rng);
+
+    // The merge operator touches 2k = 28 000 entries; loop it so each
+    // timing sample is well above clock resolution.
+    const REPS: usize = 200;
+    rows.push(Row {
+        kernel: "topk_merge",
+        variant: "alloc_per_call",
+        threads: 1,
+        elements: 2 * K * REPS,
+        secs: time_median(5, || {
+            for _ in 0..REPS {
+                black_box(topk_merge(black_box(&a), black_box(&b), K));
+            }
+        }),
+    });
+    let mut scratch = MergeScratch::new();
+    let mut out = SparseVec::empty(N);
+    rows.push(Row {
+        kernel: "topk_merge",
+        variant: "scratch_reuse",
+        threads: 1,
+        elements: 2 * K * REPS,
+        secs: time_median(5, || {
+            for _ in 0..REPS {
+                topk_merge_into(black_box(&a), black_box(&b), K, &mut scratch, &mut out);
+                black_box(&out);
+            }
+        }),
+    });
+}
+
+fn bench_matmul(rows: &mut Vec<Row>) {
+    // A VGG-style fully-connected shape: 256-sample batch × 512 × 512.
+    let (m, k, n) = (256usize, 512usize, 512usize);
+    let mut rng = StdRng::seed_from_u64(13);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut c = vec![0.0f32; m * n];
+    let flops = m * k * n;
+
+    rows.push(Row {
+        kernel: "matmul",
+        variant: "naive_ikj",
+        threads: 1,
+        elements: flops,
+        secs: time_median(5, || {
+            naive_matmul(black_box(&a), black_box(&b), &mut c, m, k, n);
+            black_box(&c);
+        }),
+    });
+    for &t in THREADS {
+        rows.push(Row {
+            kernel: "matmul",
+            variant: "blocked_parallel",
+            threads: t,
+            elements: flops,
+            secs: parallel::with_thread_limit(t, || {
+                time_median(5, || {
+                    matmul_flat(black_box(&a), black_box(&b), &mut c, m, k, n);
+                    black_box(&c);
+                })
+            }),
+        });
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    // Baseline for each kernel: its single-thread allocating / naive row.
+    let baseline = |kernel: &str| -> f64 {
+        rows.iter()
+            .find(|r| {
+                r.kernel == kernel
+                    && r.threads == 1
+                    && r.variant != "scratch_reuse"
+                    && r.variant != "blocked_parallel"
+            })
+            .map(|r| r.secs / r.elements as f64)
+            .expect("every kernel has a baseline row")
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"bench\": \"hot-path kernels at VGG-16 scale (n=14M, k=14000, rho=0.001)\","
+    );
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = writeln!(out, "  \"cpus\": {cpus},");
+    if cpus < 4 {
+        let _ = writeln!(
+            out,
+            "  \"note\": \"measured on a {cpus}-cpu machine: rows with threads > {cpus} document oversubscription overhead, not speedup; rerun on a multi-core host for the threading trajectory\","
+        );
+    }
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = baseline(r.kernel) / (r.secs / r.elements as f64);
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"millis\": {:.3}, \"elements_per_sec\": {:.0}, \"speedup_vs_baseline\": {:.2}}}{}",
+            r.kernel,
+            r.variant,
+            r.threads,
+            r.secs * 1e3,
+            r.elements_per_sec(),
+            speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    eprintln!("benchmarking top-k selection (n = {N}, k = {K}) ...");
+    bench_select(&mut rows);
+    eprintln!("benchmarking top-k merge ...");
+    bench_merge(&mut rows);
+    eprintln!("benchmarking matmul ...");
+    bench_matmul(&mut rows);
+
+    let json = render_json(&rows);
+    print!("{json}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {}", path.display());
+}

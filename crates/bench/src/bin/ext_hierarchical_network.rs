@@ -78,7 +78,12 @@ fn main() {
         &format!(
             "Extension — hierarchical network, P = {p} (4 racks x {rack}), m = {dim}, k = {k}"
         ),
-        &["algorithm", "flat 1GbE ms", "racked 10GbE/1GbE ms", "improvement"],
+        &[
+            "algorithm",
+            "flat 1GbE ms",
+            "racked 10GbE/1GbE ms",
+            "improvement",
+        ],
     );
     for algo in ["dense", "topk", "gtopk"] {
         let t_flat = run(&flat, algo);

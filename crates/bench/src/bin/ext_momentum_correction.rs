@@ -30,7 +30,10 @@ fn main() {
     .map(|(label, correction)| {
         let mut cfg = base.clone();
         cfg.momentum_correction = correction;
-        (label.to_string(), train_distributed(&cfg, build, &data, None))
+        (
+            label.to_string(),
+            train_distributed(&cfg, build, &data, None),
+        )
     })
     .collect();
 

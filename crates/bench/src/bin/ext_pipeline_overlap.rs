@@ -23,22 +23,22 @@ use gtopk_comm::CostModel;
 fn vgg16_layers() -> Vec<LayerCost> {
     // (params, relative work) in backward order.
     let profile: [(usize, f64); 16] = [
-        (512 * 10 + 10, 0.2),          // fc3
-        (512 * 512 + 512, 1.0),        // fc2
-        (512 * 512 + 512, 1.0),        // fc1
-        (512 * 512 * 9 + 512, 4.0),    // conv5_3
-        (512 * 512 * 9 + 512, 4.0),    // conv5_2
-        (512 * 512 * 9 + 512, 4.0),    // conv5_1
-        (512 * 512 * 9 + 512, 8.0),    // conv4_3
-        (512 * 512 * 9 + 512, 8.0),    // conv4_2
-        (256 * 512 * 9 + 512, 6.0),    // conv4_1
-        (256 * 256 * 9 + 256, 10.0),   // conv3_3
-        (256 * 256 * 9 + 256, 10.0),   // conv3_2
-        (128 * 256 * 9 + 256, 8.0),    // conv3_1
-        (128 * 128 * 9 + 128, 12.0),   // conv2_2
-        (64 * 128 * 9 + 128, 10.0),    // conv2_1
-        (64 * 64 * 9 + 64, 14.0),      // conv1_2
-        (3 * 64 * 9 + 64, 6.0),        // conv1_1
+        (512 * 10 + 10, 0.2),        // fc3
+        (512 * 512 + 512, 1.0),      // fc2
+        (512 * 512 + 512, 1.0),      // fc1
+        (512 * 512 * 9 + 512, 4.0),  // conv5_3
+        (512 * 512 * 9 + 512, 4.0),  // conv5_2
+        (512 * 512 * 9 + 512, 4.0),  // conv5_1
+        (512 * 512 * 9 + 512, 8.0),  // conv4_3
+        (512 * 512 * 9 + 512, 8.0),  // conv4_2
+        (256 * 512 * 9 + 512, 6.0),  // conv4_1
+        (256 * 256 * 9 + 256, 10.0), // conv3_3
+        (256 * 256 * 9 + 256, 10.0), // conv3_2
+        (128 * 256 * 9 + 256, 8.0),  // conv3_1
+        (128 * 128 * 9 + 128, 12.0), // conv2_2
+        (64 * 128 * 9 + 128, 10.0),  // conv2_1
+        (64 * 64 * 9 + 64, 14.0),    // conv1_2
+        (3 * 64 * 9 + 64, 6.0),      // conv1_1
     ];
     let total_work: f64 = profile.iter().map(|&(_, w)| w).sum();
     let compute_budget_ms = 475.0; // paper-derived VGG-16 t_f + t_b
@@ -63,7 +63,15 @@ fn main() {
 
     let mut table = Table::new(
         "Extension — layer-wise gTop-k overlap, VGG-16 profile (1 GbE)",
-        &["P", "serial ms", "per-layer ms", "fused x8 ms", "fused x4 ms", "fused x2 ms", "best speedup"],
+        &[
+            "P",
+            "serial ms",
+            "per-layer ms",
+            "fused x8 ms",
+            "fused x4 ms",
+            "fused x2 ms",
+            "best speedup",
+        ],
     );
     for p in [4usize, 8, 16, 32, 64] {
         let per_layer = simulate_layerwise(&layers, &net, p, rho);

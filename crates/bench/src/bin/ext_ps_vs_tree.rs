@@ -32,7 +32,14 @@ fn main() {
     let k = 1_000usize; // rho = 0.001
     let mut table = Table::new(
         "Extension — PS-star vs tree gTopKAllReduce (m = 1e6, k = 1000, 1 GbE)",
-        &["P", "PS ms", "tree ms", "tree speedup", "PS server elems", "tree rank-0 elems"],
+        &[
+            "P",
+            "PS ms",
+            "tree ms",
+            "tree speedup",
+            "PS server elems",
+            "tree rank-0 elems",
+        ],
     );
     for p in [2usize, 4, 8, 16, 32] {
         let run = |use_ps: bool| {

@@ -29,7 +29,10 @@ fn main() {
     .into_iter()
     .map(|(label, alg)| {
         let cfg = base.clone().with_algorithm(alg);
-        (label.to_string(), train_distributed(&cfg, build, &data, None))
+        (
+            label.to_string(),
+            train_distributed(&cfg, build, &data, None),
+        )
     })
     .collect();
 
@@ -45,6 +48,10 @@ fn main() {
     println!(
         "final loss with put-back {with:.4} vs without {without:.4} — \
          dropping rejected values {} convergence.",
-        if without > with { "damages" } else { "did not visibly damage" }
+        if without > with {
+            "damages"
+        } else {
+            "did not visibly damage"
+        }
     );
 }

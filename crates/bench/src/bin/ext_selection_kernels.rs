@@ -62,7 +62,10 @@ fn convergence_comparison() {
     .map(|(label, selector)| {
         let mut cfg = base.clone().with_algorithm(Algorithm::GTopK);
         cfg.selector = selector;
-        (label.to_string(), train_distributed(&cfg, build, &data, None))
+        (
+            label.to_string(),
+            train_distributed(&cfg, build, &data, None),
+        )
     })
     .collect();
     loss_table(

@@ -26,7 +26,10 @@ fn main() {
     .into_iter()
     .map(|(label, alg)| {
         let cfg = base.clone().with_algorithm(alg);
-        (label.to_string(), train_distributed(&cfg, build, &data, None))
+        (
+            label.to_string(),
+            train_distributed(&cfg, build, &data, None),
+        )
     })
     .collect();
 

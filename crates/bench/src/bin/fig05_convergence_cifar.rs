@@ -23,7 +23,10 @@ fn compare(model_name: &str, build: impl Fn() -> Sequential + Send + Sync, lr: f
     .into_iter()
     .map(|(label, alg)| {
         let cfg = base.clone().with_algorithm(alg);
-        (label.to_string(), train_distributed(&cfg, &build, &data, None))
+        (
+            label.to_string(),
+            train_distributed(&cfg, &build, &data, None),
+        )
     })
     .collect();
     loss_table(

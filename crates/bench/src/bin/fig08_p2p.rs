@@ -62,12 +62,8 @@ fn main() {
     table.emit("fig08_p2p");
 
     let (alpha, beta) = fit_affine(&xs, &ys);
-    println!(
-        "least-squares fit:   alpha = {alpha:.4} ms, beta = {beta:.3e} ms/element"
-    );
-    println!(
-        "paper's measurement: alpha = 0.4360 ms, beta = 3.600e-5 ms/element"
-    );
+    println!("least-squares fit:   alpha = {alpha:.4} ms, beta = {beta:.3e} ms/element");
+    println!("paper's measurement: alpha = 0.4360 ms, beta = 3.600e-5 ms/element");
     let alpha_err = (alpha - net.alpha_ms).abs() / net.alpha_ms;
     let beta_err = (beta - net.beta_ms_per_elem).abs() / net.beta_ms_per_elem;
     assert!(

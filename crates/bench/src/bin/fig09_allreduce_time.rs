@@ -24,7 +24,14 @@ fn main() {
     let k = (m as f64 * rho) as usize;
     let mut left = Table::new(
         &format!("Fig. 9 (left) — AllReduce time vs workers (m = {m}, rho = {rho})"),
-        &["P", "TopK ms", "gTopK ms", "TopK Eq6", "gTopK Eq7", "speedup"],
+        &[
+            "P",
+            "TopK ms",
+            "gTopK ms",
+            "TopK Eq6",
+            "gTopK Eq7",
+            "speedup",
+        ],
     );
     for p in [4usize, 8, 16, 32, 64, 128] {
         let t_top = topk_allreduce_sim_ms(p, k, net);
@@ -68,7 +75,5 @@ fn main() {
     }
     right.emit("fig09_right_vs_params");
 
-    println!(
-        "shape check: TopK scales O(kP), gTopK scales O(k log P); crossover near P = 8-16."
-    );
+    println!("shape check: TopK scales O(kP), gTopK scales O(k log P); crossover near P = 8-16.");
 }

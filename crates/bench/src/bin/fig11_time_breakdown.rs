@@ -17,7 +17,13 @@ fn main() {
     let p = 32usize;
     let mut table = Table::new(
         "Fig. 11 — gTop-k S-SGD time breakdown at P = 32 (fractions of an iteration)",
-        &["model", "compute", "compression", "communication", "iter ms"],
+        &[
+            "model",
+            "compute",
+            "compression",
+            "communication",
+            "iter ms",
+        ],
     );
     for model in paper_models() {
         let prof = iteration_profile(&model, AggregationKind::GTopK, p, net);

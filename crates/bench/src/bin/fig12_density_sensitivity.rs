@@ -23,7 +23,10 @@ fn sweep(model_name: &str, build: impl Fn() -> Sequential + Send + Sync, lr: f32
             let mut cfg = TrainConfig::convergence(4, 8, 24, lr, rho);
             cfg.algorithm = Algorithm::GTopK;
             cfg.density = DensitySchedule::paper_warmup(rho);
-            let label = format!("rho={rho} (k={})", ((rho * m as f64).round() as usize).max(1));
+            let label = format!(
+                "rho={rho} (k={})",
+                ((rho * m as f64).round() as usize).max(1)
+            );
             (label, train_distributed(&cfg, &build, &data, None))
         })
         .collect();
@@ -41,7 +44,5 @@ fn sweep(model_name: &str, build: impl Fn() -> Sequential + Send + Sync, lr: f32
 fn main() {
     sweep("ResNet-20-lite", || models::resnet20_lite(29, 3, 10), 0.05);
     sweep("VGG-16-lite", || models::vgg_lite(31, 3, 8, 10), 0.03);
-    println!(
-        "shape check: all densities converge; lower density is slower but not divergent."
-    );
+    println!("shape check: all densities converge; lower density is slower but not divergent.");
 }

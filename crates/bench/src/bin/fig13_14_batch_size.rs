@@ -37,24 +37,20 @@ fn compare(
         lr: gtopk::LrSchedule::constant(lr),
         ..TrainConfig::convergence(workers, batch_per_worker, epochs, lr, 0.001)
     };
-    let runs: Vec<(String, TrainReport)> = [
-        ("Top-k", Algorithm::TopK),
-        ("gTop-k", Algorithm::GTopK),
-    ]
-    .into_iter()
-    .map(|(label, alg)| {
-        let cfg = base.clone().with_algorithm(alg);
-        (
-            label.to_string(),
-            train_distributed(&cfg, &build, &train, Some(&eval)),
-        )
-    })
-    .collect();
+    let runs: Vec<(String, TrainReport)> =
+        [("Top-k", Algorithm::TopK), ("gTop-k", Algorithm::GTopK)]
+            .into_iter()
+            .map(|(label, alg)| {
+                let cfg = base.clone().with_algorithm(alg);
+                (
+                    label.to_string(),
+                    train_distributed(&cfg, &build, &train, Some(&eval)),
+                )
+            })
+            .collect();
     let global = workers * batch_per_worker;
     accuracy_table(
-        &format!(
-            "{fig} — {model_name} top-1 validation accuracy, P = {workers}, B = {global}"
-        ),
+        &format!("{fig} — {model_name} top-1 validation accuracy, P = {workers}, B = {global}"),
         &runs,
     )
     .emit(&format!(
@@ -68,11 +64,39 @@ fn compare(
 
 fn main() {
     // Fig. 13: large global batch (few updates) — gTop-k trails Top-k.
-    let r20_large = compare("Fig13", "ResNet-20-lite", || models::resnet20_lite(37, 3, 10), 24, 10, 0.08);
-    compare("Fig13", "VGG-16-lite", || models::vgg_lite(41, 3, 8, 10), 24, 10, 0.05);
+    let r20_large = compare(
+        "Fig13",
+        "ResNet-20-lite",
+        || models::resnet20_lite(37, 3, 10),
+        24,
+        10,
+        0.08,
+    );
+    compare(
+        "Fig13",
+        "VGG-16-lite",
+        || models::vgg_lite(41, 3, 8, 10),
+        24,
+        10,
+        0.05,
+    );
     // Fig. 14: small batch (many updates) — the gap closes.
-    let r20_small = compare("Fig14", "ResNet-20-lite", || models::resnet20_lite(37, 3, 10), 6, 10, 0.05);
-    compare("Fig14", "VGG-16-lite", || models::vgg_lite(41, 3, 8, 10), 48, 10, 0.05);
+    let r20_small = compare(
+        "Fig14",
+        "ResNet-20-lite",
+        || models::resnet20_lite(37, 3, 10),
+        6,
+        10,
+        0.05,
+    );
+    compare(
+        "Fig14",
+        "VGG-16-lite",
+        || models::vgg_lite(41, 3, 8, 10),
+        48,
+        10,
+        0.05,
+    );
 
     let gap = |runs: &[(String, TrainReport)]| {
         let topk = runs[0].1.final_accuracy().unwrap_or(0.0);

@@ -52,7 +52,10 @@ fn main() {
     }
     println!("\n================ summary ================");
     if failures.is_empty() {
-        println!("all {} experiments completed; TSVs in results/", BINARIES.len());
+        println!(
+            "all {} experiments completed; TSVs in results/",
+            BINARIES.len()
+        );
     } else {
         println!("failed: {failures:?}");
         std::process::exit(1);

@@ -30,7 +30,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table I — gradient aggregation algorithms (analytic vs executed simulation)",
-        &["algorithm", "complexity", "time cost formula", "analytic ms", "measured ms"],
+        &[
+            "algorithm",
+            "complexity",
+            "time cost formula",
+            "analytic ms",
+            "measured ms",
+        ],
     );
     for kind in AggregationKind::ALL {
         let formula = match kind {

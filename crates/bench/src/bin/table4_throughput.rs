@@ -47,7 +47,5 @@ fn main() {
         ]);
     }
     table.emit("table4_throughput");
-    println!(
-        "shape check: gTop-k wins on every model; biggest g/d on FC-heavy VGG-16/AlexNet."
-    );
+    println!("shape check: gTop-k wins on every model; biggest g/d on FC-heavy VGG-16/AlexNet.");
 }

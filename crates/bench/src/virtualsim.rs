@@ -14,7 +14,10 @@
 use gtopk_comm::{Cluster, CostModel, Payload};
 
 fn assert_pow2(p: usize) {
-    assert!(p.is_power_of_two(), "virtual sims require power-of-two P, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "virtual sims require power-of-two P, got {p}"
+    );
 }
 
 fn chunk_len(n: usize, p: usize, c: usize) -> usize {
@@ -40,14 +43,26 @@ pub fn dense_allreduce_sim_ms(p: usize, m: usize, cost: CostModel) -> f64 {
         // Reduce-scatter then all-gather: 2(P-1) steps.
         for s in 0..p - 1 {
             let send_chunk = (rank + p - s) % p;
-            comm.send(right, 1, Payload::Virtual { elems: chunk_len(m, p, send_chunk) })
-                .expect("send");
+            comm.send(
+                right,
+                1,
+                Payload::Virtual {
+                    elems: chunk_len(m, p, send_chunk),
+                },
+            )
+            .expect("send");
             comm.recv(left, 1).expect("recv");
         }
         for s in 0..p - 1 {
             let send_chunk = (rank + 1 + p - s) % p;
-            comm.send(right, 2, Payload::Virtual { elems: chunk_len(m, p, send_chunk) })
-                .expect("send");
+            comm.send(
+                right,
+                2,
+                Payload::Virtual {
+                    elems: chunk_len(m, p, send_chunk),
+                },
+            )
+            .expect("send");
             comm.recv(left, 2).expect("recv");
         }
         comm.now_ms()
@@ -76,8 +91,14 @@ pub fn topk_allreduce_sim_ms(p: usize, k: usize, cost: CostModel) -> f64 {
             let peer = rank ^ mask;
             // Both sides hold `contributions` worker-sums of k nnz each;
             // 2 wire words per nnz.
-            comm.send(peer, 10 + mask as u32, Payload::Virtual { elems: 2 * contributions * k })
-                .expect("send");
+            comm.send(
+                peer,
+                10 + mask as u32,
+                Payload::Virtual {
+                    elems: 2 * contributions * k,
+                },
+            )
+            .expect("send");
             comm.recv(peer, 10 + mask as u32).expect("recv");
             contributions *= 2;
             mask <<= 1;
@@ -130,8 +151,12 @@ pub fn gtopk_allreduce_sim_ms(p: usize, k: usize, cost: CostModel) -> f64 {
         mask >>= 1;
         while mask > 0 {
             if (rank | mask) != rank && (rank | mask) < p {
-                comm.send(rank | mask, 40 + mask as u32, Payload::Virtual { elems: 2 * k })
-                    .expect("send");
+                comm.send(
+                    rank | mask,
+                    40 + mask as u32,
+                    Payload::Virtual { elems: 2 * k },
+                )
+                .expect("send");
             }
             mask >>= 1;
         }
@@ -228,8 +253,9 @@ mod tests {
         let real = Cluster::new(p, COST)
             .run(move |comm| {
                 let r = comm.rank() as u32;
-                let pairs: Vec<(u32, f32)> =
-                    (0..k as u32).map(|j| (r * k as u32 + j, 1.0 + j as f32)).collect();
+                let pairs: Vec<(u32, f32)> = (0..k as u32)
+                    .map(|j| (r * k as u32 + j, 1.0 + j as f32))
+                    .collect();
                 let local = SparseVec::from_pairs(dim, pairs);
                 gtopk::gtopk_all_reduce(comm, local, k).expect("gtopk");
                 comm.now_ms()

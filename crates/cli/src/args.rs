@@ -80,7 +80,10 @@ impl ParsedArgs {
 
     /// String option, or `default` if absent.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Typed option, or `default` if absent.

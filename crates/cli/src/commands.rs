@@ -70,7 +70,9 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let density: f64 = parsed.get("density", 0.005)?;
     let seed: u64 = parsed.get("seed", 42)?;
     if workers == 0 || epochs == 0 || batch == 0 {
-        return Err(ArgError("workers, epochs and batch must be positive".into()));
+        return Err(ArgError(
+            "workers, epochs and batch must be positive".into(),
+        ));
     }
     if !(density > 0.0 && density <= 1.0) {
         return Err(ArgError("density must be in (0, 1]".into()));
@@ -91,7 +93,8 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
 
     let (report, m) = match model_name.as_str() {
         "mlp" => {
-            let data = GaussianMixture::new(seed, 64 * workers.max(4) * batch.max(8), 16, 4, 2.5, 0.5);
+            let data =
+                GaussianMixture::new(seed, 64 * workers.max(4) * batch.max(8), 16, 4, 2.5, 0.5);
             let build = move || models::mlp(seed, 16, 32, 4);
             let m = build().num_params();
             (train_distributed(&cfg, build, &data, None), m)
@@ -175,7 +178,10 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let net = parse_network(&parsed.get_str("network", "1gbe"))?;
     let k = ((m as f64 * density) as usize).max(1);
     let mut out = format!("aggregation time (ms) vs workers — m = {m}, k = {k}\n");
-    out.push_str(&format!("{:>5} {:>12} {:>12} {:>12}\n", "P", "Dense", "TopK", "gTopK"));
+    out.push_str(&format!(
+        "{:>5} {:>12} {:>12} {:>12}\n",
+        "P", "Dense", "TopK", "gTopK"
+    ));
     for p in [2usize, 4, 8, 16, 32, 64, 128] {
         out.push_str(&format!(
             "{:>5} {:>12.2} {:>12.2} {:>12.2}\n",
@@ -243,14 +249,17 @@ mod tests {
     fn sweep_has_a_row_per_worker_count() {
         let out = run_line("sweep --params 1000000").unwrap();
         for p in ["2", "4", "8", "16", "32", "64", "128"] {
-            assert!(out.lines().any(|l| l.trim_start().starts_with(p)), "missing P={p}");
+            assert!(
+                out.lines().any(|l| l.trim_start().starts_with(p)),
+                "missing P={p}"
+            );
         }
     }
 
     #[test]
     fn train_mlp_quick_run() {
-        let out = run_line("train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05")
-            .unwrap();
+        let out =
+            run_line("train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05").unwrap();
         assert!(out.contains("epoch   1"), "{out}");
         assert!(out.contains("rank-0 traffic"));
     }

@@ -103,12 +103,10 @@ impl Cluster {
     pub fn communicators(&self) -> Vec<Communicator> {
         let p = self.size;
         // mesh[s][d] transports messages from rank s to rank d.
-        let mut tx: Vec<Vec<Option<Sender<Message>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
-        let mut rx: Vec<Vec<Option<Receiver<Message>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
+        let mut tx: Vec<Vec<Option<Sender<Message>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut rx: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for s in 0..p {
             for d in 0..p {
                 if s == d {
@@ -151,9 +149,7 @@ impl Cluster {
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|mut comm| {
-                    scope.spawn(move || f(&mut comm))
-                })
+                .map(|mut comm| scope.spawn(move || f(&mut comm)))
                 .collect();
             handles
                 .into_iter()

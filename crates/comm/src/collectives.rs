@@ -457,10 +457,7 @@ pub fn scatter(
 /// # Errors
 ///
 /// Propagates transport errors.
-pub fn reduce_scatter_ring(
-    comm: &mut Communicator,
-    data: &mut [f32],
-) -> Result<(usize, Vec<f32>)> {
+pub fn reduce_scatter_ring(comm: &mut Communicator, data: &mut [f32]) -> Result<(usize, Vec<f32>)> {
     let p = comm.size();
     let n = data.len();
     let rank = comm.rank();
@@ -563,7 +560,9 @@ mod tests {
     fn recursive_doubling_allreduce_matches_ring() {
         for &p in SIZES {
             let out = Cluster::new(p, CostModel::zero()).run(|comm| {
-                let mut v: Vec<f32> = (0..5).map(|i| ((comm.rank() + 1) * (i + 1)) as f32).collect();
+                let mut v: Vec<f32> = (0..5)
+                    .map(|i| ((comm.rank() + 1) * (i + 1)) as f32)
+                    .collect();
                 allreduce_recursive_doubling(comm, &mut v).unwrap();
                 v
             });
@@ -597,9 +596,8 @@ mod tests {
     fn gather_collects_at_root_only() {
         for &p in SIZES {
             let root = p - 1;
-            let out = Cluster::new(p, CostModel::zero()).run(|comm| {
-                gather(comm, vec![comm.rank() as f32], root).unwrap()
-            });
+            let out = Cluster::new(p, CostModel::zero())
+                .run(|comm| gather(comm, vec![comm.rank() as f32], root).unwrap());
             for (r, res) in out.iter().enumerate() {
                 if r == root {
                     let all = res.as_ref().expect("root receives");
@@ -643,10 +641,7 @@ mod tests {
         let expect = 2.0 * (p as f64 - 1.0) * cost.alpha_ms
             + 2.0 * ((p - 1) as f64 / p as f64) * m as f64 * cost.beta_ms_per_elem;
         for &t in &times {
-            assert!(
-                (t - expect).abs() < 1e-6,
-                "sim {t} vs analytic {expect}"
-            );
+            assert!((t - expect).abs() < 1e-6, "sim {t} vs analytic {expect}");
         }
     }
 

@@ -34,10 +34,20 @@ impl fmt::Display for CommError {
                 write!(f, "peer rank {peer} disconnected mid-operation")
             }
             CommError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} is invalid for a communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} is invalid for a communicator of size {size}"
+                )
             }
-            CommError::BufferMismatch { op, expected, actual } => {
-                write!(f, "buffer size mismatch in {op}: expected {expected}, got {actual}")
+            CommError::BufferMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "buffer size mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
         }
     }

@@ -42,8 +42,8 @@
 
 #![warn(missing_docs)]
 
-pub mod collectives;
 mod cluster;
+pub mod collectives;
 mod comm;
 mod cost;
 mod error;

@@ -139,9 +139,7 @@ impl Algorithm {
             Algorithm::TopK => Box::new(TopkAggregator::with_selector(selector)),
             Algorithm::GTopK => Box::new(GtopkAggregator::with_selector(selector)),
             Algorithm::NaiveGTopK => Box::new(NaiveGtopkAggregator::with_selector(selector)),
-            Algorithm::GTopKFeedback => {
-                Box::new(GtopkFeedbackAggregator::with_selector(selector))
-            }
+            Algorithm::GTopKFeedback => Box::new(GtopkFeedbackAggregator::with_selector(selector)),
             Algorithm::GTopKNoPutback => {
                 Box::new(GtopkNoPutbackAggregator::with_selector(selector))
             }
@@ -484,7 +482,11 @@ mod tests {
 
     #[test]
     fn gtopk_update_has_at_most_k_coordinates() {
-        for alg in [Algorithm::GTopK, Algorithm::NaiveGTopK, Algorithm::GTopKFeedback] {
+        for alg in [
+            Algorithm::GTopK,
+            Algorithm::NaiveGTopK,
+            Algorithm::GTopKFeedback,
+        ] {
             let out = run_algorithm(alg, 8, 64, 5);
             match &out[0].0 {
                 Update::Sparse(sv) => assert!(sv.nnz() <= 5, "{}: {}", alg.name(), sv.nnz()),

@@ -3,7 +3,7 @@
 
 use crate::sparse_coll::{sparse_broadcast, sparse_sum_recursive_doubling};
 use gtopk_comm::{Communicator, Message, Payload, Result};
-use gtopk_sparse::{topk_merge, topk_sparse, Mask, SparseVec};
+use gtopk_sparse::{topk_merge_split_into, topk_sparse, Mask, MergeScratch, SparseVec};
 
 const TAG_TREE: u32 = Message::COLLECTIVE_TAG_BASE + 64;
 const TAG_TREE_FOLD: u32 = Message::COLLECTIVE_TAG_BASE + 65;
@@ -81,16 +81,22 @@ fn tree_reduce(
     let p = comm.size();
     let rank = comm.rank();
     let dim = local.dim();
+    // One scratch + double-buffered accumulators serve every `⊤` merge of
+    // the O(log P) rounds — the hot loop allocates nothing after warm-up.
+    let mut scratch = MergeScratch::new();
+    let mut merged = SparseVec::empty(dim);
+    let mut round_rej = SparseVec::empty(dim);
     let mut rejected = SparseVec::empty(dim);
     // Truncate our own contribution to k first (callers normally already
-    // did via local top-k selection).
-    let mut acc = if local.nnz() > k {
-        let (keep, rej) = split_topk(local, k);
-        rejected = rejected.add(&rej);
-        keep
-    } else {
-        local
-    };
+    // did via local top-k selection). Merging with an empty vector is the
+    // identity, so the split-merge doubles as a plain split.
+    let mut acc = local;
+    if acc.nnz() > k {
+        let empty = SparseVec::empty(dim);
+        topk_merge_split_into(&acc, &empty, k, &mut scratch, &mut merged, &mut round_rej);
+        std::mem::swap(&mut acc, &mut merged);
+        rejected = rejected.add(&round_rej);
+    }
 
     let mut p2 = 1usize;
     while p2 * 2 <= p {
@@ -104,9 +110,9 @@ fn tree_reduce(
     }
     if rank < extra {
         let other = comm.recv(rank + p2, TAG_TREE_FOLD)?.payload.into_sparse();
-        let (merged, rej) = merge_with_rejects(&acc, &other, k);
-        acc = merged;
-        rejected = rejected.add(&rej);
+        topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
+        std::mem::swap(&mut acc, &mut merged);
+        rejected = rejected.add(&round_rej);
     }
     // Binomial tree over the power-of-two core.
     let mut mask = 1usize;
@@ -114,10 +120,13 @@ fn tree_reduce(
         if rank & mask == 0 {
             let src = rank | mask;
             if src < p2 {
-                let other = comm.recv(src, TAG_TREE + mask as u32)?.payload.into_sparse();
-                let (merged, rej) = merge_with_rejects(&acc, &other, k);
-                acc = merged;
-                rejected = rejected.add(&rej);
+                let other = comm
+                    .recv(src, TAG_TREE + mask as u32)?
+                    .payload
+                    .into_sparse();
+                topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
+                std::mem::swap(&mut acc, &mut merged);
+                rejected = rejected.add(&round_rej);
             }
         } else {
             let dst = rank & !mask;
@@ -128,28 +137,6 @@ fn tree_reduce(
         mask <<= 1;
     }
     Ok((acc, rejected))
-}
-
-/// `⊤` with explicit rejects: returns `(a ⊤ b, entries of a+b that were
-/// truncated)`.
-fn merge_with_rejects(a: &SparseVec, b: &SparseVec, k: usize) -> (SparseVec, SparseVec) {
-    let sum = a.add(b);
-    if sum.nnz() <= k {
-        return (sum, SparseVec::empty(a.dim()));
-    }
-    let kept = topk_merge(a, b, k);
-    let keep_mask = Mask::of_sparse(&kept);
-    let (_, rej) = sum.partition_by(&keep_mask);
-    (kept, rej)
-}
-
-/// Splits a sparse vector into (top-k, rest).
-fn split_topk(v: SparseVec, k: usize) -> (SparseVec, SparseVec) {
-    let dense = v.to_dense();
-    let keep = topk_sparse(&dense, k);
-    let keep_mask = Mask::of_sparse(&keep);
-    let (kept, rej) = v.partition_by(&keep_mask);
-    (kept, rej)
 }
 
 /// Naive gTop-k via exact sparse sum (paper **Algorithm 2**).
@@ -334,9 +321,9 @@ mod tests {
             comm.stats()
         });
         let lg = 4; // log2(16)
-        // Rank 0: receives lg tree messages (≤2k each), sends 1 broadcast
-        // child message per bcast round... binomial bcast root sends lg
-        // messages of 2k.
+                    // Rank 0: receives lg tree messages (≤2k each), sends 1 broadcast
+                    // child message per bcast round... binomial bcast root sends lg
+                    // messages of 2k.
         assert!(stats[0].elems_received <= 2 * k * lg);
         assert!(stats[0].elems_sent <= 2 * k * lg);
         // Total volume across ranks is O(k P) for broadcast, but per-rank

@@ -66,7 +66,9 @@ pub use aggregator::{
     Algorithm, DenseAggregator, GradientAggregator, GtopkAggregator, GtopkFeedbackAggregator,
     GtopkNoPutbackAggregator, NaiveGtopkAggregator, TopkAggregator, Update,
 };
-pub use gtopk_allreduce::{gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce};
+pub use gtopk_allreduce::{
+    gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce,
+};
 pub use metrics::{EpochRecord, TimingBreakdown, TrainReport};
 pub use ps::ps_gtopk_all_reduce;
 pub use schedule::{DensitySchedule, LrSchedule};

@@ -108,8 +108,7 @@ impl TrainReport {
     /// Panics if no simulated time elapsed.
     pub fn throughput(&self, batch_per_worker: usize) -> f64 {
         assert!(self.sim_time_ms > 0.0, "no simulated time elapsed");
-        let samples =
-            (self.timing.iterations * batch_per_worker * self.workers) as f64;
+        let samples = (self.timing.iterations * batch_per_worker * self.workers) as f64;
         samples / (self.sim_time_ms / 1000.0)
     }
 }

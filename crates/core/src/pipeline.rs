@@ -183,8 +183,14 @@ mod tests {
         // Layer A ready early; its comm hides entirely behind layer B's
         // backward when backward is long enough.
         let layers = [
-            LayerCost { params: 1_000_000, backward_ms: 10.0 },
-            LayerCost { params: 1_000_000, backward_ms: 500.0 },
+            LayerCost {
+                params: 1_000_000,
+                backward_ms: 10.0,
+            },
+            LayerCost {
+                params: 1_000_000,
+                backward_ms: 500.0,
+            },
         ];
         let r = simulate_layerwise(&layers, &net(), 32, 0.001);
         // First comm starts at 10ms, finishes well before 510ms.
@@ -198,8 +204,14 @@ mod tests {
     fn fifo_channel_serializes_communications() {
         // Both gradients ready almost immediately: comms must queue.
         let layers = [
-            LayerCost { params: 2_000_000, backward_ms: 0.1 },
-            LayerCost { params: 2_000_000, backward_ms: 0.1 },
+            LayerCost {
+                params: 2_000_000,
+                backward_ms: 0.1,
+            },
+            LayerCost {
+                params: 2_000_000,
+                backward_ms: 0.1,
+            },
         ];
         let r = simulate_layerwise(&layers, &net(), 32, 0.001);
         assert!((r.timelines[1].start_ms - r.timelines[0].end_ms).abs() < 1e-9);

@@ -85,7 +85,10 @@ mod tests {
                 // order (star fold vs recursive doubling).
                 assert_eq!(pv.indices(), nv.indices(), "P={p}");
                 for (a, b) in pv.values().iter().zip(nv.values()) {
-                    assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "P={p}: {a} vs {b}");
+                    assert!(
+                        (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                        "P={p}: {a} vs {b}"
+                    );
                 }
                 assert_eq!(pm, nm);
             }
@@ -132,7 +135,10 @@ mod tests {
         };
         let ps_ratio = time(16, true) / time(4, true);
         let tree_ratio = time(16, false) / time(4, false);
-        assert!(ps_ratio > 2.5, "PS time should ~4x from P=4 to 16: {ps_ratio}");
+        assert!(
+            ps_ratio > 2.5,
+            "PS time should ~4x from P=4 to 16: {ps_ratio}"
+        );
         assert!(tree_ratio < 2.2, "tree time should ~2x: {tree_ratio}");
     }
 }

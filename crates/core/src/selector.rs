@@ -11,8 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Which kernel extracts the local top-k from the residual buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Selector {
     /// Exact top-k via expected-O(m) quickselect (default).
     #[default]
@@ -25,7 +24,6 @@ pub enum Selector {
         sample: usize,
     },
 }
-
 
 /// Per-rank selector state (the sampled kernel needs an RNG stream that
 /// is deterministic per rank).
@@ -90,9 +88,12 @@ mod tests {
         r1.accumulate(&grad);
         let mut r2 = r1.clone();
         let exact = SelectorState::new(Selector::Exact, 0).extract(&mut r1, 10);
-        let sampled =
-            SelectorState::new(Selector::Sampled { sample: 128 }, 0).extract(&mut r2, 10);
-        let overlap = sampled.indices().iter().filter(|i| exact.contains(**i)).count();
+        let sampled = SelectorState::new(Selector::Sampled { sample: 128 }, 0).extract(&mut r2, 10);
+        let overlap = sampled
+            .indices()
+            .iter()
+            .filter(|i| exact.contains(**i))
+            .count();
         assert!(overlap >= 9, "overlap {overlap}/10");
     }
 

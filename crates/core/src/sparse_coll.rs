@@ -29,7 +29,10 @@ pub fn sparse_broadcast(
 ) -> Result<SparseVec> {
     let p = comm.size();
     if root >= p {
-        return Err(gtopk_comm::CommError::InvalidRank { rank: root, size: p });
+        return Err(gtopk_comm::CommError::InvalidRank {
+            rank: root,
+            size: p,
+        });
     }
     if p == 1 {
         return Ok(local);
@@ -142,10 +145,8 @@ mod tests {
             let out = Cluster::new(p, CostModel::zero()).run(|comm| {
                 let r = comm.rank() as u32;
                 // Overlapping and unique coordinates.
-                let local = SparseVec::from_pairs(
-                    32,
-                    vec![(0, 1.0), (r + 1, 10.0 * (r + 1) as f32)],
-                );
+                let local =
+                    SparseVec::from_pairs(32, vec![(0, 1.0), (r + 1, 10.0 * (r + 1) as f32)]);
                 sparse_sum_recursive_doubling(comm, local).unwrap()
             });
             let mut expect = vec![0.0f32; 32];
@@ -167,9 +168,7 @@ mod tests {
         let k = 4usize;
         let stats = Cluster::new(p, CostModel::zero()).run(|comm| {
             let r = comm.rank() as u32;
-            let pairs: Vec<(u32, f32)> = (0..k as u32)
-                .map(|j| (r * k as u32 + j, 1.0))
-                .collect();
+            let pairs: Vec<(u32, f32)> = (0..k as u32).map(|j| (r * k as u32 + j, 1.0)).collect();
             let local = SparseVec::from_pairs(64, pairs);
             sparse_sum_recursive_doubling(comm, local).unwrap();
             comm.stats()

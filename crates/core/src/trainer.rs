@@ -1,7 +1,10 @@
 //! Distributed S-SGD training loops (paper Algorithms 1, 2 and 4, plus
 //! the dense baseline) over the simulated cluster.
 
-use crate::{Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown, TrainReport, Update};
+use crate::{
+    Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown, TrainReport,
+    Update,
+};
 use gtopk_comm::{Cluster, Communicator, CostModel};
 use gtopk_data::{shard_indices, BatchIter, Dataset};
 use gtopk_nn::{accuracy, softmax_cross_entropy, Model, MomentumSgd};
@@ -136,7 +139,14 @@ where
 
     let cluster = Cluster::new(cfg.workers, cfg.cost_model);
     let outcomes: Vec<RankOutcome> = cluster.run(|comm| {
-        run_rank(cfg, comm, &build_model, train_data, eval_data, iters_per_epoch)
+        run_rank(
+            cfg,
+            comm,
+            &build_model,
+            train_data,
+            eval_data,
+            iters_per_epoch,
+        )
     });
 
     // Replica-consistency invariant: identical updates everywhere.
@@ -152,8 +162,8 @@ where
 
     let epochs = (0..cfg.epochs)
         .map(|e| {
-            let mean_loss = outcomes.iter().map(|o| o.losses[e]).sum::<f64>()
-                / outcomes.len() as f64;
+            let mean_loss =
+                outcomes.iter().map(|o| o.losses[e]).sum::<f64>() / outcomes.len() as f64;
             EpochRecord {
                 epoch: e,
                 train_loss: mean_loss,
@@ -191,7 +201,11 @@ where
     let m = model.num_params();
     // With momentum correction, momentum is applied locally (DGC style)
     // and the aggregated update is applied with plain SGD.
-    let opt_momentum = if cfg.momentum_correction { 0.0 } else { cfg.momentum };
+    let opt_momentum = if cfg.momentum_correction {
+        0.0
+    } else {
+        cfg.momentum
+    };
     let mut opt = MomentumSgd::new(m, cfg.lr.lr(0), opt_momentum);
     let mut local_velocity: Option<Vec<f32>> = if cfg.momentum_correction {
         Some(vec![0.0; m])
@@ -293,7 +307,11 @@ where
 /// Rescales `g` in place so its L2 norm is at most `max_norm`.
 fn clip_to_norm(g: &mut [f32], max_norm: f32) {
     debug_assert!(max_norm > 0.0, "clip norm must be positive");
-    let norm = g.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+    let norm = g
+        .iter()
+        .map(|v| (*v as f64) * (*v as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm > max_norm {
         let scale = max_norm / norm;
         g.iter_mut().for_each(|v| *v *= scale);
@@ -372,8 +390,7 @@ mod tests {
         // still differs because item indices map to different RNG streams.
         let eval = GaussianMixture::new(5, 64, 8, 4, 3.0, 0.3);
         let cfg = quick_cfg(Algorithm::GTopK, 4);
-        let report =
-            train_distributed(&cfg, || models::mlp(9, 8, 16, 4), &train, Some(&eval));
+        let report = train_distributed(&cfg, || models::mlp(9, 8, 16, 4), &train, Some(&eval));
         let acc = report.final_accuracy().expect("eval ran");
         assert!(acc > 0.6, "accuracy {acc}");
     }

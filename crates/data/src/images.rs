@@ -33,7 +33,14 @@ impl PatternImages {
     /// # Panics
     ///
     /// Panics if any dimension is zero or `noise` is negative.
-    pub fn new(seed: u64, n: usize, channels: usize, size: usize, classes: usize, noise: f32) -> Self {
+    pub fn new(
+        seed: u64,
+        n: usize,
+        channels: usize,
+        size: usize,
+        classes: usize,
+        noise: f32,
+    ) -> Self {
         assert!(
             n > 0 && channels > 0 && size > 0 && classes > 0,
             "dimensions must be positive"
@@ -122,7 +129,9 @@ mod tests {
     fn imagenet_like_is_bigger_and_harder() {
         let c = PatternImages::cifar_like(0, 10);
         let i = PatternImages::imagenet_like(0, 10);
-        assert!(i.input_dims().iter().product::<usize>() > c.input_dims().iter().product::<usize>());
+        assert!(
+            i.input_dims().iter().product::<usize>() > c.input_dims().iter().product::<usize>()
+        );
         assert!(i.num_classes() > c.num_classes());
     }
 

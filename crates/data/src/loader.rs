@@ -49,7 +49,11 @@ pub trait Dataset: Send + Sync {
         for &i in indices {
             let (x, y) = self.item(i);
             assert_eq!(x.len(), per_item, "item feature length mismatch");
-            assert_eq!(y.len(), self.targets_per_item(), "item target length mismatch");
+            assert_eq!(
+                y.len(),
+                self.targets_per_item(),
+                "item target length mismatch"
+            );
             data.extend(x);
             targets.extend(y);
         }
@@ -117,7 +121,8 @@ impl BatchIter {
     }
 
     fn reshuffle(&mut self) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (self.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
         self.order = self.shard.clone();
         self.order.shuffle(&mut rng);
         self.cursor = 0;
@@ -174,7 +179,9 @@ mod tests {
     fn shards_partition_everything() {
         let len = 103;
         let size = 4;
-        let mut all: Vec<usize> = (0..size).flat_map(|r| shard_indices(len, r, size)).collect();
+        let mut all: Vec<usize> = (0..size)
+            .flat_map(|r| shard_indices(len, r, size))
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..len).collect::<Vec<_>>());
     }
@@ -209,7 +216,10 @@ mod tests {
         let mut b = mk();
         for _ in 0..2 {
             // identical orders for identical seeds
-            while let (Some(x), Some(y)) = (a.next_batch().map(<[usize]>::to_vec), b.next_batch().map(<[usize]>::to_vec)) {
+            while let (Some(x), Some(y)) = (
+                a.next_batch().map(<[usize]>::to_vec),
+                b.next_batch().map(<[usize]>::to_vec),
+            ) {
                 assert_eq!(x, y);
             }
             a.next_epoch();

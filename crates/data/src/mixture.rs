@@ -33,13 +33,30 @@ impl GaussianMixture {
     ///
     /// Panics if `n`, `dim` or `classes` is zero, or noise/separation is
     /// negative.
-    pub fn new(seed: u64, n: usize, dim: usize, classes: usize, separation: f32, noise: f32) -> Self {
-        assert!(n > 0 && dim > 0 && classes > 0, "dimensions must be positive");
-        assert!(separation >= 0.0 && noise >= 0.0, "scales must be non-negative");
+    pub fn new(
+        seed: u64,
+        n: usize,
+        dim: usize,
+        classes: usize,
+        separation: f32,
+        noise: f32,
+    ) -> Self {
+        assert!(
+            n > 0 && dim > 0 && classes > 0,
+            "dimensions must be positive"
+        );
+        assert!(
+            separation >= 0.0 && noise >= 0.0,
+            "scales must be non-negative"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new_inclusive(-1.0f32, 1.0);
         let means = (0..classes)
-            .map(|_| (0..dim).map(|_| dist.sample(&mut rng) * separation).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| dist.sample(&mut rng) * separation)
+                    .collect()
+            })
             .collect();
         GaussianMixture {
             seed,
@@ -77,7 +94,8 @@ impl Dataset for GaussianMixture {
     fn item(&self, i: usize) -> (Vec<f32>, Vec<usize>) {
         assert!(i < self.n, "index {i} out of range");
         let class = i % self.classes;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ ((i as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)));
         let dist = Uniform::new_inclusive(-1.0f32, 1.0);
         let x = self.means[class]
             .iter()
@@ -114,7 +132,11 @@ mod tests {
         for i in 0..10 {
             let (x, y) = ds.item(i);
             let mean = &ds.means()[y[0]];
-            let dist2: f32 = x.iter().zip(mean.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            let dist2: f32 = x
+                .iter()
+                .zip(mean.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
             assert!(dist2 < 0.01, "item {i} too far from its mean");
         }
     }

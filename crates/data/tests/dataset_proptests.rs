@@ -1,6 +1,8 @@
 //! Property-based tests over the synthetic datasets and loaders.
 
-use gtopk_data::{shard_indices, BatchIter, Dataset, GaussianMixture, MarkovText, PatternImages, Subset};
+use gtopk_data::{
+    shard_indices, BatchIter, Dataset, GaussianMixture, MarkovText, PatternImages, Subset,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,7 +1,9 @@
 //! Stateless activation layers.
 
 use crate::Layer;
-use gtopk_tensor::{relu, relu_backward, sigmoid, sigmoid_backward, tanh_backward, tanh_forward, Tensor};
+use gtopk_tensor::{
+    relu, relu_backward, sigmoid, sigmoid_backward, tanh_backward, tanh_forward, Tensor,
+};
 
 /// Rectified linear unit.
 #[derive(Debug, Default)]
@@ -48,7 +50,9 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// Creates a sigmoid layer.
     pub fn new() -> Self {
-        Sigmoid { cached_output: None }
+        Sigmoid {
+            cached_output: None,
+        }
     }
 }
 
@@ -84,7 +88,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh layer.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 

@@ -1,5 +1,7 @@
 use crate::Layer;
-use gtopk_tensor::{kaiming_uniform, matmul_at_flat_acc, matmul_bt_flat, matmul_flat, Shape, Tensor};
+use gtopk_tensor::{
+    kaiming_uniform, matmul_at_flat_acc, matmul_bt_flat, matmul_flat, Shape, Tensor,
+};
 use rand::Rng;
 
 /// 2-D convolution over `[N, C, H, W]` tensors via im2col + GEMM.
@@ -46,7 +48,10 @@ impl Conv2d {
         stride: usize,
         pad: usize,
     ) -> Self {
-        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "conv dims must be positive");
+        assert!(
+            in_c > 0 && out_c > 0 && k > 0 && stride > 0,
+            "conv dims must be positive"
+        );
         let fan_in = in_c * k * k;
         let mut params = kaiming_uniform(rng, out_c * fan_in, fan_in);
         params.extend(std::iter::repeat_n(0.0, out_c));

@@ -121,7 +121,8 @@ mod tests {
     fn lookup_returns_rows() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut emb = Embedding::new(&mut rng, 3, 2);
-        emb.params_mut().copy_from_slice(&[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        emb.params_mut()
+            .copy_from_slice(&[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
         let ids = Tensor::from_vec(Shape::d2(1, 3), vec![2.0, 0.0, 1.0]).unwrap();
         let y = emb.forward(&ids, true);
         assert_eq!(y.data(), &[20.0, 21.0, 0.0, 1.0, 10.0, 11.0]);

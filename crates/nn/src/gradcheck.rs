@@ -36,12 +36,7 @@ pub fn check_layer_gradients(layer: Box<dyn Layer>, input_shape: Shape, tol: f32
 /// # Panics
 ///
 /// Same conditions as [`check_layer_gradients`].
-pub fn check_layer_gradients_with_input(
-    layer: Box<dyn Layer>,
-    x: Tensor,
-    tol: f32,
-    seed: u64,
-) {
+pub fn check_layer_gradients_with_input(layer: Box<dyn Layer>, x: Tensor, tol: f32, seed: u64) {
     run_check(layer, x, tol, seed, true);
 }
 
@@ -95,7 +90,14 @@ fn run_check(mut layer: Box<dyn Layer>, x: Tensor, tol: f32, seed: u64, probe_in
         let lm = objective(layer.as_mut(), &x);
         set_param_at(layer.as_mut(), idx, orig);
         let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-        assert_close(analytic_params[idx], numeric, tol, "param", idx, layer.name());
+        assert_close(
+            analytic_params[idx],
+            numeric,
+            tol,
+            "param",
+            idx,
+            layer.name(),
+        );
     }
 
     // Input-space probes (skipped for integer-typed inputs by callers).
@@ -114,7 +116,14 @@ fn run_check(mut layer: Box<dyn Layer>, x: Tensor, tol: f32, seed: u64, probe_in
             let lm = objective(layer.as_mut(), &x);
             x.data_mut()[idx] = orig;
             let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert_close(analytic_in.data()[idx], numeric, tol, "input", idx, layer.name());
+            assert_close(
+                analytic_in.data()[idx],
+                numeric,
+                tol,
+                "input",
+                idx,
+                layer.name(),
+            );
         }
     }
 }

@@ -38,7 +38,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(rng: &mut impl Rng, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dimensions must be positive"
+        );
         let mut params = kaiming_uniform(rng, out_features * in_features, in_features);
         params.extend(std::iter::repeat_n(0.0, out_features));
         let n = params.len();
@@ -164,7 +167,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut fc = Linear::new(&mut rng, 2, 2);
         // Overwrite with known weights: W = [[1, 2], [3, 4]], b = [10, 20].
-        fc.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0]);
+        fc.params_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0]);
         let x = Tensor::from_vec(Shape::d2(1, 2), vec![1.0, 1.0]).unwrap();
         let y = fc.forward(&x, true);
         assert_eq!(y.data(), &[13.0, 27.0]);

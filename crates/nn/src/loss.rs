@@ -106,7 +106,8 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let logits = Tensor::from_vec(Shape::d2(2, 3), vec![0.3, -0.1, 0.8, 1.2, 0.0, -0.5]).unwrap();
+        let logits =
+            Tensor::from_vec(Shape::d2(2, 3), vec![0.3, -0.1, 0.8, 1.2, 0.0, -0.5]).unwrap();
         let labels = [2usize, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3;
@@ -144,8 +145,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(Shape::d2(3, 2), vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::d2(3, 2), vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
     }

@@ -1,6 +1,6 @@
 use crate::Layer;
-use gtopk_tensor::{matmul_at_flat_acc, matmul_bt_flat, Shape, Tensor};
 use gtopk_tensor::xavier_uniform;
+use gtopk_tensor::{matmul_at_flat_acc, matmul_bt_flat, Shape, Tensor};
 use rand::Rng;
 
 /// Single-layer LSTM over `[B, S, in] → [B, S, hidden]` with full
@@ -161,10 +161,7 @@ impl Layer for Lstm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("backward called without forward");
+        let cache = self.cache.take().expect("backward called without forward");
         let dims = cache.input.shape().dims().to_vec();
         let (b, s, din) = (dims[0], dims[1], dims[2]);
         let h = self.hidden;
@@ -237,8 +234,7 @@ impl Layer for Lstm {
             let mut xt = vec![0.0f32; b * din];
             for bi in 0..b {
                 let off = (bi * s + t) * din;
-                xt[bi * din..(bi + 1) * din]
-                    .copy_from_slice(&cache.input.data()[off..off + din]);
+                xt[bi * din..(bi + 1) * din].copy_from_slice(&cache.input.data()[off..off + din]);
             }
             // dW_ih += dzᵀ·x_t ; dW_hh += dzᵀ·h_prev ; db += Σ dz
             matmul_at_flat_acc(&dz, &xt, &mut d_wih, b, h4, din);
@@ -267,7 +263,10 @@ impl Layer for Lstm {
         {
             *g += d;
         }
-        for (g, d) in self.grads[w_hh_off..w_hh_off + h4 * h].iter_mut().zip(d_whh) {
+        for (g, d) in self.grads[w_hh_off..w_hh_off + h4 * h]
+            .iter_mut()
+            .zip(d_whh)
+        {
             *g += d;
         }
         for (g, d) in self.grads[bias_off..].iter_mut().zip(d_b) {

@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn lstm_lm_output_is_per_timestep_logits() {
         let mut net = lstm_lm(0, 12, 6, 8);
-        let ids = Tensor::from_vec(Shape::d2(2, 5), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let ids = Tensor::from_vec(
+            Shape::d2(2, 5),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
         let y = Model::forward(&mut net, &ids, true);
         assert_eq!(y.shape().dims(), &[10, 12]);
     }
@@ -215,10 +219,7 @@ mod tests {
             opt.step_dense(&mut net, &g);
             last = l;
         }
-        assert!(
-            last < 0.5 * l0,
-            "loss must at least halve: {l0} -> {last}"
-        );
+        assert!(last < 0.5 * l0, "loss must at least halve: {l0} -> {last}");
     }
 
     #[test]

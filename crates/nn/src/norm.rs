@@ -164,8 +164,8 @@ impl Layer for BatchNorm2d {
                     let dy = grad_out.data()[i] as f64;
                     let dxh = dy * gamma[ci] as f64;
                     let xh = cache.x_hat[i] as f64;
-                    let dx = inv_std / m as f64
-                        * (m as f64 * dxh - dxhat_sum - xh * dxhat_xhat_sum);
+                    let dx =
+                        inv_std / m as f64 * (m as f64 * dxh - dxhat_sum - xh * dxhat_xhat_sum);
                     grad_in.data_mut()[i] = dx as f32;
                 }
             }

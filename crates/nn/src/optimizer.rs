@@ -25,10 +25,7 @@ impl MomentumSgd {
     /// Panics if `lr` is not positive-finite or `momentum ∉ [0, 1)`.
     pub fn new(num_params: usize, lr: f32, momentum: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         MomentumSgd {
             velocity: vec![0.0; num_params],
             scratch: vec![0.0; num_params],
@@ -59,7 +56,11 @@ impl MomentumSgd {
     /// Panics if `grad.len()` differs from the model's parameter count.
     pub fn step_dense(&mut self, model: &mut dyn Model, grad: &[f32]) {
         assert_eq!(grad.len(), self.velocity.len(), "gradient length mismatch");
-        assert_eq!(model.num_params(), self.velocity.len(), "model size mismatch");
+        assert_eq!(
+            model.num_params(),
+            self.velocity.len(),
+            "model size mismatch"
+        );
         for ((v, s), &g) in self
             .velocity
             .iter_mut()

@@ -59,7 +59,8 @@ impl Layer for ResidualBlock {
             Some(p) => p.forward(input, train),
             None => input.clone(),
         };
-        main.add_assign(&skip).expect("skip shape matches main path");
+        main.add_assign(&skip)
+            .expect("skip shape matches main path");
         self.cached_pre_relu = Some(main.clone());
         // Final ReLU (inline so we keep the pre-activation for backward).
         main.map(|v| v.max(0.0))

@@ -117,11 +117,17 @@ fn zoo_models_have_documented_sizes() {
     // Parameter counts are part of the experiment design (k = ρ·m);
     // pin them so silent architecture changes are caught.
     assert_eq!(models::logistic(0, 16, 4).num_params(), 16 * 4 + 4);
-    assert_eq!(models::mlp(0, 16, 32, 4).num_params(), 16 * 32 + 32 + 32 * 4 + 4);
+    assert_eq!(
+        models::mlp(0, 16, 32, 4).num_params(),
+        16 * 32 + 32 + 32 * 4 + 4
+    );
     let vgg = models::vgg_lite(0, 3, 8, 10).num_params();
     assert!(vgg > 15_000 && vgg < 40_000, "vgg_lite m = {vgg}");
     let resnet = models::resnet20_lite(0, 3, 10).num_params();
-    assert!(resnet > 5_000 && resnet < 20_000, "resnet20_lite m = {resnet}");
+    assert!(
+        resnet > 5_000 && resnet < 20_000,
+        "resnet20_lite m = {resnet}"
+    );
     let lstm = models::lstm_lm(0, 16, 12, 24).num_params();
     assert!(lstm > 5_000 && lstm < 20_000, "lstm_lm m = {lstm}");
 }

@@ -16,8 +16,11 @@ pub enum AggregationKind {
 
 impl AggregationKind {
     /// All three algorithms, in the paper's presentation order.
-    pub const ALL: [AggregationKind; 3] =
-        [AggregationKind::Dense, AggregationKind::TopK, AggregationKind::GTopK];
+    pub const ALL: [AggregationKind; 3] = [
+        AggregationKind::Dense,
+        AggregationKind::TopK,
+        AggregationKind::GTopK,
+    ];
 
     /// Display name used in experiment tables.
     pub fn name(&self) -> &'static str {

@@ -22,8 +22,6 @@ pub mod alphabeta;
 pub mod scaling;
 pub mod workloads;
 
-pub use alphabeta::{
-    dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms, AggregationKind,
-};
+pub use alphabeta::{dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms, AggregationKind};
 pub use scaling::{scaling_efficiency, throughput_images_per_sec, IterationProfile};
 pub use workloads::{paper_models, ModelSpec};

@@ -57,7 +57,11 @@ pub fn scaling_efficiency(profile: &IterationProfile) -> f64 {
 /// # Panics
 ///
 /// Panics if the profile total is zero.
-pub fn throughput_images_per_sec(profile: &IterationProfile, p: usize, batch_per_worker: usize) -> f64 {
+pub fn throughput_images_per_sec(
+    profile: &IterationProfile,
+    p: usize,
+    batch_per_worker: usize,
+) -> f64 {
     let t_sec = profile.total_ms() / 1000.0;
     assert!(t_sec > 0.0, "iteration must take positive time");
     (p * batch_per_worker) as f64 / t_sec

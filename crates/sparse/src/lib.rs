@@ -39,7 +39,12 @@ mod vector;
 pub mod wire;
 
 pub use mask::Mask;
-pub use merge::{topk_merge, topk_merge_many};
+pub use merge::{
+    topk_merge, topk_merge_into, topk_merge_many, topk_merge_split_into, MergeScratch,
+};
 pub use residual::Residual;
-pub use topk::{sampled_topk_sparse, threshold_sparse, topk_indices, topk_sparse};
+pub use topk::{
+    sampled_topk_sparse, threshold_sparse, topk_indices, topk_indices_into, topk_sparse,
+    topk_sparse_into, TopkScratch,
+};
 pub use vector::SparseVec;

@@ -40,7 +40,10 @@ impl Mask {
         indices.sort_unstable();
         indices.dedup();
         if let Some(&last) = indices.last() {
-            assert!((last as usize) < dim, "index {last} out of bounds for dim {dim}");
+            assert!(
+                (last as usize) < dim,
+                "index {last} out of bounds for dim {dim}"
+            );
         }
         Mask { dim, indices }
     }

@@ -7,7 +7,8 @@
 //! selection are put back (Algorithm 4, line 10) so no gradient mass is
 //! ever silently dropped — only delayed.
 
-use crate::{sampled_topk_sparse, topk_sparse, SparseVec};
+use crate::topk::{sampled_topk_sparse, topk_sparse_into, TopkScratch};
+use crate::SparseVec;
 use rand::Rng;
 
 /// Dense error-feedback buffer with top-k extraction.
@@ -26,9 +27,20 @@ use rand::Rng;
 /// r.put_back(&top);
 /// assert_eq!(r.dense(), &[1.0, -3.0, 0.5, 2.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Residual {
     acc: Vec<f32>,
+    /// Reused top-k selection buffers — extraction is O(dim) scratch that
+    /// would otherwise be reallocated every training step.
+    scratch: TopkScratch,
+}
+
+/// Equality is over the gradient content only; scratch buffers are
+/// transient state.
+impl PartialEq for Residual {
+    fn eq(&self, other: &Self) -> bool {
+        self.acc == other.acc
+    }
 }
 
 impl Residual {
@@ -36,6 +48,7 @@ impl Residual {
     pub fn new(dim: usize) -> Self {
         Residual {
             acc: vec![0.0; dim],
+            scratch: TopkScratch::new(),
         }
     }
 
@@ -58,8 +71,13 @@ impl Residual {
 
     /// Extracts the top-`k` coordinates by |value|, zeroing them in the
     /// buffer and returning them as a sparse vector.
+    ///
+    /// Selection scratch is reused across calls, so steady-state cost is
+    /// the quickselect itself with no per-step allocation beyond the
+    /// returned k-entry vector.
     pub fn extract_topk(&mut self, k: usize) -> SparseVec {
-        let sv = topk_sparse(&self.acc, k);
+        let mut sv = SparseVec::empty(self.acc.len());
+        topk_sparse_into(&self.acc, k, &mut self.scratch, &mut sv);
         for &i in sv.indices() {
             self.acc[i as usize] = 0.0;
         }
@@ -68,7 +86,12 @@ impl Residual {
 
     /// Like [`Residual::extract_topk`] but using the sampled-threshold
     /// selection kernel — exactly `min(k, dim)` coordinates are extracted.
-    pub fn extract_topk_sampled(&mut self, k: usize, sample: usize, rng: &mut impl Rng) -> SparseVec {
+    pub fn extract_topk_sampled(
+        &mut self,
+        k: usize,
+        sample: usize,
+        rng: &mut impl Rng,
+    ) -> SparseVec {
         let sv = sampled_topk_sparse(&self.acc, k, sample, rng);
         for &i in sv.indices() {
             self.acc[i as usize] = 0.0;

@@ -2,31 +2,140 @@
 //!
 //! The paper selects the `k = ρ·m` gradient coordinates of largest absolute
 //! value (Algorithm 1, lines 5–7). We provide an exact O(m) expected-time
-//! quickselect ([`topk_indices`]), a plain threshold filter
-//! ([`threshold_sparse`]), and a sampled-threshold approximation
-//! ([`sampled_topk_sparse`]) of the kind used to cut GPU selection cost —
-//! the paper's Fig. 11 flags compression time as a real overhead.
+//! quickselect ([`topk_indices`] / [`topk_indices_into`]), a plain
+//! threshold filter ([`threshold_sparse`]), and a sampled-threshold
+//! approximation ([`sampled_topk_sparse`]) of the kind used to cut GPU
+//! selection cost — the paper's Fig. 11 flags compression time as a real
+//! overhead.
 //!
-//! Ties are broken deterministically towards the lower index so that every
-//! worker replica computes an identical selection for identical input.
+//! # Threading & determinism
+//!
+//! Large inputs are selected in parallel: the index space is split into
+//! contiguous chunks (see `gtopk_tensor::parallel`), each chunk's local
+//! top-k is found independently, and an exact final select runs over the
+//! ≤ `threads·k` gathered candidates. This is *bitwise identical* to the
+//! serial kernel for any thread count or chunking: the comparator is a
+//! strict total order (larger magnitude first, lower index breaks ties,
+//! NaN magnitude counts as 0), so the global top-k set is unique, and
+//! every member of it is necessarily inside its own chunk's local top-k —
+//! fewer than `k` coordinates beat it globally, hence fewer than `k`
+//! within its chunk. The candidate union therefore always contains the
+//! answer and the final exact select returns exactly the serial result.
+//!
+//! The determinism is load-bearing: every worker replica must compute an
+//! identical selection for identical input, or replicas drift apart.
+//!
+//! # Scratch reuse
+//!
+//! The `_into` variants take a [`TopkScratch`] so the O(m) index buffer is
+//! allocated once per trainer, not once per step. The plain variants
+//! allocate internally and are unchanged in behavior.
 
 use crate::SparseVec;
+use gtopk_tensor::parallel;
 use rand::Rng;
 use std::cmp::Ordering;
 
+/// Inputs below this many elements per chunk are selected serially —
+/// spawn overhead beats quickselect on anything smaller.
+const PAR_MIN_CHUNK: usize = 32 * 1024;
+
+/// Comparison magnitude of a value: `|v|`, with NaN mapped to 0 so the
+/// comparator stays a total order (a NaN gradient coordinate sorts as if
+/// it were zero instead of poisoning the selection).
+#[inline]
+fn mag(v: f32) -> f32 {
+    let m = v.abs();
+    if m.is_nan() {
+        0.0
+    } else {
+        m
+    }
+}
+
 /// Compares candidate coordinates: larger |value| first, then lower index.
 fn tie_cmp(values: &[f32], a: u32, b: u32) -> Ordering {
-    let (va, vb) = (values[a as usize].abs(), values[b as usize].abs());
+    let (va, vb) = (mag(values[a as usize]), mag(values[b as usize]));
+    // `mag` never returns NaN, so `partial_cmp` is total here; the `None`
+    // arm is unreachable but kept so the comparator is safe by inspection.
     match vb.partial_cmp(&va) {
         Some(Ordering::Equal) | None => a.cmp(&b),
         Some(ord) => ord,
     }
 }
 
+/// Reusable buffers for [`topk_indices_into`] / [`topk_sparse_into`].
+///
+/// Holds the O(m) index permutation buffer and the parallel candidate
+/// buffer, so steady-state selection performs zero heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TopkScratch {
+    /// Index buffer: 0..n, partially selected in place (per chunk when
+    /// running parallel).
+    idx: Vec<u32>,
+    /// Gathered per-chunk candidates (≤ chunks·k entries).
+    cand: Vec<u32>,
+}
+
+impl TopkScratch {
+    /// Empty scratch; buffers grow to the input size on first use.
+    pub fn new() -> Self {
+        TopkScratch::default()
+    }
+}
+
+/// Writes the indices of the `k` entries of largest absolute value into
+/// `out`, ascending, reusing `scratch` buffers.
+///
+/// Writes all indices if `k >= values.len()`. Expected O(m) via
+/// `select_nth_unstable_by`; runs chunk-parallel for large inputs with a
+/// bitwise-identical result (see module docs). Deterministic under ties
+/// (lower index wins).
+pub fn topk_indices_into(values: &[f32], k: usize, scratch: &mut TopkScratch, out: &mut Vec<u32>) {
+    out.clear();
+    let n = values.len();
+    if k == 0 || n == 0 {
+        return;
+    }
+    if k >= n {
+        out.extend(0..n as u32);
+        return;
+    }
+    scratch.idx.clear();
+    scratch.idx.extend(0..n as u32);
+    let chunks = parallel::chunk_count(n, PAR_MIN_CHUNK);
+    // Parallel selection only pays off while the per-chunk top-k is much
+    // smaller than the chunks themselves; otherwise nearly every element
+    // becomes a candidate and the final select repeats the full work.
+    if chunks > 1 && 2 * chunks * k < n {
+        parallel::for_each_chunk_mut(&mut scratch.idx, PAR_MIN_CHUNK, |_, _, chunk| {
+            if k < chunk.len() {
+                chunk.select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(values, a, b));
+            }
+        });
+        let (idx, cand) = (&scratch.idx, &mut scratch.cand);
+        cand.clear();
+        for (start, end) in parallel::chunk_bounds(n, PAR_MIN_CHUNK) {
+            cand.extend_from_slice(&idx[start..start + k.min(end - start)]);
+        }
+        if k < cand.len() {
+            cand.select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(values, a, b));
+            cand.truncate(k);
+        }
+        out.extend_from_slice(cand);
+    } else {
+        scratch
+            .idx
+            .select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(values, a, b));
+        out.extend_from_slice(&scratch.idx[..k]);
+    }
+    out.sort_unstable();
+}
+
 /// Indices of the `k` entries of largest absolute value, ascending order.
 ///
-/// Returns all indices if `k >= values.len()`. Expected O(m) via
-/// `select_nth_unstable_by`; deterministic under ties (lower index wins).
+/// Allocating wrapper around [`topk_indices_into`]; hot paths hold a
+/// [`TopkScratch`] and call the `_into` variant instead.
 ///
 /// # Examples
 ///
@@ -35,37 +144,57 @@ fn tie_cmp(values: &[f32], a: u32, b: u32) -> Ordering {
 /// assert_eq!(topk_indices(&[1.0, -9.0, 3.0], 2), vec![1, 2]);
 /// ```
 pub fn topk_indices(values: &[f32], k: usize) -> Vec<u32> {
-    let n = values.len();
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut idx: Vec<u32> = (0..n as u32).collect();
-    if k < n {
-        idx.select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(values, a, b));
-        idx.truncate(k);
-    }
-    idx.sort_unstable();
-    idx
+    let mut out = Vec::new();
+    topk_indices_into(values, k, &mut TopkScratch::new(), &mut out);
+    out
+}
+
+/// Sparsifies a dense vector into `out`, keeping the `k` entries of
+/// largest |value| and reusing `scratch` buffers.
+///
+/// This is exactly `G̃ = G ⊙ Mask` of Algorithm 1, allocation-free in
+/// steady state.
+pub fn topk_sparse_into(dense: &[f32], k: usize, scratch: &mut TopkScratch, out: &mut SparseVec) {
+    out.dim = dense.len();
+    let mut indices = std::mem::take(&mut out.indices);
+    topk_indices_into(dense, k, scratch, &mut indices);
+    out.values.clear();
+    out.values
+        .extend(indices.iter().map(|&i| dense[i as usize]));
+    out.indices = indices;
 }
 
 /// Sparsifies a dense vector keeping the `k` entries of largest |value|.
 ///
-/// This is exactly `G̃ = G ⊙ Mask` of Algorithm 1.
+/// Allocating wrapper around [`topk_sparse_into`].
 pub fn topk_sparse(dense: &[f32], k: usize) -> SparseVec {
-    let idx = topk_indices(dense, k);
-    let values = idx.iter().map(|&i| dense[i as usize]).collect();
-    SparseVec::from_sorted(dense.len(), idx, values)
+    let mut out = SparseVec::empty(dense.len());
+    topk_sparse_into(dense, k, &mut TopkScratch::new(), &mut out);
+    out
 }
 
 /// Sparsifies by keeping every entry with `|value| > thr`.
+///
+/// Runs chunk-parallel for large inputs; chunks are contiguous and
+/// gathered in order, so the result is identical to the serial filter.
 pub fn threshold_sparse(dense: &[f32], thr: f32) -> SparseVec {
-    let mut indices = Vec::new();
-    let mut values = Vec::new();
-    for (i, &v) in dense.iter().enumerate() {
-        if v.abs() > thr {
-            indices.push(i as u32);
-            values.push(v);
+    let parts = parallel::map_chunks(dense, PAR_MIN_CHUNK, |_, start, chunk| {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in chunk.iter().enumerate() {
+            if v.abs() > thr {
+                indices.push((start + i) as u32);
+                values.push(v);
+            }
         }
+        (indices, values)
+    });
+    let total: usize = parts.iter().map(|(i, _)| i.len()).sum();
+    let mut indices = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for (i, v) in parts {
+        indices.extend_from_slice(&i);
+        values.extend_from_slice(&v);
     }
     SparseVec::from_sorted(dense.len(), indices, values)
 }
@@ -84,7 +213,12 @@ pub fn threshold_sparse(dense: &[f32], thr: f32) -> SparseVec {
 /// # Panics
 ///
 /// Panics if `sample == 0` while `k > 0` and the input is non-empty.
-pub fn sampled_topk_sparse(dense: &[f32], k: usize, sample: usize, rng: &mut impl Rng) -> SparseVec {
+pub fn sampled_topk_sparse(
+    dense: &[f32],
+    k: usize,
+    sample: usize,
+    rng: &mut impl Rng,
+) -> SparseVec {
     let n = dense.len();
     if k == 0 || n == 0 {
         return SparseVec::empty(n);
@@ -94,9 +228,10 @@ pub fn sampled_topk_sparse(dense: &[f32], k: usize, sample: usize, rng: &mut imp
     }
     assert!(sample > 0, "sample size must be positive");
     let sample = sample.min(n);
-    // Sample |values| uniformly with replacement.
+    // Sample |values| uniformly with replacement (NaN counted as 0, like
+    // the exact kernel's comparator).
     let mut mags: Vec<f32> = (0..sample)
-        .map(|_| dense[rng.gen_range(0..n)].abs())
+        .map(|_| mag(dense[rng.gen_range(0..n)]))
         .collect();
     // Estimated threshold: the value such that a fraction k/n of samples
     // exceeds it — deliberately relaxed by a 4x margin so the candidate
@@ -105,6 +240,7 @@ pub fn sampled_topk_sparse(dense: &[f32], k: usize, sample: usize, rng: &mut imp
     // O(m) rescan).
     let quota = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
     let quota = (quota.saturating_mul(4)).clamp(1, sample);
+    // `mag` outputs are never NaN, so this sort is total.
     mags.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(Ordering::Equal));
     let mut thr = mags[quota - 1];
     // Collect candidates, relaxing the threshold a bounded number of
@@ -121,8 +257,7 @@ pub fn sampled_topk_sparse(dense: &[f32], k: usize, sample: usize, rng: &mut imp
             let pairs: Vec<(u32, f32)> = cand.iter().collect();
             let vals: Vec<f32> = pairs.iter().map(|&(_, v)| v).collect();
             let local = topk_indices(&vals, k);
-            let selected: Vec<(u32, f32)> =
-                local.iter().map(|&li| pairs[li as usize]).collect();
+            let selected: Vec<(u32, f32)> = local.iter().map(|&li| pairs[li as usize]).collect();
             return SparseVec::from_pairs(n, selected);
         }
         if thr <= 0.0 {
@@ -140,6 +275,7 @@ pub fn sampled_topk_sparse(dense: &[f32], k: usize, sample: usize, rng: &mut imp
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gtopk_tensor::parallel::{with_min_chunk, with_thread_limit};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -166,6 +302,62 @@ mod tests {
     }
 
     #[test]
+    fn nan_and_infinity_are_handled_deterministically() {
+        let v = [
+            f32::NAN,
+            1.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -1.0,
+            f32::NAN,
+        ];
+        // ±inf dominate; NaN sorts as magnitude 0, below every finite value.
+        assert_eq!(topk_indices(&v, 2), vec![2, 3]);
+        assert_eq!(topk_indices(&v, 3), vec![1, 2, 3]);
+        // Top-5 set is {2, 3} (±inf), {1, 4} (finite), then index 0 (the
+        // lower-indexed NaN); output is the set sorted ascending.
+        assert_eq!(topk_indices(&v, 5), vec![0, 1, 2, 3, 4]);
+        // The full selection (k = n) must also terminate and stay sorted —
+        // this hangs or panics if the comparator is not a total order.
+        assert_eq!(topk_indices(&v, 6), vec![0, 1, 2, 3, 4, 5]);
+        // All-NaN input: pure index order.
+        let nans = [f32::NAN; 5];
+        assert_eq!(topk_indices(&nans, 2), vec![0, 1]);
+        let sv = threshold_sparse(&v, 10.0);
+        assert_eq!(sv.indices(), &[2, 3]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let mut scratch = TopkScratch::new();
+        let mut out = Vec::new();
+        let mut sv = SparseVec::empty(0);
+        for seed in 0..5u64 {
+            let v: Vec<f32> = (0..500)
+                .map(|i| (((i as u64 + 1) * (seed + 3) * 2_654_435_761) % 1000) as f32 - 500.0)
+                .collect();
+            topk_indices_into(&v, 17, &mut scratch, &mut out);
+            assert_eq!(out, topk_indices(&v, 17), "seed {seed}");
+            topk_sparse_into(&v, 17, &mut scratch, &mut sv);
+            assert_eq!(sv, topk_sparse(&v, 17), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_forced_chunking() {
+        let v: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761u64 as usize) % 997) as f32 - 498.0)
+            .collect();
+        for k in [1usize, 7, 100, 999] {
+            let serial = with_thread_limit(1, || topk_indices(&v, k));
+            for threads in [2, 3, 4, 8] {
+                let par = with_thread_limit(threads, || with_min_chunk(64, || topk_indices(&v, k)));
+                assert_eq!(par, serial, "threads={threads} k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn threshold_filters_strictly() {
         let v = [0.5, -2.0, 2.0, 1.0];
         let sv = threshold_sparse(&v, 1.0);
@@ -173,9 +365,19 @@ mod tests {
     }
 
     #[test]
+    fn threshold_parallel_matches_serial() {
+        let v: Vec<f32> = (0..5000).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let serial = with_thread_limit(1, || threshold_sparse(&v, 3.0));
+        let par = with_thread_limit(4, || with_min_chunk(32, || threshold_sparse(&v, 3.0)));
+        assert_eq!(par, serial);
+    }
+
+    #[test]
     fn sampled_topk_exact_count() {
         let mut rng = StdRng::seed_from_u64(3);
-        let dense: Vec<f32> = (0..1000).map(|i| ((i * 7919) % 997) as f32 - 498.0).collect();
+        let dense: Vec<f32> = (0..1000)
+            .map(|i| ((i * 7919) % 997) as f32 - 498.0)
+            .collect();
         for k in [1usize, 10, 100] {
             let sv = sampled_topk_sparse(&dense, k, 64, &mut rng);
             assert_eq!(sv.nnz(), k, "k={k}");
@@ -186,7 +388,13 @@ mod tests {
     fn sampled_topk_overlaps_exact_heavily() {
         let mut rng = StdRng::seed_from_u64(9);
         let dense: Vec<f32> = (0..2000)
-            .map(|i| if i % 100 == 0 { 50.0 + i as f32 } else { (i % 7) as f32 * 0.01 })
+            .map(|i| {
+                if i % 100 == 0 {
+                    50.0 + i as f32
+                } else {
+                    (i % 7) as f32 * 0.01
+                }
+            })
             .collect();
         let k = 20;
         let approx = sampled_topk_sparse(&dense, k, 256, &mut rng);
@@ -228,6 +436,27 @@ mod tests {
                     .fold(0.0f32, f32::max);
                 prop_assert!(min_sel >= max_rest);
             }
+        }
+
+        /// Parallel selection is bitwise-identical to serial for any thread
+        /// count and chunking, including tie-heavy and NaN-bearing inputs.
+        #[test]
+        fn prop_parallel_topk_identical_to_serial(
+            values in proptest::collection::vec(-8i32..8, 1..400),
+            k in 0usize..48,
+            threads in 1usize..8,
+            min_chunk in 4usize..64,
+        ) {
+            // Integer-derived values make magnitude ties extremely common;
+            // sprinkle NaNs at a fixed stride.
+            let values: Vec<f32> = values.iter().enumerate()
+                .map(|(i, &v)| if i % 11 == 10 { f32::NAN } else { v as f32 })
+                .collect();
+            let serial = with_thread_limit(1, || topk_indices(&values, k));
+            let par = with_thread_limit(threads, || {
+                with_min_chunk(min_chunk, || topk_indices(&values, k))
+            });
+            prop_assert_eq!(par, serial);
         }
 
         /// Sampled top-k returns exactly min(k, n) entries and each selected

@@ -18,9 +18,13 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseVec {
-    dim: usize,
-    indices: Vec<u32>,
-    values: Vec<f32>,
+    // Crate-internal kernels (top-k selection, the ⊤ merge) write these
+    // buffers directly to reuse their allocations across steps. Invariant
+    // every writer must uphold: `indices` strictly ascending, parallel to
+    // `values`, all `< dim`.
+    pub(crate) dim: usize,
+    pub(crate) indices: Vec<u32>,
+    pub(crate) values: Vec<f32>,
 }
 
 impl SparseVec {
@@ -65,12 +69,19 @@ impl SparseVec {
     /// Panics if lengths differ, indices are not strictly ascending, or any
     /// index is `>= dim`.
     pub fn from_sorted(dim: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
         for w in indices.windows(2) {
             assert!(w[0] < w[1], "indices must be strictly ascending");
         }
         if let Some(&last) = indices.last() {
-            assert!((last as usize) < dim, "index {last} out of bounds for dim {dim}");
+            assert!(
+                (last as usize) < dim,
+                "index {last} out of bounds for dim {dim}"
+            );
         }
         SparseVec {
             dim,

@@ -121,7 +121,9 @@ pub fn decode(bytes: &[u8]) -> Result<SparseVec, WireError> {
     }
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        values.push(f32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")));
+        values.push(f32::from_le_bytes(
+            bytes[pos..pos + 4].try_into().expect("4 bytes"),
+        ));
         pos += 4;
     }
     Ok(SparseVec::from_sorted(dim, indices, values))
@@ -157,7 +159,10 @@ mod tests {
     fn truncated_buffers_rejected() {
         let v = SparseVec::from_pairs(16, vec![(1, 1.0), (2, 2.0)]);
         let bytes = encode(&v);
-        assert!(matches!(decode(&bytes[..10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
         assert!(matches!(
             decode(&bytes[..bytes.len() - 1]),
             Err(WireError::Truncated { .. })

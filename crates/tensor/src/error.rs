@@ -43,7 +43,10 @@ impl fmt::Display for TensorError {
                 write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
         }

@@ -60,7 +60,10 @@ mod tests {
     fn deterministic_for_same_seed() {
         let mut r1 = StdRng::seed_from_u64(42);
         let mut r2 = StdRng::seed_from_u64(42);
-        assert_eq!(xavier_uniform(&mut r1, 16, 4, 4), xavier_uniform(&mut r2, 16, 4, 4));
+        assert_eq!(
+            xavier_uniform(&mut r1, 16, 4, 4),
+            xavier_uniform(&mut r2, 16, 4, 4)
+        );
     }
 
     #[test]

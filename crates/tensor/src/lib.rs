@@ -28,6 +28,7 @@ mod error;
 mod init;
 mod matmul;
 mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
 

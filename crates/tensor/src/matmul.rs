@@ -2,34 +2,79 @@
 //! backpropagation (`dX = dY·Wᵀ`, `dW = Xᵀ·dY`).
 //!
 //! All kernels operate on flat row-major slices so they can be reused on
-//! tensor views without reshaping, and are written i-k-j loop-ordered for
-//! cache friendliness.
+//! tensor views without reshaping.
+//!
+//! # Threading & determinism
+//!
+//! Large multiplies run row-parallel (threads own disjoint blocks of
+//! output rows, see `crate::parallel`) and the standard kernels block the
+//! shared dimension so a `KC`-row panel of `B` stays cache-resident across
+//! output rows. Both transformations are *bitwise identical* to the plain
+//! serial i-k-j loops: every output element accumulates its products in
+//! exactly the same order (ascending `p` for the standard kernels,
+//! ascending `i` for the `Aᵀ·B` kernel), because row-parallelism only
+//! partitions independent output rows and the `p`-blocking visits blocks in
+//! ascending order with the same per-thread row kernel serial execution
+//! uses. The `av == 0.0` skip is likewise shared by every path. Training
+//! replicas rely on this: identical inputs must produce identical models
+//! on every rank regardless of `GTOPK_THREADS`.
 
+use crate::parallel;
 use crate::{Result, Shape, Tensor, TensorError};
 
+/// Shared-dimension block size: a `KC × n` panel of `B` (`KC` rows) is
+/// reused across all output rows before moving on.
+const KC: usize = 128;
+
+/// Below this many fused multiply-adds a multiply stays serial.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Minimum output rows per thread so each spawn amortizes over at least
+/// `PAR_MIN_FLOPS` work.
+fn min_rows_for(flops_per_row: usize) -> usize {
+    (PAR_MIN_FLOPS / flops_per_row.max(1)).max(1)
+}
+
+/// `C[rows,n] += A[rows,k] · B[k,n]` for a contiguous row block, with the
+/// shared dimension visited in ascending `KC`-blocks.
+///
+/// This is THE row kernel for [`matmul_flat`] / [`matmul_flat_acc`]: the
+/// serial path calls it once over all rows, the parallel path once per
+/// disjoint row block, so per-element accumulation order (ascending `p`)
+/// is identical everywhere.
+fn flat_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: usize) {
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + KC).min(k);
+        for i in 0..rows {
+            let arow = &a[i * k + p0..i * k + p1];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (off, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[(p0 + off) * n..(p0 + off + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        p0 = p1;
+    }
+}
+
 /// `C[m,n] = A[m,k] · B[k,n]` over flat row-major slices.
+///
+/// Blocked and row-parallel for large inputs; bitwise identical to the
+/// serial loop for any thread count (see module docs).
 ///
 /// # Panics
 ///
 /// Debug-asserts that slice lengths match the given dimensions.
 pub fn matmul_flat(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     c.iter_mut().for_each(|v| *v = 0.0);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
-            }
-        }
-    }
+    matmul_flat_acc(a, b, c, m, k, n);
 }
 
 /// `C[m,n] += A[m,k] · B[k,n]` (accumulating variant).
@@ -37,17 +82,30 @@ pub fn matmul_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
+    if m == 0 || n == 0 {
+        return;
+    }
+    parallel::for_each_row_block_mut(c, n, min_rows_for(k * n), |first_row, cblock| {
+        let rows = cblock.len() / n;
+        let ablock = &a[first_row * k..(first_row + rows) * k];
+        flat_acc_rows(ablock, b, cblock, rows, k, n);
+    });
+}
+
+/// Dot-product row kernel for [`matmul_bt_flat`]: one output row of
+/// `A · Bᵀ`. Single sequential accumulator per element, shared by the
+/// serial and parallel paths.
+fn bt_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
-            }
+            *cv = acc;
         }
     }
 }
@@ -55,20 +113,46 @@ pub fn matmul_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` — right operand stored transposed.
 ///
 /// This is the `dX = dY · Wᵀ` step of a linear layer's backward pass when
-/// `W` is stored `[n_out, n_in]`.
+/// `W` is stored `[n_out, n_in]`. Row-parallel for large inputs with a
+/// bitwise-identical result.
 pub fn matmul_bt_flat(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    parallel::for_each_row_block_mut(c, n, min_rows_for(k * n), |first_row, cblock| {
+        let rows = cblock.len() / n;
+        let ablock = &a[first_row * k..(first_row + rows) * k];
+        bt_rows(ablock, b, cblock, rows, k, n);
+    });
+}
+
+/// Row kernel for [`matmul_at_flat_acc`]: accumulates `Aᵀ · B` into the
+/// contiguous block of `C` rows `[p_lo, p_lo + rows)`, visiting `i` in
+/// ascending order — the same per-element order as the serial loop.
+fn at_acc_rows(
+    a: &[f32],
+    b: &[f32],
+    cblock: &mut [f32],
+    p_lo: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = cblock.len() / n;
     for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av * bv;
+        let arow = &a[i * k + p_lo..i * k + p_lo + rows];
+        let brow = &b[i * n..(i + 1) * n];
+        for (r, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
             }
-            c[i * n + j] = acc;
+            let crow = &mut cblock[r * n..(r + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
         }
     }
 }
@@ -76,23 +160,18 @@ pub fn matmul_bt_flat(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
 /// `C[k,n] += A[m,k]ᵀ · B[m,n]` — left operand transposed, accumulating.
 ///
 /// This is the `dW += Xᵀ · dY` step of a linear layer's backward pass.
+/// Threads own disjoint blocks of `C` rows (columns of `A`); each walks
+/// `i` ascending, so the result is bitwise identical to the serial loop.
 pub fn matmul_at_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let brow = &b[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
-            }
-        }
+    if k == 0 || n == 0 {
+        return;
     }
+    parallel::for_each_row_block_mut(c, n, min_rows_for(m * n), |p_lo, cblock| {
+        at_acc_rows(a, b, cblock, p_lo, m, k, n);
+    });
 }
 
 impl Tensor {

@@ -322,10 +322,7 @@ mod tests {
         let a = t(vec![1.0, 2.0, 3.0, 4.0]);
         let b = a.reshape(Shape::d2(2, 2)).unwrap();
         assert_eq!(b.get(&[1, 0]), 3.0);
-        assert!(b
-            .clone()
-            .reshape(Shape::d2(3, 2))
-            .is_err());
+        assert!(b.clone().reshape(Shape::d2(3, 2)).is_err());
     }
 
     #[test]

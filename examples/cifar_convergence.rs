@@ -28,7 +28,12 @@ fn main() {
         ));
     }
 
-    println!("\nepoch  {}", rows.iter().map(|r| format!("{:>12}", r.0)).collect::<String>());
+    println!(
+        "\nepoch  {}",
+        rows.iter()
+            .map(|r| format!("{:>12}", r.0))
+            .collect::<String>()
+    );
     let epochs = rows[0].1.len();
     for e in 0..epochs {
         print!("{e:5}");

@@ -46,7 +46,10 @@ fn main() {
     println!("global top-{k}: {nnz} coordinates selected");
     println!("simulated completion time: {t:.2} ms");
     let max_sent = results.iter().map(|r| r.2).max().unwrap_or(0);
-    println!("per-rank traffic: at most {max_sent} elements ({} KiB)", max_sent * 4 / 1024);
+    println!(
+        "per-rank traffic: at most {max_sent} elements ({} KiB)",
+        max_sent * 4 / 1024
+    );
     println!(
         "\nthe binomial tree with contiguous ranks crosses the slow backbone only\n\
          log2({racks}) = {} times per reduction — the O(k log P) structure is\n\

@@ -7,8 +7,8 @@
 
 use gtopk_comm::CostModel;
 use gtopk_perfmodel::{
-    dense_allreduce_ms, gtopk_allreduce_ms, paper_models, scaling_efficiency,
-    topk_allreduce_ms, AggregationKind, IterationProfile,
+    dense_allreduce_ms, gtopk_allreduce_ms, paper_models, scaling_efficiency, topk_allreduce_ms,
+    AggregationKind, IterationProfile,
 };
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
             model.density,
             model.compute_ms
         );
-        println!("  {:>4}  {:>8}  {:>8}  {:>8}", "P", "Dense", "Top-k", "gTop-k");
+        println!(
+            "  {:>4}  {:>8}  {:>8}  {:>8}",
+            "P", "Dense", "Top-k", "gTop-k"
+        );
         for p in [4usize, 8, 16, 32, 64] {
             let eff = |kind: AggregationKind| {
                 let comm = match kind {

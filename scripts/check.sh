@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository-wide quality gate: formatting, lints, tests.
+#
+# Usage: scripts/check.sh
+#
+# The build environment has no registry access; everything runs with
+# --offline against the vendored stubs in vendor/ (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> OK"

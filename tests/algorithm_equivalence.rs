@@ -42,7 +42,12 @@ fn all_variants_select_same_coordinates_when_supports_agree() {
             let scale = 1.0 + comm.rank() as f32;
             let local = SparseVec::from_pairs(
                 dim,
-                vec![(1, scale), (7, -2.0 * scale), (20, 0.5 * scale), (31, 3.0 * scale)],
+                vec![
+                    (1, scale),
+                    (7, -2.0 * scale),
+                    (20, 0.5 * scale),
+                    (31, 3.0 * scale),
+                ],
             );
             let tree = gtopk_all_reduce(comm, local.clone(), k).unwrap().0;
             let naive = naive_gtopk_all_reduce(comm, local.clone(), k).unwrap().0;
@@ -74,7 +79,10 @@ fn tree_result_is_subset_of_union_of_contributions() {
         proposed.dedup();
         let (_, global) = &out[0];
         for &i in global.indices() {
-            assert!(proposed.binary_search(&i).is_ok(), "P={p}: coord {i} never proposed");
+            assert!(
+                proposed.binary_search(&i).is_ok(),
+                "P={p}: coord {i} never proposed"
+            );
         }
     }
 }

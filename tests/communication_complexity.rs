@@ -2,9 +2,9 @@
 //! (Table I) to the *measured* per-rank traffic of the executed
 //! algorithms, using the comm substrate's element counters.
 
-use gtopk::{Selector, 
+use gtopk::{
     gtopk_all_reduce, sparse_sum_recursive_doubling, Algorithm, DensitySchedule, LrSchedule,
-    TrainConfig,
+    Selector, TrainConfig,
 };
 use gtopk_comm::{collectives, Cluster, CostModel};
 use gtopk_data::GaussianMixture;
@@ -59,7 +59,10 @@ fn gtopk_traffic_grows_logarithmically_with_p() {
     // O(k log P): quadrupling P adds a constant amount, not a factor.
     let d1 = t16 as f64 - t4 as f64;
     let d2 = t64 as f64 - t16 as f64;
-    assert!(d1 > 0.0 && d2 > 0.0, "traffic grows with P: {t4} {t16} {t64}");
+    assert!(
+        d1 > 0.0 && d2 > 0.0,
+        "traffic grows with P: {t4} {t16} {t64}"
+    );
     assert!(
         d2 < 1.5 * d1,
         "increments must be ~constant (log growth): {d1} then {d2}"
@@ -128,9 +131,18 @@ fn training_volume_matches_aggregation_volume() {
         clip_norm: None,
         data_seed: 2,
     };
-    let dense = gtopk::train_distributed(&mk(Algorithm::Dense), || models::mlp(3, 16, 64, 4), &data, None);
-    let gtopk_run =
-        gtopk::train_distributed(&mk(Algorithm::GTopK), || models::mlp(3, 16, 64, 4), &data, None);
+    let dense = gtopk::train_distributed(
+        &mk(Algorithm::Dense),
+        || models::mlp(3, 16, 64, 4),
+        &data,
+        None,
+    );
+    let gtopk_run = gtopk::train_distributed(
+        &mk(Algorithm::GTopK),
+        || models::mlp(3, 16, 64, 4),
+        &data,
+        None,
+    );
     assert!(
         gtopk_run.elems_sent_rank0 * 10 < dense.elems_sent_rank0,
         "gTop-k {} vs dense {}",

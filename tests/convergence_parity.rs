@@ -2,7 +2,9 @@
 //! S-SGD converges like dense S-SGD (Figs. 1, 5–7), across model
 //! families, and the warmup density schedule behaves as described.
 
-use gtopk::{Selector, train_distributed, Algorithm, DensitySchedule, LrSchedule, TrainConfig, TrainReport};
+use gtopk::{
+    train_distributed, Algorithm, DensitySchedule, LrSchedule, Selector, TrainConfig, TrainReport,
+};
 use gtopk_comm::CostModel;
 use gtopk_data::{Dataset, GaussianMixture, MarkovText, PatternImages};
 use gtopk_nn::{models, Sequential};
@@ -111,7 +113,10 @@ fn feedback_extension_at_least_matches_plain_gtopk() {
     // Both converge; the feedback variant must not be materially worse.
     let p_drop = plain.epochs[0].train_loss - plain.final_loss();
     let f_drop = fb.epochs[0].train_loss - fb.final_loss();
-    assert!(f_drop > 0.8 * p_drop, "feedback drop {f_drop} vs plain {p_drop}");
+    assert!(
+        f_drop > 0.8 * p_drop,
+        "feedback drop {f_drop} vs plain {p_drop}"
+    );
 }
 
 #[test]
@@ -119,7 +124,12 @@ fn naive_and_tree_gtopk_converge_similarly() {
     let data = GaussianMixture::new(37, 256, 12, 4, 2.5, 0.5);
     let build = || models::mlp(7, 12, 24, 4);
     let tree = train_distributed(&cfg(Algorithm::GTopK, 8, 0.1, 0.01), build, &data, None);
-    let naive = train_distributed(&cfg(Algorithm::NaiveGTopK, 8, 0.1, 0.01), build, &data, None);
+    let naive = train_distributed(
+        &cfg(Algorithm::NaiveGTopK, 8, 0.1, 0.01),
+        build,
+        &data,
+        None,
+    );
     let t_drop = tree.epochs[0].train_loss - tree.final_loss();
     let n_drop = naive.epochs[0].train_loss - naive.final_loss();
     assert!(

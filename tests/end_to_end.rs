@@ -1,12 +1,19 @@
 //! End-to-end integration tests: full distributed training runs across
 //! model families, datasets, aggregation algorithms and cluster sizes.
 
-use gtopk::{Selector, train_distributed, Algorithm, DensitySchedule, LrSchedule, TrainConfig};
+use gtopk::{train_distributed, Algorithm, DensitySchedule, LrSchedule, Selector, TrainConfig};
 use gtopk_comm::CostModel;
 use gtopk_data::{GaussianMixture, MarkovText, PatternImages, Subset};
 use gtopk_nn::models;
 
-fn cfg(alg: Algorithm, workers: usize, batch: usize, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
+fn cfg(
+    alg: Algorithm,
+    workers: usize,
+    batch: usize,
+    epochs: usize,
+    lr: f32,
+    rho: f64,
+) -> TrainConfig {
     TrainConfig {
         workers,
         batch_per_worker: batch,
@@ -150,7 +157,10 @@ fn deterministic_given_identical_config() {
     let a = run();
     let b = run();
     for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
-        assert_eq!(ea.train_loss, eb.train_loss, "bit-identical reruns expected");
+        assert_eq!(
+            ea.train_loss, eb.train_loss,
+            "bit-identical reruns expected"
+        );
     }
 }
 

@@ -31,7 +31,9 @@ fn send_to_dead_peer_errors_once_channel_closes() {
             0 => {
                 // Wait for rank 2's death to become observable.
                 let recv_err = comm.recv(2, 9).expect_err("no message ever sent");
-                let send_err = comm.send(2, 9, Payload::Control).expect_err("channel closed");
+                let send_err = comm
+                    .send(2, 9, Payload::Control)
+                    .expect_err("channel closed");
                 Some((recv_err, send_err))
             }
             _ => None,

@@ -134,10 +134,8 @@ fn claim_speedup_grows_with_workers() {
 #[test]
 fn claim_wire_format_is_2k_words() {
     let k = 123usize;
-    let v = gtopk_sparse::SparseVec::from_pairs(
-        10_000,
-        (0..k as u32).map(|i| (i * 37, 1.0)).collect(),
-    );
+    let v =
+        gtopk_sparse::SparseVec::from_pairs(10_000, (0..k as u32).map(|i| (i * 37, 1.0)).collect());
     let bytes = gtopk_sparse::wire::encode(&v);
     assert_eq!(bytes.len() - gtopk_sparse::wire::HEADER_BYTES, 2 * k * 4);
 }

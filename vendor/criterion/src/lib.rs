@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. See
+//! `vendor/README.md` for the vendoring policy.
+//!
+//! Differences from upstream, by design: no statistical analysis, HTML
+//! reports, or outlier detection. Each benchmark runs a warm-up pass,
+//! then `sample_size` timed samples, and prints the per-sample median,
+//! minimum, and mean wall-clock time to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median/min/mean per-iteration time from the measurement pass.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample to make the
+    /// measurement meaningful, and records the samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // at least ~20ms per sample (capped for very slow routines).
+        let calib = Instant::now();
+        std::hint::black_box(routine());
+        let one = calib.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        self.iters_per_sample = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: self.sample_size,
+        };
+        f(&mut b, input);
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        let (median, min, mean) = if sorted.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            let sum: Duration = sorted.iter().sum();
+            (
+                sorted[sorted.len() / 2],
+                sorted[0],
+                sum / sorted.len() as u32,
+            )
+        };
+        println!(
+            "{}/{:<40} median {:>12.3?}  min {:>12.3?}  mean {:>12.3?}  ({} samples x {} iters)",
+            self.name,
+            b_id(&id),
+            median,
+            min,
+            mean,
+            sorted.len(),
+            b.iters_per_sample
+        );
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints
+    /// results eagerly, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn b_id(id: &BenchmarkId) -> &str {
+    &id.id
+}
+
+/// Benchmark driver (stub: holds no configuration).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs registered group functions (called by [`criterion_main!`]).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function list, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

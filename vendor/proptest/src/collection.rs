@@ -1,0 +1,126 @@
+//! Collection strategies (stub: `vec` and `btree_map`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specifications accepted by collection strategies: an exact
+/// `usize`, a half-open `Range<usize>`, or a `RangeInclusive<usize>`.
+pub trait IntoSizeRange {
+    /// Converts into inclusive `(min, max)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with a size spec (mirror of `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// Strategy producing `BTreeMap`s from key/value strategies.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    min: usize,
+    max: usize,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.min + rng.below(self.max - self.min + 1);
+        let mut out = BTreeMap::new();
+        // Like upstream: draw `target` pairs; key collisions may leave the
+        // map smaller than `target`.
+        for _ in 0..target {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        out
+    }
+}
+
+/// `BTreeMap` strategy (mirror of `proptest::collection::btree_map`).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl IntoSizeRange,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    let (min, max) = size.bounds();
+    BTreeMapStrategy {
+        key,
+        value,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strat = vec(0u32..10, 3..7);
+        let mut rng = TestRng::for_case("vec_bounds", 1);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let strat = vec(-1.0f32..1.0, 16usize);
+        let mut rng = TestRng::for_case("vec_exact", 1);
+        assert_eq!(strat.generate(&mut rng).len(), 16);
+    }
+}

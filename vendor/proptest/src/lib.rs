@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`], range and
+//! tuple strategies, `collection::{vec, btree_map}`, `Just`, and
+//! `Strategy::prop_map`. See `vendor/README.md` for the vendoring policy.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the deterministic case
+//!   seed in the message; re-running reproduces it exactly (generation is
+//!   a pure function of test name and case number).
+//! * **No persistence.** `proptest-regressions` files are ignored.
+//! * Default case count is 64 (upstream: 256) — kept modest because
+//!   several suites spawn a simulated multi-threaded cluster per case.
+//!   Override per-block with `#![proptest_config(ProptestConfig::
+//!   with_cases(n))]` or globally with the `PROPTEST_CASES` env var.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import convenience module, like `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Property-test block: `proptest! { #[test] fn name(x in strat, ..) { .. } }`.
+///
+/// Each contained function becomes a `#[test]` (the attribute is written by
+/// the caller, exactly as with upstream proptest) that runs the body over
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __full_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __ran: u32 = 0;
+                let mut __attempt: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(10).max(10);
+                while __ran < __config.cases && __attempt < __max_attempts {
+                    __attempt += 1;
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__full_name, __attempt);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __ran += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case seed {}:{}: {}",
+                                __full_name, stringify!($name), __attempt, msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    __ran >= __config.cases.min(1),
+                    "proptest {}: too many rejected cases ({} accepted of {} attempts)",
+                    __full_name, __ran, __attempt
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// whole process, exactly like upstream — here without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion `left != right` failed\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,133 @@
+//! Value-generation strategies (stub: generation only, no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirror of
+    /// `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Primitive types generatable from a range bound pair.
+pub trait RangeValue: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` / `[low, high]`.
+    fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "empty strategy range"
+                );
+                let span =
+                    (high as i128 - low as i128) as u128 + if inclusive { 1 } else { 0 };
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "empty strategy range"
+                );
+                let v = low + (high - low) * rng.unit_f64() as $t;
+                if !inclusive && v >= high { low } else { v }
+            }
+        }
+    )*};
+}
+
+impl_range_value_float!(f32, f64);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);

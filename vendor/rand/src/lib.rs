@@ -1,0 +1,110 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no registry access, so the
+//! workspace vendors a minimal, dependency-free implementation of exactly
+//! the `rand` 0.8 API surface it uses: [`Rng::gen_range`], [`rngs::StdRng`]
+//! + [`SeedableRng::seed_from_u64`], [`seq::SliceRandom::shuffle`], and
+//! [`distributions::Uniform`]. See `vendor/README.md` for the policy.
+//!
+//! Determinism is the only contract the workspace relies on: the same seed
+//! must always produce the same stream on every platform. The generator is
+//! xoshiro256** seeded through SplitMix64 — a high-quality, well-studied
+//! PRNG (Blackman & Vigna). Streams differ from upstream `rand`'s ChaCha12
+//! `StdRng`, which is fine: nothing in the workspace depends on upstream's
+//! exact stream, only on seed-determinism.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of random `u64`s (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generator (mirror of `rand::SeedableRng`; only the
+/// `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64 step — used to expand seeds into generator state.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen_range(0.0f32..1.0);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}
