@@ -1,0 +1,221 @@
+//! **Extension** — fault-tolerant gTop-k S-SGD under injected faults →
+//! `BENCH_faults.json`.
+//!
+//! Sweeps the three fault axes of the deterministic injection layer —
+//! per-message drop probability, straggler slow-down, and a scheduled
+//! rank crash — through full training runs, and quantifies:
+//!
+//! * the overhead of the fault-tolerant loop itself (an armed plan that
+//!   injects nothing: expected ~0 — checkpoints are in-memory and cost
+//!   no simulated time, and epoch-0 collectives are bit-identical);
+//! * retransmission counts and the simulated-time cost of drops;
+//! * the slow-down a straggler imposes on a synchronous cluster;
+//! * recovery time, survivor counts, and final loss of shrink-and-
+//!   continue runs versus a fault-free baseline that starts at the
+//!   shrunken size.
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin ext_fault_tolerance`
+
+use gtopk::{train_distributed, TrainConfig, TrainReport};
+use gtopk_bench::report::{workspace_root, Table};
+use gtopk_comm::{CostModel, FaultPlan};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use std::fmt::Write as _;
+
+const WORKERS: usize = 4;
+const EPOCHS: usize = 4;
+const BATCH: usize = 8;
+
+fn cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::convergence(WORKERS, BATCH, EPOCHS, 0.05, 0.01);
+    cfg.cost_model = CostModel::gigabit_ethernet();
+    cfg.checkpoint_interval = 4;
+    cfg
+}
+
+fn run(cfg: &TrainConfig, data: &GaussianMixture) -> TrainReport {
+    train_distributed(cfg, || models::mlp(17, 16, 32, 4), data, None)
+}
+
+fn main() {
+    let data = GaussianMixture::new(3, 512, 16, 4, 2.5, 0.5);
+
+    // --- Zero-fault overhead: armed plan that injects nothing. -------
+    eprintln!("measuring zero-fault overhead ...");
+    let base = run(&cfg(), &data);
+    let mut armed_cfg = cfg();
+    // A factor-1.0 straggler activates the fault-tolerant loop
+    // (checkpoints, epoch-stamped tags) without perturbing anything.
+    armed_cfg.fault_plan = Some(FaultPlan::seeded(1).with_straggler(0, 1.0));
+    let armed = run(&armed_cfg, &data);
+    let overhead = (armed.sim_time_ms - base.sim_time_ms) / base.sim_time_ms;
+
+    // --- Drop-rate sweep. --------------------------------------------
+    let mut drops = Vec::new();
+    for rate in [0.02f64, 0.05, 0.1, 0.2] {
+        eprintln!("drop rate {rate} ...");
+        let mut c = cfg();
+        c.fault_plan = Some(FaultPlan::seeded(7).with_drop_prob(rate));
+        drops.push((rate, run(&c, &data)));
+    }
+
+    // --- Straggler sweep. --------------------------------------------
+    let mut stragglers = Vec::new();
+    for factor in [2.0f64, 4.0] {
+        eprintln!("straggler x{factor} ...");
+        let mut c = cfg();
+        c.fault_plan = Some(FaultPlan::seeded(5).with_straggler(1, factor));
+        stragglers.push((factor, run(&c, &data)));
+    }
+
+    // --- Crash sweep: kill rank 3 at different points. ---------------
+    let mut shrunk_cfg = cfg();
+    shrunk_cfg.workers = WORKERS - 1;
+    let shrunk_baseline = run(&shrunk_cfg, &data);
+    let mut crashes = Vec::new();
+    for step in [6u64, 14, 22] {
+        eprintln!("crash rank 3 at step {step} ...");
+        let mut c = cfg();
+        c.fault_plan = Some(FaultPlan::seeded(2).with_crash(3, step));
+        crashes.push((step, run(&c, &data)));
+    }
+
+    // --- Console tables. ---------------------------------------------
+    let mut table = Table::new(
+        &format!(
+            "Fault tolerance — gTop-k S-SGD, P = {WORKERS}, {EPOCHS} epochs \
+             (zero-fault overhead {:.2}%)",
+            overhead * 100.0
+        ),
+        &[
+            "scenario",
+            "sim ms",
+            "retrans",
+            "recoveries",
+            "recovery ms",
+            "survivors",
+            "final loss",
+        ],
+    );
+    let mut row = |name: String, r: &TrainReport| {
+        table.row(vec![
+            name,
+            format!("{:.1}", r.sim_time_ms),
+            r.retransmissions.to_string(),
+            r.timing.recoveries.to_string(),
+            format!("{:.1}", r.timing.recovery_ms),
+            format!("{}/{}", r.survivors, r.workers),
+            format!("{:.4}", r.final_loss()),
+        ]);
+    };
+    row("fault-free".into(), &base);
+    row("armed, no faults".into(), &armed);
+    for (rate, r) in &drops {
+        row(format!("drop {rate}"), r);
+    }
+    for (factor, r) in &stragglers {
+        row(format!("straggler x{factor}"), r);
+    }
+    for (step, r) in &crashes {
+        row(format!("crash rank3@{step}"), r);
+    }
+    row(format!("baseline P={}", WORKERS - 1), &shrunk_baseline);
+    table.emit("ext_fault_tolerance");
+
+    // --- JSON artifact. ----------------------------------------------
+    let json = render_json(
+        &base,
+        &armed,
+        overhead,
+        &drops,
+        &stragglers,
+        &crashes,
+        &shrunk_baseline,
+    );
+    print!("{json}");
+    let path = workspace_root().join("BENCH_faults.json");
+    std::fs::write(&path, &json).expect("write BENCH_faults.json");
+    eprintln!("wrote {}", path.display());
+}
+
+fn scenario_json(r: &TrainReport) -> String {
+    format!(
+        "\"sim_ms\": {:.3}, \"retransmissions\": {}, \"recoveries\": {}, \
+         \"recovery_ms\": {:.3}, \"survivors\": {}, \"final_loss\": {:.6}",
+        r.sim_time_ms,
+        r.retransmissions,
+        r.timing.recoveries,
+        r.timing.recovery_ms,
+        r.survivors,
+        r.final_loss()
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    base: &TrainReport,
+    armed: &TrainReport,
+    overhead: f64,
+    drops: &[(f64, TrainReport)],
+    stragglers: &[(f64, TrainReport)],
+    crashes: &[(u64, TrainReport)],
+    shrunk: &TrainReport,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"fault_tolerance\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"workers\": {WORKERS}, \"epochs\": {EPOCHS}, \
+         \"batch_per_worker\": {BATCH}, \"algorithm\": \"gTop-k\", \
+         \"network\": \"1GbE\", \"checkpoint_interval\": 4}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"zero_fault_overhead\": {{\"baseline_sim_ms\": {:.3}, \"armed_sim_ms\": {:.3}, \
+         \"overhead_frac\": {:.6}, \"loss_identical\": {}}},",
+        base.sim_time_ms,
+        armed.sim_time_ms,
+        overhead,
+        base.final_loss() == armed.final_loss(),
+    );
+    let _ = writeln!(out, "  \"drop_sweep\": [");
+    for (i, (rate, r)) in drops.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"drop_prob\": {rate}, {}}}{}",
+            scenario_json(r),
+            if i + 1 == drops.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"straggler_sweep\": [");
+    for (i, (factor, r)) in stragglers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"factor\": {factor}, {}}}{}",
+            scenario_json(r),
+            if i + 1 == stragglers.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"crash_sweep\": [");
+    for (i, (step, r)) in crashes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"crash_step\": {step}, {}}}{}",
+            scenario_json(r),
+            if i + 1 == crashes.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"shrunk_baseline\": {{\"workers\": {}, {}}}",
+        WORKERS - 1,
+        scenario_json(shrunk)
+    );
+    out.push_str("}\n");
+    out
+}

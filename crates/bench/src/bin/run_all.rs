@@ -25,6 +25,7 @@ const BINARIES: &[&str] = &[
     "ext_hierarchical_network",
     "ext_momentum_correction",
     "ext_support_overlap",
+    "ext_fault_tolerance",
 ];
 
 fn main() {

@@ -93,6 +93,8 @@ mod tests {
             timing: TimingBreakdown::default(),
             sim_time_ms: 1.0,
             elems_sent_rank0: 0,
+            retransmissions: 0,
+            survivors: 2,
             mean_update_nnz: 0.0,
         }
     }

@@ -96,23 +96,29 @@ impl Table {
     }
 }
 
-/// Locates the `results/` directory: walks up from the current directory
-/// to the first ancestor containing `Cargo.toml` with a `[workspace]`.
-fn results_dir() -> PathBuf {
+/// Locates the workspace root: walks up from the current directory to
+/// the first ancestor whose `Cargo.toml` declares a `[workspace]`, and
+/// falls back to the current directory.
+pub fn workspace_root() -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         let manifest = dir.join("Cargo.toml");
         if manifest.exists() {
             if let Ok(text) = std::fs::read_to_string(&manifest) {
                 if text.contains("[workspace]") {
-                    return dir.join("results");
+                    return dir;
                 }
             }
         }
         if !dir.pop() {
-            return Path::new("results").to_path_buf();
+            return Path::new(".").to_path_buf();
         }
     }
+}
+
+/// Locates the `results/` directory under [`workspace_root`].
+fn results_dir() -> PathBuf {
+    workspace_root().join("results")
 }
 
 /// Formats milliseconds with sensible precision.

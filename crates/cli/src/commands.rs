@@ -5,7 +5,7 @@ use gtopk::{train_distributed, Algorithm, DensitySchedule, Selector, TrainConfig
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
 };
-use gtopk_comm::CostModel;
+use gtopk_comm::{CostModel, FaultPlan};
 use gtopk_data::{GaussianMixture, MarkovText, PatternImages};
 use gtopk_nn::{models, Model};
 
@@ -47,6 +47,68 @@ fn parse_network(name: &str) -> Result<CostModel, ArgError> {
     })
 }
 
+/// Parses a `rank:value[,rank:value...]` list (used by `--fault-crash`
+/// and `--fault-straggle`).
+fn parse_rank_pairs(option: &str, raw: &str) -> Result<Vec<(usize, f64)>, ArgError> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|part| {
+            let (r, v) = part.split_once(':').ok_or_else(|| {
+                ArgError(format!("--{option}: expected rank:value, got `{part}`"))
+            })?;
+            let rank: usize = r
+                .parse()
+                .map_err(|_| ArgError(format!("--{option}: invalid rank `{r}`")))?;
+            let value: f64 = v
+                .parse()
+                .map_err(|_| ArgError(format!("--{option}: invalid value `{v}`")))?;
+            Ok((rank, value))
+        })
+        .collect()
+}
+
+/// Builds the fault plan from `--fault-*` options; `None` when no fault
+/// option is present.
+fn parse_fault_plan(parsed: &ParsedArgs, workers: usize) -> Result<Option<FaultPlan>, ArgError> {
+    let seed: u64 = parsed.get("fault-seed", 1)?;
+    let drop: f64 = parsed.get("fault-drop", 0.0)?;
+    let jitter: f64 = parsed.get("fault-jitter", 0.0)?;
+    let crash = parse_rank_pairs("fault-crash", &parsed.get_str("fault-crash", ""))?;
+    let straggle = parse_rank_pairs("fault-straggle", &parsed.get_str("fault-straggle", ""))?;
+    if drop == 0.0 && jitter == 0.0 && crash.is_empty() && straggle.is_empty() {
+        return Ok(None);
+    }
+    if !(0.0..1.0).contains(&drop) {
+        return Err(ArgError("--fault-drop must be in [0, 1)".into()));
+    }
+    if jitter < 0.0 {
+        return Err(ArgError("--fault-jitter must be >= 0".into()));
+    }
+    let mut plan = FaultPlan::seeded(seed)
+        .with_drop_prob(drop)
+        .with_jitter_ms(jitter);
+    for (rank, step) in crash {
+        if rank >= workers {
+            return Err(ArgError(format!(
+                "--fault-crash: rank {rank} out of range (P = {workers})"
+            )));
+        }
+        plan = plan.with_crash(rank, step as u64);
+    }
+    for (rank, factor) in straggle {
+        if rank >= workers {
+            return Err(ArgError(format!(
+                "--fault-straggle: rank {rank} out of range (P = {workers})"
+            )));
+        }
+        if factor < 1.0 {
+            return Err(ArgError("--fault-straggle: factor must be >= 1".into()));
+        }
+        plan = plan.with_straggler(rank, factor);
+    }
+    Ok(Some(plan))
+}
+
 fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     parsed.ensure_known(&[
         "model",
@@ -60,6 +122,12 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "sampled-selection",
         "momentum-correction",
         "clip",
+        "fault-seed",
+        "fault-drop",
+        "fault-jitter",
+        "fault-crash",
+        "fault-straggle",
+        "fault-checkpoint",
     ])?;
     let model_name = parsed.get_str("model", "mlp");
     let algorithm = parse_algorithm(&parsed.get_str("algorithm", "gtopk"))?;
@@ -89,6 +157,20 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let sample: usize = parsed.get("sampled-selection", 0)?;
     if sample > 0 {
         cfg.selector = Selector::Sampled { sample };
+    }
+    if let Some(plan) = parse_fault_plan(parsed, workers)? {
+        if !matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback) {
+            return Err(ArgError(
+                "fault injection requires --algorithm gtopk or feedback \
+                 (the fault-tolerant loop only covers the gTop-k variants)"
+                    .into(),
+            ));
+        }
+        cfg.fault_plan = Some(plan);
+        cfg.checkpoint_interval = parsed.get("fault-checkpoint", 10)?;
+        if cfg.checkpoint_interval == 0 {
+            return Err(ArgError("--fault-checkpoint must be positive".into()));
+        }
     }
 
     let (report, m) = match model_name.as_str() {
@@ -142,6 +224,16 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         report.elems_sent_rank0 * 4 / 1024,
         report.sim_time_ms
     ));
+    if cfg.fault_tolerant() {
+        out.push_str(&format!(
+            "faults: {} retransmissions, {} recoveries ({:.1} ms), {}/{} ranks survived\n",
+            report.retransmissions,
+            report.timing.recoveries,
+            report.timing.recovery_ms,
+            report.survivors,
+            report.workers
+        ));
+    }
     Ok(out)
 }
 
@@ -275,5 +367,41 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         assert!(run_line("frobnicate").is_err());
+    }
+
+    #[test]
+    fn train_with_crash_reports_fault_summary() {
+        let out = run_line(
+            "train --model mlp --workers 4 --epochs 2 --batch 4 --density 0.05 \
+             --fault-seed 3 --fault-crash 3:6 --fault-checkpoint 4",
+        )
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("3/4 ranks survived"), "{out}");
+    }
+
+    #[test]
+    fn train_with_drops_and_straggler_completes() {
+        let out = run_line(
+            "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+             --fault-drop 0.1 --fault-straggle 1:2.0",
+        )
+        .unwrap();
+        assert!(out.contains("retransmissions"), "{out}");
+        assert!(out.contains("2/2 ranks survived"), "{out}");
+    }
+
+    #[test]
+    fn fault_options_are_validated() {
+        // Fault tolerance is a gTop-k facility.
+        assert!(run_line("train --algorithm dense --fault-drop 0.1").is_err());
+        // Certain-loss links are rejected.
+        assert!(run_line("train --fault-drop 1.0").is_err());
+        // Malformed rank:step pairs.
+        assert!(run_line("train --fault-crash 3").is_err());
+        assert!(run_line("train --fault-crash a:b").is_err());
+        // Out-of-range ranks and sub-unity straggle factors.
+        assert!(run_line("train --workers 2 --fault-crash 5:1").is_err());
+        assert!(run_line("train --fault-straggle 0:0.5").is_err());
     }
 }

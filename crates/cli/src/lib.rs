@@ -40,6 +40,13 @@ COMMANDS:
     --sampled-selection N   use sampled top-k with N samples
     --momentum-correction   apply DGC-style momentum correction
     --clip N                clip local gradients to L2 norm N
+    fault injection (gtopk | feedback algorithms only):
+    --fault-seed S          deterministic fault schedule seed     [1]
+    --fault-drop P          per-message drop probability in [0,1) [0]
+    --fault-jitter MS       max extra per-message delay, ms       [0]
+    --fault-crash R:T[,..]  kill rank R before its T-th step
+    --fault-straggle R:F[,..]  slow rank R down by factor F >= 1
+    --fault-checkpoint N    iterations between checkpoints        [10]
 
   aggregate   time one gradient aggregation at paper scale
     --workers    worker count (power of two)             [32]

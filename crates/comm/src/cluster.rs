@@ -2,9 +2,10 @@
 //! channel mesh.
 
 use crate::comm::LinkCostFn;
-use crate::{Communicator, CostModel, Message};
+use crate::{Communicator, CostModel, FaultPlan, Message};
 use crossbeam::channel::unbounded;
 use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
 
 /// A simulated cluster of `P` workers.
 ///
@@ -25,6 +26,7 @@ pub struct Cluster {
     size: usize,
     cost: CostModel,
     link_costs: Option<LinkCostFn>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -33,6 +35,10 @@ impl std::fmt::Debug for Cluster {
             .field("size", &self.size)
             .field("cost", &self.cost)
             .field("per_link", &self.link_costs.is_some())
+            .field(
+                "faults",
+                &self.fault.as_ref().is_some_and(|p| p.is_active()),
+            )
             .finish()
     }
 }
@@ -50,7 +56,16 @@ impl Cluster {
             size,
             cost,
             link_costs: None,
+            fault: None,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on every rank of the
+    /// cluster. An inactive plan ([`FaultPlan::none`]) changes nothing;
+    /// see the [`fault`](crate::fault) module docs for the fault model.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
     }
 
     /// Creates a cluster with heterogeneous links: `links(src, dst)`
@@ -83,6 +98,7 @@ impl Cluster {
             size,
             cost: fallback,
             link_costs: Some(links),
+            fault: None,
         }
     }
 
@@ -126,6 +142,9 @@ impl Cluster {
                 let mut comm = Communicator::from_mesh(rank, p, senders, receivers, self.cost);
                 if let Some(links) = &self.link_costs {
                     comm.set_link_costs(links.clone());
+                }
+                if let Some(plan) = &self.fault {
+                    comm.set_fault_plan(plan.clone());
                 }
                 comm
             })

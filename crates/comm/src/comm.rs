@@ -1,10 +1,13 @@
 //! The per-rank communicator: tagged blocking point-to-point messaging over
-//! a channel mesh, with simulated-time accounting.
+//! a channel mesh, with simulated-time accounting and (optional)
+//! deterministic fault injection beneath the happy-path API.
 
-use crate::{CommError, CostModel, Message, Payload, Result, SimClock};
-use crossbeam::channel::{Receiver, Sender};
+use crate::fault::RetryPolicy;
+use crate::{CommError, CostModel, FaultPlan, Message, Payload, Result, SimClock};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-link cost override: maps `(src, dst)` to that link's cost model.
 /// Used to model hierarchical networks (e.g. fast intra-rack links and a
@@ -18,7 +21,8 @@ pub type LinkCostFn = Arc<dyn Fn(usize, usize) -> CostModel + Send + Sync>;
 /// AllGather-based TopKAllReduce moves `O(kP)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
-    /// Messages sent by this rank.
+    /// Messages sent by this rank (including dropped transmission
+    /// attempts — they consumed wire time).
     pub msgs_sent: usize,
     /// Elements (4-byte words) sent by this rank.
     pub elems_sent: usize,
@@ -26,6 +30,10 @@ pub struct CommStats {
     pub msgs_received: usize,
     /// Elements received by this rank.
     pub elems_received: usize,
+    /// Retransmissions performed after fault-injected drops.
+    pub retransmissions: usize,
+    /// Operations that gave up with [`CommError::Timeout`].
+    pub timeouts: usize,
 }
 
 impl CommStats {
@@ -35,12 +43,35 @@ impl CommStats {
     }
 }
 
+/// Fault-injection context of one rank (present only when a plan is
+/// active; `None` keeps every hot path bit-identical to the pre-fault
+/// code).
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+    /// This rank's straggler slowdown factor (≥ 1).
+    straggle: f64,
+    /// Step at which this rank is scheduled to crash.
+    crash_step: Option<u64>,
+    /// Per-destination transmission-attempt counters (drop/jitter
+    /// decisions are a pure function of `(seed, src, dst, counter)`).
+    send_seq: Vec<u64>,
+}
+
 /// One rank's endpoint into the simulated cluster.
 ///
 /// Mirrors the MPI calls the paper's pseudo-code uses: `Send`, `Recv`,
 /// (collectives are free functions in [`crate::collectives`]). All
 /// operations are blocking and tagged; matching is by `(source, tag)` with
 /// out-of-order messages from the same source buffered internally.
+///
+/// With a [`FaultPlan`] installed (see
+/// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan)) the same
+/// API additionally models message drops with bounded exponential-backoff
+/// retransmission, delivery jitter, per-rank crash schedules
+/// ([`Communicator::begin_step`]) and straggler slowdowns; `recv` gains a
+/// simulated-clock timeout. Without a plan, behaviour is bit-identical to
+/// the fault-free build.
 pub struct Communicator {
     rank: usize,
     size: usize,
@@ -57,6 +88,15 @@ pub struct Communicator {
     /// Simulated time at which this rank's inbound link finishes its
     /// last delivery — messages arriving together serialize (incast).
     rx_link_free_ms: f64,
+    fault: Option<FaultCtx>,
+    /// Membership epoch for fault-tolerant collectives: revoke messages
+    /// stamped with an older epoch are stale and ignored.
+    epoch: u64,
+    /// Iteration counter driven by [`Communicator::begin_step`].
+    step: u64,
+    /// Set once this rank hit its crash step; all further operations
+    /// fail with [`CommError::Aborted`].
+    crashed: bool,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -65,6 +105,7 @@ impl std::fmt::Debug for Communicator {
             .field("rank", &self.rank)
             .field("size", &self.size)
             .field("sim_time_ms", &self.clock.now_ms())
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -91,12 +132,31 @@ impl Communicator {
             link_costs: None,
             stats: CommStats::default(),
             rx_link_free_ms: 0.0,
+            fault: None,
+            epoch: 0,
+            step: 0,
+            crashed: false,
         }
     }
 
     /// Installs a per-link cost override (hierarchical topologies).
     pub(crate) fn set_link_costs(&mut self, links: LinkCostFn) {
         self.link_costs = Some(links);
+    }
+
+    /// Arms fault injection for this rank. Used by
+    /// [`Cluster`](crate::Cluster).
+    pub(crate) fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        if !plan.is_active() {
+            return;
+        }
+        self.fault = Some(FaultCtx {
+            retry: plan.retry(),
+            straggle: plan.straggle_factor(self.rank),
+            crash_step: plan.crash_step(self.rank),
+            send_seq: vec![0; self.size],
+            plan,
+        });
     }
 
     /// Cost model of the directed link `src → dst` (the uniform model
@@ -133,15 +193,78 @@ impl Communicator {
         self.clock.now_ms()
     }
 
+    /// This rank's straggler slowdown factor (1.0 unless a fault plan
+    /// marks it a straggler).
+    pub fn straggle_factor(&self) -> f64 {
+        self.fault.as_ref().map_or(1.0, |f| f.straggle)
+    }
+
+    /// The simulated-clock timeout recovery protocols should grant an
+    /// unresponsive peer (the fault plan's recv timeout, or its default
+    /// when no plan is installed).
+    pub fn recovery_timeout_ms(&self) -> f64 {
+        self.fault.as_ref().map_or_else(
+            || RetryPolicy::default().recv_timeout_ms,
+            |f| f.retry.recv_timeout_ms,
+        )
+    }
+
+    /// Current membership epoch (see [`Communicator::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the membership epoch. Fault-tolerant collectives bump
+    /// this on every shrink-and-continue recovery; revoke messages
+    /// stamped with an older epoch are then recognized as stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` would move backwards.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        assert!(
+            epoch >= self.epoch,
+            "membership epoch cannot move backwards"
+        );
+        self.epoch = epoch;
+    }
+
+    /// Marks the start of one training step and enforces the fault
+    /// plan's crash schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Aborted`] (with `rank == self.rank()`) when this rank
+    /// reaches its scheduled crash step; the caller is expected to stop
+    /// participating (returning from the cluster closure closes this
+    /// rank's channels, which is how peers observe the crash).
+    pub fn begin_step(&mut self) -> Result<()> {
+        self.check_alive()?;
+        if let Some(f) = &self.fault {
+            if f.crash_step == Some(self.step) {
+                self.crashed = true;
+                return Err(CommError::Aborted { rank: self.rank });
+            }
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    /// The number of completed [`Communicator::begin_step`] calls.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
     /// Advances simulated time by `dt_ms` — models local computation (the
     /// paper's `t_f + t_b` forward/backward phases, or sparsification
-    /// time).
+    /// time). A straggler rank's compute is scaled by its slowdown
+    /// factor.
     ///
     /// # Panics
     ///
     /// Panics if `dt_ms` is negative or not finite.
     pub fn advance_compute(&mut self, dt_ms: f64) {
-        self.clock.advance(dt_ms);
+        self.clock.advance(dt_ms * self.straggle_factor());
     }
 
     /// Communication-volume counters accumulated so far.
@@ -156,6 +279,33 @@ impl Communicator {
         self.rx_link_free_ms = 0.0;
     }
 
+    /// Drops stashed out-of-order messages for which `stale` returns
+    /// true, after draining everything currently queued on the inbound
+    /// channels into the stash. Fault-tolerant recovery calls this to
+    /// discard data from a revoked collective (identified by its
+    /// epoch-stamped tags) so it can never alias a future receive.
+    pub fn purge_pending<F: Fn(&Message) -> bool>(&mut self, stale: F) -> usize {
+        for src in 0..self.size {
+            let mut drained = Vec::new();
+            if let Some(rx) = self.receivers[src].as_ref() {
+                while let Some(msg) = rx.try_recv() {
+                    drained.push(msg);
+                }
+            }
+            for mut msg in drained {
+                self.serialize_inbound_at(src, &mut msg);
+                self.pending[src].push_back(msg);
+            }
+        }
+        let mut dropped = 0;
+        for queue in &mut self.pending {
+            let before = queue.len();
+            queue.retain(|m| !stale(m));
+            dropped += before - queue.len();
+        }
+        dropped
+    }
+
     fn check_peer(&self, peer: usize) -> Result<()> {
         if peer >= self.size || peer == self.rank {
             return Err(CommError::InvalidRank {
@@ -166,8 +316,21 @@ impl Communicator {
         Ok(())
     }
 
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed {
+            return Err(CommError::Aborted { rank: self.rank });
+        }
+        Ok(())
+    }
+
     /// Sends `payload` to `dest` with `tag`, charging `α + nβ` simulated
-    /// milliseconds to this rank.
+    /// milliseconds to this rank (scaled by the straggler factor when a
+    /// fault plan marks this rank slow).
+    ///
+    /// Under an active [`FaultPlan`], each transmission attempt may be
+    /// dropped; drops trigger bounded retransmission with exponential
+    /// backoff, every attempt charged the full transfer cost and counted
+    /// in [`CommStats`].
     ///
     /// The transport is unbounded, so the call never blocks on the peer;
     /// blocking flow control is modeled purely in simulated time, exactly
@@ -176,25 +339,85 @@ impl Communicator {
     /// # Errors
     ///
     /// [`CommError::InvalidRank`] if `dest` is out of range or `self`;
-    /// [`CommError::Disconnected`] if the peer thread has exited.
+    /// [`CommError::Disconnected`] if the peer thread has exited;
+    /// [`CommError::Timeout`] if every bounded retransmission was dropped;
+    /// [`CommError::Aborted`] if this rank already crashed.
     pub fn send(&mut self, dest: usize, tag: u32, payload: Payload) -> Result<()> {
+        self.check_alive()?;
         self.check_peer(dest)?;
         let n = payload.wire_elems();
-        let cost = self.link_cost(self.rank, dest).transfer_ms(n);
-        self.clock.advance(cost);
-        let msg = Message {
-            src: self.rank,
-            tag,
-            payload,
-            arrival_ms: self.clock.now_ms(),
+        let base_cost = self.link_cost(self.rank, dest).transfer_ms(n);
+        let Some(fault) = &mut self.fault else {
+            // Fault-free fast path: identical to the pre-fault transport.
+            self.clock.advance(base_cost);
+            let msg = Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival_ms: self.clock.now_ms(),
+            };
+            self.stats.msgs_sent += 1;
+            self.stats.elems_sent += n;
+            return self.senders[dest]
+                .as_ref()
+                .expect("sender endpoint present for valid peer")
+                .send(msg)
+                .map_err(|_| CommError::Disconnected { peer: dest });
         };
-        self.stats.msgs_sent += 1;
-        self.stats.elems_sent += n;
-        self.senders[dest]
-            .as_ref()
-            .expect("sender endpoint present for valid peer")
-            .send(msg)
-            .map_err(|_| CommError::Disconnected { peer: dest })
+        let cost = base_cost * fault.straggle;
+        let retry = fault.retry;
+        // Revokes are control-plane traffic: exempt from drop injection,
+        // like a connection reset — otherwise a dropped revoke could
+        // stall the very recovery that handles drops.
+        let reliable = tag == Message::REVOKE_TAG;
+        let mut attempt = 0u32;
+        loop {
+            let seq = fault.send_seq[dest];
+            fault.send_seq[dest] += 1;
+            self.clock.advance(cost);
+            self.stats.msgs_sent += 1;
+            self.stats.elems_sent += n;
+            let plan = &fault.plan;
+            if !reliable && plan.drops(self.rank, dest, seq) {
+                if attempt == retry.max_retries {
+                    self.stats.timeouts += 1;
+                    return Err(CommError::Timeout { peer: dest });
+                }
+                // Exponential backoff before the retransmission.
+                self.clock
+                    .advance(retry.backoff_base_ms * f64::from(1u32 << attempt.min(20)));
+                self.stats.retransmissions += 1;
+                attempt += 1;
+                continue;
+            }
+            let jitter = if reliable {
+                0.0
+            } else {
+                plan.jitter(self.rank, dest, seq)
+            };
+            let msg = Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival_ms: self.clock.now_ms() + jitter,
+            };
+            return self.senders[dest]
+                .as_ref()
+                .expect("sender endpoint present for valid peer")
+                .send(msg)
+                .map_err(|_| CommError::Disconnected { peer: dest });
+        }
+    }
+
+    /// Best-effort revocation of the in-flight collective of membership
+    /// epoch `epoch`: tells `dest` to abandon it and enter recovery.
+    /// Errors are intentionally swallowed — the peer may already be dead,
+    /// which is fine.
+    pub fn revoke(&mut self, dest: usize, epoch: u64) {
+        if dest == self.rank || dest >= self.size {
+            return;
+        }
+        let _ = self.send(dest, Message::REVOKE_TAG, Payload::Scalar(epoch as f64));
     }
 
     /// Receives the next message from `source` carrying `tag`, blocking
@@ -209,29 +432,112 @@ impl Communicator {
     /// symmetric exchanges (ring steps, recursive-doubling rounds) are
     /// unaffected.
     ///
+    /// Under an active [`FaultPlan`] the receive is bounded by the plan's
+    /// simulated-clock timeout (see [`RetryPolicy::recv_timeout_ms`]) and
+    /// aborts when a peer revokes the current membership epoch.
+    ///
     /// # Errors
     ///
     /// [`CommError::InvalidRank`] for a bad `source`;
-    /// [`CommError::Disconnected`] if the peer exited before sending.
+    /// [`CommError::Disconnected`] if the peer exited before sending;
+    /// [`CommError::Timeout`] if the deadline expired;
+    /// [`CommError::Aborted`] on a revoke or if this rank crashed.
     pub fn recv(&mut self, source: usize, tag: u32) -> Result<Message> {
+        let deadline = self
+            .fault
+            .as_ref()
+            .map(|f| self.clock.now_ms() + f.retry.recv_timeout_ms);
+        self.recv_inner(source, tag, deadline)
+    }
+
+    /// Like [`Communicator::recv`] but with an explicit simulated-clock
+    /// timeout: gives up (advancing the clock to the deadline) if no
+    /// matching message is *delivered* by `now + timeout_ms` in simulated
+    /// time. Timeout decisions depend only on simulated arrival times, so
+    /// they replay deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Communicator::recv`], plus [`CommError::Timeout`] when
+    /// the deadline expires.
+    pub fn recv_deadline(&mut self, source: usize, tag: u32, timeout_ms: f64) -> Result<Message> {
+        assert!(
+            timeout_ms.is_finite() && timeout_ms >= 0.0,
+            "timeout must be non-negative"
+        );
+        self.recv_inner(source, tag, Some(self.clock.now_ms() + timeout_ms))
+    }
+
+    fn recv_inner(&mut self, source: usize, tag: u32, deadline_ms: Option<f64>) -> Result<Message> {
+        self.check_alive()?;
         self.check_peer(source)?;
         // Check the stash first.
         if let Some(pos) = self.pending[source].iter().position(|m| m.tag == tag) {
             let msg = self.pending[source]
                 .remove(pos)
                 .expect("position just found");
+            if let Some(deadline) = deadline_ms {
+                if msg.arrival_ms > deadline {
+                    // Delivered too late: the receiver already gave up at
+                    // the (simulated) deadline. Keep the message for a
+                    // retry after recovery.
+                    self.pending[source].push_front(msg);
+                    self.clock.sync_to(deadline);
+                    self.stats.timeouts += 1;
+                    return Err(CommError::Timeout { peer: source });
+                }
+            }
             self.deliver(&msg);
             return Ok(msg);
         }
+        // Wall-clock safety net: never hang the host process even if the
+        // protocol deadlocks — surface a Timeout instead.
+        let wall_cap = Duration::from_millis(
+            self.fault
+                .as_ref()
+                .map_or(u64::MAX / 2, |f| f.retry.wall_cap_ms),
+        );
+        let wall_start = Instant::now();
         loop {
             let rx = self.receivers[source]
                 .as_ref()
                 .expect("receiver endpoint present for valid peer");
-            let mut msg = rx
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: source })?;
+            let mut msg = if self.fault.is_some() {
+                match rx.recv_timeout(wall_cap.saturating_sub(wall_start.elapsed())) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError::Disconnected { peer: source })
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(deadline) = deadline_ms {
+                            self.clock.sync_to(deadline);
+                        }
+                        self.stats.timeouts += 1;
+                        return Err(CommError::Timeout { peer: source });
+                    }
+                }
+            } else {
+                rx.recv()
+                    .map_err(|_| CommError::Disconnected { peer: source })?
+            };
             self.serialize_inbound(&mut msg);
+            if msg.tag == Message::REVOKE_TAG {
+                let revoked_epoch = msg.payload.clone().into_scalar() as u64;
+                if revoked_epoch < self.epoch {
+                    continue; // stale revoke from an already-recovered epoch
+                }
+                self.clock.sync_to(msg.arrival_ms);
+                return Err(CommError::Aborted { rank: msg.src });
+            }
             if msg.tag == tag {
+                if let Some(deadline) = deadline_ms {
+                    if msg.arrival_ms > deadline {
+                        self.pending[source].push_back(msg);
+                        self.clock.sync_to(deadline);
+                        self.stats.timeouts += 1;
+                        return Err(CommError::Timeout { peer: source });
+                    }
+                }
                 self.deliver(&msg);
                 return Ok(msg);
             }
@@ -242,8 +548,13 @@ impl Communicator {
     /// Applies inbound-link serialization, rewriting the message's
     /// effective delivery time.
     fn serialize_inbound(&mut self, msg: &mut Message) {
+        let src = msg.src;
+        self.serialize_inbound_at(src, msg);
+    }
+
+    fn serialize_inbound_at(&mut self, src: usize, msg: &mut Message) {
         let cost = self
-            .link_cost(msg.src, self.rank)
+            .link_cost(src, self.rank)
             .transfer_ms(msg.payload.wire_elems());
         let delivery = msg.arrival_ms.max(self.rx_link_free_ms + cost);
         self.rx_link_free_ms = delivery;
@@ -341,6 +652,7 @@ mod tests {
         assert_eq!(stats[0].msgs_sent, 1);
         assert_eq!(stats[0].elems_sent, 5);
         assert_eq!(stats[0].bytes_sent(), 20);
+        assert_eq!(stats[0].retransmissions, 0);
         assert_eq!(stats[1].msgs_received, 1);
         assert_eq!(stats[1].elems_received, 5);
     }
@@ -354,5 +666,259 @@ mod tests {
             comm.now_ms()
         });
         assert_eq!(t, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn inactive_plan_changes_nothing() {
+        // FaultPlan::none() must leave timing and stats bit-identical.
+        let run = |plan: Option<FaultPlan>| {
+            let mut cluster = Cluster::new(2, CostModel::new(1.0, 0.1));
+            if let Some(p) = plan {
+                cluster = cluster.with_fault_plan(p);
+            }
+            cluster.run_timed(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, Payload::Dense(vec![1.0; 10])).unwrap();
+                } else {
+                    comm.recv(0, 7).unwrap();
+                }
+            })
+        };
+        let bare = run(None);
+        let none = run(Some(FaultPlan::none()));
+        for ((_, t_a, s_a), (_, t_b, s_b)) in bare.iter().zip(&none) {
+            assert_eq!(t_a, t_b);
+            assert_eq!(s_a, s_b);
+        }
+    }
+
+    #[test]
+    fn drops_trigger_retransmission_and_charge_time() {
+        // With a 40% drop rate, some messages need retries; the retried
+        // run must be slower and record retransmissions, while still
+        // delivering every payload intact.
+        let rounds = 50usize;
+        let run = |seed: Option<u64>| {
+            let mut cluster = Cluster::new(2, CostModel::new(1.0, 0.0));
+            if let Some(s) = seed {
+                let retry = RetryPolicy {
+                    max_retries: 12, // 0.4^13 ≈ 7e-6: no message is ever lost
+                    ..RetryPolicy::default()
+                };
+                cluster = cluster
+                    .with_fault_plan(FaultPlan::seeded(s).with_drop_prob(0.4).with_retry(retry));
+            }
+            cluster.run_timed(move |comm| {
+                for i in 0..rounds {
+                    if comm.rank() == 0 {
+                        comm.send(1, i as u32, Payload::Scalar(i as f64)).unwrap();
+                    } else {
+                        let m = comm.recv(0, i as u32).unwrap();
+                        assert_eq!(m.payload.into_scalar(), i as f64);
+                    }
+                }
+            })
+        };
+        let clean = run(None);
+        let faulty = run(Some(9));
+        assert!(
+            faulty[0].2.retransmissions > 0,
+            "40% drops over {rounds} messages must retransmit: {:?}",
+            faulty[0].2
+        );
+        assert!(
+            faulty[0].1 > clean[0].1,
+            "retransmissions must cost simulated time"
+        );
+        assert_eq!(faulty[0].2.timeouts, 0, "bounded retries must succeed");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = || {
+            Cluster::new(2, CostModel::new(1.0, 0.01))
+                .with_fault_plan(
+                    FaultPlan::seeded(1234)
+                        .with_drop_prob(0.3)
+                        .with_jitter_ms(0.25),
+                )
+                .run_timed(|comm| {
+                    for i in 0..40u32 {
+                        if comm.rank() == 0 {
+                            comm.send(1, i, Payload::Dense(vec![0.0; 16])).unwrap();
+                        } else {
+                            comm.recv(0, i).unwrap();
+                        }
+                    }
+                })
+        };
+        let a = run();
+        let b = run();
+        for ((_, t_a, s_a), (_, t_b, s_b)) in a.iter().zip(&b) {
+            assert_eq!(t_a, t_b, "sim time must replay bit-identically");
+            assert_eq!(s_a, s_b, "stats must replay bit-identically");
+        }
+        assert!(a[0].2.retransmissions > 0);
+    }
+
+    #[test]
+    fn all_drops_exhaust_retries_into_timeout() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(
+                FaultPlan::seeded(1).with_drop_prob(0.999), // ≈ every attempt drops
+            )
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let err = comm.send(1, 0, Payload::Scalar(1.0)).err();
+                    (err, comm.stats().timeouts)
+                } else {
+                    // The peer must not hang waiting for the lost message:
+                    // the sender gives up and exits, which the receiver
+                    // observes as a closed channel.
+                    (comm.recv_deadline(0, 0, 10.0).err(), 0)
+                }
+            });
+        assert_eq!(out[0].0, Some(CommError::Timeout { peer: 1 }));
+        assert_eq!(out[0].1, 1, "exhausted sends count as timeouts");
+        assert_eq!(out[1].0, Some(CommError::Disconnected { peer: 0 }));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_on_late_delivery_deterministically() {
+        // The sender's message arrives (simulated) at t=5; a receiver
+        // deadline of 2 ms must fail, one of 10 ms must succeed —
+        // regardless of wall-clock interleaving.
+        let out = Cluster::new(2, CostModel::new(5.0, 0.0))
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 3, Payload::Scalar(7.0)).unwrap();
+                    None
+                } else {
+                    let early = comm.recv_deadline(0, 3, 2.0);
+                    let t_after_timeout = comm.now_ms();
+                    let late = comm.recv_deadline(0, 3, 10.0);
+                    Some((early, t_after_timeout, late.is_ok()))
+                }
+            });
+        let (early, t, late_ok) = out[1].clone().unwrap();
+        assert_eq!(early, Err(CommError::Timeout { peer: 0 }));
+        assert_eq!(t, 2.0, "timeout must advance the clock to the deadline");
+        assert!(late_ok, "retry after the deadline still finds the message");
+    }
+
+    #[test]
+    fn straggler_scales_compute_and_transfer() {
+        let plan = FaultPlan::seeded(0).with_straggler(0, 3.0);
+        let times = Cluster::new(2, CostModel::new(1.0, 0.0))
+            .with_fault_plan(plan)
+            .run(|comm| {
+                comm.advance_compute(2.0);
+                if comm.rank() == 0 {
+                    comm.send(1, 0, Payload::Control).unwrap();
+                } else {
+                    comm.recv(0, 0).unwrap();
+                }
+                comm.now_ms()
+            });
+        // Rank 0 (straggler ×3): compute 6 + send 3 = 9. Rank 1 syncs to
+        // the arrival at 9 (its own compute finished at 2).
+        assert_eq!(times[0], 9.0);
+        assert_eq!(times[1], 9.0);
+    }
+
+    #[test]
+    fn crash_step_fires_exactly_on_schedule() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0).with_crash(1, 2))
+            .run(|comm| {
+                let mut completed = 0u64;
+                for _ in 0..5 {
+                    match comm.begin_step() {
+                        Ok(()) => completed += 1,
+                        Err(CommError::Aborted { rank }) => {
+                            assert_eq!(rank, comm.rank());
+                            break;
+                        }
+                        Err(e) => panic!("unexpected {e}"),
+                    }
+                }
+                completed
+            });
+        assert_eq!(out[0], 5, "rank 0 never crashes");
+        assert_eq!(out[1], 2, "rank 1 completes exactly 2 steps");
+    }
+
+    #[test]
+    fn revoke_aborts_a_blocked_receiver() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.revoke(1, 0);
+                    None
+                } else {
+                    Some(comm.recv(0, 42))
+                }
+            });
+        assert_eq!(
+            out[1],
+            Some(Err(CommError::Aborted { rank: 0 })),
+            "a revoke must unblock a receiver waiting on an unrelated tag"
+        );
+    }
+
+    #[test]
+    fn stale_revokes_are_ignored_after_epoch_bump() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.revoke(1, 0); // stale by the time rank 1 looks
+                    comm.send(1, 5, Payload::Scalar(1.0)).unwrap();
+                    None
+                } else {
+                    comm.set_epoch(1);
+                    Some(comm.recv(0, 5).map(|m| m.payload.into_scalar()))
+                }
+            });
+        assert_eq!(out[1], Some(Ok(1.0)));
+    }
+
+    #[test]
+    fn purge_pending_discards_stale_epoch_traffic() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 100, Payload::Scalar(0.0)).unwrap(); // stale
+                    comm.send(1, 200, Payload::Scalar(2.0)).unwrap(); // current
+                    None
+                } else {
+                    // Receiving tag 200 stashes the stale tag-100 message.
+                    let m = comm.recv(0, 200).unwrap();
+                    let dropped = comm.purge_pending(|msg| msg.tag < 200);
+                    Some((m.payload.into_scalar(), dropped))
+                }
+            });
+        assert_eq!(out[1], Some((2.0, 1)));
+    }
+
+    #[test]
+    fn operations_after_crash_are_aborted() {
+        let out = Cluster::new(2, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0).with_crash(0, 0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let crash = comm.begin_step().expect_err("scheduled crash");
+                    let send = comm.send(1, 0, Payload::Control).expect_err("dead");
+                    Some((crash, send))
+                } else {
+                    None
+                }
+            });
+        let (crash, send) = out[0].clone().unwrap();
+        assert_eq!(crash, CommError::Aborted { rank: 0 });
+        assert_eq!(send, CommError::Aborted { rank: 0 });
     }
 }

@@ -1,7 +1,12 @@
 use std::fmt;
 
 /// Error type for communication operations.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
+/// arm, so future fault modes (the fault-injection subsystem grows them)
+/// are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CommError {
     /// A peer rank's channel endpoint was dropped (its thread exited or
     /// panicked) while a transfer was in flight.
@@ -24,6 +29,21 @@ pub enum CommError {
         expected: usize,
         /// What was provided.
         actual: usize,
+    },
+    /// An operation with `peer` gave up: either every bounded
+    /// retransmission of a send was dropped by the fault plan, or a recv's
+    /// (simulated-clock or wall-clock) deadline expired with no delivery.
+    Timeout {
+        /// The unresponsive peer.
+        peer: usize,
+    },
+    /// The operation was torn down deliberately: this rank reached its
+    /// fault-plan crash step, or a peer revoked the in-flight collective
+    /// after detecting a failure (shrink-and-continue recovery).
+    Aborted {
+        /// The rank that originated the abort (self for a scheduled
+        /// crash, the revoking peer otherwise).
+        rank: usize,
     },
 }
 
@@ -48,6 +68,12 @@ impl fmt::Display for CommError {
                     f,
                     "buffer size mismatch in {op}: expected {expected}, got {actual}"
                 )
+            }
+            CommError::Timeout { peer } => {
+                write!(f, "operation with peer rank {peer} timed out")
+            }
+            CommError::Aborted { rank } => {
+                write!(f, "operation aborted by rank {rank}")
             }
         }
     }
@@ -77,8 +103,38 @@ mod tests {
     }
 
     #[test]
+    fn fault_variant_display_names_the_rank() {
+        assert!(CommError::Timeout { peer: 5 }
+            .to_string()
+            .contains("peer rank 5 timed out"));
+        assert!(CommError::Aborted { rank: 2 }
+            .to_string()
+            .contains("aborted by rank 2"));
+    }
+
+    #[test]
+    fn fault_variants_are_clonable_values() {
+        let t = CommError::Timeout { peer: 1 };
+        let a = CommError::Aborted { rank: 0 };
+        assert_eq!(t.clone(), t);
+        assert_eq!(a.clone(), a);
+        assert_ne!(t, a);
+    }
+
+    #[test]
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
         assert_send_sync::<CommError>();
+    }
+
+    #[test]
+    fn fault_variants_cross_thread_boundaries() {
+        // Send/Sync coverage exercised, not just asserted by bound: the
+        // new variants travel through a thread join like any MPI error
+        // value surfaced by a rank closure.
+        let handle = std::thread::spawn(|| CommError::Timeout { peer: 7 });
+        assert_eq!(handle.join().unwrap(), CommError::Timeout { peer: 7 });
+        let handle = std::thread::spawn(|| CommError::Aborted { rank: 3 });
+        assert_eq!(handle.join().unwrap(), CommError::Aborted { rank: 3 });
     }
 }

@@ -1,0 +1,326 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* in a run — per-link message
+//! drops, delivery jitter, per-rank crashes, per-rank stragglers — as a
+//! pure function of a seed, so the same plan replays the identical failure
+//! schedule on every execution regardless of thread interleaving:
+//!
+//! * **drops** are decided by hashing `(seed, src, dst, attempt_counter)`,
+//!   where the attempt counter is the sender's per-link monotone sequence
+//!   number — no shared RNG, no interleaving sensitivity;
+//! * **jitter** adds a deterministic extra delay in `[0, jitter_ms)` to
+//!   each delivered message, derived from the same hash stream;
+//! * **crashes** are scheduled per rank at a *step* boundary (the trainer
+//!   advances the step counter once per iteration via
+//!   [`Communicator::begin_step`](crate::Communicator::begin_step));
+//! * **stragglers** scale a rank's communication and compute costs by a
+//!   constant factor ≥ 1.
+//!
+//! [`FaultPlan::none`] is the default everywhere and leaves every code
+//! path bit-identical to a build without fault injection: no hash is ever
+//! computed, no extra simulated time is charged.
+
+/// Retry/backoff and timeout constants of the simulated transport.
+///
+/// A dropped message is retransmitted by the sender after an exponential
+/// backoff: retry `i` (0-based) waits `backoff_base_ms · 2^i` simulated
+/// milliseconds, and every attempt is charged the full `α + nβ` transfer
+/// cost. After `max_retries` retransmissions the operation fails with
+/// [`CommError::Timeout`](crate::CommError::Timeout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*transmissions per message (total attempts are
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// Base backoff delay in simulated milliseconds (doubled per retry).
+    pub backoff_base_ms: f64,
+    /// Simulated-clock timeout for a blocking `recv` under this plan:
+    /// a message whose delivery time lands after `now + recv_timeout_ms`
+    /// is treated as lost by the receiver.
+    pub recv_timeout_ms: f64,
+    /// Wall-clock safety cap for a blocking `recv`, in milliseconds.
+    /// This never fires in a correct run (crashed ranks close their
+    /// channels, which is detected immediately); it exists so a protocol
+    /// bug degrades into a visible [`CommError::Timeout`](crate::CommError::Timeout)
+    /// instead of a hung test suite.
+    pub wall_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            backoff_base_ms: 1.0,
+            recv_timeout_ms: 5_000.0,
+            wall_cap_ms: 20_000,
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of faults for one simulated run.
+///
+/// Construct with [`FaultPlan::none`] (the default: nothing ever fails)
+/// or [`FaultPlan::seeded`], then layer faults on with the builder
+/// methods. Install on a [`Cluster`](crate::Cluster) via
+/// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan).
+///
+/// # Examples
+///
+/// ```
+/// use gtopk_comm::FaultPlan;
+/// let plan = FaultPlan::seeded(42)
+///     .with_drop_prob(0.05)
+///     .with_jitter_ms(0.5)
+///     .with_crash(3, 120)
+///     .with_straggler(1, 4.0);
+/// assert!(plan.is_active());
+/// assert_eq!(plan.crash_step(3), Some(120));
+/// assert_eq!(plan.straggle_factor(1), 4.0);
+/// assert_eq!(FaultPlan::none().crash_step(3), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability in `[0, 1)` that any single transmission attempt is
+    /// dropped on the wire.
+    drop_prob: f64,
+    /// Upper bound of the uniform extra delivery delay, simulated ms.
+    jitter_ms: f64,
+    /// `(rank, step)` pairs: `rank` crashes when its step counter reaches
+    /// `step`.
+    crashes: Vec<(usize, u64)>,
+    /// `(rank, factor)` pairs: `rank`'s compute and transfer costs are
+    /// multiplied by `factor` (≥ 1).
+    stragglers: Vec<(usize, f64)>,
+    /// Transport retry/timeout constants.
+    retry: RetryPolicy,
+    active: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no timeouts, no behavioural change at
+    /// all. This is the implicit default of every cluster.
+    pub fn none() -> Self {
+        FaultPlan {
+            retry: RetryPolicy::default(),
+            ..Default::default()
+        }
+    }
+
+    /// A fault plan rooted at `seed`. Until faults are layered on it
+    /// behaves like [`FaultPlan::none`] except that recv timeouts are
+    /// armed (the plan is *active*).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            retry: RetryPolicy::default(),
+            active: true,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the per-attempt message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1)`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the uniform delivery jitter bound in simulated milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter_ms` is negative or not finite.
+    pub fn with_jitter_ms(mut self, jitter_ms: f64) -> Self {
+        assert!(
+            jitter_ms.is_finite() && jitter_ms >= 0.0,
+            "jitter must be non-negative"
+        );
+        self.jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Schedules `rank` to crash when its step counter reaches `step`
+    /// (replacing any earlier schedule for the same rank).
+    pub fn with_crash(mut self, rank: usize, step: u64) -> Self {
+        self.crashes.retain(|&(r, _)| r != rank);
+        self.crashes.push((rank, step));
+        self
+    }
+
+    /// Marks `rank` as a straggler: all its simulated compute and
+    /// transfer costs are multiplied by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor ≥ 1`.
+    pub fn with_straggler(mut self, rank: usize, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "straggler factor must be >= 1"
+        );
+        self.stragglers.retain(|&(r, _)| r != rank);
+        self.stragglers.push((rank, factor));
+        self
+    }
+
+    /// Overrides the transport retry/timeout constants.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Whether any fault machinery is armed. Inactive plans take the
+    /// exact pre-existing happy-path code, bit for bit.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The transport retry/timeout constants in force.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The step at which `rank` crashes, if scheduled.
+    pub fn crash_step(&self, rank: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, s)| s)
+    }
+
+    /// The straggler slowdown factor of `rank` (1.0 when not a straggler).
+    pub fn straggle_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Whether transmission attempt number `attempt` of the link
+    /// `src → dst` is dropped. Pure function of `(seed, src, dst,
+    /// attempt)` — replays identically on every run.
+    pub fn drops(&self, src: usize, dst: usize, attempt: u64) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        unit_f64(self.link_hash(src, dst, attempt, 0x0d)) < self.drop_prob
+    }
+
+    /// The deterministic extra delivery delay of transmission attempt
+    /// `attempt` on `src → dst`, uniform in `[0, jitter_ms)`.
+    pub fn jitter(&self, src: usize, dst: usize, attempt: u64) -> f64 {
+        if self.jitter_ms <= 0.0 {
+            return 0.0;
+        }
+        unit_f64(self.link_hash(src, dst, attempt, 0x1a)) * self.jitter_ms
+    }
+
+    fn link_hash(&self, src: usize, dst: usize, attempt: u64, salt: u64) -> u64 {
+        let mut h = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for word in [src as u64, dst as u64, attempt] {
+            h ^= word.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = splitmix(h);
+        }
+        h
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the vendored `rand` stub uses to
+/// expand seeds; high-quality avalanche for hash-derived decisions.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(!plan.drops(0, 1, 0));
+        assert_eq!(plan.jitter(0, 1, 0), 0.0);
+        assert_eq!(plan.crash_step(0), None);
+        assert_eq!(plan.straggle_factor(0), 1.0);
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_and_link_local() {
+        let a = FaultPlan::seeded(7).with_drop_prob(0.5);
+        let b = FaultPlan::seeded(7).with_drop_prob(0.5);
+        let mut differs_by_link = false;
+        for attempt in 0..64 {
+            assert_eq!(a.drops(0, 1, attempt), b.drops(0, 1, attempt));
+            if a.drops(0, 1, attempt) != a.drops(1, 0, attempt) {
+                differs_by_link = true;
+            }
+        }
+        assert!(differs_by_link, "directed links must have distinct streams");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::seeded(1).with_drop_prob(0.5);
+        let b = FaultPlan::seeded(2).with_drop_prob(0.5);
+        let same = (0..256)
+            .filter(|&i| a.drops(0, 1, i) == b.drops(0, 1, i))
+            .count();
+        assert!(same < 256, "seeds must decorrelate drop schedules");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(3).with_drop_prob(0.25);
+        let n = 10_000u64;
+        let dropped = (0..n).filter(|&i| plan.drops(2, 5, i)).count() as f64;
+        let rate = dropped / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let plan = FaultPlan::seeded(11).with_jitter_ms(2.0);
+        for attempt in 0..100 {
+            let j = plan.jitter(1, 2, attempt);
+            assert!((0.0..2.0).contains(&j));
+            assert_eq!(j, plan.jitter(1, 2, attempt));
+        }
+    }
+
+    #[test]
+    fn crash_and_straggler_lookup() {
+        let plan = FaultPlan::seeded(0)
+            .with_crash(2, 10)
+            .with_crash(2, 20) // replaces
+            .with_straggler(1, 3.0);
+        assert_eq!(plan.crash_step(2), Some(20));
+        assert_eq!(plan.crash_step(1), None);
+        assert_eq!(plan.straggle_factor(1), 3.0);
+        assert_eq!(plan.straggle_factor(2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_prob_rejected() {
+        let _ = FaultPlan::seeded(0).with_drop_prob(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler factor")]
+    fn invalid_straggler_rejected() {
+        let _ = FaultPlan::seeded(0).with_straggler(0, 0.5);
+    }
+}

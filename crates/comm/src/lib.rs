@@ -18,7 +18,12 @@
 //!   `max(own, arrival)`. This is the exact cost model the paper uses for
 //!   all of its analysis (Table I, Eqs. 5–7), with default constants taken
 //!   from the paper's measured fit (α = 0.436 ms, β = 3.6×10⁻⁵ ms per
-//!   4-byte element, Fig. 8).
+//!   4-byte element, Fig. 8);
+//! * a seeded, deterministic fault-injection layer ([`FaultPlan`], module
+//!   [`fault`]) beneath the same API: per-link drops with bounded
+//!   retransmission and exponential backoff, delivery jitter, per-rank
+//!   crash schedules and straggler slowdowns — all replayable
+//!   bit-identically from the seed.
 //!
 //! Because the collectives move real data and only the *timekeeping* is
 //! simulated, algorithmic correctness and communication-volume accounting
@@ -47,12 +52,14 @@ pub mod collectives;
 mod comm;
 mod cost;
 mod error;
+pub mod fault;
 mod message;
 
 pub use cluster::Cluster;
 pub use comm::{CommStats, Communicator, LinkCostFn};
 pub use cost::{CostModel, SimClock};
 pub use error::CommError;
+pub use fault::{FaultPlan, RetryPolicy};
 pub use message::{Message, Payload};
 
 /// Convenient `Result` alias for communication operations.

@@ -94,6 +94,14 @@ pub struct Message {
 impl Message {
     /// Tags at or above this value are reserved for collectives.
     pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
+
+    /// Control-plane tag carried by a revoke message (ULFM-style): a rank
+    /// that detects a failure mid-collective sends this to every live
+    /// member, and any blocking receive that pulls it aborts. The payload
+    /// is a [`Payload::Scalar`] holding the revoked membership epoch;
+    /// revokes for epochs older than the receiver's current epoch are
+    /// stale and ignored.
+    pub const REVOKE_TAG: u32 = u32::MAX;
 }
 
 #[cfg(test)]

@@ -1,0 +1,435 @@
+//! Fault-tolerant gTop-k collectives: revocation, survivor agreement,
+//! and shrink-and-continue over a rebuilt binomial tree.
+//!
+//! The recovery protocol is a deliberately small cousin of MPI's ULFM
+//! (revoke + shrink + agree):
+//!
+//! 1. **Detect** — a rank blocked in a collective observes a failure as
+//!    [`CommError::Disconnected`] (the crashed rank's channels closed) or
+//!    [`CommError::Timeout`].
+//! 2. **Revoke** — the detecting rank sends a revoke message carrying the
+//!    current membership epoch to every other previous member. Any rank
+//!    blocked in `recv` that pulls a revoke for its current epoch aborts
+//!    with [`CommError::Aborted`], which cascades the teardown through
+//!    the whole dependency chain of the collective — no rank can stay
+//!    blocked on a rank that has entered recovery, because entering
+//!    recovery always starts by revoking everyone.
+//! 3. **Agree** — survivors walk the previous member list in order; the
+//!    first live member acts as coordinator, collects an ALIVE message
+//!    (carrying the sender's latest checkpoint iteration) from every
+//!    other previous member within a timeout, and answers with the agreed
+//!    survivor set plus the common rollback iteration (the minimum of the
+//!    reported checkpoints). Dead members are excluded by the immediate
+//!    `Disconnected` their closed channels produce.
+//! 4. **Shrink and continue** — every survivor bumps its membership
+//!    epoch, purges traffic of the revoked epoch, rolls its training
+//!    state back to the agreed checkpoint, and resumes with the binomial
+//!    tree rebuilt over the survivor positions and gradient averaging
+//!    rescaled to the live member count.
+//!
+//! Collective tags are epoch-stamped (`tag + epoch ·
+//! [`EPOCH_TAG_STRIDE`]`), so traffic from before a recovery can never
+//! alias a post-recovery receive; at epoch 0 the offset is zero and the
+//! message schedule is bit-identical to the fault-free collectives.
+//!
+//! A live rank that the coordinator times out on is *expelled*: it is not
+//! told the new membership, every candidate walk it attempts dies, and it
+//! terminates with an error — the classic fate of a falsely-suspected
+//! node in a crash-failure detector. Default timeouts are far above any
+//! modeled straggler skew, so this only happens under pathological plans.
+
+use crate::gtopk_allreduce::tree_reduce_over;
+use crate::sparse_coll::sparse_broadcast_over;
+use gtopk_comm::{CommError, Communicator, Message, Payload, Result};
+use gtopk_sparse::{Mask, SparseVec};
+
+/// Tag-space stride between membership epochs. Everything a collective
+/// sends in epoch `e` uses tags in
+/// `[COLLECTIVE_TAG_BASE + e·stride, COLLECTIVE_TAG_BASE + (e+1)·stride)`.
+pub const EPOCH_TAG_STRIDE: u32 = 4096;
+
+/// ALIVE round-robin tags start here (plus the epoch offset plus the
+/// candidate index).
+const TAG_ALIVE: u32 = Message::COLLECTIVE_TAG_BASE + 512;
+/// Membership-announcement tags start here.
+const TAG_MEMBERSHIP: u32 = Message::COLLECTIVE_TAG_BASE + 1024;
+
+/// The collective tag offset of membership epoch `epoch`.
+///
+/// # Panics
+///
+/// Panics if the epoch count exceeds the tag space (far beyond any
+/// realistic failure count).
+pub fn epoch_tag_offset(epoch: u64) -> u32 {
+    let off = epoch
+        .checked_mul(u64::from(EPOCH_TAG_STRIDE))
+        .expect("epoch overflow");
+    assert!(
+        off < u64::from(u32::MAX - Message::COLLECTIVE_TAG_BASE) - u64::from(EPOCH_TAG_STRIDE),
+        "too many membership epochs for the tag space"
+    );
+    off as u32
+}
+
+/// Membership-aware, epoch-stamped gTopKAllReduce: [Algorithm 3] over the
+/// binomial tree rebuilt on `members` (sorted, must contain the caller).
+/// With the full membership at epoch 0 this is identical to
+/// [`crate::gtopk_all_reduce`].
+///
+/// # Errors
+///
+/// Propagates transport errors — including [`CommError::Disconnected`] /
+/// [`CommError::Aborted`] when a member failed, which the caller should
+/// answer with [`recover`].
+pub fn ft_gtopk_all_reduce(
+    comm: &mut Communicator,
+    members: &[usize],
+    local: SparseVec,
+    k: usize,
+) -> Result<(SparseVec, Mask)> {
+    let off = epoch_tag_offset(comm.epoch());
+    let (global, _rejected) = tree_reduce_over(comm, members, local, k, off)?;
+    let global = sparse_broadcast_over(comm, members, global, members[0], off)?;
+    let mask = Mask::of_sparse(&global);
+    Ok((global, mask))
+}
+
+/// Membership-aware, epoch-stamped variant of
+/// [`crate::gtopk_all_reduce_with_feedback`]: additionally returns the
+/// entries this rank's tree merges truncated away, so error feedback
+/// stays exact across a shrink-and-continue membership change.
+///
+/// # Errors
+///
+/// As for [`ft_gtopk_all_reduce`].
+pub fn ft_gtopk_all_reduce_with_feedback(
+    comm: &mut Communicator,
+    members: &[usize],
+    local: SparseVec,
+    k: usize,
+) -> Result<(SparseVec, Mask, SparseVec)> {
+    let off = epoch_tag_offset(comm.epoch());
+    let (global, rejected) = tree_reduce_over(comm, members, local, k, off)?;
+    let global = sparse_broadcast_over(comm, members, global, members[0], off)?;
+    let mask = Mask::of_sparse(&global);
+    Ok((global, mask, rejected))
+}
+
+/// The outcome of a survivor-agreement round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The agreed survivor set, sorted, including the caller.
+    pub members: Vec<usize>,
+    /// The common checkpoint iteration every survivor must roll back to
+    /// (the minimum of the survivors' latest checkpoints — checkpoints
+    /// are taken at a fixed cadence, so ranks can be at most one
+    /// checkpoint boundary apart when a failure hits).
+    pub rollback_iter: u64,
+}
+
+/// Runs the full recovery protocol after a detected failure: revoke the
+/// current epoch towards every previous member, bump the epoch, purge the
+/// revoked epoch's traffic, and agree on the survivor set and rollback
+/// point with the other survivors.
+///
+/// `my_ckpt_iter` is this rank's latest checkpoint iteration; the agreed
+/// [`Recovery::rollback_iter`] is the minimum over all survivors.
+///
+/// # Errors
+///
+/// [`CommError::Disconnected`] / [`CommError::Timeout`] when no candidate
+/// coordinator could be reached at all — the caller cannot continue and
+/// should terminate (it has effectively been expelled).
+pub fn recover(
+    comm: &mut Communicator,
+    prev_members: &[usize],
+    my_ckpt_iter: u64,
+) -> Result<Recovery> {
+    assert!(
+        prev_members.len() as u32 <= TAG_MEMBERSHIP - TAG_ALIVE,
+        "member count exceeds the agreement tag space"
+    );
+    let revoked_epoch = comm.epoch();
+    // Entering recovery ALWAYS starts by revoking everyone: this is what
+    // guarantees no rank stays blocked waiting for us.
+    for &m in prev_members {
+        comm.revoke(m, revoked_epoch);
+    }
+    let epoch = revoked_epoch + 1;
+    comm.set_epoch(epoch);
+    purge_revoked_epochs(comm, epoch);
+    agree_survivors(comm, prev_members, my_ckpt_iter)
+}
+
+/// Drops all buffered traffic belonging to epochs before `epoch`:
+/// epoch-stamped collective payloads and stale revokes.
+fn purge_revoked_epochs(comm: &mut Communicator, epoch: u64) {
+    let fresh_base = Message::COLLECTIVE_TAG_BASE + epoch_tag_offset(epoch);
+    comm.purge_pending(|m| {
+        if m.tag == Message::REVOKE_TAG {
+            return match m.payload {
+                Payload::Scalar(e) => (e as u64) < epoch,
+                _ => false,
+            };
+        }
+        m.tag >= Message::COLLECTIVE_TAG_BASE && m.tag < fresh_base
+    });
+}
+
+/// The agreement round of [`recover`] (already at the new epoch).
+fn agree_survivors(
+    comm: &mut Communicator,
+    prev_members: &[usize],
+    my_ckpt_iter: u64,
+) -> Result<Recovery> {
+    let off = epoch_tag_offset(comm.epoch());
+    let me = comm.rank();
+    let timeout = comm.recovery_timeout_ms();
+    let mut last_err = CommError::Timeout { peer: me };
+    for (idx, &candidate) in prev_members.iter().enumerate() {
+        let tag_alive = TAG_ALIVE + off + idx as u32;
+        let tag_member = TAG_MEMBERSHIP + off + idx as u32;
+        if candidate == me {
+            // Coordinator: collect ALIVE from every other previous
+            // member. Dead members answer with an immediate
+            // `Disconnected` (their channels are closed); unreachable
+            // ones time out and are excluded.
+            let mut members = vec![me];
+            let mut rollback_iter = my_ckpt_iter;
+            for &m in prev_members {
+                if m == me {
+                    continue;
+                }
+                match comm.recv_deadline(m, tag_alive, timeout) {
+                    Ok(msg) => {
+                        rollback_iter = rollback_iter.min(msg.payload.into_scalar() as u64);
+                        members.push(m);
+                    }
+                    Err(_) => continue, // dead or unreachable: excluded
+                }
+            }
+            members.sort_unstable();
+            // Announce the agreed membership + rollback point.
+            let mut wire: Vec<f32> = Vec::with_capacity(members.len() + 1);
+            wire.push(rollback_iter as f32);
+            wire.extend(members.iter().map(|&r| r as f32));
+            for &m in &members {
+                if m == me {
+                    continue;
+                }
+                // A member that died between its ALIVE and now just
+                // misses the announcement; it is still listed, and the
+                // next failure detection will shrink it out.
+                let _ = comm.send(m, tag_member, Payload::Dense(wire.clone()));
+            }
+            return Ok(Recovery {
+                members,
+                rollback_iter,
+            });
+        }
+        // Worker: report liveness to the candidate, then wait for the
+        // membership announcement. Either step failing means the
+        // candidate is dead or unreachable — walk on to the next one.
+        if let Err(e) = comm.send(candidate, tag_alive, Payload::Scalar(my_ckpt_iter as f64)) {
+            last_err = e;
+            continue;
+        }
+        match comm.recv_deadline(candidate, tag_member, timeout) {
+            Ok(msg) => {
+                let wire = msg.payload.into_dense();
+                let rollback_iter = wire[0] as u64;
+                let members: Vec<usize> = wire[1..].iter().map(|&r| r as usize).collect();
+                debug_assert!(members.contains(&me));
+                return Ok(Recovery {
+                    members,
+                    rollback_iter,
+                });
+            }
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_comm::{Cluster, CostModel, FaultPlan};
+    use gtopk_sparse::topk_sparse;
+
+    fn worker_grad(r: usize, dim: usize, seed: u64) -> Vec<f32> {
+        (0..dim)
+            .map(|i| {
+                let h = (i as u64 + 1)
+                    .wrapping_mul(r as u64 + seed + 1)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ft_allreduce_matches_plain_on_full_membership() {
+        for p in [2usize, 3, 4, 5, 8] {
+            let members: Vec<usize> = (0..p).collect();
+            let members_ref = &members;
+            let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let g = worker_grad(comm.rank(), 64, 7);
+                let local = topk_sparse(&g, 4);
+                let plain = crate::gtopk_all_reduce(comm, local.clone(), 4).unwrap();
+                let ft = ft_gtopk_all_reduce(comm, members_ref, local, 4).unwrap();
+                (plain, ft)
+            });
+            for ((pv, pm), (fv, fm)) in out {
+                assert_eq!(pv, fv, "P={p}");
+                assert_eq!(pm, fm);
+            }
+        }
+    }
+
+    #[test]
+    fn ft_allreduce_over_a_shrunk_membership() {
+        // 5 ranks, rank 2 "dead" (never participates): the other four run
+        // the collective over the shrunk member set and agree.
+        let members = vec![0usize, 1, 3, 4];
+        let members_ref = &members;
+        let out = Cluster::new(5, CostModel::zero()).run(move |comm| {
+            if comm.rank() == 2 {
+                return None;
+            }
+            let g = worker_grad(comm.rank(), 64, 3);
+            let local = topk_sparse(&g, 4);
+            Some(ft_gtopk_all_reduce(comm, members_ref, local, 4).unwrap())
+        });
+        let (first, _) = out[0].clone().unwrap();
+        assert!(first.nnz() <= 4 && first.nnz() > 0);
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                None => assert_eq!(r, 2),
+                Some((v, _)) => assert_eq!(v, &first, "rank {r}"),
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_stamped_tags_separate_generations() {
+        // The same collective at two different epochs must not cross
+        // traffic: run epoch 0, bump, run epoch 1 with different data.
+        let members = vec![0usize, 1, 2, 3];
+        let members_ref = &members;
+        let out = Cluster::new(4, CostModel::zero()).run(move |comm| {
+            let g0 = worker_grad(comm.rank(), 32, 1);
+            let r0 = ft_gtopk_all_reduce(comm, members_ref, topk_sparse(&g0, 3), 3).unwrap();
+            comm.set_epoch(1);
+            let g1 = worker_grad(comm.rank(), 32, 2);
+            let r1 = ft_gtopk_all_reduce(comm, members_ref, topk_sparse(&g1, 3), 3).unwrap();
+            (r0, r1)
+        });
+        for (r0, r1) in &out {
+            assert_eq!(r0.0, out[0].0 .0);
+            assert_eq!(r1.0, out[0].1 .0);
+            assert_ne!(r0.0, r1.0, "different inputs must give different sums");
+        }
+    }
+
+    #[test]
+    fn recovery_agrees_on_survivors_and_min_checkpoint() {
+        // Rank 1 crashes at step 0; the others detect it in the
+        // collective, recover, and agree on {0, 2, 3} with the minimum
+        // checkpoint. Checkpoint iters differ per rank on purpose.
+        let out = Cluster::new(4, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(5).with_crash(1, 0))
+            .run(|comm| {
+                if comm.begin_step().is_err() {
+                    return None; // rank 1 dies silently
+                }
+                let members: Vec<usize> = (0..4).collect();
+                let g = worker_grad(comm.rank(), 32, 1);
+                let local = topk_sparse(&g, 3);
+                let err = ft_gtopk_all_reduce(comm, &members, local, 3)
+                    .expect_err("collective over a dead member must fail");
+                assert!(
+                    matches!(
+                        err,
+                        CommError::Disconnected { .. }
+                            | CommError::Aborted { .. }
+                            | CommError::Timeout { .. }
+                    ),
+                    "unexpected error {err}"
+                );
+                let ckpt = 10 + comm.rank() as u64; // min is rank 0's 10
+                Some(recover(comm, &members, ckpt).unwrap())
+            });
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                None => assert_eq!(r, 1),
+                Some(rec) => {
+                    assert_eq!(rec.members, vec![0, 2, 3], "rank {r}");
+                    assert_eq!(rec.rollback_iter, 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_cascades_to_the_next_candidate_when_rank0_dies() {
+        // The lowest rank is the crashed one, so the coordinator role
+        // falls to rank 1.
+        let out = Cluster::new(4, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(6).with_crash(0, 0))
+            .run(|comm| {
+                if comm.begin_step().is_err() {
+                    return None;
+                }
+                let members: Vec<usize> = (0..4).collect();
+                let g = worker_grad(comm.rank(), 32, 2);
+                let local = topk_sparse(&g, 3);
+                ft_gtopk_all_reduce(comm, &members, local, 3)
+                    .expect_err("collective over a dead member must fail");
+                Some(recover(comm, &members, 7).unwrap())
+            });
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                None => assert_eq!(r, 0),
+                Some(rec) => {
+                    assert_eq!(rec.members, vec![1, 2, 3], "rank {r}");
+                    assert_eq!(rec.rollback_iter, 7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collective_works_after_recovery() {
+        // End-to-end shrink-and-continue at the collective level: fail,
+        // recover, and run the next epoch-stamped collective over the
+        // survivors.
+        let out = Cluster::new(4, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(8).with_crash(2, 0))
+            .run(|comm| {
+                if comm.begin_step().is_err() {
+                    return None;
+                }
+                let members: Vec<usize> = (0..4).collect();
+                let g = worker_grad(comm.rank(), 48, 4);
+                let local = topk_sparse(&g, 4);
+                ft_gtopk_all_reduce(comm, &members, local.clone(), 4)
+                    .expect_err("must fail with rank 2 dead");
+                let rec = recover(comm, &members, 0).unwrap();
+                assert_eq!(rec.members, vec![0, 1, 3]);
+                let (global, mask) = ft_gtopk_all_reduce(comm, &rec.members, local, 4).unwrap();
+                Some((global, mask))
+            });
+        let (first, _) = out[0].clone().unwrap();
+        assert!(first.nnz() > 0);
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                None => assert_eq!(r, 2),
+                Some((v, _)) => assert_eq!(v, &first, "rank {r}"),
+            }
+        }
+    }
+}

@@ -78,8 +78,34 @@ fn tree_reduce(
     local: SparseVec,
     k: usize,
 ) -> Result<(SparseVec, SparseVec)> {
-    let p = comm.size();
-    let rank = comm.rank();
+    let members: Vec<usize> = (0..comm.size()).collect();
+    tree_reduce_over(comm, &members, local, k, 0)
+}
+
+/// Membership-aware tree reduction: the binomial tree is built over
+/// `members` (a sorted subset of ranks that must include the caller),
+/// with each member addressed by its *position* in the list — this is how
+/// fault-tolerant runs rebuild the tree over the survivors after a crash.
+/// `tag_off` shifts the collective tags (fault-tolerant callers stamp the
+/// membership epoch into it); with the full membership and `tag_off == 0`
+/// the message schedule is bit-identical to the original fixed-topology
+/// reduction. The merged result lands on `members[0]`.
+///
+/// # Panics
+///
+/// Panics if the calling rank is not in `members`.
+pub(crate) fn tree_reduce_over(
+    comm: &mut Communicator,
+    members: &[usize],
+    local: SparseVec,
+    k: usize,
+    tag_off: u32,
+) -> Result<(SparseVec, SparseVec)> {
+    let p = members.len();
+    let rank = members
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("caller must be a member of the reduction group");
     let dim = local.dim();
     // One scratch + double-buffered accumulators serve every `⊤` merge of
     // the O(log P) rounds — the hot loop allocates nothing after warm-up.
@@ -105,11 +131,18 @@ fn tree_reduce(
     let extra = p - p2;
     // Fold-in of extra ranks.
     if rank >= p2 {
-        comm.send(rank - p2, TAG_TREE_FOLD, Payload::Sparse(acc.clone()))?;
+        comm.send(
+            members[rank - p2],
+            TAG_TREE_FOLD + tag_off,
+            Payload::Sparse(acc.clone()),
+        )?;
         return Ok((SparseVec::empty(dim), rejected));
     }
     if rank < extra {
-        let other = comm.recv(rank + p2, TAG_TREE_FOLD)?.payload.into_sparse();
+        let other = comm
+            .recv(members[rank + p2], TAG_TREE_FOLD + tag_off)?
+            .payload
+            .into_sparse();
         topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
         std::mem::swap(&mut acc, &mut merged);
         rejected = rejected.add(&round_rej);
@@ -121,7 +154,7 @@ fn tree_reduce(
             let src = rank | mask;
             if src < p2 {
                 let other = comm
-                    .recv(src, TAG_TREE + mask as u32)?
+                    .recv(members[src], TAG_TREE + tag_off + mask as u32)?
                     .payload
                     .into_sparse();
                 topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
@@ -130,7 +163,11 @@ fn tree_reduce(
             }
         } else {
             let dst = rank & !mask;
-            comm.send(dst, TAG_TREE + mask as u32, Payload::Sparse(acc.clone()))?;
+            comm.send(
+                members[dst],
+                TAG_TREE + tag_off + mask as u32,
+                Payload::Sparse(acc.clone()),
+            )?;
             acc = SparseVec::empty(dim);
             break;
         }

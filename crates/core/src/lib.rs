@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod aggregator;
+pub mod ft;
 mod gtopk_allreduce;
 mod metrics;
 pub mod pipeline;
@@ -65,6 +66,9 @@ mod trainer;
 pub use aggregator::{
     Algorithm, DenseAggregator, GradientAggregator, GtopkAggregator, GtopkFeedbackAggregator,
     GtopkNoPutbackAggregator, NaiveGtopkAggregator, TopkAggregator, Update,
+};
+pub use ft::{
+    ft_gtopk_all_reduce, ft_gtopk_all_reduce_with_feedback, recover, Recovery, EPOCH_TAG_STRIDE,
 };
 pub use gtopk_allreduce::{
     gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce,

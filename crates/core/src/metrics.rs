@@ -11,14 +11,20 @@ pub struct TimingBreakdown {
     pub compression_ms: f64,
     /// Gradient aggregation communication time.
     pub communication_ms: f64,
-    /// Iterations accumulated into this breakdown.
+    /// Failure-recovery time: revokes, survivor agreement, and rollback
+    /// after a membership change (zero in fault-free runs).
+    pub recovery_ms: f64,
+    /// Iterations accumulated into this breakdown (including iterations
+    /// replayed after a rollback).
     pub iterations: usize,
+    /// Number of shrink-and-continue recoveries performed.
+    pub recoveries: usize,
 }
 
 impl TimingBreakdown {
-    /// Total time across phases.
+    /// Total time across phases (including recovery).
     pub fn total_ms(&self) -> f64 {
-        self.compute_ms + self.compression_ms + self.communication_ms
+        self.compute_ms + self.compression_ms + self.communication_ms + self.recovery_ms
     }
 
     /// Per-iteration averages `(compute, compression, communication)`.
@@ -36,7 +42,10 @@ impl TimingBreakdown {
         )
     }
 
-    /// Phase fractions summing to 1 (zeros if the total is zero).
+    /// Phase fractions `(compute, compression, communication)` of the
+    /// total. They sum to 1 in a fault-free run; under faults the
+    /// remainder up to 1 is the recovery fraction. Zeros if the total is
+    /// zero.
     pub fn fractions(&self) -> (f64, f64, f64) {
         let t = self.total_ms();
         if t == 0.0 {
@@ -76,8 +85,16 @@ pub struct TrainReport {
     pub timing: TimingBreakdown,
     /// Total simulated wall-clock (rank 0), ms.
     pub sim_time_ms: f64,
-    /// Total elements sent by rank 0 (communication-volume check).
+    /// Total elements sent by the reporting rank (rank 0 in fault-free
+    /// runs, the lowest surviving rank otherwise) — the
+    /// communication-volume check.
     pub elems_sent_rank0: usize,
+    /// Messages retransmitted by the reporting rank after simulated
+    /// drops (0 in fault-free runs).
+    pub retransmissions: usize,
+    /// Ranks still alive at the end of the run (equals `workers` in
+    /// fault-free runs; smaller after shrink-and-continue).
+    pub survivors: usize,
     /// Mean non-zero count of the applied global update — the paper's
     /// §III-A quantity `K` for Top-k S-SGD (`k ≤ K ≤ k·P`, measuring how
     /// much worker gradient supports overlap), exactly `k` for gTop-k,
@@ -123,7 +140,9 @@ mod tests {
             compute_ms: 60.0,
             compression_ms: 20.0,
             communication_ms: 20.0,
+            recovery_ms: 0.0,
             iterations: 10,
+            recoveries: 0,
         };
         assert_eq!(b.total_ms(), 100.0);
         assert_eq!(b.per_iteration(), (6.0, 2.0, 2.0));
@@ -159,10 +178,14 @@ mod tests {
                 compute_ms: 0.0,
                 compression_ms: 0.0,
                 communication_ms: 0.0,
+                recovery_ms: 0.0,
                 iterations: 100,
+                recoveries: 0,
             },
             sim_time_ms: 1000.0,
             elems_sent_rank0: 1234,
+            retransmissions: 0,
+            survivors: 4,
             mean_update_nnz: 10.0,
         };
         assert_eq!(report.final_loss(), 1.0);

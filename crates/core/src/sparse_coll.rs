@@ -34,16 +34,55 @@ pub fn sparse_broadcast(
             size: p,
         });
     }
+    let members: Vec<usize> = (0..p).collect();
+    sparse_broadcast_over(comm, &members, local, root, 0)
+}
+
+/// Membership-aware binomial-tree broadcast: the tree is built over
+/// `members` (a sorted subset of ranks that must include the caller and
+/// `root`), addressing members by position — the fault-tolerant
+/// counterpart of [`sparse_broadcast`]. `tag_off` shifts the collective
+/// tag (epoch-stamped by fault-tolerant callers); with the full
+/// membership and `tag_off == 0` the schedule is bit-identical to the
+/// fixed-topology broadcast.
+///
+/// # Errors
+///
+/// Propagates transport errors; rejects a root outside `members`.
+///
+/// # Panics
+///
+/// Panics if the calling rank is not in `members`.
+pub(crate) fn sparse_broadcast_over(
+    comm: &mut Communicator,
+    members: &[usize],
+    local: SparseVec,
+    root: usize,
+    tag_off: u32,
+) -> Result<SparseVec> {
+    let p = members.len();
+    let me = members
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("caller must be a member of the broadcast group");
+    let Some(root_pos) = members.iter().position(|&r| r == root) else {
+        return Err(gtopk_comm::CommError::InvalidRank {
+            rank: root,
+            size: comm.size(),
+        });
+    };
     if p == 1 {
         return Ok(local);
     }
-    let rel = (comm.rank() + p - root) % p;
+    let tag = TAG_SBCAST + tag_off;
+    // Positions relative to the root, so any member can be the root.
+    let rel = (me + p - root_pos) % p;
+    let abs = |relpos: usize| members[(relpos + root_pos) % p];
     let mut value = local;
     let mut mask = 1usize;
     while mask < p {
         if rel & mask != 0 {
-            let src = (comm.rank() + p - mask) % p;
-            value = comm.recv(src, TAG_SBCAST)?.payload.into_sparse();
+            value = comm.recv(abs(rel - mask), tag)?.payload.into_sparse();
             break;
         }
         mask <<= 1;
@@ -51,8 +90,7 @@ pub fn sparse_broadcast(
     mask >>= 1;
     while mask > 0 {
         if rel + mask < p {
-            let dst = (comm.rank() + mask) % p;
-            comm.send(dst, TAG_SBCAST, Payload::Sparse(value.clone()))?;
+            comm.send(abs(rel + mask), tag, Payload::Sparse(value.clone()))?;
         }
         mask >>= 1;
     }

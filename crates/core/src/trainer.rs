@@ -1,14 +1,16 @@
 //! Distributed S-SGD training loops (paper Algorithms 1, 2 and 4, plus
 //! the dense baseline) over the simulated cluster.
 
+use crate::selector::SelectorState;
 use crate::{
-    Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown, TrainReport,
-    Update,
+    ft, Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown,
+    TrainReport, Update,
 };
-use gtopk_comm::{Cluster, Communicator, CostModel};
+use gtopk_comm::{Cluster, Communicator, CostModel, FaultPlan, Result};
 use gtopk_data::{shard_indices, BatchIter, Dataset};
 use gtopk_nn::{accuracy, softmax_cross_entropy, Model, MomentumSgd};
 use gtopk_sparse::Residual;
+use std::collections::VecDeque;
 
 /// Simulated per-iteration local costs, used by the timing experiments
 /// (Figs. 10–11, Table IV). When present, each iteration advances the
@@ -60,6 +62,16 @@ pub struct TrainConfig {
     pub clip_norm: Option<f32>,
     /// Seed for batch shuffling (model seeds belong to the builder).
     pub data_seed: u64,
+    /// Deterministic fault injection for the run. `None` (the default)
+    /// and [`FaultPlan::none`] leave training bit-identical to a build
+    /// without fault machinery; an active plan switches the trainer to
+    /// the fault-tolerant loop (gTop-k variants only): periodic
+    /// in-memory checkpoints, rollback on membership change, and
+    /// shrink-and-continue over the surviving ranks.
+    pub fault_plan: Option<FaultPlan>,
+    /// Iterations between in-memory checkpoints in the fault-tolerant
+    /// loop (ignored in fault-free runs).
+    pub checkpoint_interval: usize,
 }
 
 impl TrainConfig {
@@ -82,6 +94,8 @@ impl TrainConfig {
             momentum_correction: false,
             clip_norm: None,
             data_seed: 0x5eed,
+            fault_plan: None,
+            checkpoint_interval: 10,
         }
     }
 
@@ -89,6 +103,18 @@ impl TrainConfig {
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Returns a copy with a fault plan installed (arming the
+    /// fault-tolerant training loop when the plan is active).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Whether this configuration arms the fault-tolerant loop.
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.is_active())
     }
 }
 
@@ -98,8 +124,12 @@ struct RankOutcome {
     timing: TimingBreakdown,
     sim_time_ms: f64,
     elems_sent: usize,
+    retransmissions: usize,
     update_nnz_sum: u64,
     param_checksum: f64,
+    /// True when this rank left the run: a scheduled crash, or expulsion
+    /// after failing to reach any recovery coordinator.
+    crashed: bool,
 }
 
 /// Runs distributed S-SGD with the configured aggregation algorithm.
@@ -137,7 +167,10 @@ where
         cfg.batch_per_worker
     );
 
-    let cluster = Cluster::new(cfg.workers, cfg.cost_model);
+    let mut cluster = Cluster::new(cfg.workers, cfg.cost_model);
+    if let Some(plan) = &cfg.fault_plan {
+        cluster = cluster.with_fault_plan(plan.clone());
+    }
     let outcomes: Vec<RankOutcome> = cluster.run(|comm| {
         run_rank(
             cfg,
@@ -149,9 +182,29 @@ where
         )
     });
 
-    // Replica-consistency invariant: identical updates everywhere.
-    let checksum0 = outcomes[0].param_checksum;
+    // Ranks that crashed (or were expelled) leave partial outcomes; all
+    // reporting is over the survivors. Fault-free runs have no crashes,
+    // so this is the identity filter there.
+    let survivors: Vec<&RankOutcome> = outcomes.iter().filter(|o| !o.crashed).collect();
+    assert!(
+        !survivors.is_empty(),
+        "every rank crashed or was expelled; nothing to report"
+    );
+    for s in &survivors {
+        assert_eq!(
+            s.losses.len(),
+            cfg.epochs,
+            "surviving ranks must complete every epoch"
+        );
+    }
+
+    // Replica-consistency invariant: identical updates on every
+    // surviving rank.
+    let checksum0 = survivors[0].param_checksum;
     for (r, o) in outcomes.iter().enumerate() {
+        if o.crashed {
+            continue;
+        }
         assert!(
             (o.param_checksum - checksum0).abs() <= 1e-3 * checksum0.abs().max(1.0),
             "rank {r} model diverged: {} vs {}",
@@ -163,25 +216,28 @@ where
     let epochs = (0..cfg.epochs)
         .map(|e| {
             let mean_loss =
-                outcomes.iter().map(|o| o.losses[e]).sum::<f64>() / outcomes.len() as f64;
+                survivors.iter().map(|o| o.losses[e]).sum::<f64>() / survivors.len() as f64;
             EpochRecord {
                 epoch: e,
                 train_loss: mean_loss,
-                eval_accuracy: outcomes[0].evals[e],
+                eval_accuracy: survivors[0].evals[e],
                 density: cfg.density.density(e),
             }
         })
         .collect();
 
-    let iterations = outcomes[0].timing.iterations.max(1);
+    let reporter = survivors[0];
+    let iterations = reporter.timing.iterations.max(1);
     TrainReport {
         algorithm: cfg.algorithm.name(),
         workers: cfg.workers,
         epochs,
-        timing: outcomes[0].timing,
-        sim_time_ms: outcomes[0].sim_time_ms,
-        elems_sent_rank0: outcomes[0].elems_sent,
-        mean_update_nnz: outcomes[0].update_nnz_sum as f64 / iterations as f64,
+        timing: reporter.timing,
+        sim_time_ms: reporter.sim_time_ms,
+        elems_sent_rank0: reporter.elems_sent,
+        retransmissions: reporter.retransmissions,
+        survivors: survivors.len(),
+        mean_update_nnz: reporter.update_nnz_sum as f64 / iterations as f64,
     }
 }
 
@@ -197,6 +253,16 @@ where
     M: Model,
     F: Fn() -> M,
 {
+    if cfg.fault_tolerant() {
+        return run_rank_ft(
+            cfg,
+            comm,
+            build_model,
+            train_data,
+            eval_data,
+            iters_per_epoch,
+        );
+    }
     let mut model = build_model();
     let m = model.num_params();
     // With momentum correction, momentum is applied locally (DGC style)
@@ -293,14 +359,289 @@ where
     }
 
     let params = model.flat_params();
+    let stats = comm.stats();
     RankOutcome {
         losses,
         evals,
         timing,
         sim_time_ms: comm.now_ms(),
-        elems_sent: comm.stats().elems_sent,
+        elems_sent: stats.elems_sent,
+        retransmissions: stats.retransmissions,
         update_nnz_sum,
         param_checksum: params.iter().map(|&v| v as f64).sum(),
+        crashed: false,
+    }
+}
+
+/// Rank-local state captured by the fault-tolerant loop at checkpoint
+/// boundaries. Everything needed to replay from iteration `iter` as if
+/// the iterations after it never happened (time-breakdown counters are
+/// deliberately *not* part of the snapshot: they describe executed work,
+/// replays included).
+struct FtCheckpoint {
+    iter: u64,
+    params: Vec<f32>,
+    opt: MomentumSgd,
+    residual_dense: Vec<f32>,
+    local_velocity: Option<Vec<f32>>,
+    batches: BatchIter,
+    losses: Vec<f64>,
+    evals: Vec<Option<f64>>,
+    epoch_loss: f64,
+}
+
+/// One fault-tolerant gradient aggregation over the current membership:
+/// local selection, epoch-stamped gTop-k AllReduce over `members`, the
+/// algorithm's put-back discipline, and averaging by the *live* worker
+/// count.
+///
+/// On error the residual is left missing the extracted values — the
+/// caller rolls the whole rank state back to a checkpoint, so nothing is
+/// patched up here.
+fn ft_step(
+    comm: &mut Communicator,
+    members: &[usize],
+    sel: &mut SelectorState,
+    residual: &mut Residual,
+    k: usize,
+    algorithm: Algorithm,
+) -> Result<Update> {
+    let local = sel.extract(residual, k);
+    let inv = 1.0 / members.len() as f32;
+    match algorithm {
+        Algorithm::GTopK => {
+            let (mut global, gmask) = ft::ft_gtopk_all_reduce(comm, members, local.clone(), k)?;
+            let (_kept, rejected) = local.partition_by(&gmask);
+            residual.put_back(&rejected);
+            global.scale(inv);
+            Ok(Update::Sparse(global))
+        }
+        Algorithm::GTopKFeedback => {
+            let (mut global, gmask, tree_rejects) =
+                ft::ft_gtopk_all_reduce_with_feedback(comm, members, local.clone(), k)?;
+            let (_kept, rejected) = local.partition_by(&gmask);
+            residual.put_back(&rejected);
+            // See `GtopkFeedbackAggregator`: restore in-mask tree-merge
+            // truncations, which no owner knows to put back.
+            let (lost_but_selected, _owner_covered) = tree_rejects.partition_by(&gmask);
+            residual.put_back(&lost_but_selected);
+            global.scale(inv);
+            Ok(Update::Sparse(global))
+        }
+        other => panic!(
+            "fault-tolerant training supports gTop-k variants only (got {})",
+            other.name()
+        ),
+    }
+}
+
+/// The fault-tolerant training loop (active `FaultPlan` installed).
+///
+/// Differences from the plain loop:
+///
+/// * a single global iteration index drives an epoch-agnostic loop, so
+///   rollback can cross epoch boundaries;
+/// * every `checkpoint_interval` iterations the rank snapshots its full
+///   training state in memory (the last two snapshots are kept — ranks
+///   can be at most one checkpoint boundary apart when a failure hits);
+/// * each iteration starts with [`Communicator::begin_step`], which is
+///   where a scheduled crash fires (the rank silently exits, closing its
+///   channels — exactly how peers observe a real process death);
+/// * aggregation runs over the current `members` via the epoch-stamped
+///   collectives; on a communication error the rank enters
+///   [`ft::recover`], agrees on the surviving membership and the common
+///   rollback point, restores that checkpoint, and continues shrunk;
+/// * every live rank evaluates at epoch ends (rank 0 may not survive);
+/// * recovery wall-time and count are charged to
+///   [`TimingBreakdown::recovery_ms`] / `recoveries`.
+fn run_rank_ft<M, F>(
+    cfg: &TrainConfig,
+    comm: &mut Communicator,
+    build_model: &F,
+    train_data: &dyn Dataset,
+    eval_data: Option<&dyn Dataset>,
+    iters_per_epoch: usize,
+) -> RankOutcome
+where
+    M: Model,
+    F: Fn() -> M,
+{
+    assert!(
+        matches!(cfg.algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback),
+        "fault-tolerant training supports gTop-k variants only (got {})",
+        cfg.algorithm.name()
+    );
+    let mut model = build_model();
+    let m = model.num_params();
+    let opt_momentum = if cfg.momentum_correction {
+        0.0
+    } else {
+        cfg.momentum
+    };
+    let mut opt = MomentumSgd::new(m, cfg.lr.lr(0), opt_momentum);
+    let mut local_velocity: Option<Vec<f32>> = if cfg.momentum_correction {
+        Some(vec![0.0; m])
+    } else {
+        None
+    };
+    let mut residual = Residual::new(m);
+    let mut sel = SelectorState::new(cfg.selector, comm.rank());
+    let shard = shard_indices(train_data.len(), comm.rank(), comm.size());
+    let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
+    let mut members: Vec<usize> = (0..comm.size()).collect();
+    let interval = cfg.checkpoint_interval.max(1) as u64;
+
+    let ipe = iters_per_epoch as u64;
+    let total_iters = cfg.epochs as u64 * ipe;
+    let mut it = 0u64;
+    let mut losses: Vec<f64> = Vec::with_capacity(cfg.epochs);
+    let mut evals: Vec<Option<f64>> = Vec::with_capacity(cfg.epochs);
+    let mut epoch_loss = 0.0f64;
+    let mut timing = TimingBreakdown::default();
+    let mut update_nnz_sum = 0u64;
+    let mut ckpts: VecDeque<FtCheckpoint> = VecDeque::with_capacity(2);
+    let mut crashed = false;
+
+    while it < total_iters {
+        let epoch = (it / ipe) as usize;
+        opt.set_lr(cfg.lr.lr(epoch));
+        let k = cfg.density.k(epoch, m);
+
+        // Periodic in-memory checkpoint. After a rollback `it` lands on
+        // the restored snapshot's boundary; the `<` guard avoids
+        // re-snapshotting the identical state.
+        if it.is_multiple_of(interval) && ckpts.back().is_none_or(|c| c.iter < it) {
+            ckpts.push_back(FtCheckpoint {
+                iter: it,
+                params: model.flat_params(),
+                opt: opt.clone(),
+                residual_dense: residual.dense().to_vec(),
+                local_velocity: local_velocity.clone(),
+                batches: batches.clone(),
+                losses: losses.clone(),
+                evals: evals.clone(),
+                epoch_loss,
+            });
+            while ckpts.len() > 2 {
+                ckpts.pop_front();
+            }
+        }
+
+        // Scheduled crashes fire here: the rank just stops, and its
+        // peers find out through the transport (no farewell message).
+        if comm.begin_step().is_err() {
+            crashed = true;
+            break;
+        }
+
+        let idx = batches
+            .next_batch()
+            .expect("iters_per_epoch fits every shard")
+            .to_vec();
+        let (x, ys) = train_data.batch(&idx);
+
+        let t0 = comm.now_ms();
+        model.zero_grads();
+        let logits = model.forward(&x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, &ys);
+        model.backward(&grad);
+        let mut g = model.flat_grads();
+        if let Some(max_norm) = cfg.clip_norm {
+            clip_to_norm(&mut g, max_norm);
+        }
+        if let Some(cost) = cfg.compute_cost {
+            comm.advance_compute(cost.compute_ms);
+        }
+        let t1 = comm.now_ms();
+
+        match &mut local_velocity {
+            Some(u) => {
+                for (ui, &gi) in u.iter_mut().zip(g.iter()) {
+                    *ui = cfg.momentum * *ui + gi;
+                }
+                residual.accumulate(u);
+            }
+            None => residual.accumulate(&g),
+        }
+        if let Some(cost) = cfg.compute_cost {
+            comm.advance_compute(cost.sparsify_ms);
+        }
+        let t2 = comm.now_ms();
+        timing.compute_ms += t1 - t0;
+        timing.compression_ms += t2 - t1;
+
+        match ft_step(comm, &members, &mut sel, &mut residual, k, cfg.algorithm) {
+            Ok(update) => {
+                let t3 = comm.now_ms();
+                update_nnz_sum += update.nnz() as u64;
+                match &update {
+                    Update::Dense(v) => opt.step_dense(&mut model, v),
+                    Update::Sparse(sv) => opt.step_sparse(&mut model, sv),
+                }
+                epoch_loss += loss as f64;
+                timing.communication_ms += t3 - t2;
+                timing.iterations += 1;
+                it += 1;
+                if it.is_multiple_of(ipe) {
+                    // Epoch finished; every live rank evaluates because
+                    // any rank may end up the reporter.
+                    losses.push(epoch_loss / iters_per_epoch as f64);
+                    evals.push(eval_data.map(|ds| evaluate(&mut model, ds)));
+                    epoch_loss = 0.0;
+                    batches.next_epoch();
+                }
+            }
+            Err(_) => {
+                let my_ckpt = ckpts
+                    .back()
+                    .expect("a checkpoint is taken before iteration 0")
+                    .iter;
+                match ft::recover(comm, &members, my_ckpt) {
+                    Ok(rec) => {
+                        members = rec.members;
+                        let pos = ckpts
+                            .iter()
+                            .position(|c| c.iter == rec.rollback_iter)
+                            .expect("agreed rollback point is one of the last two checkpoints");
+                        ckpts.truncate(pos + 1);
+                        let c = ckpts.back().expect("just truncated to keep this");
+                        model.set_flat_params(&c.params);
+                        opt = c.opt.clone();
+                        residual.clear();
+                        residual.accumulate(&c.residual_dense);
+                        local_velocity = c.local_velocity.clone();
+                        batches = c.batches.clone();
+                        losses = c.losses.clone();
+                        evals = c.evals.clone();
+                        epoch_loss = c.epoch_loss;
+                        it = c.iter;
+                        timing.recovery_ms += comm.now_ms() - t2;
+                        timing.recoveries += 1;
+                    }
+                    Err(_) => {
+                        // Could not reach any coordinator: this rank was
+                        // expelled (e.g. it timed out long enough for the
+                        // others to shrink past it). It leaves the run.
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let params = model.flat_params();
+    let stats = comm.stats();
+    RankOutcome {
+        losses,
+        evals,
+        timing,
+        sim_time_ms: comm.now_ms(),
+        elems_sent: stats.elems_sent,
+        retransmissions: stats.retransmissions,
+        update_nnz_sum,
+        param_checksum: params.iter().map(|&v| v as f64).sum(),
+        crashed,
     }
 }
 
@@ -362,6 +703,8 @@ mod tests {
             momentum_correction: false,
             clip_norm: None,
             data_seed: 1,
+            fault_plan: None,
+            checkpoint_interval: 4,
         }
     }
 
@@ -496,6 +839,114 @@ mod tests {
             report.epochs[0].train_loss,
             report.final_loss()
         );
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical() {
+        let data = GaussianMixture::new(31, 256, 8, 4, 2.0, 0.4);
+        let build = || models::mlp(33, 8, 16, 4);
+        let plain = quick_cfg(Algorithm::GTopK, 4);
+        let mut gated = plain.clone();
+        gated.fault_plan = Some(FaultPlan::none());
+        let a = train_distributed(&plain, build, &data, None);
+        let b = train_distributed(&gated, build, &data, None);
+        for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+            assert_eq!(ea.train_loss, eb.train_loss, "losses must be bit-identical");
+        }
+        assert_eq!(a.elems_sent_rank0, b.elems_sent_rank0);
+        assert_eq!(b.retransmissions, 0);
+        assert_eq!(b.survivors, 4);
+    }
+
+    #[test]
+    fn dropped_messages_are_retried_transparently() {
+        let data = GaussianMixture::new(32, 256, 8, 4, 2.0, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.fault_plan = Some(FaultPlan::seeded(7).with_drop_prob(0.15));
+        let report = train_distributed(&cfg, || models::mlp(35, 8, 16, 4), &data, None);
+        assert!(report.retransmissions > 0, "drops must force retransmits");
+        assert_eq!(report.timing.recoveries, 0, "no membership change");
+        assert_eq!(report.survivors, 4);
+        assert!(report.final_loss() < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_for_a_fixed_seed() {
+        let data = GaussianMixture::new(33, 256, 8, 4, 2.0, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.fault_plan = Some(FaultPlan::seeded(11).with_drop_prob(0.08));
+        let run = || train_distributed(&cfg, || models::mlp(37, 8, 16, 4), &data, None);
+        let (a, b) = (run(), run());
+        assert_eq!(a.retransmissions, b.retransmissions);
+        assert_eq!(a.sim_time_ms, b.sim_time_ms);
+        for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+            assert_eq!(ea.train_loss, eb.train_loss);
+        }
+    }
+
+    #[test]
+    fn crashed_rank_shrinks_the_run_which_still_converges() {
+        let data = GaussianMixture::new(34, 256, 8, 4, 2.5, 0.4);
+        let build = || models::mlp(39, 8, 16, 4);
+        // 4 ranks, rank 3 dies before its 11th iteration (mid-epoch 1).
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.epochs = 4;
+        cfg.cost_model = CostModel::gigabit_ethernet(); // nonzero α-β so recovery has a cost
+        cfg.fault_plan = Some(FaultPlan::seeded(1).with_crash(3, 10));
+        let faulted = train_distributed(&cfg, build, &data, None);
+        assert_eq!(faulted.survivors, 3, "exactly one rank must be lost");
+        assert!(faulted.timing.recoveries >= 1, "a recovery must be logged");
+        assert!(faulted.timing.recovery_ms > 0.0);
+        assert!(
+            faulted.final_loss() < faulted.epochs[0].train_loss,
+            "shrunk run must keep converging: {} -> {}",
+            faulted.epochs[0].train_loss,
+            faulted.final_loss()
+        );
+
+        // A fault-free 3-worker baseline on the same problem lands in
+        // the same loss regime (shards differ, so not bit-identical).
+        let mut base_cfg = quick_cfg(Algorithm::GTopK, 3);
+        base_cfg.epochs = 4;
+        let baseline = train_distributed(&base_cfg, build, &data, None);
+        let (f, b) = (faulted.final_loss(), baseline.final_loss());
+        assert!(
+            (f - b).abs() <= 0.5 * b.max(0.1),
+            "shrunk run must land near the 3-worker baseline: {f} vs {b}"
+        );
+    }
+
+    #[test]
+    fn feedback_variant_survives_a_crash_too() {
+        let data = GaussianMixture::new(35, 256, 8, 4, 2.5, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopKFeedback, 4);
+        cfg.epochs = 4;
+        cfg.fault_plan = Some(FaultPlan::seeded(2).with_crash(1, 13));
+        let report = train_distributed(&cfg, || models::mlp(41, 8, 16, 4), &data, None);
+        assert_eq!(report.survivors, 3);
+        assert!(report.final_loss() < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn straggler_inflates_sim_time_but_not_results() {
+        let data = GaussianMixture::new(36, 256, 8, 4, 2.0, 0.4);
+        let build = || models::mlp(43, 8, 16, 4);
+        let mut slow = quick_cfg(Algorithm::GTopK, 4);
+        slow.cost_model = CostModel::gigabit_ethernet();
+        slow.fault_plan = Some(FaultPlan::seeded(3).with_straggler(2, 4.0));
+        let mut fast = slow.clone();
+        fast.fault_plan = Some(FaultPlan::seeded(3));
+        let s = train_distributed(&slow, build, &data, None);
+        let f = train_distributed(&fast, build, &data, None);
+        assert!(
+            s.sim_time_ms > f.sim_time_ms,
+            "straggler must slow the run: {} !> {}",
+            s.sim_time_ms,
+            f.sim_time_ms
+        );
+        for (es, ef) in s.epochs.iter().zip(f.epochs.iter()) {
+            assert_eq!(es.train_loss, ef.train_loss, "numerics must not change");
+        }
     }
 
     #[test]

@@ -17,4 +17,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --offline
 
+# The workspace-level integration suites under tests/ are registered as
+# [[test]] targets of gtopk-core; run them explicitly so a registration
+# mistake (a file added to tests/ but not to crates/core/Cargo.toml)
+# fails loudly here instead of silently never running.
+echo "==> workspace integration suites (tests/)"
+for f in tests/*.rs; do
+  name="$(basename "$f" .rs)"
+  if ! grep -q "name = \"$name\"" crates/core/Cargo.toml; then
+    echo "error: $f is not registered as a [[test]] target in crates/core/Cargo.toml" >&2
+    exit 1
+  fi
+  cargo test -q --offline -p gtopk-core --test "$name"
+done
+
 echo "==> OK"

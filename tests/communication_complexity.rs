@@ -130,6 +130,8 @@ fn training_volume_matches_aggregation_volume() {
         momentum_correction: false,
         clip_norm: None,
         data_seed: 2,
+        fault_plan: None,
+        checkpoint_interval: 10,
     };
     let dense = gtopk::train_distributed(
         &mk(Algorithm::Dense),

@@ -24,6 +24,8 @@ fn cfg(alg: Algorithm, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
         momentum_correction: false,
         clip_norm: None,
         data_seed: 9,
+        fault_plan: None,
+        checkpoint_interval: 10,
     }
 }
 

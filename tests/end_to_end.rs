@@ -28,6 +28,8 @@ fn cfg(
         momentum_correction: false,
         clip_norm: None,
         data_seed: 3,
+        fault_plan: None,
+        checkpoint_interval: 10,
     }
 }
 

@@ -3,7 +3,7 @@
 //! model), never as silent hangs or corrupted aggregates.
 
 use gtopk::{gtopk_all_reduce, ps_gtopk_all_reduce};
-use gtopk_comm::{collectives, Cluster, CommError, CostModel, Payload};
+use gtopk_comm::{collectives, Cluster, CommError, CostModel, FaultPlan, Payload};
 use gtopk_sparse::SparseVec;
 
 #[test]
@@ -104,6 +104,104 @@ fn collective_after_partial_failure_reports_error() {
         .filter(|(r, res)| *r != 2 && matches!(res, Some(Err(_))))
         .count();
     assert!(failed >= 1, "ring must break when a member dies: {out:?}");
+}
+
+#[test]
+fn allgather_fails_cleanly_when_a_rank_dies() {
+    // Recursive-doubling AllGather with a dead member: every survivor's
+    // exchange chain reaches the hole within log P rounds, so all of
+    // them must error rather than return a partial gather.
+    for p in [4usize, 6] {
+        let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+            if comm.rank() == 1 {
+                return None;
+            }
+            Some(collectives::allgather(comm, vec![comm.rank() as f32; 4]))
+        });
+        let failed = out
+            .iter()
+            .enumerate()
+            .filter(|(r, res)| *r != 1 && matches!(res, Some(Err(_))))
+            .count();
+        assert!(
+            failed >= 1,
+            "P={p}: allgather must break when a member dies: {out:?}"
+        );
+        assert!(
+            !out.iter()
+                .any(|res| matches!(res, Some(Ok(rows)) if rows.len() == p)),
+            "P={p}: nobody may claim a complete gather: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn gtopk_all_reduce_fails_cleanly_at_non_power_of_two_sizes() {
+    // The tree handles non-power-of-two P by folding extra ranks in;
+    // losing a folded-in rank (the last one) must also surface cleanly.
+    for (p, dead) in [(5usize, 4usize), (6, 5), (5, 2)] {
+        let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+            if comm.rank() == dead {
+                return (comm.rank(), None);
+            }
+            let local = SparseVec::from_pairs(16, vec![(comm.rank() as u32, 1.0)]);
+            (comm.rank(), Some(gtopk_all_reduce(comm, local, 2)))
+        });
+        let errors: Vec<usize> = out
+            .iter()
+            .filter_map(|(r, res)| match res {
+                Some(Err(CommError::Disconnected { .. })) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !errors.is_empty(),
+            "P={p}, dead={dead}: some rank must observe the death: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn ps_worker_death_is_observed_by_the_server() {
+    // The PS path must also fail cleanly when a *worker* (not the
+    // server) dies, including at non-power-of-two sizes.
+    for p in [4usize, 5] {
+        let dead = p - 1;
+        let out = Cluster::new(p, CostModel::zero()).run(|comm| {
+            if comm.rank() == dead {
+                return None;
+            }
+            let local = SparseVec::from_pairs(8, vec![(comm.rank() as u32, 1.0)]);
+            Some(ps_gtopk_all_reduce(comm, local, 2))
+        });
+        assert!(
+            matches!(&out[0], Some(Err(CommError::Disconnected { peer })) if *peer == dead),
+            "P={p}: the server must observe the dead worker: {:?}",
+            out[0]
+        );
+    }
+}
+
+#[test]
+fn scheduled_crash_breaks_collectives_like_a_real_death() {
+    // Same observable failure shape when the death comes from the
+    // deterministic fault plan instead of an explicit early return.
+    let plan = FaultPlan::seeded(1).with_crash(2, 0);
+    let out = Cluster::new(4, CostModel::zero())
+        .with_fault_plan(plan)
+        .run(|comm| {
+            if comm.begin_step().is_err() {
+                return (comm.rank(), None); // rank 2's scheduled death
+            }
+            let mut v = vec![comm.rank() as f32; 8];
+            (comm.rank(), Some(collectives::allreduce_ring(comm, &mut v)))
+        });
+    assert!(out[2].1.is_none(), "rank 2 must crash on schedule");
+    let failed = out
+        .iter()
+        .filter(|(r, res)| *r != 2 && matches!(res, Some(Err(_))))
+        .count();
+    assert!(failed >= 1, "survivors must observe the crash: {out:?}");
 }
 
 #[test]

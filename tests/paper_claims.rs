@@ -84,6 +84,8 @@ fn claim_convergence_parity_with_dense() {
         momentum_correction: false,
         clip_norm: None,
         data_seed: 4,
+        fault_plan: None,
+        checkpoint_interval: 10,
     };
     let build = || models::mlp(61, 12, 24, 4);
     let dense = train_distributed(&cfg(Algorithm::Dense), build, &data, None);
@@ -117,6 +119,8 @@ fn claim_speedup_grows_with_workers() {
             momentum_correction: false,
             clip_norm: None,
             data_seed: 5,
+            fault_plan: None,
+            checkpoint_interval: 10,
         };
         train_distributed(&cfg, || models::mlp(63, 32, 256, 4), &data, None).sim_time_ms
     };

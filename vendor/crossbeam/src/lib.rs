@@ -19,6 +19,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders hung up and the queue is empty.
+        Disconnected,
+    }
+
     /// Sending half of an unbounded channel.
     #[derive(Debug)]
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -51,6 +60,15 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.0.try_recv().ok()
         }
+
+        /// Blocks until a message arrives, every sender is dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Creates an unbounded MPSC channel.
@@ -75,6 +93,22 @@ pub mod channel {
             handle.join().unwrap();
             assert_eq!(got, (0..10).collect::<Vec<_>>());
             assert_eq!(rx.recv(), Err(RecvError), "senders dropped");
+        }
+
+        #[test]
+        fn recv_timeout_distinguishes_empty_from_closed() {
+            let (tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(1)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
