@@ -1,0 +1,200 @@
+//! **Extension** — executed compute/communication overlap →
+//! `BENCH_overlap.json`.
+//!
+//! Trains a deep MLP with the executed overlap engine (per-bucket
+//! residual → top-k → gTopKAllReduce launched as each bucket's backward
+//! finishes on the simulated clock) and sweeps bucket count × worker
+//! count on the paper's 1GbE α-β constants. For every cell it reports:
+//!
+//! * executed overlapped sim time vs the serial (non-overlapped) run of
+//!   the same configuration — the realized speedup;
+//! * the analytic `simulate_fused` prediction and the maximum absolute
+//!   deviation of the executed schedule from it (power-of-two P:
+//!   expected ≲ 1e-6 ms);
+//! * buffer-pool misses after one epoch vs the full run — equal counts
+//!   mean the steady-state send/recv hot path allocated nothing.
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin ext_overlap`
+
+use gtopk::{
+    train_distributed, ComputeCost, DensitySchedule, OverlapConfig, TrainConfig, TrainReport,
+};
+use gtopk_bench::report::{workspace_root, Table};
+use gtopk_comm::CostModel;
+use gtopk_data::GaussianMixture;
+use gtopk_nn::{Linear, Relu, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+const EPOCHS: usize = 2;
+const BATCH: usize = 8;
+const DENSITY: f64 = 0.01;
+const WORKER_SWEEP: [usize; 4] = [4, 8, 16, 32];
+/// 0 encodes one bucket per parameter-bearing layer.
+const BUCKET_SWEEP: [usize; 5] = [1, 2, 4, 8, 0];
+
+/// Eight parameter-bearing layers, so the per-layer and 8-bucket
+/// schedules differ from the coarser fusions.
+fn deep_mlp(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    let dims = [16usize, 64, 64, 64, 64, 64, 32, 16, 4];
+    for (i, pair) in dims.windows(2).enumerate() {
+        net.push(Linear::new(&mut rng, pair[0], pair[1]));
+        if i + 2 < dims.len() {
+            net.push(Relu::new());
+        }
+    }
+    net
+}
+
+fn cfg(workers: usize, overlap: Option<OverlapConfig>, epochs: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::convergence(workers, BATCH, epochs, 0.05, DENSITY);
+    // Constant density keeps per-bucket k (and thus pooled buffer
+    // sizes) fixed, so the steady-state pool check is exact.
+    cfg.density = DensitySchedule::constant(DENSITY);
+    cfg.cost_model = CostModel::gigabit_ethernet();
+    cfg.compute_cost = Some(ComputeCost {
+        compute_ms: 8.0,
+        sparsify_ms: 0.5,
+    });
+    cfg.overlap = overlap;
+    cfg
+}
+
+fn run(cfg: &TrainConfig, data: &GaussianMixture) -> TrainReport {
+    train_distributed(cfg, || deep_mlp(11), data, None)
+}
+
+fn bucket_cfg(buckets: usize) -> OverlapConfig {
+    if buckets == 0 {
+        OverlapConfig::per_layer()
+    } else {
+        OverlapConfig::buckets(buckets)
+    }
+}
+
+fn bucket_label(buckets: usize) -> String {
+    if buckets == 0 {
+        "per-layer".into()
+    } else {
+        buckets.to_string()
+    }
+}
+
+fn main() {
+    let data = GaussianMixture::new(3, 1024, 16, 4, 2.5, 0.5);
+
+    let mut table = Table::new(
+        &format!(
+            "Executed overlap — gTop-k S-SGD, deep MLP, rho = {DENSITY}, \
+             1GbE, {EPOCHS} epochs"
+        ),
+        &[
+            "P",
+            "buckets",
+            "serial ms",
+            "overlap ms",
+            "speedup",
+            "analytic ms",
+            "max dev ms",
+            "loss drift",
+        ],
+    );
+
+    let mut cells = Vec::new();
+    for &p in &WORKER_SWEEP {
+        eprintln!("P = {p}: serial baseline ...");
+        let serial = run(&cfg(p, None, EPOCHS), &data);
+        for &buckets in &BUCKET_SWEEP {
+            eprintln!("P = {p}: {} buckets ...", bucket_label(buckets));
+            let report = run(&cfg(p, Some(bucket_cfg(buckets)), EPOCHS), &data);
+            let stats = report.overlap.clone().expect("overlap stats present");
+            let speedup = serial.sim_time_ms / report.sim_time_ms;
+            // Overlap reorders nothing numerically: per-bucket top-k over
+            // the same flat vector with the same residuals. Loss drift vs
+            // the serial run is the sparsification-pattern difference
+            // (bucketed local selection), not a scheduling artifact.
+            let drift = (report.final_loss() - serial.final_loss()).abs();
+            table.row(vec![
+                p.to_string(),
+                bucket_label(buckets),
+                format!("{:.1}", serial.sim_time_ms),
+                format!("{:.1}", report.sim_time_ms),
+                format!("{speedup:.3}x"),
+                format!("{:.1}", stats.analytic_overlapped_ms),
+                format!("{:.2e}", stats.max_abs_dev_ms),
+                format!("{drift:.4}"),
+            ]);
+            cells.push((p, buckets, serial.sim_time_ms, report, stats));
+        }
+    }
+    table.emit("ext_overlap");
+
+    // Steady-state hot path: misses must not grow after warmup.
+    eprintln!("steady-state pool check ...");
+    let warm = run(&cfg(4, Some(OverlapConfig::buckets(4)), 1), &data);
+    let steady = run(&cfg(4, Some(OverlapConfig::buckets(4)), 3), &data);
+    let zero_alloc = steady.pool_misses_rank0 == warm.pool_misses_rank0;
+    println!(
+        "pool (P=4, 4 buckets): warmup misses {}, 3-epoch misses {}, hits {} -> \
+         steady-state allocations: {}",
+        warm.pool_misses_rank0,
+        steady.pool_misses_rank0,
+        steady.pool_hits_rank0,
+        if zero_alloc { "none" } else { "PRESENT" },
+    );
+
+    let json = render_json(&cells, &warm, &steady, zero_alloc);
+    print!("{json}");
+    let path = workspace_root().join("BENCH_overlap.json");
+    std::fs::write(&path, &json).expect("write BENCH_overlap.json");
+    eprintln!("wrote {}", path.display());
+}
+
+fn render_json(
+    cells: &[(usize, usize, f64, TrainReport, gtopk::OverlapStats)],
+    warm: &TrainReport,
+    steady: &TrainReport,
+    zero_alloc: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"executed_overlap\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"epochs\": {EPOCHS}, \"batch_per_worker\": {BATCH}, \
+         \"density\": {DENSITY}, \"algorithm\": \"gTop-k\", \"network\": \"1GbE\", \
+         \"compute_ms\": 8.0, \"sparsify_ms\": 0.5}},"
+    );
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, (p, buckets, serial_ms, report, stats)) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {p}, \"buckets\": \"{}\", \"fused_buckets\": {}, \
+             \"serial_sim_ms\": {serial_ms:.3}, \"overlap_sim_ms\": {:.3}, \
+             \"speedup\": {:.4}, \"analytic_overlapped_ms\": {:.3}, \
+             \"analytic_serial_ms\": {:.3}, \"max_abs_dev_ms\": {:.3e}, \
+             \"final_loss\": {:.6}}}{}",
+            bucket_label(*buckets),
+            stats.buckets,
+            report.sim_time_ms,
+            serial_ms / report.sim_time_ms,
+            stats.analytic_overlapped_ms,
+            stats.analytic_serial_ms,
+            stats.max_abs_dev_ms,
+            report.final_loss(),
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"zero_alloc_hot_path\": {{\"warmup_pool_misses\": {}, \
+         \"steady_pool_misses\": {}, \"steady_pool_hits\": {}, \"holds\": {}}}",
+        warm.pool_misses_rank0, steady.pool_misses_rank0, steady.pool_hits_rank0, zero_alloc,
+    );
+    out.push_str("}\n");
+    out
+}

@@ -96,6 +96,9 @@ mod tests {
             retransmissions: 0,
             survivors: 2,
             mean_update_nnz: 0.0,
+            pool_hits_rank0: 0,
+            pool_misses_rank0: 0,
+            overlap: None,
         }
     }
 

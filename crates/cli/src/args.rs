@@ -105,6 +105,12 @@ impl ParsedArgs {
         self.flags.iter().any(|f| f == key)
     }
 
+    /// Whether a `--key value` option was given (with any value) — for
+    /// options that only make sense alongside another flag.
+    pub fn has_option(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
     /// Rejects unknown options/flags (catches typos early).
     ///
     /// # Errors
@@ -140,6 +146,8 @@ mod tests {
         assert_eq!(a.get::<usize>("workers", 1).unwrap(), 8);
         assert!(a.has_flag("verbose"));
         assert!(!a.has_flag("quiet"));
+        assert!(a.has_option("workers"));
+        assert!(!a.has_option("verbose"), "flags are not value options");
     }
 
     #[test]

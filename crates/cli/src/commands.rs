@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::{ArgError, ParsedArgs};
-use gtopk::{train_distributed, Algorithm, DensitySchedule, Selector, TrainConfig};
+use gtopk::{train_distributed, Algorithm, DensitySchedule, OverlapConfig, Selector, TrainConfig};
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
 };
@@ -120,6 +120,9 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "density",
         "seed",
         "sampled-selection",
+        "threshold-selection",
+        "overlap",
+        "buckets",
         "momentum-correction",
         "clip",
         "fault-seed",
@@ -158,6 +161,33 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     if sample > 0 {
         cfg.selector = Selector::Sampled { sample };
     }
+    let thr_sample: usize = parsed.get("threshold-selection", 0)?;
+    if thr_sample > 0 {
+        if sample > 0 {
+            return Err(ArgError(
+                "--sampled-selection and --threshold-selection are mutually exclusive".into(),
+            ));
+        }
+        cfg.selector = Selector::ThresholdEstimate { sample: thr_sample };
+    }
+    if parsed.has_flag("overlap") {
+        if algorithm != Algorithm::GTopK {
+            return Err(ArgError(
+                "--overlap requires --algorithm gtopk (the overlap engine \
+                 drives per-bucket gTopKAllReduce)"
+                    .into(),
+            ));
+        }
+        // --buckets 0 means one bucket per layer; default 4 fused buckets.
+        let buckets: usize = parsed.get("buckets", 4)?;
+        cfg.overlap = Some(if buckets == 0 {
+            OverlapConfig::per_layer()
+        } else {
+            OverlapConfig::buckets(buckets)
+        });
+    } else if parsed.has_option("buckets") {
+        return Err(ArgError("--buckets requires --overlap".into()));
+    }
     if let Some(plan) = parse_fault_plan(parsed, workers)? {
         if !matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback) {
             return Err(ArgError(
@@ -170,6 +200,17 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         cfg.checkpoint_interval = parsed.get("fault-checkpoint", 10)?;
         if cfg.checkpoint_interval == 0 {
             return Err(ArgError("--fault-checkpoint must be positive".into()));
+        }
+    }
+    if cfg.overlap.is_some() {
+        if let Some(plan) = &cfg.fault_plan {
+            if (0..workers).any(|r| plan.crash_step(r).is_some()) {
+                return Err(ArgError(
+                    "--overlap composes with --fault-drop/--fault-jitter/--fault-straggle \
+                     but not --fault-crash (no crash recovery in the overlapped loop)"
+                        .into(),
+                ));
+            }
         }
     }
 
@@ -224,6 +265,18 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         report.elems_sent_rank0 * 4 / 1024,
         report.sim_time_ms
     ));
+    if let Some(ov) = &report.overlap {
+        out.push_str(&format!(
+            "overlap: {} buckets, executed {:.1} ms vs serial {:.1} ms \
+             ({:.2}x), analytic {:.1} ms (max dev {:.2e} ms)\n",
+            ov.buckets,
+            ov.executed_overlapped_ms,
+            ov.analytic_serial_ms,
+            ov.speedup_vs_serial(),
+            ov.analytic_overlapped_ms,
+            ov.max_abs_dev_ms,
+        ));
+    }
     if cfg.fault_tolerant() {
         out.push_str(&format!(
             "faults: {} retransmissions, {} recoveries ({:.1} ms), {}/{} ranks survived\n",
@@ -354,6 +407,38 @@ mod tests {
             run_line("train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05").unwrap();
         assert!(out.contains("epoch   1"), "{out}");
         assert!(out.contains("rank-0 traffic"));
+    }
+
+    #[test]
+    fn train_with_overlap_reports_schedule() {
+        let out = run_line(
+            "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+             --overlap --buckets 2",
+        )
+        .unwrap();
+        assert!(out.contains("overlap: 2 buckets"), "{out}");
+        assert!(out.contains("rank-0 traffic"));
+    }
+
+    #[test]
+    fn overlap_options_are_validated() {
+        // Overlap drives per-bucket gTopKAllReduce only.
+        assert!(run_line("train --algorithm dense --overlap").is_err());
+        // Bucket count without the engine is a likely typo.
+        assert!(run_line("train --buckets 4").is_err());
+        // Crash recovery is not available in the overlapped loop.
+        assert!(run_line("train --overlap --fault-crash 0:5").is_err());
+        // Selector kernels are mutually exclusive.
+        assert!(run_line("train --sampled-selection 64 --threshold-selection 64").is_err());
+    }
+
+    #[test]
+    fn train_with_threshold_selection_matches_exact_kernel() {
+        // ThresholdEstimate is bitwise-identical to Exact — same losses.
+        let base = "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05";
+        let exact = run_line(base).unwrap();
+        let thr = run_line(&format!("{base} --threshold-selection 128")).unwrap();
+        assert_eq!(exact, thr);
     }
 
     #[test]

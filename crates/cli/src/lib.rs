@@ -38,6 +38,10 @@ COMMANDS:
     --density    gradient density rho                    [0.005]
     --seed       model/data seed                         [42]
     --sampled-selection N   use sampled top-k with N samples
+    --threshold-selection N exact top-k via N-sample threshold estimate
+    --overlap               pipeline per-bucket gTopKAllReduce behind
+                            backward compute (gtopk algorithm only)
+    --buckets N             overlap buckets (0 = one per layer)    [4]
     --momentum-correction   apply DGC-style momentum correction
     --clip N                clip local gradients to L2 norm N
     fault injection (gtopk | feedback algorithms only):

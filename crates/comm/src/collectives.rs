@@ -17,6 +17,7 @@
 //! compatible arguments, like their MPI counterparts.
 
 use crate::{CommError, Communicator, Message, Payload, Result};
+use std::sync::Arc;
 
 const TAG_BCAST: u32 = Message::COLLECTIVE_TAG_BASE;
 const TAG_REDUCE: u32 = Message::COLLECTIVE_TAG_BASE + 1;
@@ -56,13 +57,17 @@ pub fn broadcast(comm: &mut Communicator, data: &mut Vec<f32>, root: usize) -> R
         return Ok(());
     }
     let rel = (comm.rank() + p - root) % p;
+    // The vector travels as one Arc-shared buffer: the root wraps it
+    // once, relays forward the same reference, and every fan-out send is
+    // a reference-count bump instead of a deep copy.
+    let mut shared = Arc::new(std::mem::take(data));
     // Receive phase: find the set bit that determines our parent.
     let mut mask = 1usize;
     while mask < p {
         if rel & mask != 0 {
             let src = (comm.rank() + p - mask) % p;
             let msg = comm.recv(src, TAG_BCAST)?;
-            *data = msg.payload.into_dense();
+            shared = msg.payload.into_dense_arc();
             break;
         }
         mask <<= 1;
@@ -72,10 +77,11 @@ pub fn broadcast(comm: &mut Communicator, data: &mut Vec<f32>, root: usize) -> R
     while mask > 0 {
         if rel + mask < p {
             let dst = (comm.rank() + mask) % p;
-            comm.send(dst, TAG_BCAST, Payload::Dense(data.clone()))?;
+            comm.send(dst, TAG_BCAST, Payload::dense_shared(shared.clone()))?;
         }
         mask >>= 1;
     }
+    *data = Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone());
     Ok(())
 }
 
@@ -118,7 +124,7 @@ pub fn reduce_sum(comm: &mut Communicator, data: &mut [f32], root: usize) -> Res
         } else {
             let dst_rel = rel & !mask;
             let dst = (dst_rel + root) % p;
-            comm.send(dst, TAG_REDUCE, Payload::Dense(data.to_vec()))?;
+            comm.send(dst, TAG_REDUCE, Payload::dense(data.to_vec()))?;
             break;
         }
         mask <<= 1;
@@ -156,7 +162,7 @@ pub fn allreduce_ring(comm: &mut Communicator, data: &mut [f32]) -> Result<()> {
     for s in 0..p - 1 {
         let send_chunk = (rank + p - s) % p;
         let recv_chunk = (rank + p - s - 1) % p;
-        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        let payload = Payload::dense(data[chunk_range(n, p, send_chunk)].to_vec());
         comm.send(right, TAG_RING_RS, payload)?;
         let msg = comm.recv(left, TAG_RING_RS)?;
         let v = msg.payload.into_dense();
@@ -170,7 +176,7 @@ pub fn allreduce_ring(comm: &mut Communicator, data: &mut [f32]) -> Result<()> {
     for s in 0..p - 1 {
         let send_chunk = (rank + 1 + p - s) % p;
         let recv_chunk = (rank + p - s) % p;
-        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        let payload = Payload::dense(data[chunk_range(n, p, send_chunk)].to_vec());
         comm.send(right, TAG_RING_AG, payload)?;
         let msg = comm.recv(left, TAG_RING_AG)?;
         let v = msg.payload.into_dense();
@@ -198,7 +204,7 @@ pub fn allreduce_recursive_doubling(comm: &mut Communicator, data: &mut [f32]) -
     let extra = p - p2;
     // Fold-in: ranks >= p2 send their vector to rank - p2.
     if rank >= p2 {
-        comm.send(rank - p2, TAG_FOLD, Payload::Dense(data.to_vec()))?;
+        comm.send(rank - p2, TAG_FOLD, Payload::dense(data.to_vec()))?;
     } else if rank < extra {
         let msg = comm.recv(rank + p2, TAG_FOLD)?;
         for (a, b) in data.iter_mut().zip(msg.payload.into_dense()) {
@@ -209,7 +215,7 @@ pub fn allreduce_recursive_doubling(comm: &mut Communicator, data: &mut [f32]) -
         let mut mask = 1usize;
         while mask < p2 {
             let peer = rank ^ mask;
-            let msg = comm.sendrecv(peer, TAG_RD + mask as u32, Payload::Dense(data.to_vec()))?;
+            let msg = comm.sendrecv(peer, TAG_RD + mask as u32, Payload::dense(data.to_vec()))?;
             for (a, b) in data.iter_mut().zip(msg.payload.into_dense()) {
                 *a += b;
             }
@@ -218,7 +224,7 @@ pub fn allreduce_recursive_doubling(comm: &mut Communicator, data: &mut [f32]) -
     }
     // Fold-out: send results back to the folded ranks.
     if rank < extra {
-        comm.send(rank + p2, TAG_FOLD, Payload::Dense(data.to_vec()))?;
+        comm.send(rank + p2, TAG_FOLD, Payload::dense(data.to_vec()))?;
     } else if rank >= p2 {
         let msg = comm.recv(rank - p2, TAG_FOLD)?;
         data.copy_from_slice(&msg.payload.into_dense());
@@ -264,31 +270,34 @@ pub fn allgather(comm: &mut Communicator, local: Vec<f32>) -> Result<Vec<Vec<f32
         while mask < p {
             let peer = rank ^ mask;
             // Send every slot we currently own, packed: [count, (idx,len,data)...]
-            let owned: Vec<(usize, Vec<f32>)> = slots
+            let owned: Vec<(usize, &[f32])> = slots
                 .iter()
                 .enumerate()
-                .filter_map(|(i, s)| s.as_ref().map(|v| (i, v.clone())))
+                .filter_map(|(i, s)| s.as_deref().map(|v| (i, v)))
                 .collect();
             let packed = pack_slots(&owned);
-            let msg = comm.sendrecv(peer, TAG_AG + mask as u32, Payload::Dense(packed))?;
-            for (i, v) in unpack_slots(&msg.payload.into_dense()) {
+            let msg = comm.sendrecv(peer, TAG_AG + mask as u32, Payload::dense(packed))?;
+            for (i, v) in unpack_slots(msg.payload.as_dense()) {
                 slots[i] = Some(v);
             }
             mask <<= 1;
         }
     } else {
-        // Ring all-gather.
+        // Ring all-gather: circulate by slot index, no buffer copies.
         let right = (rank + 1) % p;
         let left = (rank + p - 1) % p;
-        let mut current = (rank, slots[rank].clone().expect("own slot"));
+        let mut current = rank;
         for _ in 0..p - 1 {
-            let packed = pack_slots(&[(current.0, current.1.clone())]);
-            comm.send(right, TAG_AG, Payload::Dense(packed))?;
+            let packed = {
+                let v = slots[current].as_deref().expect("current slot present");
+                pack_slots(&[(current, v)])
+            };
+            comm.send(right, TAG_AG, Payload::dense(packed))?;
             let msg = comm.recv(left, TAG_AG)?;
-            let mut incoming = unpack_slots(&msg.payload.into_dense());
+            let mut incoming = unpack_slots(msg.payload.as_dense());
             let (i, v) = incoming.pop().expect("one slot per ring message");
-            slots[i] = Some(v.clone());
-            current = (i, v);
+            slots[i] = Some(v);
+            current = i;
         }
     }
     Ok(slots
@@ -298,10 +307,16 @@ pub fn allgather(comm: &mut Communicator, local: Vec<f32>) -> Result<Vec<Vec<f32
 }
 
 /// Packs `(index, data)` slots into a flat f32 buffer.
-fn pack_slots(slots: &[(usize, Vec<f32>)]) -> Vec<f32> {
-    let mut out = Vec::with_capacity(1 + slots.iter().map(|(_, v)| v.len() + 2).sum::<usize>());
+fn pack_slots<V: AsRef<[f32]>>(slots: &[(usize, V)]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(
+        1 + slots
+            .iter()
+            .map(|(_, v)| v.as_ref().len() + 2)
+            .sum::<usize>(),
+    );
     out.push(slots.len() as f32);
     for (i, v) in slots {
+        let v = v.as_ref();
         out.push(*i as f32);
         out.push(v.len() as f32);
         out.extend_from_slice(v);
@@ -355,7 +370,7 @@ pub fn gather(
         } else {
             let dst_rel = rel & !mask;
             let dst = (dst_rel + root) % p;
-            comm.send(dst, TAG_GATHER, Payload::Dense(pack_slots(&owned)))?;
+            comm.send(dst, TAG_GATHER, Payload::dense(pack_slots(&owned)))?;
             return Ok(None);
         }
         mask <<= 1;
@@ -431,7 +446,7 @@ pub fn scatter(
             if dst == root {
                 own = chunk;
             } else {
-                comm.send(dst, TAG_SCATTER, Payload::Dense(chunk))?;
+                comm.send(dst, TAG_SCATTER, Payload::dense(chunk))?;
             }
         }
         Ok(own)
@@ -469,7 +484,7 @@ pub fn reduce_scatter_ring(comm: &mut Communicator, data: &mut [f32]) -> Result<
     for s in 0..p - 1 {
         let send_chunk = (rank + p - s) % p;
         let recv_chunk = (rank + p - s - 1) % p;
-        let payload = Payload::Dense(data[chunk_range(n, p, send_chunk)].to_vec());
+        let payload = Payload::dense(data[chunk_range(n, p, send_chunk)].to_vec());
         comm.send(right, TAG_RS, payload)?;
         let msg = comm.recv(left, TAG_RS)?;
         let v = msg.payload.into_dense();

@@ -3,6 +3,7 @@
 //! deterministic fault injection beneath the happy-path API.
 
 use crate::fault::RetryPolicy;
+use crate::pool::{BufferPool, PoolStats};
 use crate::{CommError, CostModel, FaultPlan, Message, Payload, Result, SimClock};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
@@ -34,6 +35,12 @@ pub struct CommStats {
     pub retransmissions: usize,
     /// Operations that gave up with [`CommError::Timeout`].
     pub timeouts: usize,
+    /// Buffer-pool requests served without allocating (see
+    /// [`crate::BufferPool`]).
+    pub pool_hits: u64,
+    /// Buffer-pool requests that allocated. Steady-state training must
+    /// keep this flat — the zero-allocation hot-path invariant.
+    pub pool_misses: u64,
 }
 
 impl CommStats {
@@ -97,6 +104,8 @@ pub struct Communicator {
     /// Set once this rank hit its crash step; all further operations
     /// fail with [`CommError::Aborted`].
     crashed: bool,
+    /// Recycled sparse-gradient buffers for the zero-allocation hot path.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -136,6 +145,7 @@ impl Communicator {
             epoch: 0,
             step: 0,
             crashed: false,
+            pool: BufferPool::new(),
         }
     }
 
@@ -267,9 +277,40 @@ impl Communicator {
         self.clock.advance(dt_ms * self.straggle_factor());
     }
 
-    /// Communication-volume counters accumulated so far.
+    /// Advances simulated time to `t_ms` if it lies in the future (no-op
+    /// otherwise). The overlap engine uses this to model waiting for a
+    /// gradient bucket whose backward-ready timestamp was computed up
+    /// front: communication for the bucket may not start before the
+    /// compute stream has produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ms` is not finite.
+    pub fn wait_until(&mut self, t_ms: f64) {
+        assert!(t_ms.is_finite(), "wait target must be finite");
+        self.clock.sync_to(t_ms);
+    }
+
+    /// Communication-volume counters accumulated so far (including the
+    /// buffer pool's hit/miss counters).
     pub fn stats(&self) -> CommStats {
-        self.stats
+        let mut s = self.stats;
+        let pool = self.pool.stats();
+        s.pool_hits = pool.hits;
+        s.pool_misses = pool.misses;
+        s
+    }
+
+    /// This rank's recycled-buffer pool. Collectives and trainers draw
+    /// message/workspace buffers from here and retire them after use so
+    /// the steady-state hot path allocates nothing.
+    pub fn pool(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Buffer-pool counters (hits, misses, returns).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Resets counters and clock (between timed experiment repetitions).
@@ -522,7 +563,11 @@ impl Communicator {
             };
             self.serialize_inbound(&mut msg);
             if msg.tag == Message::REVOKE_TAG {
-                let revoked_epoch = msg.payload.clone().into_scalar() as u64;
+                let Payload::Scalar(revoked) = msg.payload else {
+                    debug_assert!(false, "revoke payload must be a scalar");
+                    continue;
+                };
+                let revoked_epoch = revoked as u64;
                 if revoked_epoch < self.epoch {
                     continue; // stale revoke from an already-recovered epoch
                 }
@@ -589,15 +634,15 @@ mod tests {
         let cluster = Cluster::new(2, CostModel::new(1.0, 0.1));
         let times = cluster.run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 7, Payload::Dense(vec![1.0; 10])).unwrap();
+                comm.send(1, 7, Payload::dense(vec![1.0; 10])).unwrap();
                 let m = comm.recv(1, 8).unwrap();
-                assert_eq!(m.payload, Payload::Dense(vec![2.0; 10]));
+                assert_eq!(m.payload, Payload::dense(vec![2.0; 10]));
             } else {
                 let m = comm.recv(0, 7).unwrap();
                 assert_eq!(m.src, 0);
                 let mut v = m.payload.into_dense();
                 v.iter_mut().for_each(|x| *x *= 2.0);
-                comm.send(0, 8, Payload::Dense(v)).unwrap();
+                comm.send(0, 8, Payload::dense(v)).unwrap();
             }
             comm.now_ms()
         });
@@ -643,7 +688,7 @@ mod tests {
         let cluster = Cluster::new(2, CostModel::zero());
         let stats = cluster.run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 0, Payload::Dense(vec![0.0; 5])).unwrap();
+                comm.send(1, 0, Payload::dense(vec![0.0; 5])).unwrap();
             } else {
                 comm.recv(0, 0).unwrap();
             }
@@ -678,7 +723,7 @@ mod tests {
             }
             cluster.run_timed(|comm| {
                 if comm.rank() == 0 {
-                    comm.send(1, 7, Payload::Dense(vec![1.0; 10])).unwrap();
+                    comm.send(1, 7, Payload::dense(vec![1.0; 10])).unwrap();
                 } else {
                     comm.recv(0, 7).unwrap();
                 }
@@ -745,7 +790,7 @@ mod tests {
                 .run_timed(|comm| {
                     for i in 0..40u32 {
                         if comm.rank() == 0 {
-                            comm.send(1, i, Payload::Dense(vec![0.0; 16])).unwrap();
+                            comm.send(1, i, Payload::dense(vec![0.0; 16])).unwrap();
                         } else {
                             comm.recv(0, i).unwrap();
                         }

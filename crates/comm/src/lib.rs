@@ -54,6 +54,7 @@ mod cost;
 mod error;
 pub mod fault;
 mod message;
+mod pool;
 
 pub use cluster::Cluster;
 pub use comm::{CommStats, Communicator, LinkCostFn};
@@ -61,6 +62,7 @@ pub use cost::{CostModel, SimClock};
 pub use error::CommError;
 pub use fault::{FaultPlan, RetryPolicy};
 pub use message::{Message, Payload};
+pub use pool::{BufferPool, PoolStats};
 
 /// Convenient `Result` alias for communication operations.
 pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,18 +1,27 @@
 //! Wire messages exchanged between ranks.
 
 use gtopk_sparse::SparseVec;
+use std::sync::Arc;
 
 /// Typed message payload.
 ///
 /// The simulated network charges per *element* (4-byte word), matching the
 /// paper's accounting: a dense gradient of `m` floats is `m` elements and a
 /// k-sparse gradient is `2k` elements (k values + k indices).
+///
+/// Dense and sparse buffers are `Arc`-shared: sending the same vector to
+/// many peers (broadcast fan-out, relay hops) bumps a reference count
+/// instead of deep-copying, and [`Payload::into_dense`] /
+/// [`Payload::into_sparse`] are copy-on-write — a receiver that is the
+/// sole owner takes the buffer for free, one that shares it clones.
+/// Sharing changes nothing observable: wire accounting and simulated-time
+/// charges depend only on the logical element count.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// A dense `f32` vector.
-    Dense(Vec<f32>),
+    Dense(Arc<Vec<f32>>),
     /// A sparse gradient (`[V, I]` pair).
-    Sparse(SparseVec),
+    Sparse(Arc<SparseVec>),
     /// A single scalar (used by loss averaging and diagnostics).
     Scalar(f64),
     /// A zero-length control message (barriers and similar).
@@ -30,6 +39,27 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// Wraps a dense vector (single owner until the payload is cloned).
+    pub fn dense(v: Vec<f32>) -> Self {
+        Payload::Dense(Arc::new(v))
+    }
+
+    /// Wraps a sparse vector (single owner until the payload is cloned).
+    pub fn sparse(v: SparseVec) -> Self {
+        Payload::Sparse(Arc::new(v))
+    }
+
+    /// Wraps an already-shared dense buffer (fan-out sends reuse one
+    /// allocation across every destination).
+    pub fn dense_shared(v: Arc<Vec<f32>>) -> Self {
+        Payload::Dense(v)
+    }
+
+    /// Wraps an already-shared sparse buffer.
+    pub fn sparse_shared(v: Arc<SparseVec>) -> Self {
+        Payload::Sparse(v)
+    }
+
     /// Number of 4-byte elements this payload occupies on the wire.
     pub fn wire_elems(&self) -> usize {
         match self {
@@ -41,24 +71,74 @@ impl Payload {
         }
     }
 
-    /// Extracts a dense vector.
+    /// Borrows the dense vector without taking ownership.
     ///
     /// # Panics
     ///
     /// Panics if the payload is not [`Payload::Dense`].
-    pub fn into_dense(self) -> Vec<f32> {
+    pub fn as_dense(&self) -> &[f32] {
         match self {
             Payload::Dense(v) => v,
             other => panic!("expected dense payload, got {other:?}"),
         }
     }
 
-    /// Extracts a sparse vector.
+    /// Borrows the sparse vector without taking ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Sparse`].
+    pub fn as_sparse(&self) -> &SparseVec {
+        match self {
+            Payload::Sparse(v) => v,
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts a dense vector, copy-on-write: free when this payload is
+    /// the buffer's only owner, a clone otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Dense`].
+    pub fn into_dense(self) -> Vec<f32> {
+        match self {
+            Payload::Dense(v) => Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone()),
+            other => panic!("expected dense payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts the shared dense buffer itself (no copy ever; relays that
+    /// only forward keep the reference count at work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Dense`].
+    pub fn into_dense_arc(self) -> Arc<Vec<f32>> {
+        match self {
+            Payload::Dense(v) => v,
+            other => panic!("expected dense payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts a sparse vector, copy-on-write (see [`Payload::into_dense`]).
     ///
     /// # Panics
     ///
     /// Panics if the payload is not [`Payload::Sparse`].
     pub fn into_sparse(self) -> SparseVec {
+        match self {
+            Payload::Sparse(v) => Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone()),
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts the shared sparse buffer itself (no copy ever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Sparse`].
+    pub fn into_sparse_arc(self) -> Arc<SparseVec> {
         match self {
             Payload::Sparse(v) => v,
             other => panic!("expected sparse payload, got {other:?}"),
@@ -110,9 +190,9 @@ mod tests {
 
     #[test]
     fn wire_elems_accounting() {
-        assert_eq!(Payload::Dense(vec![0.0; 7]).wire_elems(), 7);
+        assert_eq!(Payload::dense(vec![0.0; 7]).wire_elems(), 7);
         let sv = SparseVec::from_pairs(100, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
-        assert_eq!(Payload::Sparse(sv).wire_elems(), 6);
+        assert_eq!(Payload::sparse(sv).wire_elems(), 6);
         assert_eq!(Payload::Scalar(1.0).wire_elems(), 2);
         assert_eq!(Payload::Control.wire_elems(), 0);
         assert_eq!(Payload::Virtual { elems: 123 }.wire_elems(), 123);
@@ -120,13 +200,41 @@ mod tests {
 
     #[test]
     fn into_dense_roundtrip() {
-        let p = Payload::Dense(vec![1.0, 2.0]);
+        let p = Payload::dense(vec![1.0, 2.0]);
         assert_eq!(p.into_dense(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sole_owner_extraction_takes_the_buffer_without_copying() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let ptr = v.as_ptr();
+        let out = Payload::dense(v).into_dense();
+        assert_eq!(out.as_ptr(), ptr, "unique Arc must unwrap in place");
+    }
+
+    #[test]
+    fn shared_extraction_copies_on_write() {
+        let shared = Arc::new(vec![1.0f32, 2.0]);
+        let a = Payload::dense_shared(shared.clone());
+        let b = Payload::dense_shared(shared.clone());
+        let va = a.into_dense();
+        let vb = b.into_dense();
+        assert_eq!(va, vb);
+        assert_ne!(va.as_ptr(), shared.as_ptr(), "shared Arc must clone");
+    }
+
+    #[test]
+    fn borrow_accessors_do_not_consume() {
+        let p = Payload::sparse(SparseVec::from_pairs(4, vec![(1, 2.0)]));
+        assert_eq!(p.as_sparse().nnz(), 1);
+        assert_eq!(p.into_sparse().get(1), 2.0);
+        let d = Payload::dense(vec![5.0]);
+        assert_eq!(d.as_dense(), &[5.0]);
     }
 
     #[test]
     #[should_panic(expected = "expected sparse payload")]
     fn wrong_extraction_panics() {
-        let _ = Payload::Dense(vec![]).into_sparse();
+        let _ = Payload::dense(vec![]).into_sparse();
     }
 }

@@ -21,8 +21,8 @@ fn intra_rack_messages_are_cheaper() {
         match comm.rank() {
             0 => {
                 // intra-rack to 1, inter-rack to 2
-                comm.send(1, 0, Payload::Dense(vec![0.0; 1000])).unwrap();
-                comm.send(2, 0, Payload::Dense(vec![0.0; 1000])).unwrap();
+                comm.send(1, 0, Payload::dense(vec![0.0; 1000])).unwrap();
+                comm.send(2, 0, Payload::dense(vec![0.0; 1000])).unwrap();
             }
             1 => {
                 comm.recv(0, 0).unwrap();

@@ -123,7 +123,7 @@ proptest! {
             // Ring of single messages.
             let right = (comm.rank() + 1) % p;
             let left = (comm.rank() + p - 1) % p;
-            comm.send(right, 5, Payload::Dense(vec![1.0; n])).unwrap();
+            comm.send(right, 5, Payload::dense(vec![1.0; n])).unwrap();
             comm.recv(left, 5).unwrap();
             comm.stats()
         });

@@ -213,6 +213,7 @@ fn agree_survivors(
             let mut wire: Vec<f32> = Vec::with_capacity(members.len() + 1);
             wire.push(rollback_iter as f32);
             wire.extend(members.iter().map(|&r| r as f32));
+            let wire = std::sync::Arc::new(wire);
             for &m in &members {
                 if m == me {
                     continue;
@@ -220,7 +221,7 @@ fn agree_survivors(
                 // A member that died between its ALIVE and now just
                 // misses the announcement; it is still listed, and the
                 // next failure detection will shrink it out.
-                let _ = comm.send(m, tag_member, Payload::Dense(wire.clone()));
+                let _ = comm.send(m, tag_member, Payload::dense_shared(wire.clone()));
             }
             return Ok(Recovery {
                 members,

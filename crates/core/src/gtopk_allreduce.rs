@@ -3,7 +3,7 @@
 
 use crate::sparse_coll::{sparse_broadcast, sparse_sum_recursive_doubling};
 use gtopk_comm::{Communicator, Message, Payload, Result};
-use gtopk_sparse::{topk_merge_split_into, topk_sparse, Mask, MergeScratch, SparseVec};
+use gtopk_sparse::{topk_merge_split_into, topk_sparse, Mask, SparseVec};
 
 const TAG_TREE: u32 = Message::COLLECTIVE_TAG_BASE + 64;
 const TAG_TREE_FOLD: u32 = Message::COLLECTIVE_TAG_BASE + 65;
@@ -36,7 +36,8 @@ pub fn gtopk_all_reduce(
     local: SparseVec,
     k: usize,
 ) -> Result<(SparseVec, Mask)> {
-    let (global, _rejected) = tree_reduce(comm, local, k)?;
+    let (global, rejected) = tree_reduce(comm, local, k)?;
+    comm.pool().put_sparse(rejected); // not needed by this variant — recycle
     let global = sparse_broadcast(comm, global, 0)?;
     let mask = Mask::of_sparse(&global);
     Ok((global, mask))
@@ -107,12 +108,25 @@ pub(crate) fn tree_reduce_over(
         .position(|&r| r == comm.rank())
         .expect("caller must be a member of the reduction group");
     let dim = local.dim();
-    // One scratch + double-buffered accumulators serve every `⊤` merge of
-    // the O(log P) rounds — the hot loop allocates nothing after warm-up.
-    let mut scratch = MergeScratch::new();
-    let mut merged = SparseVec::empty(dim);
-    let mut round_rej = SparseVec::empty(dim);
-    let mut rejected = SparseVec::empty(dim);
+    // Pooled scratch + double-buffered accumulators serve every `⊤` merge
+    // of the O(log P) rounds; sends *move* the accumulator into the
+    // message and receivers retire incoming buffers into their own pool,
+    // so the steady-state reduction allocates nothing.
+    let mut scratch = comm.pool().take_scratch();
+    let mut merged = comm.pool().take_sparse(dim);
+    let mut round_rej = comm.pool().take_sparse(dim);
+    let mut rejected = comm.pool().take_sparse(dim);
+    let mut rej_swap = comm.pool().take_sparse(dim);
+    let retire = |comm: &mut Communicator,
+                  scratch: gtopk_sparse::MergeScratch,
+                  a: SparseVec,
+                  b: SparseVec,
+                  c: SparseVec| {
+        comm.pool().put_scratch(scratch);
+        comm.pool().put_sparse(a);
+        comm.pool().put_sparse(b);
+        comm.pool().put_sparse(c);
+    };
     // Truncate our own contribution to k first (callers normally already
     // did via local top-k selection). Merging with an empty vector is the
     // identity, so the split-merge doubles as a plain split.
@@ -121,7 +135,8 @@ pub(crate) fn tree_reduce_over(
         let empty = SparseVec::empty(dim);
         topk_merge_split_into(&acc, &empty, k, &mut scratch, &mut merged, &mut round_rej);
         std::mem::swap(&mut acc, &mut merged);
-        rejected = rejected.add(&round_rej);
+        rejected.add_into(&round_rej, &mut rej_swap);
+        std::mem::swap(&mut rejected, &mut rej_swap);
     }
 
     let mut p2 = 1usize;
@@ -134,8 +149,9 @@ pub(crate) fn tree_reduce_over(
         comm.send(
             members[rank - p2],
             TAG_TREE_FOLD + tag_off,
-            Payload::Sparse(acc.clone()),
+            Payload::sparse(acc),
         )?;
+        retire(comm, scratch, merged, round_rej, rej_swap);
         return Ok((SparseVec::empty(dim), rejected));
     }
     if rank < extra {
@@ -145,7 +161,9 @@ pub(crate) fn tree_reduce_over(
             .into_sparse();
         topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
         std::mem::swap(&mut acc, &mut merged);
-        rejected = rejected.add(&round_rej);
+        rejected.add_into(&round_rej, &mut rej_swap);
+        std::mem::swap(&mut rejected, &mut rej_swap);
+        comm.pool().put_sparse(other);
     }
     // Binomial tree over the power-of-two core.
     let mut mask = 1usize;
@@ -159,20 +177,23 @@ pub(crate) fn tree_reduce_over(
                     .into_sparse();
                 topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
                 std::mem::swap(&mut acc, &mut merged);
-                rejected = rejected.add(&round_rej);
+                rejected.add_into(&round_rej, &mut rej_swap);
+                std::mem::swap(&mut rejected, &mut rej_swap);
+                comm.pool().put_sparse(other);
             }
         } else {
             let dst = rank & !mask;
+            let outgoing = std::mem::replace(&mut acc, SparseVec::empty(dim));
             comm.send(
                 members[dst],
                 TAG_TREE + tag_off + mask as u32,
-                Payload::Sparse(acc.clone()),
+                Payload::sparse(outgoing),
             )?;
-            acc = SparseVec::empty(dim);
             break;
         }
         mask <<= 1;
     }
+    retire(comm, scratch, merged, round_rej, rej_swap);
     Ok((acc, rejected))
 }
 

@@ -56,6 +56,7 @@ mod aggregator;
 pub mod ft;
 mod gtopk_allreduce;
 mod metrics;
+pub mod overlap;
 pub mod pipeline;
 mod ps;
 mod schedule;
@@ -74,6 +75,7 @@ pub use gtopk_allreduce::{
     gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce,
 };
 pub use metrics::{EpochRecord, TimingBreakdown, TrainReport};
+pub use overlap::{backward_layer_costs, BucketSpec, OverlapConfig, OverlapEngine, OverlapStats};
 pub use ps::ps_gtopk_all_reduce;
 pub use schedule::{DensitySchedule, LrSchedule};
 pub use selector::{Selector, SelectorState};

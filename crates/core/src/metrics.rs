@@ -1,5 +1,7 @@
 //! Training metrics: per-epoch records and per-phase time breakdown.
 
+use crate::overlap::OverlapStats;
+
 /// Per-iteration time breakdown in simulated milliseconds — the
 /// decomposition of the paper's Fig. 11 (computation, compression,
 /// communication).
@@ -100,6 +102,16 @@ pub struct TrainReport {
     /// much worker gradient supports overlap), exactly `k` for gTop-k,
     /// and `m` for dense.
     pub mean_update_nnz: f64,
+    /// Buffer-pool requests the reporting rank served without
+    /// allocating. At steady state every send/recv-path buffer comes
+    /// from the pool, so hits grow with iterations while…
+    pub pool_hits_rank0: u64,
+    /// …misses (requests that had to allocate) stay flat after the
+    /// warmup iterations — the zero-allocation hot-path check.
+    pub pool_misses_rank0: u64,
+    /// Executed-overlap schedule statistics (rank 0's view), present
+    /// when the run used the overlap engine.
+    pub overlap: Option<OverlapStats>,
 }
 
 impl TrainReport {
@@ -187,6 +199,9 @@ mod tests {
             retransmissions: 0,
             survivors: 4,
             mean_update_nnz: 10.0,
+            pool_hits_rank0: 0,
+            pool_misses_rank0: 0,
+            overlap: None,
         };
         assert_eq!(report.final_loss(), 1.0);
         assert_eq!(report.final_accuracy(), Some(0.8));

@@ -1,0 +1,462 @@
+//! Executed compute/communication overlap: wait-free bucketed gTop-k.
+//!
+//! [`crate::pipeline`] *models* the layer-wise schedule analytically; this
+//! module *executes* it on the simulated cluster. Backward propagation
+//! produces layer gradients from the output layer backwards, so the flat
+//! gradient becomes available back-to-front: the engine partitions the
+//! flat vector into contiguous buckets (fused to roughly equal parameter
+//! mass, MG-WFBP style), and as soon as a bucket's gradient is ready it
+//! runs that bucket's residual-accumulate → top-k select →
+//! gTopKAllReduce, while later buckets are still "computing". The
+//! network is a single FIFO channel — each rank issues its bucket
+//! collectives in backward order, so a bucket's collective starts at
+//! `max(ready, channel_free)` exactly as the analytic model assumes, and
+//! the executed timeline is directly comparable against
+//! [`crate::pipeline::simulate_fused`].
+//!
+//! Per-bucket error feedback: each bucket owns its own [`Residual`]
+//! slice and its own selection state; rejected values return to the
+//! bucket's residual (Algorithm 4 line 10, applied bucket-wise). The
+//! optimizer applies each bucket's averaged update the moment its
+//! collective lands ([`MomentumSgd::step_range`]), which is provably
+//! equivalent to one full-vector step of the combined update.
+
+use crate::gtopk_allreduce::gtopk_all_reduce;
+use crate::pipeline::{
+    bucket_k, check_timeline_invariants, fuse_layers, simulate_layerwise, LayerCost, LayerTimeline,
+    PipelineReport,
+};
+use crate::selector::{Selector, SelectorState};
+use crate::trainer::ComputeCost;
+use gtopk_comm::{Communicator, CostModel, Result};
+use gtopk_nn::{Model, MomentumSgd};
+use gtopk_sparse::Residual;
+use std::ops::Range;
+
+/// How the flat gradient is partitioned into overlap buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketSpec {
+    /// Fuse the model's layers into this many contiguous buckets of
+    /// roughly equal parameter mass (at most one bucket per layer).
+    Count(usize),
+    /// One bucket per parameterized layer (no fusion) — maximum overlap
+    /// granularity, maximum per-message α cost.
+    PerLayer,
+}
+
+/// Configuration of the executed overlap engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapConfig {
+    /// Bucket partition of the flat gradient.
+    pub buckets: BucketSpec,
+}
+
+impl OverlapConfig {
+    /// Overlap with `n` fused buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn buckets(n: usize) -> Self {
+        assert!(n >= 1, "need at least one bucket");
+        OverlapConfig {
+            buckets: BucketSpec::Count(n),
+        }
+    }
+
+    /// Overlap with one bucket per parameterized layer.
+    pub fn per_layer() -> Self {
+        OverlapConfig {
+            buckets: BucketSpec::PerLayer,
+        }
+    }
+}
+
+/// Aggregate schedule statistics of an overlapped training run (one
+/// rank's view), comparing the executed timeline against the analytic
+/// pipeline model on the same bucketization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapStats {
+    /// Number of buckets in force.
+    pub buckets: usize,
+    /// Overlapped iterations executed.
+    pub iterations: usize,
+    /// Sum over iterations of the executed iteration span (backward
+    /// start to last bucket's collective completion), ms.
+    pub executed_overlapped_ms: f64,
+    /// Sum of the analytic pipeline predictions
+    /// ([`PipelineReport::overlapped_ms`]) for the same iterations, ms.
+    pub analytic_overlapped_ms: f64,
+    /// Sum of the analytic *serial* baselines (full backward, then one
+    /// whole-model gTopKAllReduce), ms.
+    pub analytic_serial_ms: f64,
+    /// Largest single-iteration deviation |executed − analytic|, ms
+    /// (recorded only on straggle-free ranks). Absent fault injection
+    /// the two schedules must agree for power-of-two worker counts;
+    /// armed drop/jitter plans legitimately inflate this — retransmits
+    /// and jitter are not in the α-β model.
+    pub max_abs_dev_ms: f64,
+    /// Executed per-bucket timelines of the last iteration, relative to
+    /// that iteration's start (same shape as the analytic
+    /// [`PipelineReport::timelines`]).
+    pub timelines: Vec<LayerTimeline>,
+}
+
+impl OverlapStats {
+    /// Executed speedup over the analytic serial baseline.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        self.analytic_serial_ms / self.executed_overlapped_ms
+    }
+}
+
+/// Per-layer backward cost profile in **backward execution order**
+/// (output layer first), distributing `compute_ms + sparsify_ms` over
+/// the layers proportionally to parameter mass — a bucket's collective
+/// can launch only after its gradient is both computed *and* sparsified,
+/// so both delays gate readiness. This is the shared cost basis: the
+/// engine schedules with it and tests/benches feed the identical list to
+/// [`crate::pipeline::simulate_fused`] for the analytic prediction.
+pub fn backward_layer_costs(segments: &[usize], compute: Option<ComputeCost>) -> Vec<LayerCost> {
+    let m: usize = segments.iter().sum();
+    let work_ms = compute.map_or(0.0, |c| c.compute_ms + c.sparsify_ms);
+    segments
+        .iter()
+        .rev()
+        .map(|&params| LayerCost {
+            params,
+            backward_ms: work_ms * params as f64 / m as f64,
+        })
+        .collect()
+}
+
+/// The executed overlap engine: per-bucket residuals, selectors, and
+/// schedule bookkeeping for one rank. Created once per training run and
+/// driven once per iteration through [`OverlapEngine::step`].
+#[derive(Debug)]
+pub struct OverlapEngine {
+    /// Flat-vector ranges per bucket, in backward order (the *last*
+    /// contiguous slice of the flat vector first).
+    ranges: Vec<Range<usize>>,
+    /// Fused per-bucket costs, in backward order.
+    costs: Vec<LayerCost>,
+    /// Per-bucket sparsification cost share, ms.
+    sparsify: Vec<f64>,
+    residuals: Vec<Residual>,
+    selectors: Vec<SelectorState>,
+    net: CostModel,
+    /// Analytic prediction cached per density (density changes at epoch
+    /// boundaries only).
+    analytic: Option<(f64, PipelineReport)>,
+    iterations: usize,
+    executed_ms: f64,
+    analytic_overlapped_ms: f64,
+    analytic_serial_ms: f64,
+    max_abs_dev_ms: f64,
+    timelines: Vec<LayerTimeline>,
+}
+
+impl OverlapEngine {
+    /// Builds the engine for a model with the given parameter segments
+    /// (see [`Model::param_segments`]); `net` must be the cluster's cost
+    /// model so analytic predictions price communication identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty (a model without parameters cannot
+    /// be trained).
+    pub fn new(
+        cfg: &OverlapConfig,
+        segments: &[usize],
+        compute: Option<ComputeCost>,
+        selector: Selector,
+        rank: usize,
+        net: CostModel,
+    ) -> Self {
+        assert!(!segments.is_empty(), "model has no parameter segments");
+        let m: usize = segments.iter().sum();
+        let per_layer = backward_layer_costs(segments, compute);
+        let costs = match cfg.buckets {
+            BucketSpec::PerLayer => per_layer,
+            BucketSpec::Count(n) => fuse_layers(&per_layer, n),
+        };
+        // Bucket 0 is the first produced by backward — the *top* of the
+        // flat vector; walk downwards.
+        let mut ranges = Vec::with_capacity(costs.len());
+        let mut hi = m;
+        for c in &costs {
+            let lo = hi - c.params;
+            ranges.push(lo..hi);
+            hi = lo;
+        }
+        assert_eq!(hi, 0, "buckets must cover the whole flat vector");
+        let sparsify_total = compute.map_or(0.0, |c| c.sparsify_ms);
+        let sparsify = costs
+            .iter()
+            .map(|c| sparsify_total * c.params as f64 / m as f64)
+            .collect();
+        let residuals = ranges.iter().map(|r| Residual::new(r.len())).collect();
+        let selectors = costs
+            .iter()
+            .map(|_| SelectorState::new(selector, rank))
+            .collect();
+        OverlapEngine {
+            ranges,
+            costs,
+            sparsify,
+            residuals,
+            selectors,
+            net,
+            analytic: None,
+            iterations: 0,
+            executed_ms: 0.0,
+            analytic_overlapped_ms: 0.0,
+            analytic_serial_ms: 0.0,
+            max_abs_dev_ms: 0.0,
+            timelines: Vec::new(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Modeled compute charged per iteration (the full backward,
+    /// distributed over the buckets), ms, before straggle scaling.
+    /// Bucket costs fold sparsification in (readiness gates on both), so
+    /// the sparsify share is subtracted back out for the timing split.
+    pub fn compute_ms_per_iter(&self) -> f64 {
+        self.costs.iter().map(|c| c.backward_ms).sum::<f64>() - self.sparsify_ms_per_iter()
+    }
+
+    /// Modeled sparsification charged per iteration, ms, before
+    /// straggle scaling.
+    pub fn sparsify_ms_per_iter(&self) -> f64 {
+        self.sparsify.iter().sum()
+    }
+
+    /// Executes one overlapped iteration: for each bucket in backward
+    /// order, waits until the bucket's gradient is ready on the
+    /// simulated clock, accumulates `grad`'s slice into the bucket
+    /// residual, extracts the bucket top-k (`k = bucket_k(params, rho)`),
+    /// runs gTopKAllReduce, puts rejected values back, and applies the
+    /// averaged bucket update through [`MomentumSgd::step_range`].
+    ///
+    /// `grad` is the full flat gradient of this iteration (backward has
+    /// genuinely finished producing values; only the *clock* is staged
+    /// per bucket). Returns the total non-zero count applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from the communicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not span the bucketed flat vector or
+    /// `rho ∉ (0, 1]`.
+    pub fn step(
+        &mut self,
+        comm: &mut Communicator,
+        grad: &[f32],
+        rho: f64,
+        opt: &mut MomentumSgd,
+        model: &mut dyn Model,
+    ) -> Result<u64> {
+        assert_eq!(grad.len(), self.ranges[0].end, "gradient length mismatch");
+        assert!(rho > 0.0 && rho <= 1.0, "density must be in (0, 1]");
+        let t0 = comm.now_ms();
+        let straggle = comm.straggle_factor();
+        let inv = 1.0 / comm.size() as f32;
+        let mut cum = 0.0f64;
+        let mut nnz = 0u64;
+        self.timelines.clear();
+        for j in 0..self.ranges.len() {
+            let range = self.ranges[j].clone();
+            // Bucket costs already include the sparsify share.
+            cum += self.costs[j].backward_ms;
+            let ready = t0 + straggle * cum;
+            // Gradient availability: the clock may already be past
+            // `ready` if the previous bucket's collective held the
+            // channel longer (FIFO) — wait_until never moves backwards.
+            comm.wait_until(ready);
+            let start = comm.now_ms();
+            self.residuals[j].accumulate(&grad[range.clone()]);
+            let k = bucket_k(range.len(), rho);
+            let local = self.selectors[j].extract(&mut self.residuals[j], k);
+            let (mut global, gmask) = gtopk_all_reduce(comm, local.clone(), k)?;
+            let (_kept, rejected) = local.partition_by(&gmask);
+            self.residuals[j].put_back(&rejected);
+            global.scale(inv);
+            nnz += global.nnz() as u64;
+            opt.step_range(model, range, &global);
+            self.timelines.push(LayerTimeline {
+                ready_ms: ready - t0,
+                start_ms: start - t0,
+                end_ms: comm.now_ms() - t0,
+            });
+        }
+        let span = comm.now_ms() - t0;
+        debug_assert!(
+            check_timeline_invariants(&self.timelines).is_ok(),
+            "executed schedule violated timeline invariants: {:?}",
+            check_timeline_invariants(&self.timelines)
+        );
+
+        if self.analytic.as_ref().is_none_or(|(r, _)| *r != rho) {
+            let p = comm.size();
+            self.analytic = Some((rho, simulate_layerwise(&self.costs, &self.net, p, rho)));
+        }
+        let report = &self.analytic.as_ref().expect("just cached").1;
+        self.analytic_overlapped_ms += report.overlapped_ms;
+        self.analytic_serial_ms += report.serial_ms;
+        if straggle == 1.0 {
+            self.max_abs_dev_ms = self.max_abs_dev_ms.max((span - report.overlapped_ms).abs());
+        }
+        self.executed_ms += span;
+        self.iterations += 1;
+        Ok(nnz)
+    }
+
+    /// Snapshot of the accumulated schedule statistics.
+    pub fn stats(&self) -> OverlapStats {
+        OverlapStats {
+            buckets: self.ranges.len(),
+            iterations: self.iterations,
+            executed_overlapped_ms: self.executed_ms,
+            analytic_overlapped_ms: self.analytic_overlapped_ms,
+            analytic_serial_ms: self.analytic_serial_ms,
+            max_abs_dev_ms: self.max_abs_dev_ms,
+            timelines: self.timelines.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtopk_comm::{Cluster, CostModel};
+    use gtopk_nn::models;
+
+    #[test]
+    fn bucket_ranges_cover_flat_vector_back_to_front() {
+        let model = models::mlp(3, 8, 16, 4);
+        let segments = gtopk_nn::Model::param_segments(&model);
+        let m: usize = segments.iter().sum();
+        let engine = OverlapEngine::new(
+            &OverlapConfig::buckets(2),
+            &segments,
+            None,
+            Selector::Exact,
+            0,
+            CostModel::zero(),
+        );
+        assert_eq!(engine.buckets(), 2);
+        // Backward order: the first bucket ends at the top of the vector.
+        let mut expect_hi = m;
+        let mut covered = 0usize;
+        for j in 0..engine.buckets() {
+            let r = engine.ranges[j].clone();
+            assert_eq!(r.end, expect_hi);
+            expect_hi = r.start;
+            covered += r.len();
+        }
+        assert_eq!(covered, m);
+        assert_eq!(expect_hi, 0);
+    }
+
+    #[test]
+    fn per_layer_spec_gives_one_bucket_per_segment() {
+        let segments = [100usize, 50, 200];
+        let engine = OverlapEngine::new(
+            &OverlapConfig::per_layer(),
+            &segments,
+            None,
+            Selector::Exact,
+            0,
+            CostModel::zero(),
+        );
+        assert_eq!(engine.buckets(), 3);
+        // Backward order reverses the segment list.
+        assert_eq!(engine.costs[0].params, 200);
+        assert_eq!(engine.costs[2].params, 100);
+    }
+
+    #[test]
+    fn backward_costs_distribute_compute_by_mass() {
+        let costs = backward_layer_costs(
+            &[100, 300],
+            Some(ComputeCost {
+                compute_ms: 8.0,
+                sparsify_ms: 0.0,
+            }),
+        );
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0].params, 300); // backward order
+        assert!((costs[0].backward_ms - 6.0).abs() < 1e-12);
+        assert!((costs[1].backward_ms - 2.0).abs() < 1e-12);
+        // Sparsification gates readiness too, so it folds into the basis.
+        let with_sparsify = backward_layer_costs(
+            &[100, 300],
+            Some(ComputeCost {
+                compute_ms: 8.0,
+                sparsify_ms: 2.0,
+            }),
+        );
+        assert!((with_sparsify[0].backward_ms - 7.5).abs() < 1e-12);
+        assert!((with_sparsify[1].backward_ms - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_steps_keep_replicas_identical() {
+        // Four ranks run three overlapped iterations on deterministic
+        // per-rank gradients; models must stay bit-identical.
+        let p = 4usize;
+        let segments = vec![24usize, 40];
+        let m: usize = segments.iter().sum();
+        let out = Cluster::new(p, CostModel::gigabit_ethernet()).run(move |comm| {
+            let mut model = models::logistic(9, 7, 8); // 7*8+8 = 64 params
+            assert_eq!(gtopk_nn::Model::num_params(&model), m);
+            let mut opt = MomentumSgd::new(m, 0.1, 0.9);
+            let mut engine = OverlapEngine::new(
+                &OverlapConfig::buckets(2),
+                &segments,
+                Some(ComputeCost {
+                    compute_ms: 4.0,
+                    sparsify_ms: 0.0,
+                }),
+                Selector::Exact,
+                comm.rank(),
+                CostModel::gigabit_ethernet(),
+            );
+            for it in 0..3u64 {
+                let g: Vec<f32> = (0..m)
+                    .map(|i| {
+                        let h = (i as u64 + 7)
+                            .wrapping_mul(comm.rank() as u64 + 3)
+                            .wrapping_mul(it + 11)
+                            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+                        ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                    })
+                    .collect();
+                engine.step(comm, &g, 0.1, &mut opt, &mut model).unwrap();
+            }
+            (
+                gtopk_nn::Model::flat_params(&model),
+                engine.stats(),
+                comm.now_ms(),
+            )
+        });
+        for (params, stats, now) in &out {
+            assert_eq!(params, &out[0].0, "replicas diverged");
+            check_timeline_invariants(&stats.timelines).unwrap();
+            assert_eq!(stats.iterations, 3);
+            // Power-of-two P, straggle-free: executed == analytic.
+            assert!(
+                stats.max_abs_dev_ms < 1e-6,
+                "executed deviates from analytic by {} ms",
+                stats.max_abs_dev_ms
+            );
+            assert!((now - out[0].2).abs() < 1e-9, "ranks finish together");
+        }
+    }
+}

@@ -52,8 +52,64 @@ impl PipelineReport {
 }
 
 /// `k` for a bucket under density `rho` (at least 1).
-fn bucket_k(params: usize, rho: f64) -> usize {
+///
+/// The analytic schedules and the executed overlap engine both size
+/// per-bucket selections through this single function, so their
+/// communication volumes agree exactly.
+pub fn bucket_k(params: usize, rho: f64) -> usize {
     ((params as f64 * rho).round() as usize).clamp(1, params.max(1))
+}
+
+/// Checks the invariants every pipelined schedule — analytic or executed —
+/// must satisfy: `ready ≤ start ≤ end` per bucket, monotone readiness
+/// (backward produces buckets in order), and FIFO non-overlap (a bucket's
+/// collective starts no earlier than the previous one ended).
+///
+/// Returns a description of the first violation, or `Ok(())`.
+///
+/// # Errors
+///
+/// Returns `Err` with a human-readable description naming the offending
+/// bucket index and the two times that disagree.
+pub fn check_timeline_invariants(timelines: &[LayerTimeline]) -> Result<(), String> {
+    let tol = 1e-9;
+    for (i, t) in timelines.iter().enumerate() {
+        if !(t.ready_ms.is_finite() && t.start_ms.is_finite() && t.end_ms.is_finite()) {
+            return Err(format!("bucket {i}: non-finite timeline {t:?}"));
+        }
+        if t.start_ms < t.ready_ms - tol {
+            return Err(format!(
+                "bucket {i}: starts at {} before ready at {}",
+                t.start_ms, t.ready_ms
+            ));
+        }
+        if t.end_ms < t.start_ms - tol {
+            return Err(format!(
+                "bucket {i}: ends at {} before start at {}",
+                t.end_ms, t.start_ms
+            ));
+        }
+        if i > 0 {
+            let prev = &timelines[i - 1];
+            if t.ready_ms < prev.ready_ms - tol {
+                return Err(format!(
+                    "bucket {i}: ready at {} before bucket {} at {}",
+                    t.ready_ms,
+                    i - 1,
+                    prev.ready_ms
+                ));
+            }
+            if t.start_ms < prev.end_ms - tol {
+                return Err(format!(
+                    "bucket {i}: starts at {} while bucket {} holds the channel until {}",
+                    t.start_ms,
+                    i - 1,
+                    prev.end_ms
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Simulates the layer-wise pipelined schedule.
@@ -254,6 +310,44 @@ mod tests {
             assert_eq!(params, 55_000, "buckets={buckets}");
             assert!((back - 55.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn analytic_schedules_satisfy_timeline_invariants() {
+        let layers: Vec<LayerCost> = (1..=12)
+            .map(|i| LayerCost {
+                params: i * 50_000,
+                backward_ms: (i % 5) as f64 + 0.5,
+            })
+            .collect();
+        for p in [2usize, 4, 32] {
+            for buckets in [1usize, 2, 4, 12] {
+                let r = simulate_fused(&layers, buckets, &net(), p, 0.001);
+                check_timeline_invariants(&r.timelines).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_checker_rejects_violations() {
+        let ok = LayerTimeline {
+            ready_ms: 1.0,
+            start_ms: 2.0,
+            end_ms: 3.0,
+        };
+        assert!(check_timeline_invariants(std::slice::from_ref(&ok)).is_ok());
+        let starts_before_ready = LayerTimeline {
+            ready_ms: 2.0,
+            start_ms: 1.0,
+            end_ms: 3.0,
+        };
+        assert!(check_timeline_invariants(&[starts_before_ready]).is_err());
+        let overlaps_channel = LayerTimeline {
+            ready_ms: 2.5,
+            start_ms: 2.5,
+            end_ms: 4.0,
+        };
+        assert!(check_timeline_invariants(&[ok, overlaps_channel]).is_err());
     }
 
     #[test]

@@ -39,12 +39,21 @@ pub fn ps_gtopk_all_reduce(
         }
         let dense = sum.to_dense();
         let global = topk_sparse(&dense, k.min(sum.nnz()));
+        // One shared buffer serves every star-topology pull reply.
+        let shared = std::sync::Arc::new(global);
         for dst in 1..p {
-            comm.send(dst, TAG_PS_PULL, Payload::Sparse(global.clone()))?;
+            comm.send(dst, TAG_PS_PULL, Payload::sparse_shared(shared.clone()))?;
         }
-        global
+        match std::sync::Arc::try_unwrap(shared) {
+            Ok(v) => v,
+            Err(shared) => {
+                let mut owned = comm.pool().take_sparse(dim);
+                owned.copy_from(&shared);
+                owned
+            }
+        }
     } else {
-        comm.send(0, TAG_PS_PUSH, Payload::Sparse(local))?;
+        comm.send(0, TAG_PS_PUSH, Payload::sparse(local))?;
         comm.recv(0, TAG_PS_PULL)?.payload.into_sparse()
     };
     debug_assert_eq!(global.dim(), dim);

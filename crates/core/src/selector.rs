@@ -23,6 +23,16 @@ pub enum Selector {
         /// Number of magnitude samples used to estimate the threshold.
         sample: usize,
     },
+    /// Sampling-estimated threshold with exact-`k` fixup: one O(m)
+    /// single pass collects strictly-above-threshold candidates and an
+    /// exact select over the (small) candidate set finishes the job. The
+    /// result is **bitwise identical** to [`Selector::Exact`] — only the
+    /// selection cost is probabilistic (it falls back to the exact kernel
+    /// when the estimate overshoots).
+    ThresholdEstimate {
+        /// Number of magnitude samples used to estimate the threshold.
+        sample: usize,
+    },
 }
 
 /// Per-rank selector state (the sampled kernel needs an RNG stream that
@@ -53,6 +63,9 @@ impl SelectorState {
         match self.selector {
             Selector::Exact => residual.extract_topk(k),
             Selector::Sampled { sample } => residual.extract_topk_sampled(k, sample, &mut self.rng),
+            Selector::ThresholdEstimate { sample } => {
+                residual.extract_topk_threshold(k, sample, &mut self.rng)
+            }
         }
     }
 }
@@ -116,5 +129,26 @@ mod tests {
     #[test]
     fn default_is_exact() {
         assert_eq!(Selector::default(), Selector::Exact);
+    }
+
+    #[test]
+    fn threshold_estimate_is_bitwise_identical_to_exact() {
+        // Unlike `Sampled`, the threshold-estimate kernel guarantees the
+        // exact result for every rank's rng stream and any k.
+        let grad: Vec<f32> = (0..2048)
+            .map(|i| ((i * 37) % 101) as f32 - 50.0 + (i as f32 * 0.11).sin())
+            .collect();
+        for rank in [0usize, 1, 7] {
+            for k in [1usize, 16, 333] {
+                let mut r1 = Residual::new(grad.len());
+                r1.accumulate(&grad);
+                let mut r2 = r1.clone();
+                let exact = SelectorState::new(Selector::Exact, rank).extract(&mut r1, k);
+                let est = SelectorState::new(Selector::ThresholdEstimate { sample: 64 }, rank)
+                    .extract(&mut r2, k);
+                assert_eq!(est, exact, "rank={rank} k={k}");
+                assert_eq!(r1.dense(), r2.dense(), "residual state must match");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 
 use gtopk_comm::{Communicator, Message, Payload, Result};
 use gtopk_sparse::SparseVec;
+use std::sync::Arc;
 
 const TAG_SBCAST: u32 = Message::COLLECTIVE_TAG_BASE + 32;
 const TAG_SSUM: u32 = Message::COLLECTIVE_TAG_BASE + 33;
@@ -78,11 +79,13 @@ pub(crate) fn sparse_broadcast_over(
     // Positions relative to the root, so any member can be the root.
     let rel = (me + p - root_pos) % p;
     let abs = |relpos: usize| members[(relpos + root_pos) % p];
-    let mut value = local;
+    // One Arc-shared buffer travels the whole tree: relays forward the
+    // reference they received and fan-out sends bump a reference count.
+    let mut shared = Arc::new(local);
     let mut mask = 1usize;
     while mask < p {
         if rel & mask != 0 {
-            value = comm.recv(abs(rel - mask), tag)?.payload.into_sparse();
+            shared = comm.recv(abs(rel - mask), tag)?.payload.into_sparse_arc();
             break;
         }
         mask <<= 1;
@@ -90,11 +93,21 @@ pub(crate) fn sparse_broadcast_over(
     mask >>= 1;
     while mask > 0 {
         if rel + mask < p {
-            comm.send(abs(rel + mask), tag, Payload::Sparse(value.clone()))?;
+            comm.send(abs(rel + mask), tag, Payload::sparse_shared(shared.clone()))?;
         }
         mask >>= 1;
     }
-    Ok(value)
+    // Materialize our own copy: free if the reference is unique by now,
+    // otherwise copied into pooled buffers (no fresh allocation at steady
+    // state).
+    Ok(match Arc::try_unwrap(shared) {
+        Ok(v) => v,
+        Err(shared) => {
+            let mut owned = comm.pool().take_sparse(shared.dim());
+            owned.copy_from(&shared);
+            owned
+        }
+    })
 }
 
 /// Exact sparse sum across all ranks by recursive doubling.
@@ -126,26 +139,54 @@ pub fn sparse_sum_recursive_doubling(
         p2 *= 2;
     }
     let extra = p - p2;
+    let dim = local.dim();
     let mut acc = local;
     // Fold-in.
     if rank >= p2 {
-        comm.send(rank - p2, TAG_SFOLD, Payload::Sparse(acc.clone()))?;
+        let outgoing = std::mem::replace(&mut acc, SparseVec::empty(dim));
+        comm.send(rank - p2, TAG_SFOLD, Payload::sparse(outgoing))?;
     } else if rank < extra {
         let other = comm.recv(rank + p2, TAG_SFOLD)?.payload.into_sparse();
-        acc = acc.add(&other);
+        let mut next = comm.pool().take_sparse(dim);
+        acc.add_into(&other, &mut next);
+        comm.pool().put_sparse(std::mem::replace(&mut acc, next));
+        comm.pool().put_sparse(other);
     }
     if rank < p2 {
         let mut mask = 1usize;
         while mask < p2 {
             let peer = rank ^ mask;
-            let msg = comm.sendrecv(peer, TAG_SSUM + mask as u32, Payload::Sparse(acc.clone()))?;
-            acc = acc.add(&msg.payload.into_sparse());
+            // Share the accumulator with the outgoing message instead of
+            // cloning it; the merge reads it through the Arc.
+            let shared = Arc::new(acc);
+            let msg = comm.sendrecv(
+                peer,
+                TAG_SSUM + mask as u32,
+                Payload::sparse_shared(shared.clone()),
+            )?;
+            let other = msg.payload.into_sparse();
+            let mut next = comm.pool().take_sparse(dim);
+            shared.add_into(&other, &mut next);
+            acc = next;
+            comm.pool().put_sparse(other);
+            if let Ok(v) = Arc::try_unwrap(shared) {
+                comm.pool().put_sparse(v);
+            }
             mask <<= 1;
         }
     }
     // Fold-out.
     if rank < extra {
-        comm.send(rank + p2, TAG_SFOLD, Payload::Sparse(acc.clone()))?;
+        let shared = Arc::new(acc);
+        comm.send(rank + p2, TAG_SFOLD, Payload::sparse_shared(shared.clone()))?;
+        acc = match Arc::try_unwrap(shared) {
+            Ok(v) => v,
+            Err(shared) => {
+                let mut owned = comm.pool().take_sparse(dim);
+                owned.copy_from(&shared);
+                owned
+            }
+        };
     } else if rank >= p2 {
         acc = comm.recv(rank - p2, TAG_SFOLD)?.payload.into_sparse();
     }

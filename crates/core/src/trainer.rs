@@ -1,6 +1,7 @@
 //! Distributed S-SGD training loops (paper Algorithms 1, 2 and 4, plus
 //! the dense baseline) over the simulated cluster.
 
+use crate::overlap::{OverlapConfig, OverlapEngine, OverlapStats};
 use crate::selector::SelectorState;
 use crate::{
     ft, Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown,
@@ -72,6 +73,13 @@ pub struct TrainConfig {
     /// Iterations between in-memory checkpoints in the fault-tolerant
     /// loop (ignored in fault-free runs).
     pub checkpoint_interval: usize,
+    /// Executed compute/communication overlap (gTop-k only). `None`
+    /// (the default) keeps the serial per-iteration schedule and leaves
+    /// training output bit-identical to a build without the overlap
+    /// engine; `Some` partitions the gradient into buckets and pipelines
+    /// each bucket's gTopKAllReduce behind the remaining backward
+    /// compute (see [`crate::overlap`]).
+    pub overlap: Option<OverlapConfig>,
 }
 
 impl TrainConfig {
@@ -96,6 +104,7 @@ impl TrainConfig {
             data_seed: 0x5eed,
             fault_plan: None,
             checkpoint_interval: 10,
+            overlap: None,
         }
     }
 
@@ -116,6 +125,12 @@ impl TrainConfig {
     pub fn fault_tolerant(&self) -> bool {
         self.fault_plan.as_ref().is_some_and(|p| p.is_active())
     }
+
+    /// Returns a copy with the executed overlap engine enabled.
+    pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
+        self.overlap = Some(overlap);
+        self
+    }
 }
 
 struct RankOutcome {
@@ -127,6 +142,9 @@ struct RankOutcome {
     retransmissions: usize,
     update_nnz_sum: u64,
     param_checksum: f64,
+    pool_hits: u64,
+    pool_misses: u64,
+    overlap: Option<OverlapStats>,
     /// True when this rank left the run: a scheduled crash, or expulsion
     /// after failing to reach any recovery coordinator.
     crashed: bool,
@@ -158,6 +176,20 @@ where
 {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.epochs > 0, "need at least one epoch");
+    if cfg.overlap.is_some() {
+        assert_eq!(
+            cfg.algorithm,
+            Algorithm::GTopK,
+            "the overlap engine drives per-bucket gTopKAllReduce (got {})",
+            cfg.algorithm.name()
+        );
+        if let Some(plan) = &cfg.fault_plan {
+            assert!(
+                (0..cfg.workers).all(|r| plan.crash_step(r).is_none()),
+                "overlap composes with drops/jitter/stragglers but not crash recovery"
+            );
+        }
+    }
     let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
     assert!(
         iters_per_epoch > 0,
@@ -238,6 +270,9 @@ where
         retransmissions: reporter.retransmissions,
         survivors: survivors.len(),
         mean_update_nnz: reporter.update_nnz_sum as f64 / iterations as f64,
+        pool_hits_rank0: reporter.pool_hits,
+        pool_misses_rank0: reporter.pool_misses,
+        overlap: reporter.overlap.clone(),
     }
 }
 
@@ -253,7 +288,7 @@ where
     M: Model,
     F: Fn() -> M,
 {
-    if cfg.fault_tolerant() {
+    if cfg.overlap.is_none() && cfg.fault_tolerant() {
         return run_rank_ft(
             cfg,
             comm,
@@ -280,6 +315,16 @@ where
     };
     let mut residual = Residual::new(m);
     let mut aggregator = cfg.algorithm.aggregator_with(cfg.selector);
+    let mut engine = cfg.overlap.as_ref().map(|ov| {
+        OverlapEngine::new(
+            ov,
+            &model.param_segments(),
+            cfg.compute_cost,
+            cfg.selector,
+            comm.rank(),
+            cfg.cost_model,
+        )
+    });
     let shard = shard_indices(train_data.len(), comm.rank(), comm.size());
     let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
 
@@ -308,6 +353,36 @@ where
             if let Some(max_norm) = cfg.clip_norm {
                 clip_to_norm(&mut g, max_norm);
             }
+
+            if let Some(engine) = engine.as_mut() {
+                // Overlapped schedule: the engine stages the clock per
+                // bucket itself (gradient readiness follows the modeled
+                // backward), so no whole-iteration advance_compute here.
+                let src: &[f32] = match &mut local_velocity {
+                    Some(u) => {
+                        for (ui, &gi) in u.iter_mut().zip(g.iter()) {
+                            *ui = cfg.momentum * *ui + gi;
+                        }
+                        u
+                    }
+                    None => &g,
+                };
+                let rho = cfg.density.density(epoch);
+                let nnz = engine
+                    .step(comm, src, rho, &mut opt, &mut model)
+                    .expect("aggregation must not fail mid-training");
+                update_nnz_sum += nnz;
+                let straggle = comm.straggle_factor();
+                let charged_comp = straggle * engine.compute_ms_per_iter();
+                let charged_compr = straggle * engine.sparsify_ms_per_iter();
+                timing.compute_ms += charged_comp;
+                timing.compression_ms += charged_compr;
+                timing.communication_ms += (comm.now_ms() - t0) - charged_comp - charged_compr;
+                timing.iterations += 1;
+                epoch_loss += loss as f64;
+                continue;
+            }
+
             if let Some(cost) = cfg.compute_cost {
                 comm.advance_compute(cost.compute_ms);
             }
@@ -369,6 +444,9 @@ where
         retransmissions: stats.retransmissions,
         update_nnz_sum,
         param_checksum: params.iter().map(|&v| v as f64).sum(),
+        pool_hits: stats.pool_hits,
+        pool_misses: stats.pool_misses,
+        overlap: engine.as_ref().map(OverlapEngine::stats),
         crashed: false,
     }
 }
@@ -641,6 +719,9 @@ where
         retransmissions: stats.retransmissions,
         update_nnz_sum,
         param_checksum: params.iter().map(|&v| v as f64).sum(),
+        pool_hits: stats.pool_hits,
+        pool_misses: stats.pool_misses,
+        overlap: None,
         crashed,
     }
 }
@@ -705,6 +786,7 @@ mod tests {
             data_seed: 1,
             fault_plan: None,
             checkpoint_interval: 4,
+            overlap: None,
         }
     }
 

@@ -13,6 +13,10 @@ use gtopk_sparse::SparseVec;
 pub struct MomentumSgd {
     velocity: Vec<f32>,
     scratch: Vec<f32>,
+    /// `true` while `scratch` may hold stale full-width values (after a
+    /// `step_dense`); [`MomentumSgd::step_range`] needs the coordinates
+    /// outside its bucket to be zero and lazily re-zeroes when set.
+    scratch_dirty: bool,
     lr: f32,
     momentum: f32,
 }
@@ -29,6 +33,7 @@ impl MomentumSgd {
         MomentumSgd {
             velocity: vec![0.0; num_params],
             scratch: vec![0.0; num_params],
+            scratch_dirty: false,
             lr,
             momentum,
         }
@@ -70,7 +75,61 @@ impl MomentumSgd {
             *v = self.momentum * *v + g;
             *s = -self.lr * *v;
         }
+        self.scratch_dirty = true;
         model.add_to_flat_params(&self.scratch);
+    }
+
+    /// Applies a sparse gradient to a contiguous sub-range (bucket) of the
+    /// parameter vector, leaving every other coordinate untouched.
+    ///
+    /// `grad` is bucket-local: `grad.dim() == range.len()`, and stored
+    /// index `i` addresses flat parameter `range.start + i`. Velocity
+    /// decays only over `range`, so one call per bucket over disjoint
+    /// buckets covering the full vector is exactly equivalent to a single
+    /// [`MomentumSgd::step_dense`] of the combined scattered update —
+    /// which is how the overlap engine applies per-bucket updates as each
+    /// bucket's collective completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the parameter count or the bucket
+    /// gradient's dimension differs from the range length.
+    pub fn step_range(
+        &mut self,
+        model: &mut dyn Model,
+        range: std::ops::Range<usize>,
+        grad: &SparseVec,
+    ) {
+        assert!(
+            range.end <= self.velocity.len(),
+            "bucket range out of bounds"
+        );
+        assert_eq!(grad.dim(), range.len(), "bucket gradient dim mismatch");
+        assert_eq!(
+            model.num_params(),
+            self.velocity.len(),
+            "model size mismatch"
+        );
+        if self.scratch_dirty {
+            self.scratch.iter_mut().for_each(|s| *s = 0.0);
+            self.scratch_dirty = false;
+        }
+        let lo = range.start;
+        for v in self.velocity[range.clone()].iter_mut() {
+            *v *= self.momentum;
+        }
+        for (&i, &g) in grad.indices().iter().zip(grad.values().iter()) {
+            self.velocity[lo + i as usize] += g;
+        }
+        for (v, s) in self.velocity[range.clone()]
+            .iter()
+            .zip(self.scratch[range.clone()].iter_mut())
+        {
+            *s = -self.lr * *v;
+        }
+        model.add_to_flat_params(&self.scratch);
+        // Restore the all-zero invariant outside calls.
+        self.scratch[range].iter_mut().for_each(|s| *s = 0.0);
     }
 
     /// Applies a sparse aggregated gradient step (gTop-k / Top-k updates).
@@ -157,6 +216,45 @@ mod tests {
     #[should_panic(expected = "momentum must be in")]
     fn invalid_momentum_rejected() {
         let _ = MomentumSgd::new(4, 0.1, 1.0);
+    }
+
+    #[test]
+    fn per_bucket_steps_equal_one_full_sparse_step() {
+        // Split a sparse update into disjoint bucket-local pieces; applying
+        // them via step_range (in any bucket order) must reproduce
+        // step_sparse bit-for-bit — the overlap engine relies on this.
+        let mut m1 = tiny_model();
+        let mut m2 = tiny_model();
+        let n = m1.num_params();
+        assert!(n >= 4, "test needs a few params");
+        let mid = n / 2;
+        let full = SparseVec::from_pairs(n, vec![(0, 0.5), (1, -0.25), (n as u32 - 1, 1.5)]);
+        let mut o1 = MomentumSgd::new(n, 0.1, 0.9);
+        let mut o2 = MomentumSgd::new(n, 0.1, 0.9);
+        for step in 0..3 {
+            o1.step_sparse(m1.as_mut(), &full);
+            // Bucket-local pieces of the same update.
+            let lowb = SparseVec::from_pairs(mid, vec![(0, 0.5), (1, -0.25)]);
+            let highb = SparseVec::from_pairs(n - mid, vec![((n - mid) as u32 - 1, 1.5)]);
+            // Back-to-front, as the overlap engine applies them.
+            o2.step_range(m2.as_mut(), mid..n, &highb);
+            o2.step_range(m2.as_mut(), 0..mid, &lowb);
+            assert_eq!(m1.flat_params(), m2.flat_params(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn step_range_after_dense_step_is_clean() {
+        // step_dense leaves a dirty full-width scratch; a following
+        // step_range must not leak it into untouched coordinates.
+        let mut model = tiny_model();
+        let n = model.num_params();
+        let mut opt = MomentumSgd::new(n, 1.0, 0.0);
+        opt.step_dense(model.as_mut(), &vec![1.0; n]);
+        let before = model.flat_params();
+        // Empty bucket update on [0, 1): nothing may move anywhere.
+        opt.step_range(model.as_mut(), 0..1, &SparseVec::empty(1));
+        assert_eq!(model.flat_params(), before);
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub trait Model: Send {
     ///
     /// Panics if `delta.len() != self.num_params()`.
     fn add_to_flat_params(&mut self, delta: &[f32]);
+
+    /// Sizes of the contiguous per-layer segments of the flat parameter
+    /// vector, in flat (forward) order; their sum is
+    /// [`Model::num_params`]. Backward produces gradients for the *last*
+    /// segment first, which is what lets the overlap engine ship early
+    /// buckets while later layers are still computing. Models without
+    /// layer structure report one segment covering everything.
+    fn param_segments(&self) -> Vec<usize> {
+        if self.num_params() == 0 {
+            return Vec::new();
+        }
+        vec![self.num_params()]
+    }
 }
 
 /// A chain of layers executed in order.
@@ -168,6 +181,17 @@ impl Model for Sequential {
     fn add_to_flat_params(&mut self, delta: &[f32]) {
         add_to_params(self, delta);
     }
+
+    fn param_segments(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .filter_map(|l| {
+                let mut n = 0usize;
+                l.for_each_param_buf(&mut |p, _| n += p.len());
+                (n > 0).then_some(n)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +256,14 @@ mod tests {
         let a = small_net(7);
         let b = small_net(7);
         assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn param_segments_cover_flat_vector_per_layer() {
+        let net = small_net(5);
+        // linear(3→5) = 20, relu = 0 (skipped), linear(5→2) = 12.
+        assert_eq!(net.param_segments(), vec![20, 12]);
+        assert_eq!(net.param_segments().iter().sum::<usize>(), net.num_params());
     }
 
     #[test]

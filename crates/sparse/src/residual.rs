@@ -7,7 +7,9 @@
 //! selection are put back (Algorithm 4, line 10) so no gradient mass is
 //! ever silently dropped — only delayed.
 
-use crate::topk::{sampled_topk_sparse, topk_sparse_into, TopkScratch};
+use crate::topk::{
+    sampled_topk_sparse, threshold_estimate_topk_into, topk_sparse_into, TopkScratch,
+};
 use crate::SparseVec;
 use rand::Rng;
 
@@ -77,7 +79,31 @@ impl Residual {
     /// returned k-entry vector.
     pub fn extract_topk(&mut self, k: usize) -> SparseVec {
         let mut sv = SparseVec::empty(self.acc.len());
-        topk_sparse_into(&self.acc, k, &mut self.scratch, &mut sv);
+        self.extract_topk_into(k, &mut sv);
+        sv
+    }
+
+    /// Like [`Residual::extract_topk`] but writing into a caller-supplied
+    /// (typically pooled) vector — fully allocation-free in steady state.
+    pub fn extract_topk_into(&mut self, k: usize, out: &mut SparseVec) {
+        topk_sparse_into(&self.acc, k, &mut self.scratch, out);
+        for &i in out.indices() {
+            self.acc[i as usize] = 0.0;
+        }
+    }
+
+    /// Like [`Residual::extract_topk`] but using the sampling-estimated
+    /// threshold kernel with exact-`k` fixup — the result is bitwise
+    /// identical to [`Residual::extract_topk`], only the selection cost is
+    /// probabilistic (an O(dim) single pass in the common case).
+    pub fn extract_topk_threshold(
+        &mut self,
+        k: usize,
+        sample: usize,
+        rng: &mut impl Rng,
+    ) -> SparseVec {
+        let mut sv = SparseVec::empty(self.acc.len());
+        threshold_estimate_topk_into(&self.acc, k, sample, rng, &mut self.scratch, &mut sv);
         for &i in sv.indices() {
             self.acc[i as usize] = 0.0;
         }

@@ -272,6 +272,95 @@ pub fn sampled_topk_sparse(
     topk_sparse(dense, k)
 }
 
+/// Exact top-k via sampled-threshold estimation with an exact-`k` fixup:
+/// the fast path of the `ThresholdEstimate` selector.
+///
+/// A uniform sample of `sample` coordinates estimates the k-th largest
+/// magnitude; one single pass collects every coordinate *strictly* above
+/// the estimate. If at least `k` candidates survive, the true top-k is
+/// necessarily among them (every candidate strictly beats every excluded
+/// coordinate), so an exact select over the candidate set — under the
+/// same total order as [`topk_indices_into`] — returns a **bitwise
+/// identical** result to the exact kernel. If the estimate overshot and
+/// fewer than `k` candidates survive, we fall back to the exact kernel.
+/// Either way the output equals the exact top-k; only the running time
+/// is probabilistic.
+///
+/// Returns the number of coordinates the final exact select examined:
+/// the candidate count on the fast path, `n` on the fallback — the
+/// speed-vs-exactness test uses it to show the fast path engages.
+pub fn threshold_estimate_topk_into(
+    dense: &[f32],
+    k: usize,
+    sample: usize,
+    rng: &mut impl Rng,
+    scratch: &mut TopkScratch,
+    out: &mut SparseVec,
+) -> usize {
+    let n = dense.len();
+    if k == 0 || n == 0 || k >= n {
+        topk_sparse_into(dense, k, scratch, out);
+        return n;
+    }
+    assert!(sample > 0, "sample size must be positive");
+    let sample = sample.min(n);
+    out.dim = n;
+    out.indices.clear();
+    // Reuse the output value buffer for the sampled magnitudes — the
+    // whole estimation runs allocation-free at steady state.
+    out.values.clear();
+    out.values
+        .extend((0..sample).map(|_| mag(dense[rng.gen_range(0..n)])));
+    // Aim the threshold at ~2k candidates: a 2x quota margin makes the
+    // strict filter overshoot k with high probability (a slightly large
+    // candidate set costs one cheap select; an undershoot costs a full
+    // exact rescan).
+    let quota = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
+    let quota = quota.saturating_mul(2).clamp(1, sample);
+    // `mag` outputs are never NaN, so this comparator is total.
+    out.values.select_nth_unstable_by(quota - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(Ordering::Equal)
+    });
+    let thr = out.values[quota - 1];
+    out.values.clear();
+    // Single pass: strictly-above-threshold candidates.
+    scratch.cand.clear();
+    for (i, &v) in dense.iter().enumerate() {
+        if mag(v) > thr {
+            scratch.cand.push(i as u32);
+        }
+    }
+    let examined = scratch.cand.len();
+    if examined < k {
+        // Estimate overshot (heavy ties at or below thr): exact fallback.
+        topk_sparse_into(dense, k, scratch, out);
+        return n;
+    }
+    if examined > k {
+        scratch
+            .cand
+            .select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(dense, a, b));
+        scratch.cand.truncate(k);
+    }
+    scratch.cand.sort_unstable();
+    out.indices.extend_from_slice(&scratch.cand);
+    out.values
+        .extend(out.indices.iter().map(|&i| dense[i as usize]));
+    examined
+}
+
+/// Allocating wrapper around [`threshold_estimate_topk_into`].
+pub fn threshold_estimate_topk_sparse(
+    dense: &[f32],
+    k: usize,
+    sample: usize,
+    rng: &mut impl Rng,
+) -> SparseVec {
+    let mut out = SparseVec::empty(dense.len());
+    threshold_estimate_topk_into(dense, k, sample, rng, &mut TopkScratch::new(), &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,7 +497,69 @@ mod tests {
         assert!(overlap >= k * 9 / 10, "overlap {overlap} of {k}");
     }
 
+    #[test]
+    fn threshold_estimate_fast_path_engages_and_stays_exact() {
+        // 5% heavy hitters: the sampled threshold lands inside the heavy
+        // band, so the strict filter examines a few hundred candidates
+        // instead of all n — while the output stays bitwise exact.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000usize;
+        let dense: Vec<f32> = (0..n)
+            .map(|i| {
+                if i % 20 == 0 {
+                    100.0 + i as f32 * 1e-3
+                } else {
+                    (i % 7) as f32 * 1e-4
+                }
+            })
+            .collect();
+        let mut scratch = TopkScratch::new();
+        let mut out = SparseVec::empty(0);
+        let k = 150;
+        let examined =
+            threshold_estimate_topk_into(&dense, k, 512, &mut rng, &mut scratch, &mut out);
+        assert_eq!(out, topk_sparse(&dense, k), "must be bitwise exact");
+        assert!(
+            examined < n / 4,
+            "fast path should examine far fewer than n candidates, examined {examined}"
+        );
+    }
+
+    #[test]
+    fn threshold_estimate_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(threshold_estimate_topk_sparse(&[], 3, 8, &mut rng).is_empty());
+        let v = [1.0f32, -2.0];
+        assert!(threshold_estimate_topk_sparse(&v, 0, 8, &mut rng).is_empty());
+        assert_eq!(
+            threshold_estimate_topk_sparse(&v, 5, 8, &mut rng),
+            topk_sparse(&v, 5)
+        );
+    }
+
     proptest! {
+        /// The threshold-estimate selector is bitwise identical to the
+        /// exact kernel for any input, k, and rng seed — only its running
+        /// time is probabilistic. Ties and NaNs included.
+        #[test]
+        fn prop_threshold_estimate_bitwise_equals_exact(
+            values in proptest::collection::vec(-8i32..8, 1..300),
+            k in 0usize..48,
+            seed in 0u64..25,
+        ) {
+            let values: Vec<f32> = values.iter().enumerate()
+                .map(|(i, &v)| if i % 13 == 12 { f32::NAN } else { v as f32 })
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = threshold_estimate_topk_sparse(&values, k, 16, &mut rng);
+            let exact = topk_sparse(&values, k);
+            prop_assert_eq!(got.indices(), exact.indices());
+            // Compare bit patterns so NaN values also count as equal.
+            let gb: Vec<u32> = got.values().iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = exact.values().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, eb);
+        }
+
         /// Exact top-k always matches a full sort of magnitudes.
         #[test]
         fn prop_topk_matches_sort(values in proptest::collection::vec(-100.0f32..100.0, 1..200),

@@ -62,6 +62,37 @@ impl SparseVec {
         }
     }
 
+    /// An empty sparse vector that reuses the given buffers' capacity.
+    ///
+    /// The buffers are cleared, not reallocated — this is how pooled
+    /// (recycled) index/value vectors re-enter service without touching
+    /// the heap.
+    pub fn empty_with_buffers(dim: usize, mut indices: Vec<u32>, mut values: Vec<f32>) -> Self {
+        indices.clear();
+        values.clear();
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Removes all entries, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Overwrites this vector with a copy of `other`, reusing this
+    /// vector's buffers (no allocation once capacity suffices).
+    pub fn copy_from(&mut self, other: &SparseVec) {
+        self.dim = other.dim;
+        self.indices.clear();
+        self.indices.extend_from_slice(&other.indices);
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+    }
+
     /// Builds from already-sorted unique indices and parallel values.
     ///
     /// # Panics
@@ -223,9 +254,31 @@ impl SparseVec {
     ///
     /// Panics if `keep` was built for a different dimension.
     pub fn partition_by(&self, keep: &crate::Mask) -> (SparseVec, SparseVec) {
-        assert_eq!(self.dim, keep.dim(), "mask dimension mismatch");
         let mut kept = SparseVec::empty(self.dim);
         let mut rejected = SparseVec::empty(self.dim);
+        self.partition_by_into(keep, &mut kept, &mut rejected);
+        (kept, rejected)
+    }
+
+    /// Like [`SparseVec::partition_by`] but writing into caller-provided
+    /// vectors (cleared first), reusing their buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` was built for a different dimension.
+    pub fn partition_by_into(
+        &self,
+        keep: &crate::Mask,
+        kept: &mut SparseVec,
+        rejected: &mut SparseVec,
+    ) {
+        assert_eq!(self.dim, keep.dim(), "mask dimension mismatch");
+        kept.dim = self.dim;
+        kept.indices.clear();
+        kept.values.clear();
+        rejected.dim = self.dim;
+        rejected.indices.clear();
+        rejected.values.clear();
         for (i, v) in self.iter() {
             if keep.contains(i) {
                 kept.indices.push(i);
@@ -235,7 +288,45 @@ impl SparseVec {
                 rejected.values.push(v);
             }
         }
-        (kept, rejected)
+    }
+
+    /// Merge-adds `self + other` into `out` (cleared first), reusing
+    /// `out`'s buffers — the allocation-free form of [`SparseVec::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `out` aliases an input.
+    pub fn add_into(&self, other: &SparseVec, out: &mut SparseVec) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in sparse add");
+        out.dim = self.dim;
+        out.indices.clear();
+        out.values.clear();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.nnz() && b < other.nnz() {
+            let (x, y) = (self.indices[a], other.indices[b]);
+            match x.cmp(&y) {
+                std::cmp::Ordering::Equal => {
+                    out.indices.push(x);
+                    out.values.push(self.values[a] + other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    out.indices.push(x);
+                    out.values.push(self.values[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.indices.push(y);
+                    out.values.push(other.values[b]);
+                    b += 1;
+                }
+            }
+        }
+        out.indices.extend_from_slice(&self.indices[a..]);
+        out.values.extend_from_slice(&self.values[a..]);
+        out.indices.extend_from_slice(&other.indices[b..]);
+        out.values.extend_from_slice(&other.values[b..]);
     }
 
     /// L2 norm of the stored values.
@@ -331,5 +422,54 @@ mod tests {
     fn display_mentions_dims() {
         let v = SparseVec::from_pairs(9, vec![(3, 1.0)]);
         assert_eq!(v.to_string(), "SparseVec(dim=9, nnz=1)");
+    }
+
+    #[test]
+    fn empty_with_buffers_reuses_capacity() {
+        let (_, idx, val) = SparseVec::from_pairs(8, vec![(1, 1.0), (5, 2.0)]).into_parts();
+        let cap = idx.capacity();
+        let v = SparseVec::empty_with_buffers(16, idx, val);
+        assert!(v.is_empty());
+        assert_eq!(v.dim(), 16);
+        let (_, idx2, _) = v.into_parts();
+        assert_eq!(idx2.capacity(), cap);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = SparseVec::from_pairs(12, vec![(0, 1.0), (7, -2.0)]);
+        let mut dst = SparseVec::from_pairs(3, vec![(1, 9.0)]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.clear();
+        assert!(dst.is_empty());
+        assert_eq!(dst.dim(), 12);
+    }
+
+    #[test]
+    fn add_into_matches_add() {
+        let a = SparseVec::from_pairs(10, vec![(0, 1.0), (3, 2.0), (9, -1.0)]);
+        let b = SparseVec::from_pairs(10, vec![(1, 4.0), (3, -2.0), (8, 5.0)]);
+        let mut out = SparseVec::from_pairs(2, vec![(0, 99.0)]);
+        a.add_into(&b, &mut out);
+        assert_eq!(out, a.add(&b));
+        // Empty operands hit the tail-extend paths.
+        let e = SparseVec::empty(10);
+        a.add_into(&e, &mut out);
+        assert_eq!(out, a);
+        e.add_into(&b, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn partition_by_into_matches_partition_by() {
+        let v = SparseVec::from_pairs(8, vec![(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let keep = crate::Mask::from_indices(8, vec![2, 6]);
+        let (k1, r1) = v.partition_by(&keep);
+        let mut k2 = SparseVec::from_pairs(1, vec![(0, 7.0)]);
+        let mut r2 = SparseVec::empty(1);
+        v.partition_by_into(&keep, &mut k2, &mut r2);
+        assert_eq!(k1, k2);
+        assert_eq!(r1, r2);
     }
 }

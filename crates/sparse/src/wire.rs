@@ -219,5 +219,46 @@ mod tests {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+
+        /// A top-k extraction from any dense gradient produces a frame
+        /// of exactly `16 + 8·min(k, nnz)` bytes that roundtrips
+        /// bit-exactly — the wire cost the α-β model charges per `2k`
+        /// words is the cost the codec actually pays, for every k.
+        #[test]
+        fn prop_topk_extraction_roundtrips(
+            dense in proptest::collection::vec(-1e3f32..1e3, 1..200),
+            k in 1usize..64,
+        ) {
+            let v = crate::topk_sparse(&dense, k);
+            prop_assert!(v.nnz() <= k.min(dense.len()));
+            prop_assert!(v.values().iter().all(|x| x.is_finite()), "top-k must be NaN-free");
+            let bytes = encode(&v);
+            prop_assert_eq!(bytes.len(), HEADER_BYTES + 8 * v.nnz());
+            prop_assert_eq!(decode(&bytes).unwrap(), v);
+        }
+
+        /// Empty frames are 16 bytes for any dimension and roundtrip.
+        #[test]
+        fn prop_empty_roundtrips_at_any_dim(dim in 0usize..100_000) {
+            let v = SparseVec::empty(dim);
+            let bytes = encode(&v);
+            prop_assert_eq!(bytes.len(), HEADER_BYTES);
+            prop_assert_eq!(decode(&bytes).unwrap(), v);
+        }
+
+        /// Every strict prefix of a valid frame is rejected as
+        /// truncated — a partially received buffer can never decode
+        /// into a plausible-but-wrong gradient.
+        #[test]
+        fn prop_truncation_always_detected(
+            pairs in proptest::collection::btree_map(0u32..300, -1e3f32..1e3, 1..32),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let v = SparseVec::from_pairs(300, pairs.into_iter().collect());
+            let bytes = encode(&v);
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            let truncated = matches!(decode(&bytes[..cut]), Err(WireError::Truncated { .. }));
+            prop_assert!(truncated, "prefix of {} of {} bytes decoded", cut, bytes.len());
+        }
     }
 }

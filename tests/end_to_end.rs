@@ -30,6 +30,7 @@ fn cfg(
         data_seed: 3,
         fault_plan: None,
         checkpoint_interval: 10,
+        overlap: None,
     }
 }
 
