@@ -1,7 +1,9 @@
 //! Subcommand implementations.
 
 use crate::args::{ArgError, ParsedArgs};
-use gtopk::{train_distributed, Algorithm, DensitySchedule, OverlapConfig, Selector, TrainConfig};
+use gtopk::{
+    train_distributed, Algorithm, DensitySchedule, OverlapConfig, Selector, Topology, TrainConfig,
+};
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
 };
@@ -44,6 +46,16 @@ fn parse_network(name: &str) -> Result<CostModel, ArgError> {
         "10gbe" => CostModel::ten_gigabit_ethernet(),
         "ib" => CostModel::infiniband(),
         other => return Err(ArgError(format!("unknown network `{other}`"))),
+    })
+}
+
+fn parse_topology(name: &str) -> Result<Topology, ArgError> {
+    Topology::parse(name).ok_or_else(|| {
+        let accepted: Vec<&str> = Topology::ALL.iter().map(Topology::name).collect();
+        ArgError(format!(
+            "unknown topology `{name}` (accepted values: {})",
+            accepted.join(", ")
+        ))
     })
 }
 
@@ -123,6 +135,7 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "threshold-selection",
         "overlap",
         "buckets",
+        "topology",
         "momentum-correction",
         "clip",
         "fault-seed",
@@ -188,6 +201,16 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     } else if parsed.has_option("buckets") {
         return Err(ArgError("--buckets requires --overlap".into()));
     }
+    let topology = parse_topology(&parsed.get_str("topology", "binomial"))?;
+    if topology != Topology::Binomial && !algorithm.supports_topology() {
+        return Err(ArgError(format!(
+            "--topology {} requires a plan-driven algorithm (gtopk, feedback or \
+             no-putback); `{}` runs a fixed collective schedule",
+            topology.name(),
+            parsed.get_str("algorithm", "gtopk"),
+        )));
+    }
+    cfg = cfg.with_topology(topology);
     if let Some(plan) = parse_fault_plan(parsed, workers)? {
         if !matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback) {
             return Err(ArgError(
@@ -202,18 +225,6 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
             return Err(ArgError("--fault-checkpoint must be positive".into()));
         }
     }
-    if cfg.overlap.is_some() {
-        if let Some(plan) = &cfg.fault_plan {
-            if (0..workers).any(|r| plan.crash_step(r).is_some()) {
-                return Err(ArgError(
-                    "--overlap composes with --fault-drop/--fault-jitter/--fault-straggle \
-                     but not --fault-crash (no crash recovery in the overlapped loop)"
-                        .into(),
-                ));
-            }
-        }
-    }
-
     let (report, m) = match model_name.as_str() {
         "mlp" => {
             let data =
@@ -426,8 +437,6 @@ mod tests {
         assert!(run_line("train --algorithm dense --overlap").is_err());
         // Bucket count without the engine is a likely typo.
         assert!(run_line("train --buckets 4").is_err());
-        // Crash recovery is not available in the overlapped loop.
-        assert!(run_line("train --overlap --fault-crash 0:5").is_err());
         // Selector kernels are mutually exclusive.
         assert!(run_line("train --sampled-selection 64 --threshold-selection 64").is_err());
     }
@@ -452,6 +461,40 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         assert!(run_line("frobnicate").is_err());
+    }
+
+    #[test]
+    fn topology_options_are_validated() {
+        // Unknown names list the accepted values.
+        let err = run_line("train --topology star").unwrap_err();
+        assert!(err.0.contains("binomial, hierarchical, ring"), "{}", err.0);
+        // Fixed-schedule algorithms only run the binomial topology.
+        let err = run_line("train --algorithm dense --topology hierarchical").unwrap_err();
+        assert!(err.0.contains("plan-driven"), "{}", err.0);
+        assert!(run_line("train --algorithm topk --topology ring").is_err());
+    }
+
+    #[test]
+    fn train_runs_on_a_non_default_topology() {
+        let out = run_line(
+            "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+             --topology ring",
+        )
+        .unwrap();
+        assert!(out.contains("rank-0 traffic"), "{out}");
+    }
+
+    #[test]
+    fn overlap_composes_with_crash_recovery_end_to_end() {
+        // --overlap --buckets N --fault-crash runs through rollback and
+        // shrink-and-continue in the unified loop.
+        let out = run_line(
+            "train --model mlp --workers 4 --epochs 2 --batch 4 --density 0.05 \
+             --overlap --buckets 2 --fault-seed 3 --fault-crash 3:6 --fault-checkpoint 4",
+        )
+        .unwrap();
+        assert!(out.contains("overlap: 2 buckets"), "{out}");
+        assert!(out.contains("3/4 ranks survived"), "{out}");
     }
 
     #[test]

@@ -42,6 +42,8 @@ COMMANDS:
     --overlap               pipeline per-bucket gTopKAllReduce behind
                             backward compute (gtopk algorithm only)
     --buckets N             overlap buckets (0 = one per layer)    [4]
+    --topology   binomial | hierarchical | ring collective plan
+                 (gtopk | feedback | no-putback algorithms) [binomial]
     --momentum-correction   apply DGC-style momentum correction
     --clip N                clip local gradients to L2 norm N
     fault injection (gtopk | feedback algorithms only):

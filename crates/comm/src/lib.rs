@@ -54,6 +54,7 @@ mod cost;
 mod error;
 pub mod fault;
 mod message;
+pub mod plan;
 mod pool;
 
 pub use cluster::Cluster;
@@ -62,6 +63,7 @@ pub use cost::{CostModel, SimClock};
 pub use error::CommError;
 pub use fault::{FaultPlan, RetryPolicy};
 pub use message::{Message, Payload};
+pub use plan::{execute_plan, CollectivePlan, Exchange, PlanOps, Round, Topology, PLAN_TAG_WINDOW};
 pub use pool::{BufferPool, PoolStats};
 
 /// Convenient `Result` alias for communication operations.

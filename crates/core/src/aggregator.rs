@@ -3,16 +3,20 @@
 //!
 //! The trainer hands every aggregator the worker's error-feedback
 //! [`Residual`] buffer (already containing this iteration's accumulated
-//! gradient) and the selection budget `k`; the aggregator extracts what
-//! it needs, exchanges it across ranks, handles residual put-back, and
-//! returns the *averaged* global update to apply.
+//! gradient), the live membership, and the selection budget `k`; the
+//! aggregator extracts what it needs, exchanges it across the members,
+//! handles residual put-back, and returns the *averaged* global update
+//! to apply. The gTop-k tree variants run their collectives as
+//! epoch-stamped plan executions over the member positions, so the same
+//! aggregator objects serve the plain and the fault-tolerant training
+//! loops (shrunken memberships included) and accept any
+//! [`Topology`].
 
-use crate::gtopk_allreduce::{
-    gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce,
-};
+use crate::ft::epoch_tag_offset;
+use crate::gtopk_allreduce::{gtopk_all_reduce_over, naive_gtopk_all_reduce};
 use crate::selector::{Selector, SelectorState};
 use crate::sparse_coll::sparse_sum_recursive_doubling;
-use gtopk_comm::{collectives, Communicator, Result};
+use gtopk_comm::{collectives, Communicator, Result, Topology};
 use gtopk_sparse::{Residual, SparseVec};
 
 /// Lazily-initialized per-rank local top-k extraction (the rank is only
@@ -64,12 +68,15 @@ pub trait GradientAggregator: Send {
     /// Algorithm name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Aggregates this iteration's gradient across all ranks.
+    /// Aggregates this iteration's gradient across `members` (the
+    /// sorted, alive rank set — the full `0..P` outside the
+    /// fault-tolerant loop).
     ///
     /// On entry, `residual` holds the accumulated gradient `Gᵢ`
     /// (Algorithm 1/4, line 4). The aggregator extracts its share,
     /// communicates, returns rejected values to `residual`, and yields
-    /// the averaged update. Must be called collectively by every rank.
+    /// the update averaged over `|members|`. Must be called collectively
+    /// by every member.
     ///
     /// # Errors
     ///
@@ -77,9 +84,61 @@ pub trait GradientAggregator: Send {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update>;
+}
+
+/// Generates the `new`/`with_selector` constructor pair every
+/// selector-driven aggregator shares; extra fields (e.g. the collective
+/// topology) come from `Default`.
+macro_rules! selector_ctors {
+    ($ty:ident, $what:literal) => {
+        impl $ty {
+            #[doc = concat!("Creates the ", $what, " aggregator (exact selection).")]
+            pub fn new() -> Self {
+                Self::with_selector(Selector::Exact)
+            }
+
+            #[doc = concat!("Creates the ", $what, " aggregator with an explicit \
+                             local selection kernel.")]
+            // The update is a no-op for the single-field aggregators the
+            // macro also expands for.
+            #[allow(clippy::needless_update)]
+            pub fn with_selector(selector: Selector) -> Self {
+                Self {
+                    select: LocalSelect::new(selector),
+                    ..Self::default()
+                }
+            }
+        }
+    };
+}
+
+/// Generates the topology builder for aggregators whose collective is a
+/// plan execution.
+macro_rules! topology_builder {
+    ($ty:ident) => {
+        impl $ty {
+            /// Same aggregator, different collective plan topology.
+            #[must_use]
+            pub fn with_topology(mut self, topology: Topology) -> Self {
+                self.topology = topology;
+                self
+            }
+        }
+    };
+}
+
+/// The AllGather-style baselines run over the fixed full-cluster
+/// schedules; a shrunken membership would need the plan-driven variants.
+fn require_full_membership(comm: &Communicator, members: &[usize], name: &str) {
+    assert_eq!(
+        members.len(),
+        comm.size(),
+        "{name} aggregation supports full membership only"
+    );
 }
 
 /// Which aggregation algorithm to run — the experiment configuration
@@ -125,6 +184,17 @@ impl Algorithm {
         }
     }
 
+    /// Whether the algorithm's collective is a plan execution that can
+    /// run on any [`Topology`] (the gTop-k tree variants). The others
+    /// have fixed schedules — ring for dense, recursive doubling /
+    /// AllGather for the k-sparse sums — and accept only the default.
+    pub fn supports_topology(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::GTopK | Algorithm::GTopKFeedback | Algorithm::GTopKNoPutback
+        )
+    }
+
     /// Instantiates the corresponding aggregator with the exact
     /// selection kernel.
     pub fn aggregator(&self) -> Box<dyn GradientAggregator> {
@@ -134,14 +204,39 @@ impl Algorithm {
     /// Instantiates the corresponding aggregator with an explicit local
     /// top-k selection kernel (ignored by the dense baseline).
     pub fn aggregator_with(&self, selector: Selector) -> Box<dyn GradientAggregator> {
+        self.aggregator_with_topology(selector, Topology::Binomial)
+    }
+
+    /// Instantiates the corresponding aggregator with an explicit
+    /// selection kernel *and* collective topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` is not [`Topology::Binomial`] and the
+    /// algorithm's collective is not plan-driven (see
+    /// [`Algorithm::supports_topology`]).
+    pub fn aggregator_with_topology(
+        &self,
+        selector: Selector,
+        topology: Topology,
+    ) -> Box<dyn GradientAggregator> {
+        assert!(
+            topology == Topology::Binomial || self.supports_topology(),
+            "{} has a fixed collective schedule; only the binomial topology applies",
+            self.name()
+        );
         match self {
             Algorithm::Dense => Box::new(DenseAggregator::new()),
             Algorithm::TopK => Box::new(TopkAggregator::with_selector(selector)),
-            Algorithm::GTopK => Box::new(GtopkAggregator::with_selector(selector)),
+            Algorithm::GTopK => {
+                Box::new(GtopkAggregator::with_selector(selector).with_topology(topology))
+            }
             Algorithm::NaiveGTopK => Box::new(NaiveGtopkAggregator::with_selector(selector)),
-            Algorithm::GTopKFeedback => Box::new(GtopkFeedbackAggregator::with_selector(selector)),
+            Algorithm::GTopKFeedback => {
+                Box::new(GtopkFeedbackAggregator::with_selector(selector).with_topology(topology))
+            }
             Algorithm::GTopKNoPutback => {
-                Box::new(GtopkNoPutbackAggregator::with_selector(selector))
+                Box::new(GtopkNoPutbackAggregator::with_selector(selector).with_topology(topology))
             }
         }
     }
@@ -169,9 +264,11 @@ impl GradientAggregator for DenseAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         _k: usize,
     ) -> Result<Update> {
+        require_full_membership(comm, members, "Dense");
         let mut grad = residual.dense().to_vec();
         residual.clear();
         collectives::allreduce_ring(comm, &mut grad)?;
@@ -192,19 +289,7 @@ pub struct TopkAggregator {
     select: LocalSelect,
 }
 
-impl TopkAggregator {
-    /// Creates the Top-k baseline aggregator (exact selection).
-    pub fn new() -> Self {
-        TopkAggregator::with_selector(Selector::Exact)
-    }
-
-    /// Creates the aggregator with an explicit selection kernel.
-    pub fn with_selector(selector: Selector) -> Self {
-        TopkAggregator {
-            select: LocalSelect::new(selector),
-        }
-    }
-}
+selector_ctors!(TopkAggregator, "Top-k baseline");
 
 impl GradientAggregator for TopkAggregator {
     fn name(&self) -> &'static str {
@@ -214,9 +299,11 @@ impl GradientAggregator for TopkAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update> {
+        require_full_membership(comm, members, "Top-k");
         let local = self.select.extract(comm, residual, k);
         let mut sum = sparse_sum_recursive_doubling(comm, local)?;
         sum.scale(1.0 / comm.size() as f32);
@@ -230,21 +317,11 @@ impl GradientAggregator for TopkAggregator {
 #[derive(Debug, Default)]
 pub struct GtopkAggregator {
     select: LocalSelect,
+    topology: Topology,
 }
 
-impl GtopkAggregator {
-    /// Creates the gTop-k aggregator (exact selection).
-    pub fn new() -> Self {
-        GtopkAggregator::with_selector(Selector::Exact)
-    }
-
-    /// Creates the aggregator with an explicit selection kernel.
-    pub fn with_selector(selector: Selector) -> Self {
-        GtopkAggregator {
-            select: LocalSelect::new(selector),
-        }
-    }
-}
+selector_ctors!(GtopkAggregator, "gTop-k");
+topology_builder!(GtopkAggregator);
 
 impl GradientAggregator for GtopkAggregator {
     fn name(&self) -> &'static str {
@@ -254,15 +331,19 @@ impl GradientAggregator for GtopkAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update> {
         let local = self.select.extract(comm, residual, k);
-        let (mut global, gmask) = gtopk_all_reduce(comm, local.clone(), k)?;
+        let tag_off = epoch_tag_offset(comm.epoch());
+        let (mut global, gmask, tree_rejects) =
+            gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
+        comm.pool().put_sparse(tree_rejects);
         // Alg. 4 line 10: Gᵍ += G̃ᵍ ⊙ ¬gMask ⊙ Mask.
         let (_kept, rejected) = local.partition_by(&gmask);
         residual.put_back(&rejected);
-        global.scale(1.0 / comm.size() as f32);
+        global.scale(1.0 / members.len() as f32);
         Ok(Update::Sparse(global))
     }
 }
@@ -274,19 +355,7 @@ pub struct NaiveGtopkAggregator {
     select: LocalSelect,
 }
 
-impl NaiveGtopkAggregator {
-    /// Creates the naive (AllGather-based) gTop-k aggregator.
-    pub fn new() -> Self {
-        NaiveGtopkAggregator::with_selector(Selector::Exact)
-    }
-
-    /// Creates the aggregator with an explicit selection kernel.
-    pub fn with_selector(selector: Selector) -> Self {
-        NaiveGtopkAggregator {
-            select: LocalSelect::new(selector),
-        }
-    }
-}
+selector_ctors!(NaiveGtopkAggregator, "naive (AllGather-based) gTop-k");
 
 impl GradientAggregator for NaiveGtopkAggregator {
     fn name(&self) -> &'static str {
@@ -296,9 +365,11 @@ impl GradientAggregator for NaiveGtopkAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update> {
+        require_full_membership(comm, members, "gTop-k(naive)");
         let local = self.select.extract(comm, residual, k);
         let (mut global, gmask) = naive_gtopk_all_reduce(comm, local.clone(), k)?;
         let (_kept, rejected) = local.partition_by(&gmask);
@@ -315,21 +386,11 @@ impl GradientAggregator for NaiveGtopkAggregator {
 #[derive(Debug, Default)]
 pub struct GtopkFeedbackAggregator {
     select: LocalSelect,
+    topology: Topology,
 }
 
-impl GtopkFeedbackAggregator {
-    /// Creates the feedback-extension aggregator.
-    pub fn new() -> Self {
-        GtopkFeedbackAggregator::with_selector(Selector::Exact)
-    }
-
-    /// Creates the aggregator with an explicit selection kernel.
-    pub fn with_selector(selector: Selector) -> Self {
-        GtopkFeedbackAggregator {
-            select: LocalSelect::new(selector),
-        }
-    }
-}
+selector_ctors!(GtopkFeedbackAggregator, "feedback-extension");
+topology_builder!(GtopkFeedbackAggregator);
 
 impl GradientAggregator for GtopkFeedbackAggregator {
     fn name(&self) -> &'static str {
@@ -339,12 +400,14 @@ impl GradientAggregator for GtopkFeedbackAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update> {
         let local = self.select.extract(comm, residual, k);
+        let tag_off = epoch_tag_offset(comm.epoch());
         let (mut global, gmask, tree_rejects) =
-            gtopk_all_reduce_with_feedback(comm, local.clone(), k)?;
+            gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
         // Standard Alg. 4 put-back: our own values whose coordinate did
         // not survive globally. (Every owner does this, so coordinates
         // outside the global mask are fully restored across the cluster.)
@@ -359,7 +422,7 @@ impl GradientAggregator for GtopkFeedbackAggregator {
         // too would double-count gradient mass.)
         let (lost_but_selected, _owner_covered) = tree_rejects.partition_by(&gmask);
         residual.put_back(&lost_but_selected);
-        global.scale(1.0 / comm.size() as f32);
+        global.scale(1.0 / members.len() as f32);
         Ok(Update::Sparse(global))
     }
 }
@@ -371,21 +434,11 @@ impl GradientAggregator for GtopkFeedbackAggregator {
 #[derive(Debug, Default)]
 pub struct GtopkNoPutbackAggregator {
     select: LocalSelect,
+    topology: Topology,
 }
 
-impl GtopkNoPutbackAggregator {
-    /// Creates the no-putback ablation aggregator.
-    pub fn new() -> Self {
-        GtopkNoPutbackAggregator::with_selector(Selector::Exact)
-    }
-
-    /// Creates the aggregator with an explicit selection kernel.
-    pub fn with_selector(selector: Selector) -> Self {
-        GtopkNoPutbackAggregator {
-            select: LocalSelect::new(selector),
-        }
-    }
-}
+selector_ctors!(GtopkNoPutbackAggregator, "no-putback ablation");
+topology_builder!(GtopkNoPutbackAggregator);
 
 impl GradientAggregator for GtopkNoPutbackAggregator {
     fn name(&self) -> &'static str {
@@ -395,13 +448,17 @@ impl GradientAggregator for GtopkNoPutbackAggregator {
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         residual: &mut Residual,
         k: usize,
     ) -> Result<Update> {
         let local = self.select.extract(comm, residual, k);
-        let (mut global, _gmask) = gtopk_all_reduce(comm, local, k)?;
+        let tag_off = epoch_tag_offset(comm.epoch());
+        let (mut global, _gmask, tree_rejects) =
+            gtopk_all_reduce_over(comm, members, local, k, tag_off, self.topology)?;
+        comm.pool().put_sparse(tree_rejects);
         // Deliberately no residual put-back.
-        global.scale(1.0 / comm.size() as f32);
+        global.scale(1.0 / members.len() as f32);
         Ok(Update::Sparse(global))
     }
 }
@@ -425,9 +482,10 @@ mod tests {
     fn run_algorithm(alg: Algorithm, p: usize, dim: usize, k: usize) -> Vec<(Update, Vec<f32>)> {
         Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = alg.aggregator();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             residual.accumulate(&worker_grad(comm.rank(), dim));
-            let update = agg.aggregate(comm, &mut residual, k).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
             (update, residual.dense().to_vec())
         })
     }
@@ -441,6 +499,33 @@ mod tests {
                 assert_eq!(u, first, "{}", alg.name());
             }
         }
+    }
+
+    #[test]
+    fn plan_driven_algorithms_agree_on_every_topology() {
+        for alg in Algorithm::ALL
+            .into_iter()
+            .filter(Algorithm::supports_topology)
+        {
+            for topology in Topology::ALL {
+                let out = Cluster::new(5, CostModel::zero()).run(move |comm| {
+                    let mut agg = alg.aggregator_with_topology(Selector::Exact, topology);
+                    let members: Vec<usize> = (0..comm.size()).collect();
+                    let mut residual = Residual::new(32);
+                    residual.accumulate(&worker_grad(comm.rank(), 32));
+                    agg.aggregate(comm, &members, &mut residual, 3).unwrap()
+                });
+                for u in &out {
+                    assert_eq!(u, &out[0], "{} over {topology}", alg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed collective schedule")]
+    fn fixed_schedule_algorithms_reject_other_topologies() {
+        let _ = Algorithm::Dense.aggregator_with_topology(Selector::Exact, Topology::Ring);
     }
 
     #[test]
@@ -503,11 +588,12 @@ mod tests {
         let dim = 16;
         let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = GtopkAggregator::new();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let mut g = vec![0.0f32; dim];
             g[comm.rank()] = 1.0 + comm.rank() as f32; // rank 3 wins
             residual.accumulate(&g);
-            let update = agg.aggregate(comm, &mut residual, 1).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, 1).unwrap();
             (update, residual.dense().to_vec())
         });
         for (r, (update, residual)) in out.iter().enumerate() {
@@ -560,6 +646,7 @@ mod tests {
         let k = 2usize;
         let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = GtopkFeedbackAggregator::new();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let r = comm.rank() as u32;
             let mut g = vec![0.0f32; dim];
@@ -567,7 +654,7 @@ mod tests {
             g[0] = 0.5 + r as f32 * 0.1;
             g[(r + 1) as usize] = 1.0 + r as f32;
             residual.accumulate(&g);
-            let update = agg.aggregate(comm, &mut residual, k).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = vec![0.0f64; dim];
@@ -608,6 +695,7 @@ mod tests {
         let dim = 8usize;
         let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = GtopkAggregator::new();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let mut g = vec![0.0f32; dim];
             match comm.rank() {
@@ -617,7 +705,7 @@ mod tests {
                 _ => g[3] = 0.2,
             }
             residual.accumulate(&g);
-            let update = agg.aggregate(comm, &mut residual, 1).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, 1).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = 0.0f64;
@@ -643,6 +731,9 @@ mod tests {
     fn algorithm_metadata() {
         assert_eq!(Algorithm::ALL.len(), 6);
         assert_eq!(Algorithm::GTopK.name(), "gTop-k");
+        assert!(Algorithm::GTopK.supports_topology());
+        assert!(!Algorithm::Dense.supports_topology());
+        assert!(!Algorithm::NaiveGTopK.supports_topology());
         for alg in Algorithm::ALL {
             assert_eq!(alg.aggregator().name(), alg.name());
         }

@@ -23,9 +23,11 @@
 //!    `Disconnected` their closed channels produce.
 //! 4. **Shrink and continue** — every survivor bumps its membership
 //!    epoch, purges traffic of the revoked epoch, rolls its training
-//!    state back to the agreed checkpoint, and resumes with the binomial
-//!    tree rebuilt over the survivor positions and gradient averaging
-//!    rescaled to the live member count.
+//!    state back to the agreed checkpoint, and resumes with the
+//!    collective *plan regenerated over the survivor positions* (the
+//!    same [`Topology`] generator, a smaller position→rank mapping — no
+//!    bespoke tree surgery) and gradient averaging rescaled to the live
+//!    member count.
 //!
 //! Collective tags are epoch-stamped (`tag + epoch ·
 //! [`EPOCH_TAG_STRIDE`]`), so traffic from before a recovery can never
@@ -38,9 +40,8 @@
 //! node in a crash-failure detector. Default timeouts are far above any
 //! modeled straggler skew, so this only happens under pathological plans.
 
-use crate::gtopk_allreduce::tree_reduce_over;
-use crate::sparse_coll::sparse_broadcast_over;
-use gtopk_comm::{CommError, Communicator, Message, Payload, Result};
+use crate::gtopk_allreduce::gtopk_all_reduce_over;
+use gtopk_comm::{CommError, Communicator, Message, Payload, Result, Topology};
 use gtopk_sparse::{Mask, SparseVec};
 
 /// Tag-space stride between membership epochs. Everything a collective
@@ -71,10 +72,10 @@ pub fn epoch_tag_offset(epoch: u64) -> u32 {
     off as u32
 }
 
-/// Membership-aware, epoch-stamped gTopKAllReduce: [Algorithm 3] over the
-/// binomial tree rebuilt on `members` (sorted, must contain the caller).
-/// With the full membership at epoch 0 this is identical to
-/// [`crate::gtopk_all_reduce`].
+/// Membership-aware, epoch-stamped gTopKAllReduce: [Algorithm 3] over
+/// the `topology`-shaped plan regenerated on `members` (sorted, must
+/// contain the caller). With the full membership at epoch 0 and the
+/// binomial topology this is identical to [`crate::gtopk_all_reduce`].
 ///
 /// # Errors
 ///
@@ -86,11 +87,11 @@ pub fn ft_gtopk_all_reduce(
     members: &[usize],
     local: SparseVec,
     k: usize,
+    topology: Topology,
 ) -> Result<(SparseVec, Mask)> {
     let off = epoch_tag_offset(comm.epoch());
-    let (global, _rejected) = tree_reduce_over(comm, members, local, k, off)?;
-    let global = sparse_broadcast_over(comm, members, global, members[0], off)?;
-    let mask = Mask::of_sparse(&global);
+    let (global, mask, rejected) = gtopk_all_reduce_over(comm, members, local, k, off, topology)?;
+    comm.pool().put_sparse(rejected);
     Ok((global, mask))
 }
 
@@ -107,12 +108,10 @@ pub fn ft_gtopk_all_reduce_with_feedback(
     members: &[usize],
     local: SparseVec,
     k: usize,
+    topology: Topology,
 ) -> Result<(SparseVec, Mask, SparseVec)> {
     let off = epoch_tag_offset(comm.epoch());
-    let (global, rejected) = tree_reduce_over(comm, members, local, k, off)?;
-    let global = sparse_broadcast_over(comm, members, global, members[0], off)?;
-    let mask = Mask::of_sparse(&global);
-    Ok((global, mask, rejected))
+    gtopk_all_reduce_over(comm, members, local, k, off, topology)
 }
 
 /// The outcome of a survivor-agreement round.
@@ -281,7 +280,8 @@ mod tests {
                 let g = worker_grad(comm.rank(), 64, 7);
                 let local = topk_sparse(&g, 4);
                 let plain = crate::gtopk_all_reduce(comm, local.clone(), 4).unwrap();
-                let ft = ft_gtopk_all_reduce(comm, members_ref, local, 4).unwrap();
+                let ft =
+                    ft_gtopk_all_reduce(comm, members_ref, local, 4, Topology::Binomial).unwrap();
                 (plain, ft)
             });
             for ((pv, pm), (fv, fm)) in out {
@@ -294,23 +294,26 @@ mod tests {
     #[test]
     fn ft_allreduce_over_a_shrunk_membership() {
         // 5 ranks, rank 2 "dead" (never participates): the other four run
-        // the collective over the shrunk member set and agree.
-        let members = vec![0usize, 1, 3, 4];
-        let members_ref = &members;
-        let out = Cluster::new(5, CostModel::zero()).run(move |comm| {
-            if comm.rank() == 2 {
-                return None;
-            }
-            let g = worker_grad(comm.rank(), 64, 3);
-            let local = topk_sparse(&g, 4);
-            Some(ft_gtopk_all_reduce(comm, members_ref, local, 4).unwrap())
-        });
-        let (first, _) = out[0].clone().unwrap();
-        assert!(first.nnz() <= 4 && first.nnz() > 0);
-        for (r, o) in out.iter().enumerate() {
-            match o {
-                None => assert_eq!(r, 2),
-                Some((v, _)) => assert_eq!(v, &first, "rank {r}"),
+        // the collective over the shrunk member set and agree — for every
+        // plan topology.
+        for topo in Topology::ALL {
+            let members = vec![0usize, 1, 3, 4];
+            let members_ref = &members;
+            let out = Cluster::new(5, CostModel::zero()).run(move |comm| {
+                if comm.rank() == 2 {
+                    return None;
+                }
+                let g = worker_grad(comm.rank(), 64, 3);
+                let local = topk_sparse(&g, 4);
+                Some(ft_gtopk_all_reduce(comm, members_ref, local, 4, topo).unwrap())
+            });
+            let (first, _) = out[0].clone().unwrap();
+            assert!(first.nnz() <= 4 && first.nnz() > 0);
+            for (r, o) in out.iter().enumerate() {
+                match o {
+                    None => assert_eq!(r, 2),
+                    Some((v, _)) => assert_eq!(v, &first, "{} rank {r}", topo.name()),
+                }
             }
         }
     }
@@ -323,10 +326,24 @@ mod tests {
         let members_ref = &members;
         let out = Cluster::new(4, CostModel::zero()).run(move |comm| {
             let g0 = worker_grad(comm.rank(), 32, 1);
-            let r0 = ft_gtopk_all_reduce(comm, members_ref, topk_sparse(&g0, 3), 3).unwrap();
+            let r0 = ft_gtopk_all_reduce(
+                comm,
+                members_ref,
+                topk_sparse(&g0, 3),
+                3,
+                Topology::Binomial,
+            )
+            .unwrap();
             comm.set_epoch(1);
             let g1 = worker_grad(comm.rank(), 32, 2);
-            let r1 = ft_gtopk_all_reduce(comm, members_ref, topk_sparse(&g1, 3), 3).unwrap();
+            let r1 = ft_gtopk_all_reduce(
+                comm,
+                members_ref,
+                topk_sparse(&g1, 3),
+                3,
+                Topology::Binomial,
+            )
+            .unwrap();
             (r0, r1)
         });
         for (r0, r1) in &out {
@@ -350,7 +367,7 @@ mod tests {
                 let members: Vec<usize> = (0..4).collect();
                 let g = worker_grad(comm.rank(), 32, 1);
                 let local = topk_sparse(&g, 3);
-                let err = ft_gtopk_all_reduce(comm, &members, local, 3)
+                let err = ft_gtopk_all_reduce(comm, &members, local, 3, Topology::Binomial)
                     .expect_err("collective over a dead member must fail");
                 assert!(
                     matches!(
@@ -388,7 +405,7 @@ mod tests {
                 let members: Vec<usize> = (0..4).collect();
                 let g = worker_grad(comm.rank(), 32, 2);
                 let local = topk_sparse(&g, 3);
-                ft_gtopk_all_reduce(comm, &members, local, 3)
+                ft_gtopk_all_reduce(comm, &members, local, 3, Topology::Binomial)
                     .expect_err("collective over a dead member must fail");
                 Some(recover(comm, &members, 7).unwrap())
             });
@@ -406,8 +423,8 @@ mod tests {
     #[test]
     fn collective_works_after_recovery() {
         // End-to-end shrink-and-continue at the collective level: fail,
-        // recover, and run the next epoch-stamped collective over the
-        // survivors.
+        // recover, and run the next epoch-stamped collectives over the
+        // survivors — regenerating the plan for every topology.
         let out = Cluster::new(4, CostModel::zero())
             .with_fault_plan(FaultPlan::seeded(8).with_crash(2, 0))
             .run(|comm| {
@@ -417,19 +434,28 @@ mod tests {
                 let members: Vec<usize> = (0..4).collect();
                 let g = worker_grad(comm.rank(), 48, 4);
                 let local = topk_sparse(&g, 4);
-                ft_gtopk_all_reduce(comm, &members, local.clone(), 4)
+                ft_gtopk_all_reduce(comm, &members, local.clone(), 4, Topology::Binomial)
                     .expect_err("must fail with rank 2 dead");
                 let rec = recover(comm, &members, 0).unwrap();
                 assert_eq!(rec.members, vec![0, 1, 3]);
-                let (global, mask) = ft_gtopk_all_reduce(comm, &rec.members, local, 4).unwrap();
-                Some((global, mask))
+                let results: Vec<_> = Topology::ALL
+                    .iter()
+                    .map(|&topo| {
+                        ft_gtopk_all_reduce(comm, &rec.members, local.clone(), 4, topo).unwrap()
+                    })
+                    .collect();
+                Some(results)
             });
-        let (first, _) = out[0].clone().unwrap();
-        assert!(first.nnz() > 0);
+        let first = out[0].clone().unwrap();
+        assert!(first.iter().all(|(v, _)| v.nnz() > 0));
         for (r, o) in out.iter().enumerate() {
             match o {
                 None => assert_eq!(r, 2),
-                Some((v, _)) => assert_eq!(v, &first, "rank {r}"),
+                Some(results) => {
+                    for (t, ((v, _), (fv, _))) in results.iter().zip(first.iter()).enumerate() {
+                        assert_eq!(v, fv, "topology {t} rank {r}");
+                    }
+                }
             }
         }
     }

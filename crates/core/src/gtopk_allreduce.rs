@@ -1,12 +1,21 @@
 //! gTopKAllReduce — the paper's Algorithm 3 — and its AllGather-based
 //! reference, Algorithm 2.
+//!
+//! The reduction and broadcast phases are plan executions: the schedule
+//! comes from [`CollectivePlan::reduce`] / [`CollectivePlan::broadcast`]
+//! for a chosen [`Topology`], so the same algorithm runs over the
+//! paper's binomial tree, a two-level hierarchy, or a chain ring — and
+//! fault-tolerant callers regenerate the plan over the survivor set.
 
-use crate::sparse_coll::{sparse_broadcast, sparse_sum_recursive_doubling};
-use gtopk_comm::{Communicator, Message, Payload, Result};
-use gtopk_sparse::{topk_merge_split_into, topk_sparse, Mask, SparseVec};
+use crate::sparse_coll::{sparse_broadcast_over, sparse_sum_recursive_doubling};
+use gtopk_comm::{
+    execute_plan, CollectivePlan, Communicator, Message, Payload, PlanOps, Result, Topology,
+};
+use gtopk_sparse::{topk_merge_split_into, topk_sparse, Mask, MergeScratch, SparseVec};
 
-const TAG_TREE: u32 = Message::COLLECTIVE_TAG_BASE + 64;
-const TAG_TREE_FOLD: u32 = Message::COLLECTIVE_TAG_BASE + 65;
+/// Tree-reduction plan tag window (one tag per round; fault-tolerant
+/// callers add the epoch offset).
+const TAG_TREE: u32 = Message::COLLECTIVE_TAG_BASE + 256;
 
 /// gTopKAllReduce (paper **Algorithm 3**).
 ///
@@ -36,10 +45,26 @@ pub fn gtopk_all_reduce(
     local: SparseVec,
     k: usize,
 ) -> Result<(SparseVec, Mask)> {
-    let (global, rejected) = tree_reduce(comm, local, k)?;
+    gtopk_all_reduce_topo(comm, local, k, Topology::Binomial)
+}
+
+/// [`gtopk_all_reduce`] over an explicit plan [`Topology`] — binomial
+/// tree (the paper's shape), two-level hierarchy, or chain ring. All
+/// topologies return the same set-consistent global top-k on every rank;
+/// the schedule (and therefore the α-β cost) is what changes.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn gtopk_all_reduce_topo(
+    comm: &mut Communicator,
+    local: SparseVec,
+    k: usize,
+    topology: Topology,
+) -> Result<(SparseVec, Mask)> {
+    let members: Vec<usize> = (0..comm.size()).collect();
+    let (global, mask, rejected) = gtopk_all_reduce_over(comm, &members, local, k, 0, topology)?;
     comm.pool().put_sparse(rejected); // not needed by this variant — recycle
-    let global = sparse_broadcast(comm, global, 0)?;
-    let mask = Mask::of_sparse(&global);
     Ok((global, mask))
 }
 
@@ -60,141 +85,146 @@ pub fn gtopk_all_reduce_with_feedback(
     local: SparseVec,
     k: usize,
 ) -> Result<(SparseVec, Mask, SparseVec)> {
-    let (global, rejected) = tree_reduce(comm, local, k)?;
-    let global = sparse_broadcast(comm, global, 0)?;
-    let mask = Mask::of_sparse(&global);
+    let members: Vec<usize> = (0..comm.size()).collect();
     // Entries rejected at this rank's merges that did not make the final
     // selection anyway. (Entries rejected here but re-introduced by some
     // other branch and globally selected are *partially* represented in
     // the result; we still return them so no mass is dropped — the update
     // under-counted them.)
-    Ok((global, mask, rejected))
+    gtopk_all_reduce_over(comm, &members, local, k, 0, Topology::Binomial)
 }
 
-/// The tree-reduction phase shared by both variants: rank 0 ends with the
-/// left-fold-by-pairs `⊤` result; every rank also accumulates the entries
-/// its own merges rejected.
-fn tree_reduce(
-    comm: &mut Communicator,
-    local: SparseVec,
-    k: usize,
-) -> Result<(SparseVec, SparseVec)> {
-    let members: Vec<usize> = (0..comm.size()).collect();
-    tree_reduce_over(comm, &members, local, k, 0)
-}
-
-/// Membership-aware tree reduction: the binomial tree is built over
-/// `members` (a sorted subset of ranks that must include the caller),
-/// with each member addressed by its *position* in the list — this is how
-/// fault-tolerant runs rebuild the tree over the survivors after a crash.
-/// `tag_off` shifts the collective tags (fault-tolerant callers stamp the
-/// membership epoch into it); with the full membership and `tag_off == 0`
-/// the message schedule is bit-identical to the original fixed-topology
-/// reduction. The merged result lands on `members[0]`.
+/// The single general gTopKAllReduce entry: membership-aware,
+/// tag-offsettable, topology-parameterized. Runs the `⊤`-reduction plan
+/// over `members` (a sorted subset of ranks that must include the
+/// caller), then the matching broadcast plan from the reduction's root
+/// position. Returns `(global top-k, mask, this rank's merge rejects)`.
+///
+/// Every specialized variant — [`gtopk_all_reduce`],
+/// [`gtopk_all_reduce_with_feedback`], and the epoch-stamped
+/// fault-tolerant wrappers in [`crate::ft`] — funnels through here, so a
+/// shrink-and-continue recovery is literally "regenerate the plan over
+/// the survivors".
+///
+/// # Errors
+///
+/// Propagates transport errors.
 ///
 /// # Panics
 ///
 /// Panics if the calling rank is not in `members`.
-pub(crate) fn tree_reduce_over(
+pub fn gtopk_all_reduce_over(
     comm: &mut Communicator,
     members: &[usize],
     local: SparseVec,
     k: usize,
     tag_off: u32,
+    topology: Topology,
+) -> Result<(SparseVec, Mask, SparseVec)> {
+    let (global, rejected) = tree_reduce_over(comm, members, local, k, tag_off, topology)?;
+    let root = members[topology.reduce_root(members.len())];
+    let global = sparse_broadcast_over(comm, members, global, root, tag_off, topology)?;
+    let mask = Mask::of_sparse(&global);
+    Ok((global, mask, rejected))
+}
+
+/// The plan-driven tree-reduction phase: the reduce plan's root position
+/// ends with the pairwise `⊤` combination of every member's
+/// contribution; every rank also accumulates the entries its own merges
+/// rejected. `tag_off` shifts the collective tag window (fault-tolerant
+/// callers stamp the membership epoch into it); with the full
+/// membership, `tag_off == 0` and the binomial topology the message
+/// schedule is bit-identical to the historical fixed-topology reduction.
+///
+/// # Panics
+///
+/// Panics if the calling rank is not in `members`.
+fn tree_reduce_over(
+    comm: &mut Communicator,
+    members: &[usize],
+    local: SparseVec,
+    k: usize,
+    tag_off: u32,
+    topology: Topology,
 ) -> Result<(SparseVec, SparseVec)> {
     let p = members.len();
-    let rank = members
+    let me = members
         .iter()
         .position(|&r| r == comm.rank())
         .expect("caller must be a member of the reduction group");
     let dim = local.dim();
     // Pooled scratch + double-buffered accumulators serve every `⊤` merge
-    // of the O(log P) rounds; sends *move* the accumulator into the
-    // message and receivers retire incoming buffers into their own pool,
-    // so the steady-state reduction allocates nothing.
-    let mut scratch = comm.pool().take_scratch();
-    let mut merged = comm.pool().take_sparse(dim);
-    let mut round_rej = comm.pool().take_sparse(dim);
-    let mut rejected = comm.pool().take_sparse(dim);
-    let mut rej_swap = comm.pool().take_sparse(dim);
-    let retire = |comm: &mut Communicator,
-                  scratch: gtopk_sparse::MergeScratch,
-                  a: SparseVec,
-                  b: SparseVec,
-                  c: SparseVec| {
-        comm.pool().put_scratch(scratch);
-        comm.pool().put_sparse(a);
-        comm.pool().put_sparse(b);
-        comm.pool().put_sparse(c);
+    // of the plan's rounds; sends *move* the accumulator into the message
+    // and receivers retire incoming buffers into their own pool, so the
+    // steady-state reduction allocates nothing from the buffer pool.
+    struct TreeOps {
+        acc: SparseVec,
+        scratch: MergeScratch,
+        merged: SparseVec,
+        round_rej: SparseVec,
+        rejected: SparseVec,
+        rej_swap: SparseVec,
+        dim: usize,
+        k: usize,
+    }
+    impl TreeOps {
+        fn merge_in(&mut self, other: &SparseVec) {
+            topk_merge_split_into(
+                &self.acc,
+                other,
+                self.k,
+                &mut self.scratch,
+                &mut self.merged,
+                &mut self.round_rej,
+            );
+            std::mem::swap(&mut self.acc, &mut self.merged);
+            self.rejected.add_into(&self.round_rej, &mut self.rej_swap);
+            std::mem::swap(&mut self.rejected, &mut self.rej_swap);
+        }
+    }
+    impl PlanOps for TreeOps {
+        fn on_send(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            let outgoing = std::mem::replace(&mut self.acc, SparseVec::empty(self.dim));
+            comm.send(peer, tag, Payload::sparse(outgoing))
+        }
+        fn on_recv(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            let other = comm.recv(peer, tag)?.payload.into_sparse();
+            self.merge_in(&other);
+            comm.pool().put_sparse(other);
+            Ok(())
+        }
+    }
+    let mut ops = TreeOps {
+        acc: local,
+        scratch: comm.pool().take_scratch(),
+        merged: comm.pool().take_sparse(dim),
+        round_rej: comm.pool().take_sparse(dim),
+        rejected: comm.pool().take_sparse(dim),
+        rej_swap: comm.pool().take_sparse(dim),
+        dim,
+        k,
     };
     // Truncate our own contribution to k first (callers normally already
     // did via local top-k selection). Merging with an empty vector is the
     // identity, so the split-merge doubles as a plain split.
-    let mut acc = local;
-    if acc.nnz() > k {
+    if ops.acc.nnz() > k {
         let empty = SparseVec::empty(dim);
-        topk_merge_split_into(&acc, &empty, k, &mut scratch, &mut merged, &mut round_rej);
-        std::mem::swap(&mut acc, &mut merged);
-        rejected.add_into(&round_rej, &mut rej_swap);
-        std::mem::swap(&mut rejected, &mut rej_swap);
+        ops.merge_in(&empty);
     }
-
-    let mut p2 = 1usize;
-    while p2 * 2 <= p {
-        p2 *= 2;
-    }
-    let extra = p - p2;
-    // Fold-in of extra ranks.
-    if rank >= p2 {
-        comm.send(
-            members[rank - p2],
-            TAG_TREE_FOLD + tag_off,
-            Payload::sparse(acc),
-        )?;
-        retire(comm, scratch, merged, round_rej, rej_swap);
-        return Ok((SparseVec::empty(dim), rejected));
-    }
-    if rank < extra {
-        let other = comm
-            .recv(members[rank + p2], TAG_TREE_FOLD + tag_off)?
-            .payload
-            .into_sparse();
-        topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
-        std::mem::swap(&mut acc, &mut merged);
-        rejected.add_into(&round_rej, &mut rej_swap);
-        std::mem::swap(&mut rejected, &mut rej_swap);
-        comm.pool().put_sparse(other);
-    }
-    // Binomial tree over the power-of-two core.
-    let mut mask = 1usize;
-    while mask < p2 {
-        if rank & mask == 0 {
-            let src = rank | mask;
-            if src < p2 {
-                let other = comm
-                    .recv(members[src], TAG_TREE + tag_off + mask as u32)?
-                    .payload
-                    .into_sparse();
-                topk_merge_split_into(&acc, &other, k, &mut scratch, &mut merged, &mut round_rej);
-                std::mem::swap(&mut acc, &mut merged);
-                rejected.add_into(&round_rej, &mut rej_swap);
-                std::mem::swap(&mut rejected, &mut rej_swap);
-                comm.pool().put_sparse(other);
-            }
-        } else {
-            let dst = rank & !mask;
-            let outgoing = std::mem::replace(&mut acc, SparseVec::empty(dim));
-            comm.send(
-                members[dst],
-                TAG_TREE + tag_off + mask as u32,
-                Payload::sparse(outgoing),
-            )?;
-            break;
-        }
-        mask <<= 1;
-    }
-    retire(comm, scratch, merged, round_rej, rej_swap);
-    Ok((acc, rejected))
+    let plan = CollectivePlan::reduce(topology, p);
+    execute_plan(
+        comm,
+        &plan,
+        me,
+        TAG_TREE + tag_off,
+        |pos| members[pos],
+        &mut ops,
+    )?;
+    comm.pool().put_scratch(ops.scratch);
+    comm.pool().put_sparse(ops.merged);
+    comm.pool().put_sparse(ops.round_rej);
+    comm.pool().put_sparse(ops.rej_swap);
+    Ok((ops.acc, ops.rejected))
 }
 
 /// Naive gTop-k via exact sparse sum (paper **Algorithm 2**).

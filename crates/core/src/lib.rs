@@ -72,10 +72,14 @@ pub use ft::{
     ft_gtopk_all_reduce, ft_gtopk_all_reduce_with_feedback, recover, Recovery, EPOCH_TAG_STRIDE,
 };
 pub use gtopk_allreduce::{
-    gtopk_all_reduce, gtopk_all_reduce_with_feedback, naive_gtopk_all_reduce,
+    gtopk_all_reduce, gtopk_all_reduce_over, gtopk_all_reduce_topo, gtopk_all_reduce_with_feedback,
+    naive_gtopk_all_reduce,
 };
+pub use gtopk_comm::Topology;
 pub use metrics::{EpochRecord, TimingBreakdown, TrainReport};
-pub use overlap::{backward_layer_costs, BucketSpec, OverlapConfig, OverlapEngine, OverlapStats};
+pub use overlap::{
+    backward_layer_costs, BucketSpec, OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats,
+};
 pub use ps::ps_gtopk_all_reduce;
 pub use schedule::{DensitySchedule, LrSchedule};
 pub use selector::{Selector, SelectorState};

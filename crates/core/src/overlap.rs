@@ -10,9 +10,12 @@
 //! gTopKAllReduce, while later buckets are still "computing". The
 //! network is a single FIFO channel — each rank issues its bucket
 //! collectives in backward order, so a bucket's collective starts at
-//! `max(ready, channel_free)` exactly as the analytic model assumes, and
-//! the executed timeline is directly comparable against
-//! [`crate::pipeline::simulate_fused`].
+//! `max(ready, channel_free)` exactly as the analytic model assumes. The
+//! engine carries a [`PlanClock`] twin that replays each bucket's
+//! collective plans on the analytic α-β clock, so the executed timeline
+//! is verifiable against the model *exactly*, for any worker count and
+//! topology (and [`crate::pipeline::simulate_fused`] gives the same
+//! prediction on power-of-two binomial configurations).
 //!
 //! Per-bucket error feedback: each bucket owns its own [`Residual`]
 //! slice and its own selection state; rejected values return to the
@@ -21,15 +24,14 @@
 //! collective lands ([`MomentumSgd::step_range`]), which is provably
 //! equivalent to one full-vector step of the combined update.
 
-use crate::gtopk_allreduce::gtopk_all_reduce;
-use crate::pipeline::{
-    bucket_k, check_timeline_invariants, fuse_layers, simulate_layerwise, LayerCost, LayerTimeline,
-    PipelineReport,
-};
+use crate::ft::epoch_tag_offset;
+use crate::gtopk_allreduce::gtopk_all_reduce_over;
+use crate::pipeline::{bucket_k, check_timeline_invariants, fuse_layers, LayerCost, LayerTimeline};
 use crate::selector::{Selector, SelectorState};
 use crate::trainer::ComputeCost;
-use gtopk_comm::{Communicator, CostModel, Result};
+use gtopk_comm::{CollectivePlan, Communicator, CostModel, Result, Topology};
 use gtopk_nn::{Model, MomentumSgd};
+use gtopk_perfmodel::{gtopk_allreduce_ms, PlanClock};
 use gtopk_sparse::Residual;
 use std::ops::Range;
 
@@ -49,10 +51,12 @@ pub enum BucketSpec {
 pub struct OverlapConfig {
     /// Bucket partition of the flat gradient.
     pub buckets: BucketSpec,
+    /// Collective plan topology used by every bucket's gTopKAllReduce.
+    pub topology: Topology,
 }
 
 impl OverlapConfig {
-    /// Overlap with `n` fused buckets.
+    /// Overlap with `n` fused buckets on the binomial topology.
     ///
     /// # Panics
     ///
@@ -61,6 +65,7 @@ impl OverlapConfig {
         assert!(n >= 1, "need at least one bucket");
         OverlapConfig {
             buckets: BucketSpec::Count(n),
+            topology: Topology::Binomial,
         }
     }
 
@@ -68,7 +73,15 @@ impl OverlapConfig {
     pub fn per_layer() -> Self {
         OverlapConfig {
             buckets: BucketSpec::PerLayer,
+            topology: Topology::Binomial,
         }
+    }
+
+    /// Same bucketization, different collective topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 }
 
@@ -84,17 +97,21 @@ pub struct OverlapStats {
     /// Sum over iterations of the executed iteration span (backward
     /// start to last bucket's collective completion), ms.
     pub executed_overlapped_ms: f64,
-    /// Sum of the analytic pipeline predictions
-    /// ([`PipelineReport::overlapped_ms`]) for the same iterations, ms.
+    /// Sum of the plan-clock twin's predicted iteration spans, ms. The
+    /// twin ([`gtopk_perfmodel::PlanClock`]) replays the exact collective
+    /// plans on the analytic α-β clock, so this matches the executed
+    /// span for **every** worker count and topology, not just powers of
+    /// two.
     pub analytic_overlapped_ms: f64,
     /// Sum of the analytic *serial* baselines (full backward, then one
-    /// whole-model gTopKAllReduce), ms.
+    /// whole-model gTopKAllReduce at the Eq. 7 cost), ms.
     pub analytic_serial_ms: f64,
     /// Largest single-iteration deviation |executed − analytic|, ms
-    /// (recorded only on straggle-free ranks). Absent fault injection
-    /// the two schedules must agree for power-of-two worker counts;
-    /// armed drop/jitter plans legitimately inflate this — retransmits
-    /// and jitter are not in the α-β model.
+    /// (recorded only on straggle-free ranks at full membership).
+    /// Absent fault injection the plan-clock twin reproduces the
+    /// executed schedule exactly — for any `P`, any topology; armed
+    /// drop/jitter plans legitimately inflate this — retransmits and
+    /// jitter are not in the α-β model.
     pub max_abs_dev_ms: f64,
     /// Executed per-bucket timelines of the last iteration, relative to
     /// that iteration's start (same shape as the analytic
@@ -144,9 +161,22 @@ pub struct OverlapEngine {
     residuals: Vec<Residual>,
     selectors: Vec<SelectorState>,
     net: CostModel,
-    /// Analytic prediction cached per density (density changes at epoch
-    /// boundaries only).
-    analytic: Option<(f64, PipelineReport)>,
+    topology: Topology,
+    /// Analytic twin: one α-β clock per member position, replaying every
+    /// bucket collective's plan. Carried across buckets *and* iterations
+    /// so cross-iteration channel backpressure is modelled exactly.
+    twin: PlanClock,
+    /// Membership the twin (and the cached plans) were built for; a
+    /// membership change rebuilds both.
+    twin_members: Vec<usize>,
+    /// Reduce/broadcast plan pair cached for the current member count.
+    plans: Option<(CollectivePlan, CollectivePlan)>,
+    /// Own executed clock when the previous step ended — the twin
+    /// advances all positions by the observed inter-step delta, which is
+    /// rank-uniform in a fault-free run.
+    last_end_ms: Option<f64>,
+    /// Twin clocks at the start of the current iteration (reused buffer).
+    twin_t0: Vec<f64>,
     iterations: usize,
     executed_ms: f64,
     analytic_overlapped_ms: f64,
@@ -206,7 +236,12 @@ impl OverlapEngine {
             residuals,
             selectors,
             net,
-            analytic: None,
+            topology: cfg.topology,
+            twin: PlanClock::new(1),
+            twin_members: Vec::new(),
+            plans: None,
+            last_end_ms: None,
+            twin_t0: Vec::new(),
             iterations: 0,
             executed_ms: 0.0,
             analytic_overlapped_ms: 0.0,
@@ -235,12 +270,25 @@ impl OverlapEngine {
         self.sparsify.iter().sum()
     }
 
-    /// Executes one overlapped iteration: for each bucket in backward
-    /// order, waits until the bucket's gradient is ready on the
-    /// simulated clock, accumulates `grad`'s slice into the bucket
-    /// residual, extracts the bucket top-k (`k = bucket_k(params, rho)`),
-    /// runs gTopKAllReduce, puts rejected values back, and applies the
-    /// averaged bucket update through [`MomentumSgd::step_range`].
+    /// Executes one overlapped iteration over `members` (the sorted,
+    /// alive rank set — the full `0..P` when fault tolerance is off):
+    /// for each bucket in backward order, waits until the bucket's
+    /// gradient is ready on the simulated clock, accumulates `grad`'s
+    /// slice into the bucket residual, extracts the bucket top-k
+    /// (`k = bucket_k(params, rho)`), runs the plan-driven
+    /// gTopKAllReduce over the members, puts rejected values back, and
+    /// applies the averaged bucket update through
+    /// [`MomentumSgd::step_range`].
+    ///
+    /// Collective tags are epoch-stamped (like the fault-tolerant serial
+    /// path), so overlapped steps compose with crash recovery: after a
+    /// membership change the plans are regenerated over the survivor
+    /// positions and stale-epoch traffic can never be confused for live
+    /// traffic.
+    ///
+    /// In parallel, the engine advances its [`PlanClock`] twin through
+    /// the same plans; fault-free, the twin reproduces the executed
+    /// timeline exactly (see [`OverlapStats::max_abs_dev_ms`]).
     ///
     /// `grad` is the full flat gradient of this iteration (backward has
     /// genuinely finished producing values; only the *clock* is staged
@@ -252,11 +300,12 @@ impl OverlapEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `grad` does not span the bucketed flat vector or
-    /// `rho ∉ (0, 1]`.
+    /// Panics if `grad` does not span the bucketed flat vector,
+    /// `rho ∉ (0, 1]`, or the calling rank is not in `members`.
     pub fn step(
         &mut self,
         comm: &mut Communicator,
+        members: &[usize],
         grad: &[f32],
         rho: f64,
         opt: &mut MomentumSgd,
@@ -264,9 +313,37 @@ impl OverlapEngine {
     ) -> Result<u64> {
         assert_eq!(grad.len(), self.ranges[0].end, "gradient length mismatch");
         assert!(rho > 0.0 && rho <= 1.0, "density must be in (0, 1]");
+        let p = members.len();
+        let my_pos = members
+            .iter()
+            .position(|&r| r == comm.rank())
+            .expect("caller must be a member of the overlap group");
+        if self.twin_members != members {
+            // Membership changed (first step, or crash recovery): new
+            // twin, new plans over the survivor positions.
+            self.twin = PlanClock::new(p);
+            self.twin_members = members.to_vec();
+            self.plans = None;
+            self.last_end_ms = None;
+        }
+        let tag_off = epoch_tag_offset(comm.epoch());
         let t0 = comm.now_ms();
         let straggle = comm.straggle_factor();
-        let inv = 1.0 / comm.size() as f32;
+        let inv = 1.0 / p as f32;
+
+        // Bring the twin to this iteration's start: everything charged
+        // between steps (forward/backward compute, eval, liveness pings)
+        // advances each rank by the same amount in a fault-free run, so
+        // the own-rank delta applies to every position.
+        if let Some(prev) = self.last_end_ms {
+            let delta = t0 - prev;
+            for pos in 0..p {
+                self.twin.advance_compute(pos, delta);
+            }
+        }
+        self.twin_t0.clear();
+        self.twin_t0.extend((0..p).map(|pos| self.twin.now(pos)));
+
         let mut cum = 0.0f64;
         let mut nnz = 0u64;
         self.timelines.clear();
@@ -283,7 +360,9 @@ impl OverlapEngine {
             self.residuals[j].accumulate(&grad[range.clone()]);
             let k = bucket_k(range.len(), rho);
             let local = self.selectors[j].extract(&mut self.residuals[j], k);
-            let (mut global, gmask) = gtopk_all_reduce(comm, local.clone(), k)?;
+            let (mut global, gmask, tree_rejects) =
+                gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
+            comm.pool().put_sparse(tree_rejects);
             let (_kept, rejected) = local.partition_by(&gmask);
             self.residuals[j].put_back(&rejected);
             global.scale(inv);
@@ -294,27 +373,76 @@ impl OverlapEngine {
                 start_ms: start - t0,
                 end_ms: comm.now_ms() - t0,
             });
+
+            // Twin replay of the same bucket: readiness gate, then the
+            // exact reduce + broadcast plans at 2k wire elements each.
+            for pos in 0..p {
+                self.twin.sync_to(pos, self.twin_t0[pos] + cum);
+            }
+            let (reduce, bcast) = self.plans.get_or_insert_with(|| {
+                let reduce = CollectivePlan::reduce(self.topology, p);
+                let bcast = CollectivePlan::broadcast(self.topology, p, reduce.root);
+                (reduce, bcast)
+            });
+            self.twin.charge_plan(&self.net, reduce, 2 * k);
+            self.twin.charge_plan(&self.net, bcast, 2 * k);
         }
         let span = comm.now_ms() - t0;
+        let twin_span = self.twin.now(my_pos) - self.twin_t0[my_pos];
+        self.last_end_ms = Some(comm.now_ms());
         debug_assert!(
             check_timeline_invariants(&self.timelines).is_ok(),
             "executed schedule violated timeline invariants: {:?}",
             check_timeline_invariants(&self.timelines)
         );
 
-        if self.analytic.as_ref().is_none_or(|(r, _)| *r != rho) {
-            let p = comm.size();
-            self.analytic = Some((rho, simulate_layerwise(&self.costs, &self.net, p, rho)));
-        }
-        let report = &self.analytic.as_ref().expect("just cached").1;
-        self.analytic_overlapped_ms += report.overlapped_ms;
-        self.analytic_serial_ms += report.serial_ms;
-        if straggle == 1.0 {
-            self.max_abs_dev_ms = self.max_abs_dev_ms.max((span - report.overlapped_ms).abs());
+        let total_backward: f64 = self.costs.iter().map(|c| c.backward_ms).sum();
+        let m = self.ranges[0].end;
+        self.analytic_overlapped_ms += twin_span;
+        self.analytic_serial_ms +=
+            total_backward + gtopk_allreduce_ms(&self.net, p, bucket_k(m, rho));
+        if straggle == 1.0 && p == comm.size() {
+            self.max_abs_dev_ms = self.max_abs_dev_ms.max((span - twin_span).abs());
         }
         self.executed_ms += span;
         self.iterations += 1;
         Ok(nnz)
+    }
+
+    /// Snapshot of the per-bucket training state (residuals and selector
+    /// states) for checkpointing. The schedule twin and statistics are
+    /// deliberately excluded — they describe the timeline, not the
+    /// optimization state.
+    pub fn snapshot(&self) -> OverlapSnapshot {
+        OverlapSnapshot {
+            residuals: self.residuals.iter().map(|r| r.dense().to_vec()).collect(),
+            selectors: self.selectors.clone(),
+        }
+    }
+
+    /// Restores per-bucket residuals and selector states from a
+    /// checkpoint snapshot, and resets the schedule twin (a rollback
+    /// breaks the clock continuity the twin relies on; it re-seeds on
+    /// the next step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's bucketization disagrees with this
+    /// engine's.
+    pub fn restore(&mut self, snap: &OverlapSnapshot) {
+        assert_eq!(
+            snap.residuals.len(),
+            self.residuals.len(),
+            "snapshot bucket count mismatch"
+        );
+        for (j, saved) in snap.residuals.iter().enumerate() {
+            let mut fresh = Residual::new(self.ranges[j].len());
+            fresh.accumulate(saved);
+            self.residuals[j] = fresh;
+        }
+        self.selectors = snap.selectors.clone();
+        self.twin_members.clear();
+        self.last_end_ms = None;
     }
 
     /// Snapshot of the accumulated schedule statistics.
@@ -329,6 +457,14 @@ impl OverlapEngine {
             timelines: self.timelines.clone(),
         }
     }
+}
+
+/// Checkpointable per-bucket training state of an [`OverlapEngine`]
+/// (see [`OverlapEngine::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct OverlapSnapshot {
+    residuals: Vec<Vec<f32>>,
+    selectors: Vec<SelectorState>,
 }
 
 #[cfg(test)]
@@ -428,6 +564,7 @@ mod tests {
                 comm.rank(),
                 CostModel::gigabit_ethernet(),
             );
+            let members: Vec<usize> = (0..comm.size()).collect();
             for it in 0..3u64 {
                 let g: Vec<f32> = (0..m)
                     .map(|i| {
@@ -438,7 +575,9 @@ mod tests {
                         ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
                     })
                     .collect();
-                engine.step(comm, &g, 0.1, &mut opt, &mut model).unwrap();
+                engine
+                    .step(comm, &members, &g, 0.1, &mut opt, &mut model)
+                    .unwrap();
             }
             (
                 gtopk_nn::Model::flat_params(&model),

@@ -3,15 +3,25 @@
 //! The dense collectives in `gtopk_comm` cannot carry irregularly-indexed
 //! sparse gradients (the exact difficulty the paper describes in §II-E),
 //! so the sparse variants live here, next to the algorithms that need
-//! them.
+//! them. Like their dense cousins they are *plan executions*: the round
+//! schedule comes from [`CollectivePlan`] generators and runs through
+//! [`execute_plan`], so the broadcast tree shape is a [`Topology`]
+//! parameter and fault-tolerant callers rebuild the schedule over
+//! survivors by re-generating the plan with a different position→rank
+//! mapping.
 
-use gtopk_comm::{Communicator, Message, Payload, Result};
+use gtopk_comm::collectives::largest_power_of_two_leq;
+use gtopk_comm::{
+    execute_plan, CollectivePlan, Communicator, Message, Payload, PlanOps, Result, Topology,
+};
 use gtopk_sparse::SparseVec;
 use std::sync::Arc;
 
-const TAG_SBCAST: u32 = Message::COLLECTIVE_TAG_BASE + 32;
-const TAG_SSUM: u32 = Message::COLLECTIVE_TAG_BASE + 33;
-const TAG_SFOLD: u32 = Message::COLLECTIVE_TAG_BASE + 34;
+// Plan tag windows (one tag per round). Fault-tolerant callers add the
+// epoch offset (a multiple of `EPOCH_TAG_STRIDE` = 4096), so each window
+// must fit between its base and the next within a 4096-wide epoch.
+const TAG_SBCAST: u32 = Message::COLLECTIVE_TAG_BASE + 1536;
+const TAG_SSUM: u32 = Message::COLLECTIVE_TAG_BASE + 1792;
 
 /// Binomial-tree broadcast of a sparse vector from `root`.
 ///
@@ -36,16 +46,16 @@ pub fn sparse_broadcast(
         });
     }
     let members: Vec<usize> = (0..p).collect();
-    sparse_broadcast_over(comm, &members, local, root, 0)
+    sparse_broadcast_over(comm, &members, local, root, 0, Topology::Binomial)
 }
 
-/// Membership-aware binomial-tree broadcast: the tree is built over
-/// `members` (a sorted subset of ranks that must include the caller and
-/// `root`), addressing members by position — the fault-tolerant
-/// counterpart of [`sparse_broadcast`]. `tag_off` shifts the collective
-/// tag (epoch-stamped by fault-tolerant callers); with the full
-/// membership and `tag_off == 0` the schedule is bit-identical to the
-/// fixed-topology broadcast.
+/// Membership-aware broadcast over a plan: the `topology`-shaped tree is
+/// built over `members` (a sorted subset of ranks that must include the
+/// caller and `root`), addressing members by position — the
+/// fault-tolerant counterpart of [`sparse_broadcast`]. `tag_off` shifts
+/// the collective tag window (epoch-stamped by fault-tolerant callers);
+/// with the full membership, `tag_off == 0` and the binomial topology the
+/// schedule is bit-identical to the historical fixed-topology broadcast.
 ///
 /// # Errors
 ///
@@ -60,6 +70,7 @@ pub(crate) fn sparse_broadcast_over(
     local: SparseVec,
     root: usize,
     tag_off: u32,
+    topology: Topology,
 ) -> Result<SparseVec> {
     let p = members.len();
     let me = members
@@ -75,32 +86,36 @@ pub(crate) fn sparse_broadcast_over(
     if p == 1 {
         return Ok(local);
     }
-    let tag = TAG_SBCAST + tag_off;
-    // Positions relative to the root, so any member can be the root.
-    let rel = (me + p - root_pos) % p;
-    let abs = |relpos: usize| members[(relpos + root_pos) % p];
     // One Arc-shared buffer travels the whole tree: relays forward the
     // reference they received and fan-out sends bump a reference count.
-    let mut shared = Arc::new(local);
-    let mut mask = 1usize;
-    while mask < p {
-        if rel & mask != 0 {
-            shared = comm.recv(abs(rel - mask), tag)?.payload.into_sparse_arc();
-            break;
-        }
-        mask <<= 1;
+    struct BcastOps {
+        shared: Arc<SparseVec>,
     }
-    mask >>= 1;
-    while mask > 0 {
-        if rel + mask < p {
-            comm.send(abs(rel + mask), tag, Payload::sparse_shared(shared.clone()))?;
+    impl PlanOps for BcastOps {
+        fn on_send(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            comm.send(peer, tag, Payload::sparse_shared(self.shared.clone()))
         }
-        mask >>= 1;
+        fn on_recv(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            self.shared = comm.recv(peer, tag)?.payload.into_sparse_arc();
+            Ok(())
+        }
     }
+    let plan = CollectivePlan::broadcast(topology, p, root_pos);
+    let mut ops = BcastOps {
+        shared: Arc::new(local),
+    };
+    execute_plan(
+        comm,
+        &plan,
+        me,
+        TAG_SBCAST + tag_off,
+        |pos| members[pos],
+        &mut ops,
+    )?;
     // Materialize our own copy: free if the reference is unique by now,
     // otherwise copied into pooled buffers (no fresh allocation at steady
     // state).
-    Ok(match Arc::try_unwrap(shared) {
+    Ok(match Arc::try_unwrap(ops.shared) {
         Ok(v) => v,
         Err(shared) => {
             let mut owned = comm.pool().take_sparse(shared.dim());
@@ -134,63 +149,72 @@ pub fn sparse_sum_recursive_doubling(
         return Ok(local);
     }
     let rank = comm.rank();
-    let mut p2 = 1usize;
-    while p2 * 2 <= p {
-        p2 *= 2;
-    }
-    let extra = p - p2;
     let dim = local.dim();
-    let mut acc = local;
-    // Fold-in.
-    if rank >= p2 {
-        let outgoing = std::mem::replace(&mut acc, SparseVec::empty(dim));
-        comm.send(rank - p2, TAG_SFOLD, Payload::sparse(outgoing))?;
-    } else if rank < extra {
-        let other = comm.recv(rank + p2, TAG_SFOLD)?.payload.into_sparse();
-        let mut next = comm.pool().take_sparse(dim);
-        acc.add_into(&other, &mut next);
-        comm.pool().put_sparse(std::mem::replace(&mut acc, next));
-        comm.pool().put_sparse(other);
+    // Folded ranks (>= p2) send their whole contribution in the fold-in
+    // round and adopt the finished sum in the fold-out round; everyone
+    // else accumulates on receive and Arc-shares the accumulator with
+    // every outgoing message (no clone on the hot path).
+    struct SumOps {
+        acc: SparseVec,
+        dim: usize,
+        folded: bool,
     }
-    if rank < p2 {
-        let mut mask = 1usize;
-        while mask < p2 {
-            let peer = rank ^ mask;
+    impl PlanOps for SumOps {
+        fn on_send(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            if self.folded {
+                let outgoing = std::mem::replace(&mut self.acc, SparseVec::empty(self.dim));
+                comm.send(peer, tag, Payload::sparse(outgoing))
+            } else {
+                let shared = Arc::new(std::mem::replace(&mut self.acc, SparseVec::empty(self.dim)));
+                comm.send(peer, tag, Payload::sparse_shared(shared.clone()))?;
+                self.acc = match Arc::try_unwrap(shared) {
+                    Ok(v) => v,
+                    Err(shared) => {
+                        let mut owned = comm.pool().take_sparse(self.dim);
+                        owned.copy_from(&shared);
+                        owned
+                    }
+                };
+                Ok(())
+            }
+        }
+        fn on_recv(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+            let other = comm.recv(peer, tag)?.payload.into_sparse();
+            if self.folded {
+                self.acc = other;
+            } else {
+                let mut next = comm.pool().take_sparse(self.dim);
+                self.acc.add_into(&other, &mut next);
+                comm.pool()
+                    .put_sparse(std::mem::replace(&mut self.acc, next));
+                comm.pool().put_sparse(other);
+            }
+            Ok(())
+        }
+        fn on_swap(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
             // Share the accumulator with the outgoing message instead of
             // cloning it; the merge reads it through the Arc.
-            let shared = Arc::new(acc);
-            let msg = comm.sendrecv(
-                peer,
-                TAG_SSUM + mask as u32,
-                Payload::sparse_shared(shared.clone()),
-            )?;
+            let shared = Arc::new(std::mem::replace(&mut self.acc, SparseVec::empty(self.dim)));
+            let msg = comm.sendrecv(peer, tag, Payload::sparse_shared(shared.clone()))?;
             let other = msg.payload.into_sparse();
-            let mut next = comm.pool().take_sparse(dim);
+            let mut next = comm.pool().take_sparse(self.dim);
             shared.add_into(&other, &mut next);
-            acc = next;
+            self.acc = next;
             comm.pool().put_sparse(other);
             if let Ok(v) = Arc::try_unwrap(shared) {
                 comm.pool().put_sparse(v);
             }
-            mask <<= 1;
+            Ok(())
         }
     }
-    // Fold-out.
-    if rank < extra {
-        let shared = Arc::new(acc);
-        comm.send(rank + p2, TAG_SFOLD, Payload::sparse_shared(shared.clone()))?;
-        acc = match Arc::try_unwrap(shared) {
-            Ok(v) => v,
-            Err(shared) => {
-                let mut owned = comm.pool().take_sparse(dim);
-                owned.copy_from(&shared);
-                owned
-            }
-        };
-    } else if rank >= p2 {
-        acc = comm.recv(rank - p2, TAG_SFOLD)?.payload.into_sparse();
-    }
-    Ok(acc)
+    let plan = CollectivePlan::exchange(p);
+    let mut ops = SumOps {
+        acc: local,
+        dim,
+        folded: rank >= largest_power_of_two_leq(p),
+    };
+    execute_plan(comm, &plan, rank, TAG_SSUM, |pos| pos, &mut ops)?;
+    Ok(ops.acc)
 }
 
 #[cfg(test)]

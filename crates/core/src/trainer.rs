@@ -1,13 +1,19 @@
 //! Distributed S-SGD training loops (paper Algorithms 1, 2 and 4, plus
 //! the dense baseline) over the simulated cluster.
+//!
+//! There is exactly **one** training loop ([`run_rank`]) and one
+//! per-iteration executor ([`StepEngine`]). Execution *mode* (serial
+//! whole-vector aggregation vs. the bucketed overlap schedule) and
+//! *recovery policy* (fault-tolerant checkpoint/rollback vs. fail-fast)
+//! are orthogonal switches on the same loop, so `--overlap` composes
+//! with crash recovery instead of selecting a different code path.
 
-use crate::overlap::{OverlapConfig, OverlapEngine, OverlapStats};
-use crate::selector::SelectorState;
+use crate::overlap::{OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats};
 use crate::{
-    ft, Algorithm, DensitySchedule, EpochRecord, LrSchedule, Selector, TimingBreakdown,
-    TrainReport, Update,
+    ft, Algorithm, DensitySchedule, EpochRecord, GradientAggregator, LrSchedule, Selector,
+    TimingBreakdown, TrainReport, Update,
 };
-use gtopk_comm::{Cluster, Communicator, CostModel, FaultPlan, Result};
+use gtopk_comm::{Cluster, Communicator, CostModel, FaultPlan, Result, Topology};
 use gtopk_data::{shard_indices, BatchIter, Dataset};
 use gtopk_nn::{accuracy, softmax_cross_entropy, Model, MomentumSgd};
 use gtopk_sparse::Residual;
@@ -52,6 +58,10 @@ pub struct TrainConfig {
     pub compute_cost: Option<ComputeCost>,
     /// Local top-k selection kernel (exact or sampled-threshold).
     pub selector: Selector,
+    /// Collective plan topology for the plan-driven (gTop-k tree)
+    /// algorithms. Must stay [`Topology::Binomial`] for the
+    /// fixed-schedule algorithms (see [`Algorithm::supports_topology`]).
+    pub topology: Topology,
     /// DGC-style momentum correction (Lin et al., cited in §VI): apply
     /// momentum *locally before* residual accumulation, so delayed
     /// coordinates carry their momentum history when finally selected;
@@ -65,9 +75,9 @@ pub struct TrainConfig {
     pub data_seed: u64,
     /// Deterministic fault injection for the run. `None` (the default)
     /// and [`FaultPlan::none`] leave training bit-identical to a build
-    /// without fault machinery; an active plan switches the trainer to
-    /// the fault-tolerant loop (gTop-k variants only): periodic
-    /// in-memory checkpoints, rollback on membership change, and
+    /// without fault machinery; an active plan arms the fault-tolerant
+    /// recovery policy (gTop-k variants only): periodic in-memory
+    /// checkpoints, rollback on membership change, and
     /// shrink-and-continue over the surviving ranks.
     pub fault_plan: Option<FaultPlan>,
     /// Iterations between in-memory checkpoints in the fault-tolerant
@@ -78,7 +88,8 @@ pub struct TrainConfig {
     /// training output bit-identical to a build without the overlap
     /// engine; `Some` partitions the gradient into buckets and pipelines
     /// each bucket's gTopKAllReduce behind the remaining backward
-    /// compute (see [`crate::overlap`]).
+    /// compute (see [`crate::overlap`]). Composes with fault injection,
+    /// crash recovery included.
     pub overlap: Option<OverlapConfig>,
 }
 
@@ -99,6 +110,7 @@ impl TrainConfig {
             cost_model: CostModel::gigabit_ethernet(),
             compute_cost: None,
             selector: Selector::Exact,
+            topology: Topology::Binomial,
             momentum_correction: false,
             clip_norm: None,
             data_seed: 0x5eed,
@@ -115,21 +127,143 @@ impl TrainConfig {
     }
 
     /// Returns a copy with a fault plan installed (arming the
-    /// fault-tolerant training loop when the plan is active).
+    /// fault-tolerant recovery policy when the plan is active).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
     }
 
-    /// Whether this configuration arms the fault-tolerant loop.
+    /// Whether this configuration arms the fault-tolerant recovery
+    /// policy.
     pub fn fault_tolerant(&self) -> bool {
         self.fault_plan.as_ref().is_some_and(|p| p.is_active())
     }
 
-    /// Returns a copy with the executed overlap engine enabled.
+    /// Returns a copy with the executed overlap engine enabled (the
+    /// engine inherits this configuration's collective topology).
     pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
-        self.overlap = Some(overlap);
+        self.overlap = Some(overlap.with_topology(self.topology));
         self
+    }
+
+    /// Returns a copy with a different collective plan topology, kept in
+    /// sync with the overlap engine's if one is configured.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self.overlap = self.overlap.map(|ov| ov.with_topology(topology));
+        self
+    }
+}
+
+/// The one per-iteration executor every training mode runs through: it
+/// owns the aggregation state (whole-vector residual + aggregator in
+/// serial mode, the bucketed [`OverlapEngine`] in overlap mode),
+/// performs one aggregation over the current membership, applies the
+/// averaged update, and can snapshot/restore its state for the
+/// fault-tolerant checkpoint machinery.
+struct StepEngine {
+    mode: Mode,
+}
+
+enum Mode {
+    Serial {
+        aggregator: Box<dyn GradientAggregator>,
+        residual: Residual,
+    },
+    Overlap(Box<OverlapEngine>),
+}
+
+/// Aggregation state captured at a checkpoint boundary — the engine-mode
+/// half of [`Checkpoint`].
+enum EngineSnapshot {
+    /// Dense copy of the whole-vector residual. Selector state is
+    /// deliberately *not* snapshotted: it models a local kernel's
+    /// adaptive threshold, which survives a rollback like any other
+    /// measurement of executed work.
+    Serial(Vec<f32>),
+    /// Per-bucket residuals and selector states (see
+    /// [`OverlapEngine::snapshot`]).
+    Overlap(OverlapSnapshot),
+}
+
+impl StepEngine {
+    fn new(cfg: &TrainConfig, segments: &[usize], rank: usize) -> Self {
+        let mode = match &cfg.overlap {
+            Some(ov) => Mode::Overlap(Box::new(OverlapEngine::new(
+                ov,
+                segments,
+                cfg.compute_cost,
+                cfg.selector,
+                rank,
+                cfg.cost_model,
+            ))),
+            None => Mode::Serial {
+                aggregator: cfg
+                    .algorithm
+                    .aggregator_with_topology(cfg.selector, cfg.topology),
+                residual: Residual::new(segments.iter().sum()),
+            },
+        };
+        StepEngine { mode }
+    }
+
+    fn overlap_engine(&self) -> Option<&OverlapEngine> {
+        match &self.mode {
+            Mode::Overlap(engine) => Some(engine),
+            Mode::Serial { .. } => None,
+        }
+    }
+
+    /// One aggregation step over `members`: accumulate `src` into the
+    /// error-feedback state, aggregate (`k` for the whole vector in
+    /// serial mode; `rho` re-derives per-bucket budgets in overlap
+    /// mode), apply the averaged update, and return the non-zero count
+    /// applied.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        comm: &mut Communicator,
+        members: &[usize],
+        src: &[f32],
+        rho: f64,
+        k: usize,
+        opt: &mut MomentumSgd,
+        model: &mut dyn Model,
+    ) -> Result<u64> {
+        match &mut self.mode {
+            Mode::Serial {
+                aggregator,
+                residual,
+            } => {
+                residual.accumulate(src);
+                let update = aggregator.aggregate(comm, members, residual, k)?;
+                let nnz = update.nnz() as u64;
+                match &update {
+                    Update::Dense(v) => opt.step_dense(model, v),
+                    Update::Sparse(sv) => opt.step_sparse(model, sv),
+                }
+                Ok(nnz)
+            }
+            Mode::Overlap(engine) => engine.step(comm, members, src, rho, opt, model),
+        }
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        match &self.mode {
+            Mode::Serial { residual, .. } => EngineSnapshot::Serial(residual.dense().to_vec()),
+            Mode::Overlap(engine) => EngineSnapshot::Overlap(engine.snapshot()),
+        }
+    }
+
+    fn restore(&mut self, snap: &EngineSnapshot) {
+        match (&mut self.mode, snap) {
+            (Mode::Serial { residual, .. }, EngineSnapshot::Serial(saved)) => {
+                residual.clear();
+                residual.accumulate(saved);
+            }
+            (Mode::Overlap(engine), EngineSnapshot::Overlap(saved)) => engine.restore(saved),
+            _ => unreachable!("snapshot mode matches the engine that took it"),
+        }
     }
 }
 
@@ -183,12 +317,6 @@ where
             "the overlap engine drives per-bucket gTopKAllReduce (got {})",
             cfg.algorithm.name()
         );
-        if let Some(plan) = &cfg.fault_plan {
-            assert!(
-                (0..cfg.workers).all(|r| plan.crash_step(r).is_none()),
-                "overlap composes with drops/jitter/stragglers but not crash recovery"
-            );
-        }
     }
     let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
     assert!(
@@ -276,6 +404,43 @@ where
     }
 }
 
+/// Rank-local state captured by the fault-tolerant recovery policy at
+/// checkpoint boundaries. Everything needed to replay from iteration
+/// `iter` as if the iterations after it never happened (time-breakdown
+/// counters are deliberately *not* part of the snapshot: they describe
+/// executed work, replays included).
+struct Checkpoint {
+    iter: u64,
+    params: Vec<f32>,
+    opt: MomentumSgd,
+    engine: EngineSnapshot,
+    local_velocity: Option<Vec<f32>>,
+    batches: BatchIter,
+    losses: Vec<f64>,
+    evals: Vec<Option<f64>>,
+    epoch_loss: f64,
+}
+
+/// The per-rank training loop — the only one. A single global iteration
+/// index drives an epoch-agnostic loop (so fault-tolerant rollback can
+/// cross epoch boundaries) and every iteration funnels through
+/// [`StepEngine::step`].
+///
+/// With an active fault plan, the loop additionally:
+///
+/// * snapshots its full training state in memory every
+///   `checkpoint_interval` iterations (the last two snapshots are kept —
+///   ranks can be at most one checkpoint boundary apart when a failure
+///   hits);
+/// * starts each iteration with [`Communicator::begin_step`], which is
+///   where a scheduled crash fires (the rank silently exits, closing its
+///   channels — exactly how peers observe a real process death);
+/// * on a communication error enters [`ft::recover`], agrees on the
+///   surviving membership and the common rollback point, restores that
+///   checkpoint (engine state included), and continues shrunk;
+/// * has every live rank evaluate at epoch ends (rank 0 may not
+///   survive), and charges recovery wall-time and count to
+///   [`TimingBreakdown::recovery_ms`] / `recoveries`.
 fn run_rank<M, F>(
     cfg: &TrainConfig,
     comm: &mut Communicator,
@@ -288,14 +453,12 @@ where
     M: Model,
     F: Fn() -> M,
 {
-    if cfg.overlap.is_none() && cfg.fault_tolerant() {
-        return run_rank_ft(
-            cfg,
-            comm,
-            build_model,
-            train_data,
-            eval_data,
-            iters_per_epoch,
+    let ft = cfg.fault_tolerant();
+    if ft {
+        assert!(
+            matches!(cfg.algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback),
+            "fault-tolerant training supports gTop-k variants only (got {})",
+            cfg.algorithm.name()
         );
     }
     let mut model = build_model();
@@ -313,257 +476,7 @@ where
     } else {
         None
     };
-    let mut residual = Residual::new(m);
-    let mut aggregator = cfg.algorithm.aggregator_with(cfg.selector);
-    let mut engine = cfg.overlap.as_ref().map(|ov| {
-        OverlapEngine::new(
-            ov,
-            &model.param_segments(),
-            cfg.compute_cost,
-            cfg.selector,
-            comm.rank(),
-            cfg.cost_model,
-        )
-    });
-    let shard = shard_indices(train_data.len(), comm.rank(), comm.size());
-    let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
-
-    let mut losses = Vec::with_capacity(cfg.epochs);
-    let mut evals = Vec::with_capacity(cfg.epochs);
-    let mut timing = TimingBreakdown::default();
-    let mut update_nnz_sum = 0u64;
-
-    for epoch in 0..cfg.epochs {
-        opt.set_lr(cfg.lr.lr(epoch));
-        let k = cfg.density.k(epoch, m);
-        let mut epoch_loss = 0.0f64;
-        for _ in 0..iters_per_epoch {
-            let idx = batches
-                .next_batch()
-                .expect("iters_per_epoch fits every shard")
-                .to_vec();
-            let (x, ys) = train_data.batch(&idx);
-
-            let t0 = comm.now_ms();
-            model.zero_grads();
-            let logits = model.forward(&x, true);
-            let (loss, grad) = softmax_cross_entropy(&logits, &ys);
-            model.backward(&grad);
-            let mut g = model.flat_grads();
-            if let Some(max_norm) = cfg.clip_norm {
-                clip_to_norm(&mut g, max_norm);
-            }
-
-            if let Some(engine) = engine.as_mut() {
-                // Overlapped schedule: the engine stages the clock per
-                // bucket itself (gradient readiness follows the modeled
-                // backward), so no whole-iteration advance_compute here.
-                let src: &[f32] = match &mut local_velocity {
-                    Some(u) => {
-                        for (ui, &gi) in u.iter_mut().zip(g.iter()) {
-                            *ui = cfg.momentum * *ui + gi;
-                        }
-                        u
-                    }
-                    None => &g,
-                };
-                let rho = cfg.density.density(epoch);
-                let nnz = engine
-                    .step(comm, src, rho, &mut opt, &mut model)
-                    .expect("aggregation must not fail mid-training");
-                update_nnz_sum += nnz;
-                let straggle = comm.straggle_factor();
-                let charged_comp = straggle * engine.compute_ms_per_iter();
-                let charged_compr = straggle * engine.sparsify_ms_per_iter();
-                timing.compute_ms += charged_comp;
-                timing.compression_ms += charged_compr;
-                timing.communication_ms += (comm.now_ms() - t0) - charged_comp - charged_compr;
-                timing.iterations += 1;
-                epoch_loss += loss as f64;
-                continue;
-            }
-
-            if let Some(cost) = cfg.compute_cost {
-                comm.advance_compute(cost.compute_ms);
-            }
-            let t1 = comm.now_ms();
-
-            match &mut local_velocity {
-                Some(u) => {
-                    for (ui, &gi) in u.iter_mut().zip(g.iter()) {
-                        *ui = cfg.momentum * *ui + gi;
-                    }
-                    residual.accumulate(u);
-                }
-                None => residual.accumulate(&g),
-            }
-            if cfg.algorithm != Algorithm::Dense {
-                if let Some(cost) = cfg.compute_cost {
-                    comm.advance_compute(cost.sparsify_ms);
-                }
-            }
-            let t2 = comm.now_ms();
-
-            let update = aggregator
-                .aggregate(comm, &mut residual, k)
-                .expect("aggregation must not fail mid-training");
-            let t3 = comm.now_ms();
-
-            update_nnz_sum += update.nnz() as u64;
-            match &update {
-                Update::Dense(v) => opt.step_dense(&mut model, v),
-                Update::Sparse(sv) => opt.step_sparse(&mut model, sv),
-            }
-
-            epoch_loss += loss as f64;
-            timing.compute_ms += t1 - t0;
-            timing.compression_ms += t2 - t1;
-            timing.communication_ms += t3 - t2;
-            timing.iterations += 1;
-        }
-        batches.next_epoch();
-        losses.push(epoch_loss / iters_per_epoch as f64);
-
-        // Rank-0 evaluation (replicas are identical across ranks).
-        let eval = if comm.rank() == 0 {
-            eval_data.map(|ds| evaluate(&mut model, ds))
-        } else {
-            eval_data.map(|_| 0.0) // placeholder; only rank 0's is reported
-        };
-        evals.push(eval);
-    }
-
-    let params = model.flat_params();
-    let stats = comm.stats();
-    RankOutcome {
-        losses,
-        evals,
-        timing,
-        sim_time_ms: comm.now_ms(),
-        elems_sent: stats.elems_sent,
-        retransmissions: stats.retransmissions,
-        update_nnz_sum,
-        param_checksum: params.iter().map(|&v| v as f64).sum(),
-        pool_hits: stats.pool_hits,
-        pool_misses: stats.pool_misses,
-        overlap: engine.as_ref().map(OverlapEngine::stats),
-        crashed: false,
-    }
-}
-
-/// Rank-local state captured by the fault-tolerant loop at checkpoint
-/// boundaries. Everything needed to replay from iteration `iter` as if
-/// the iterations after it never happened (time-breakdown counters are
-/// deliberately *not* part of the snapshot: they describe executed work,
-/// replays included).
-struct FtCheckpoint {
-    iter: u64,
-    params: Vec<f32>,
-    opt: MomentumSgd,
-    residual_dense: Vec<f32>,
-    local_velocity: Option<Vec<f32>>,
-    batches: BatchIter,
-    losses: Vec<f64>,
-    evals: Vec<Option<f64>>,
-    epoch_loss: f64,
-}
-
-/// One fault-tolerant gradient aggregation over the current membership:
-/// local selection, epoch-stamped gTop-k AllReduce over `members`, the
-/// algorithm's put-back discipline, and averaging by the *live* worker
-/// count.
-///
-/// On error the residual is left missing the extracted values — the
-/// caller rolls the whole rank state back to a checkpoint, so nothing is
-/// patched up here.
-fn ft_step(
-    comm: &mut Communicator,
-    members: &[usize],
-    sel: &mut SelectorState,
-    residual: &mut Residual,
-    k: usize,
-    algorithm: Algorithm,
-) -> Result<Update> {
-    let local = sel.extract(residual, k);
-    let inv = 1.0 / members.len() as f32;
-    match algorithm {
-        Algorithm::GTopK => {
-            let (mut global, gmask) = ft::ft_gtopk_all_reduce(comm, members, local.clone(), k)?;
-            let (_kept, rejected) = local.partition_by(&gmask);
-            residual.put_back(&rejected);
-            global.scale(inv);
-            Ok(Update::Sparse(global))
-        }
-        Algorithm::GTopKFeedback => {
-            let (mut global, gmask, tree_rejects) =
-                ft::ft_gtopk_all_reduce_with_feedback(comm, members, local.clone(), k)?;
-            let (_kept, rejected) = local.partition_by(&gmask);
-            residual.put_back(&rejected);
-            // See `GtopkFeedbackAggregator`: restore in-mask tree-merge
-            // truncations, which no owner knows to put back.
-            let (lost_but_selected, _owner_covered) = tree_rejects.partition_by(&gmask);
-            residual.put_back(&lost_but_selected);
-            global.scale(inv);
-            Ok(Update::Sparse(global))
-        }
-        other => panic!(
-            "fault-tolerant training supports gTop-k variants only (got {})",
-            other.name()
-        ),
-    }
-}
-
-/// The fault-tolerant training loop (active `FaultPlan` installed).
-///
-/// Differences from the plain loop:
-///
-/// * a single global iteration index drives an epoch-agnostic loop, so
-///   rollback can cross epoch boundaries;
-/// * every `checkpoint_interval` iterations the rank snapshots its full
-///   training state in memory (the last two snapshots are kept — ranks
-///   can be at most one checkpoint boundary apart when a failure hits);
-/// * each iteration starts with [`Communicator::begin_step`], which is
-///   where a scheduled crash fires (the rank silently exits, closing its
-///   channels — exactly how peers observe a real process death);
-/// * aggregation runs over the current `members` via the epoch-stamped
-///   collectives; on a communication error the rank enters
-///   [`ft::recover`], agrees on the surviving membership and the common
-///   rollback point, restores that checkpoint, and continues shrunk;
-/// * every live rank evaluates at epoch ends (rank 0 may not survive);
-/// * recovery wall-time and count are charged to
-///   [`TimingBreakdown::recovery_ms`] / `recoveries`.
-fn run_rank_ft<M, F>(
-    cfg: &TrainConfig,
-    comm: &mut Communicator,
-    build_model: &F,
-    train_data: &dyn Dataset,
-    eval_data: Option<&dyn Dataset>,
-    iters_per_epoch: usize,
-) -> RankOutcome
-where
-    M: Model,
-    F: Fn() -> M,
-{
-    assert!(
-        matches!(cfg.algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback),
-        "fault-tolerant training supports gTop-k variants only (got {})",
-        cfg.algorithm.name()
-    );
-    let mut model = build_model();
-    let m = model.num_params();
-    let opt_momentum = if cfg.momentum_correction {
-        0.0
-    } else {
-        cfg.momentum
-    };
-    let mut opt = MomentumSgd::new(m, cfg.lr.lr(0), opt_momentum);
-    let mut local_velocity: Option<Vec<f32>> = if cfg.momentum_correction {
-        Some(vec![0.0; m])
-    } else {
-        None
-    };
-    let mut residual = Residual::new(m);
-    let mut sel = SelectorState::new(cfg.selector, comm.rank());
+    let mut engine = StepEngine::new(cfg, &model.param_segments(), comm.rank());
     let shard = shard_indices(train_data.len(), comm.rank(), comm.size());
     let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
     let mut members: Vec<usize> = (0..comm.size()).collect();
@@ -577,39 +490,41 @@ where
     let mut epoch_loss = 0.0f64;
     let mut timing = TimingBreakdown::default();
     let mut update_nnz_sum = 0u64;
-    let mut ckpts: VecDeque<FtCheckpoint> = VecDeque::with_capacity(2);
+    let mut ckpts: VecDeque<Checkpoint> = VecDeque::with_capacity(2);
     let mut crashed = false;
 
     while it < total_iters {
         let epoch = (it / ipe) as usize;
         opt.set_lr(cfg.lr.lr(epoch));
+        let rho = cfg.density.density(epoch);
         let k = cfg.density.k(epoch, m);
 
-        // Periodic in-memory checkpoint. After a rollback `it` lands on
-        // the restored snapshot's boundary; the `<` guard avoids
-        // re-snapshotting the identical state.
-        if it.is_multiple_of(interval) && ckpts.back().is_none_or(|c| c.iter < it) {
-            ckpts.push_back(FtCheckpoint {
-                iter: it,
-                params: model.flat_params(),
-                opt: opt.clone(),
-                residual_dense: residual.dense().to_vec(),
-                local_velocity: local_velocity.clone(),
-                batches: batches.clone(),
-                losses: losses.clone(),
-                evals: evals.clone(),
-                epoch_loss,
-            });
-            while ckpts.len() > 2 {
-                ckpts.pop_front();
+        if ft {
+            // Periodic in-memory checkpoint. After a rollback `it` lands
+            // on the restored snapshot's boundary; the `<` guard avoids
+            // re-snapshotting the identical state.
+            if it.is_multiple_of(interval) && ckpts.back().is_none_or(|c| c.iter < it) {
+                ckpts.push_back(Checkpoint {
+                    iter: it,
+                    params: model.flat_params(),
+                    opt: opt.clone(),
+                    engine: engine.snapshot(),
+                    local_velocity: local_velocity.clone(),
+                    batches: batches.clone(),
+                    losses: losses.clone(),
+                    evals: evals.clone(),
+                    epoch_loss,
+                });
+                while ckpts.len() > 2 {
+                    ckpts.pop_front();
+                }
             }
-        }
-
-        // Scheduled crashes fire here: the rank just stops, and its
-        // peers find out through the transport (no farewell message).
-        if comm.begin_step().is_err() {
-            crashed = true;
-            break;
+            // Scheduled crashes fire here: the rank just stops, and its
+            // peers find out through the transport (no farewell message).
+            if comm.begin_step().is_err() {
+                crashed = true;
+                break;
+            }
         }
 
         let idx = batches
@@ -627,49 +542,66 @@ where
         if let Some(max_norm) = cfg.clip_norm {
             clip_to_norm(&mut g, max_norm);
         }
-        if let Some(cost) = cfg.compute_cost {
-            comm.advance_compute(cost.compute_ms);
-        }
-        let t1 = comm.now_ms();
-
-        match &mut local_velocity {
+        let src: &[f32] = match &mut local_velocity {
             Some(u) => {
                 for (ui, &gi) in u.iter_mut().zip(g.iter()) {
                     *ui = cfg.momentum * *ui + gi;
                 }
-                residual.accumulate(u);
+                u
             }
-            None => residual.accumulate(&g),
-        }
-        if let Some(cost) = cfg.compute_cost {
-            comm.advance_compute(cost.sparsify_ms);
-        }
-        let t2 = comm.now_ms();
-        timing.compute_ms += t1 - t0;
-        timing.compression_ms += t2 - t1;
+            None => &g,
+        };
 
-        match ft_step(comm, &members, &mut sel, &mut residual, k, cfg.algorithm) {
-            Ok(update) => {
-                let t3 = comm.now_ms();
-                update_nnz_sum += update.nnz() as u64;
-                match &update {
-                    Update::Dense(v) => opt.step_dense(&mut model, v),
-                    Update::Sparse(sv) => opt.step_sparse(&mut model, sv),
+        // Serial mode charges the whole iteration's modeled compute (and
+        // sparsification, for sparse algorithms) up front; the overlap
+        // engine stages the clock per bucket itself, so only the
+        // attribution shares are computed here.
+        let (charged_comp, charged_compr) = if let Some(ov) = engine.overlap_engine() {
+            let straggle = comm.straggle_factor();
+            (
+                straggle * ov.compute_ms_per_iter(),
+                straggle * ov.sparsify_ms_per_iter(),
+            )
+        } else {
+            if let Some(cost) = cfg.compute_cost {
+                comm.advance_compute(cost.compute_ms);
+            }
+            let t1 = comm.now_ms();
+            if cfg.algorithm != Algorithm::Dense {
+                if let Some(cost) = cfg.compute_cost {
+                    comm.advance_compute(cost.sparsify_ms);
                 }
+            }
+            (t1 - t0, comm.now_ms() - t1)
+        };
+        timing.compute_ms += charged_comp;
+        timing.compression_ms += charged_compr;
+
+        let t_step = comm.now_ms();
+        match engine.step(comm, &members, src, rho, k, &mut opt, &mut model) {
+            Ok(nnz) => {
+                update_nnz_sum += nnz;
                 epoch_loss += loss as f64;
-                timing.communication_ms += t3 - t2;
+                timing.communication_ms += (comm.now_ms() - t0) - charged_comp - charged_compr;
                 timing.iterations += 1;
                 it += 1;
                 if it.is_multiple_of(ipe) {
-                    // Epoch finished; every live rank evaluates because
-                    // any rank may end up the reporter.
                     losses.push(epoch_loss / iters_per_epoch as f64);
-                    evals.push(eval_data.map(|ds| evaluate(&mut model, ds)));
+                    // Fault-tolerant runs evaluate on every live rank
+                    // (any rank may end up the reporter); otherwise only
+                    // rank 0 does, replicas being identical.
+                    let eval = if ft || comm.rank() == 0 {
+                        eval_data.map(|ds| evaluate(&mut model, ds))
+                    } else {
+                        eval_data.map(|_| 0.0) // placeholder; only rank 0's is reported
+                    };
+                    evals.push(eval);
                     epoch_loss = 0.0;
                     batches.next_epoch();
                 }
             }
-            Err(_) => {
+            Err(err) => {
+                assert!(ft, "aggregation must not fail mid-training: {err:?}");
                 let my_ckpt = ckpts
                     .back()
                     .expect("a checkpoint is taken before iteration 0")
@@ -685,15 +617,14 @@ where
                         let c = ckpts.back().expect("just truncated to keep this");
                         model.set_flat_params(&c.params);
                         opt = c.opt.clone();
-                        residual.clear();
-                        residual.accumulate(&c.residual_dense);
+                        engine.restore(&c.engine);
                         local_velocity = c.local_velocity.clone();
                         batches = c.batches.clone();
                         losses = c.losses.clone();
                         evals = c.evals.clone();
                         epoch_loss = c.epoch_loss;
                         it = c.iter;
-                        timing.recovery_ms += comm.now_ms() - t2;
+                        timing.recovery_ms += comm.now_ms() - t_step;
                         timing.recoveries += 1;
                     }
                     Err(_) => {
@@ -721,7 +652,7 @@ where
         param_checksum: params.iter().map(|&v| v as f64).sum(),
         pool_hits: stats.pool_hits,
         pool_misses: stats.pool_misses,
-        overlap: None,
+        overlap: engine.overlap_engine().map(OverlapEngine::stats),
         crashed,
     }
 }
@@ -781,6 +712,7 @@ mod tests {
             cost_model: CostModel::zero(),
             compute_cost: None,
             selector: Selector::Exact,
+            topology: Topology::Binomial,
             momentum_correction: false,
             clip_norm: None,
             data_seed: 1,
@@ -805,6 +737,20 @@ mod tests {
             );
             assert_eq!(report.workers, 4);
             assert_eq!(report.epochs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn plan_driven_algorithms_train_on_every_topology() {
+        let data = GaussianMixture::new(6, 320, 8, 4, 2.5, 0.4);
+        for topology in Topology::ALL {
+            let mut cfg = quick_cfg(Algorithm::GTopK, 5).with_topology(topology);
+            cfg.epochs = 5;
+            let report = train_distributed(&cfg, || models::mlp(19, 8, 16, 4), &data, None);
+            assert!(
+                report.final_loss() < report.epochs[0].train_loss,
+                "{topology}: loss did not drop"
+            );
         }
     }
 
@@ -1028,6 +974,59 @@ mod tests {
         );
         for (es, ef) in s.epochs.iter().zip(f.epochs.iter()) {
             assert_eq!(es.train_loss, ef.train_loss, "numerics must not change");
+        }
+    }
+
+    #[test]
+    fn overlap_composes_with_crash_recovery() {
+        // --overlap --buckets 2 plus a scheduled crash: the run must
+        // recover (rollback + shrink) and keep converging.
+        let data = GaussianMixture::new(37, 256, 8, 4, 2.5, 0.4);
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.epochs = 4;
+        cfg.cost_model = CostModel::gigabit_ethernet();
+        cfg.compute_cost = Some(ComputeCost {
+            compute_ms: 4.0,
+            sparsify_ms: 1.0,
+        });
+        cfg = cfg.with_overlap(OverlapConfig::buckets(2));
+        cfg.fault_plan = Some(FaultPlan::seeded(4).with_crash(2, 9));
+        let report = train_distributed(&cfg, || models::mlp(45, 8, 16, 4), &data, None);
+        assert_eq!(report.survivors, 3, "exactly one rank must be lost");
+        assert!(report.timing.recoveries >= 1, "a recovery must be logged");
+        let stats = report.overlap.as_ref().expect("overlap stats present");
+        assert!(stats.iterations > 0);
+        assert!(
+            report.final_loss() < report.epochs[0].train_loss,
+            "overlapped run must keep converging through the crash: {} -> {}",
+            report.epochs[0].train_loss,
+            report.final_loss()
+        );
+    }
+
+    #[test]
+    fn single_bucket_overlap_ft_matches_the_serial_ft_loss_exactly() {
+        // With one bucket the overlap engine performs the same
+        // accumulate → select → gTopKAllReduce → put-back → step as the
+        // serial path (bucket_k(m, ρ) and DensitySchedule::k round
+        // identically, and step_range over 0..m is step_sparse), so the
+        // same seed and the same crash must produce bit-identical losses
+        // — only the timeline differs. P = 8 with a mid-run crash.
+        let data = GaussianMixture::new(38, 512, 8, 4, 2.5, 0.4);
+        let build = || models::mlp(47, 8, 16, 4);
+        let mut serial = quick_cfg(Algorithm::GTopK, 8);
+        serial.epochs = 3;
+        serial.fault_plan = Some(FaultPlan::seeded(5).with_crash(6, 7));
+        let overlapped = serial.clone().with_overlap(OverlapConfig::buckets(1));
+        let a = train_distributed(&serial, build, &data, None);
+        let b = train_distributed(&overlapped, build, &data, None);
+        assert_eq!(a.survivors, 7);
+        assert_eq!(b.survivors, 7);
+        for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+            assert_eq!(
+                ea.train_loss, eb.train_loss,
+                "single-bucket overlap must replay the serial FT numerics"
+            );
         }
     }
 

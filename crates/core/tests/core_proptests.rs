@@ -43,10 +43,11 @@ proptest! {
         let dim = 32usize;
         let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = Algorithm::TopK.aggregator();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let g = grad(comm.rank(), dim, seed);
             residual.accumulate(&g);
-            let update = agg.aggregate(comm, &mut residual, k).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = vec![0.0f64; dim];
@@ -94,11 +95,12 @@ proptest! {
         let k = 3usize;
         let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
             let mut agg = Algorithm::GTopK.aggregator();
+            let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let mut updates = Vec::new();
             for step in 0..4u64 {
                 residual.accumulate(&grad(comm.rank(), dim, seed + step));
-                let u = agg.aggregate(comm, &mut residual, k).unwrap();
+                let u = agg.aggregate(comm, &members, &mut residual, k).unwrap();
                 updates.push(u);
             }
             updates

@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod alphabeta;
+pub mod plancost;
 pub mod scaling;
 pub mod workloads;
 
 pub use alphabeta::{dense_allreduce_ms, gtopk_allreduce_ms, topk_allreduce_ms, AggregationKind};
+pub use plancost::{gtopk_plan_ms, plan_cost_ms, PlanClock};
 pub use scaling::{scaling_efficiency, throughput_images_per_sec, IterationProfile};
 pub use workloads::{paper_models, ModelSpec};

@@ -1,0 +1,292 @@
+//! Exact α-β cost of a [`CollectivePlan`] — the analytic twin of the
+//! executed collectives.
+//!
+//! The simulated transport in `gtopk-comm` charges every message with the
+//! same three rules (see `Communicator::send` / `recv`):
+//!
+//! 1. a send advances the **sender's** clock by `α + nβ` and stamps the
+//!    message with the post-charge time as its arrival;
+//! 2. a receive serializes the **inbound link**: the delivery time is
+//!    `max(arrival, rx_free + α + nβ)`, and `rx_free` advances to it;
+//! 3. the receiver's clock synchronizes forward to the delivery time.
+//!
+//! Because plan execution is deterministic — per-rank program order is
+//! the round order, messages are matched per `(src, tag)` with one tag
+//! per round — those rules can be replayed *without running any threads*.
+//! [`PlanClock`] does exactly that: it carries one clock and one inbound
+//! link horizon per plan position and charges a plan round by round. The
+//! result is not a model that approximates the executed time; it is the
+//! executed time, reproduced bit-for-bit (property-tested in
+//! `tests/plan_equivalence.rs` for every topology and worker count).
+//!
+//! This is what turns Table I / Eqs. 5–7 from closed forms into
+//! *assertions over plans*: e.g. for a power-of-two `P`, the binomial
+//! reduce+broadcast plan pair costs exactly
+//! `2·log₂P·α + 4k·log₂P·β` (Eq. 7) — see the tests below.
+
+use gtopk_comm::{CollectivePlan, CostModel, Exchange, Topology};
+
+/// Deterministic replay clock for plan executions: one simulated clock
+/// and one inbound-link horizon per plan position, mirroring the
+/// per-rank state of the executed transport (`Clock` + `rx_link_free_ms`)
+/// over a uniform-cost network.
+///
+/// The clock persists across [`PlanClock::charge_plan`] calls, exactly as
+/// the real per-rank state persists across collectives — charging a
+/// reduce plan and then a broadcast plan on the same `PlanClock` models
+/// one gTopKAllReduce, inbound-link backpressure included.
+#[derive(Debug, Clone)]
+pub struct PlanClock {
+    clocks: Vec<f64>,
+    rx_free: Vec<f64>,
+    /// Reused `(src, dst, arrival)` staging buffer of the round being
+    /// charged — kept here so steady-state charging allocates nothing.
+    pending: Vec<(usize, usize, f64)>,
+}
+
+impl PlanClock {
+    /// A clock for `p` positions, all at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "plan clock needs at least one position");
+        PlanClock {
+            clocks: vec![0.0; p],
+            rx_free: vec![0.0; p],
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of positions tracked.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Current simulated time at `pos`, ms.
+    #[must_use]
+    pub fn now(&self, pos: usize) -> f64 {
+        self.clocks[pos]
+    }
+
+    /// The latest clock across all positions — the makespan so far.
+    #[must_use]
+    pub fn max_now(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Advances `pos` by `dt_ms` of local computation (the analogue of
+    /// `Communicator::advance_compute`).
+    pub fn advance_compute(&mut self, pos: usize, dt_ms: f64) {
+        self.clocks[pos] += dt_ms;
+    }
+
+    /// Synchronizes `pos` forward to `t_ms` if it is behind (the
+    /// analogue of `Clock::sync_to`).
+    pub fn sync_to(&mut self, pos: usize, t_ms: f64) {
+        if self.clocks[pos] < t_ms {
+            self.clocks[pos] = t_ms;
+        }
+    }
+
+    /// Charges one full plan execution, every message carrying
+    /// `wire_elems` elements on the wire, over the uniform network `net`.
+    ///
+    /// Within a round all sends are charged before any delivery — the
+    /// per-thread program order of `execute_plan` (each rank sends before
+    /// it receives, and a message's arrival stamp depends only on its
+    /// sender's clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's size disagrees with this clock's.
+    pub fn charge_plan(&mut self, net: &CostModel, plan: &CollectivePlan, wire_elems: usize) {
+        assert_eq!(
+            plan.size,
+            self.size(),
+            "plan size must match the clock's position count"
+        );
+        let cost = net.transfer_ms(wire_elems);
+        // (src, dst, arrival) triples of the round, deliveries applied
+        // after every send of the round is charged.
+        let mut pending = std::mem::take(&mut self.pending);
+        for round in &plan.rounds {
+            pending.clear();
+            for ex in &round.exchanges {
+                match *ex {
+                    Exchange::Send { src, dst } => {
+                        self.clocks[src] += cost;
+                        pending.push((src, dst, self.clocks[src]));
+                    }
+                    Exchange::Swap { a, b } => {
+                        self.clocks[a] += cost;
+                        pending.push((a, b, self.clocks[a]));
+                        self.clocks[b] += cost;
+                        pending.push((b, a, self.clocks[b]));
+                    }
+                }
+            }
+            for &(_src, dst, arrival) in &pending {
+                let delivery = arrival.max(self.rx_free[dst] + cost);
+                self.rx_free[dst] = delivery;
+                self.sync_to(dst, delivery);
+            }
+        }
+        self.pending = pending;
+    }
+}
+
+/// Makespan of a single plan executed from time zero, every message
+/// carrying `wire_elems` elements: the exact simulated time the executed
+/// collective reports.
+///
+/// # Panics
+///
+/// Panics if `plan.size == 0`.
+#[must_use]
+pub fn plan_cost_ms(net: &CostModel, plan: &CollectivePlan, wire_elems: usize) -> f64 {
+    let mut clock = PlanClock::new(plan.size);
+    clock.charge_plan(net, plan, wire_elems);
+    clock.max_now()
+}
+
+/// Exact cost of one gTopKAllReduce over `topology`: the reduce plan
+/// followed by the broadcast plan from the reduce root, every message
+/// carrying `2k` wire elements (k values + k indices), with the inbound
+/// link horizon carried across the two phases.
+///
+/// For a power-of-two `P` on the binomial topology this equals Eq. 7,
+/// `2·log₂P·α + 4k·log₂P·β`, exactly.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+#[must_use]
+pub fn gtopk_plan_ms(net: &CostModel, topology: Topology, p: usize, k: usize) -> f64 {
+    let reduce = CollectivePlan::reduce(topology, p);
+    let bcast = CollectivePlan::broadcast(topology, p, reduce.root);
+    let mut clock = PlanClock::new(p);
+    clock.charge_plan(net, &reduce, 2 * k);
+    clock.charge_plan(net, &bcast, 2 * k);
+    clock.max_now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabeta::gtopk_allreduce_ms;
+
+    #[test]
+    fn binomial_plan_cost_equals_eq7_for_powers_of_two() {
+        let net = CostModel::new(0.7, 0.003);
+        for p in [2usize, 4, 8, 16, 32, 64] {
+            for k in [1usize, 25, 400] {
+                let planned = gtopk_plan_ms(&net, Topology::Binomial, p, k);
+                let eq7 = gtopk_allreduce_ms(&net, p, k);
+                assert!(
+                    (planned - eq7).abs() < 1e-9,
+                    "P={p} k={k}: plan {planned} vs Eq.7 {eq7}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_binomial_costs_ceil_log_rounds() {
+        // The fold round adds one α + 2kβ hop: P=5 reduces in
+        // ⌈log₂5⌉ = 3 rounds, broadcasts in 3 → the Eq. 7 shape with
+        // ⌈log₂P⌉ in place of log₂P.
+        let net = CostModel::new(1.0, 0.01);
+        let k = 10;
+        let hop = net.transfer_ms(2 * k);
+        for (p, rounds) in [(3usize, 2usize), (5, 3), (6, 3), (12, 4)] {
+            let planned = gtopk_plan_ms(&net, Topology::Binomial, p, k);
+            assert!(
+                (planned - 2.0 * rounds as f64 * hop).abs() < 1e-9,
+                "P={p}: {planned} vs {} hops",
+                2 * rounds
+            );
+        }
+    }
+
+    #[test]
+    fn ring_plan_cost_is_linear_in_p() {
+        // A chain reduce plus a chain broadcast: 2(P−1) serialized hops.
+        let net = CostModel::new(0.5, 0.002);
+        let k = 8;
+        let hop = net.transfer_ms(2 * k);
+        for p in [2usize, 3, 7, 12] {
+            let planned = gtopk_plan_ms(&net, Topology::Ring, p, k);
+            assert!(
+                (planned - 2.0 * (p as f64 - 1.0) * hop).abs() < 1e-9,
+                "P={p}: {planned}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_beats_ring_and_tracks_binomial_at_scale() {
+        let net = CostModel::new(1.0, 1e-4);
+        let k = 100;
+        for p in [9usize, 16, 25, 36] {
+            let tree = gtopk_plan_ms(&net, Topology::Binomial, p, k);
+            let hier = gtopk_plan_ms(&net, Topology::Hierarchical, p, k);
+            let ring = gtopk_plan_ms(&net, Topology::Ring, p, k);
+            assert!(hier < ring, "P={p}: hierarchical {hier} vs ring {ring}");
+            // Two √P star phases per direction stay within a small factor
+            // of the binomial tree at these sizes.
+            assert!(hier < 4.0 * tree, "P={p}: hierarchical {hier} vs {tree}");
+        }
+    }
+
+    #[test]
+    fn inbound_link_serialization_is_modelled() {
+        // A star reduce onto one root serializes on the root's inbound
+        // link: with α=1, β=0 and 4 leaves the last delivery lands at
+        // 4·α, not α.
+        let net = CostModel::new(1.0, 0.0);
+        let p = 5;
+        let plan = CollectivePlan::reduce(Topology::Hierarchical, p);
+        // ⌈√5⌉ = 3 → groups {0,1,2},{3,4}: in-group stars then a leader
+        // star; the root's inbound link carries multiple serialized
+        // deliveries.
+        let cost = plan_cost_ms(&net, &plan, 2);
+        assert!(
+            cost >= 3.0,
+            "serialized inbound deliveries must stack: {cost}"
+        );
+    }
+
+    #[test]
+    fn clock_state_persists_across_plans() {
+        let net = CostModel::new(1.0, 0.0);
+        let p = 4;
+        let reduce = CollectivePlan::reduce(Topology::Binomial, p);
+        let mut clock = PlanClock::new(p);
+        clock.charge_plan(&net, &reduce, 2);
+        let after_reduce = clock.max_now();
+        let bcast = CollectivePlan::broadcast(Topology::Binomial, p, reduce.root);
+        clock.charge_plan(&net, &bcast, 2);
+        assert!(clock.max_now() > after_reduce);
+        // Identical to the one-shot helper.
+        assert_eq!(
+            clock.max_now(),
+            gtopk_plan_ms(&net, Topology::Binomial, p, 1)
+        );
+    }
+
+    #[test]
+    fn compute_advance_shifts_the_critical_path() {
+        let net = CostModel::new(1.0, 0.0);
+        let p = 2;
+        let plan = CollectivePlan::reduce(Topology::Binomial, p);
+        let mut clock = PlanClock::new(p);
+        // The sender (position 1) is busy computing before it can send.
+        clock.advance_compute(1, 10.0);
+        clock.charge_plan(&net, &plan, 2);
+        assert_eq!(clock.now(0), 11.0);
+    }
+}

@@ -3,10 +3,16 @@
 #
 # Usage: scripts/check.sh
 #
+# Tests run under a GTOPK_THREADS matrix ({1, 4} by default) because the
+# kernels promise bit-identical results for any pool size; exporting
+# GTOPK_THREADS pins a single value (CI's matrix jobs do exactly that).
+#
 # The build environment has no registry access; everything runs with
 # --offline against the vendored stubs in vendor/ (see vendor/README.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+THREAD_MATRIX=(${GTOPK_THREADS:-1 4})
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -14,21 +20,24 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q --offline
+for threads in "${THREAD_MATRIX[@]}"; do
+  export GTOPK_THREADS="$threads"
+  echo "==> cargo test -q (GTOPK_THREADS=$threads)"
+  cargo test -q --offline
 
-# The workspace-level integration suites under tests/ are registered as
-# [[test]] targets of gtopk-core; run them explicitly so a registration
-# mistake (a file added to tests/ but not to crates/core/Cargo.toml)
-# fails loudly here instead of silently never running.
-echo "==> workspace integration suites (tests/)"
-for f in tests/*.rs; do
-  name="$(basename "$f" .rs)"
-  if ! grep -q "name = \"$name\"" crates/core/Cargo.toml; then
-    echo "error: $f is not registered as a [[test]] target in crates/core/Cargo.toml" >&2
-    exit 1
-  fi
-  cargo test -q --offline -p gtopk-core --test "$name"
+  # The workspace-level integration suites under tests/ are registered as
+  # [[test]] targets of gtopk-core; run them explicitly so a registration
+  # mistake (a file added to tests/ but not to crates/core/Cargo.toml)
+  # fails loudly here instead of silently never running.
+  echo "==> workspace integration suites (tests/, GTOPK_THREADS=$threads)"
+  for f in tests/*.rs; do
+    name="$(basename "$f" .rs)"
+    if ! grep -q "name = \"$name\"" crates/core/Cargo.toml; then
+      echo "error: $f is not registered as a [[test]] target in crates/core/Cargo.toml" >&2
+      exit 1
+    fi
+    cargo test -q --offline -p gtopk-core --test "$name"
+  done
 done
 
 echo "==> OK"

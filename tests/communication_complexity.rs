@@ -127,6 +127,7 @@ fn training_volume_matches_aggregation_volume() {
         cost_model: CostModel::zero(),
         compute_cost: None,
         selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
         momentum_correction: false,
         clip_norm: None,
         data_seed: 2,

@@ -21,6 +21,7 @@ fn cfg(alg: Algorithm, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
         cost_model: CostModel::zero(),
         compute_cost: None,
         selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
         momentum_correction: false,
         clip_norm: None,
         data_seed: 9,

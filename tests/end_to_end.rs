@@ -25,6 +25,7 @@ fn cfg(
         cost_model: CostModel::zero(),
         compute_cost: None,
         selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
         momentum_correction: false,
         clip_norm: None,
         data_seed: 3,

@@ -17,7 +17,7 @@
 //! lossless.
 
 use gtopk::ft_gtopk_all_reduce_with_feedback;
-use gtopk_comm::{Cluster, CostModel};
+use gtopk_comm::{Cluster, CostModel, Topology};
 use gtopk_sparse::{Residual, SparseVec};
 
 const DIM: usize = 48;
@@ -46,7 +46,8 @@ fn round(
     let mass_in = residual.dense().to_vec();
     let local = residual.extract_topk(K);
     let (global, gmask, tree_rejects) =
-        ft_gtopk_all_reduce_with_feedback(comm, members, local.clone(), K).unwrap();
+        ft_gtopk_all_reduce_with_feedback(comm, members, local.clone(), K, Topology::Binomial)
+            .unwrap();
     // The trainer's put-back discipline (see `GtopkFeedbackAggregator`).
     let (_kept, rejected) = local.partition_by(&gmask);
     residual.put_back(&rejected);

@@ -81,6 +81,7 @@ fn claim_convergence_parity_with_dense() {
         cost_model: CostModel::zero(),
         compute_cost: None,
         selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
         momentum_correction: false,
         clip_norm: None,
         data_seed: 4,
@@ -117,6 +118,7 @@ fn claim_speedup_grows_with_workers() {
             cost_model: CostModel::gigabit_ethernet(),
             compute_cost: None,
             selector: Selector::Exact,
+            topology: gtopk::Topology::Binomial,
             momentum_correction: false,
             clip_norm: None,
             data_seed: 5,

@@ -1,0 +1,150 @@
+//! Property tests pinning the plan IR to its two contracts.
+//!
+//! 1. **Cost is a fold over the plan**: for arbitrary P ∈ [2, 48], k,
+//!    topology and network, the α-β time a cluster actually spends
+//!    executing gTopKAllReduce equals `gtopk_perfmodel::gtopk_plan_ms`'s
+//!    offline replay of the same plans *exactly* — not to a tolerance.
+//! 2. **Topology changes the schedule, not the answer**: under disjoint
+//!    per-rank supports with globally distinct magnitudes (where the
+//!    non-associativity of the ⊤ merge cannot bite), every topology
+//!    produces the same global bit-for-bit on every rank, equal to the
+//!    paper's `G̃₁ ⊤ G̃₂ ⊤ … ⊤ G̃_P` reference (`topk_merge_many`); and
+//!    the ring chain reproduces that left fold bitwise even for
+//!    overlapping supports, because its plan *is* the fold.
+
+use gtopk::gtopk_all_reduce_over;
+use gtopk_comm::{Cluster, CostModel, Topology};
+use gtopk_perfmodel::gtopk_plan_ms;
+use gtopk_sparse::{topk_merge_many, topk_sparse, SparseVec};
+use proptest::prelude::*;
+
+/// Rank `r`'s k-sparse contribution with support disjoint from every
+/// other rank's (rank `r` owns indices `r·k .. (r+1)·k`) and globally
+/// distinct magnitudes, so the global top-k is order-independent and
+/// cross-topology bitwise identity is well-defined.
+fn disjoint_local(r: usize, p: usize, k: usize) -> SparseVec {
+    let dim = p * k;
+    let pairs = (0..k)
+        .map(|j| {
+            let idx = r * k + j;
+            let sign = if (r + j).is_multiple_of(2) {
+                1.0f32
+            } else {
+                -1.0
+            };
+            (idx as u32, sign * (1.0 + idx as f32 * 0.01))
+        })
+        .collect();
+    SparseVec::from_pairs(dim, pairs)
+}
+
+/// Deterministic pseudo-random dense gradient (overlapping supports).
+fn grad(rank: usize, dim: usize, seed: u64) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 7)
+                .wrapping_mul(rank as u64 * 3 + seed + 11)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bits(v: &SparseVec) -> (Vec<u32>, Vec<u32>) {
+    (
+        v.indices().to_vec(),
+        v.values().iter().map(|x| x.to_bits()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Executed α-β time == plan-cost replay, exactly, for any worker
+    /// count (power-of-two or folded), any topology, any network.
+    #[test]
+    fn prop_executed_time_equals_plan_cost(
+        p in 2usize..=48,
+        k in 1usize..=6,
+        topo_idx in 0usize..3,
+        net_idx in 0usize..3,
+    ) {
+        let topo = Topology::ALL[topo_idx];
+        let net = [
+            CostModel::gigabit_ethernet(),
+            CostModel::new(0.7, 0.003),
+            CostModel::new(0.05, 0.0001),
+        ][net_idx];
+        let members: Vec<usize> = (0..p).collect();
+        let times = Cluster::new(p, net).run(|comm| {
+            let mine = disjoint_local(comm.rank(), p, k);
+            gtopk_all_reduce_over(comm, &members, mine, k, 0, topo).unwrap();
+            comm.now_ms()
+        });
+        let executed = times.iter().copied().fold(0.0f64, f64::max);
+        let planned = gtopk_plan_ms(&net, topo, p, k);
+        prop_assert!(
+            executed == planned,
+            "{topo} P={p} k={k} net={net_idx}: executed {executed} != plan cost {planned}"
+        );
+    }
+
+    /// Every topology yields the same global on every rank, bit-for-bit
+    /// equal to the paper's ⊤-fold reference, when supports are disjoint
+    /// with distinct magnitudes.
+    #[test]
+    fn prop_topologies_agree_bitwise_with_the_merge_reference(
+        p in 2usize..=48,
+        k in 1usize..=6,
+    ) {
+        let members: Vec<usize> = (0..p).collect();
+        let locals: Vec<SparseVec> = (0..p).map(|r| disjoint_local(r, p, k)).collect();
+        let reference = bits(&topk_merge_many(&locals, k));
+        for topo in Topology::ALL {
+            let globals = Cluster::new(p, CostModel::zero()).run(|comm| {
+                let mine = disjoint_local(comm.rank(), p, k);
+                let (global, _mask, _rejects) =
+                    gtopk_all_reduce_over(comm, &members, mine, k, 0, topo).unwrap();
+                bits(&global)
+            });
+            for (r, g) in globals.iter().enumerate() {
+                prop_assert_eq!(
+                    g,
+                    &reference,
+                    "{} P={} k={}: rank {} diverges from the ⊤-fold reference",
+                    topo, p, k, r
+                );
+            }
+        }
+    }
+
+    /// The ring chain is literally the paper's left fold, so it matches
+    /// `topk_merge_many` bitwise even for *overlapping* supports, where
+    /// ⊤'s non-associativity makes other topologies legitimately differ.
+    #[test]
+    fn prop_ring_chain_is_the_papers_left_fold(
+        p in 2usize..=12,
+        k in 1usize..=8,
+        seed in 0u64..40,
+    ) {
+        let dim = 32usize;
+        let members: Vec<usize> = (0..p).collect();
+        let locals: Vec<SparseVec> =
+            (0..p).map(|r| topk_sparse(&grad(r, dim, seed), k)).collect();
+        let reference = bits(&topk_merge_many(&locals, k));
+        let globals = Cluster::new(p, CostModel::zero()).run(|comm| {
+            let mine = topk_sparse(&grad(comm.rank(), dim, seed), k);
+            let (global, _mask, _rejects) =
+                gtopk_all_reduce_over(comm, &members, mine, k, 0, Topology::Ring).unwrap();
+            bits(&global)
+        });
+        for (r, g) in globals.iter().enumerate() {
+            prop_assert_eq!(
+                g,
+                &reference,
+                "P={} k={} seed={}: rank {} diverges from the left fold",
+                p, k, seed, r
+            );
+        }
+    }
+}
