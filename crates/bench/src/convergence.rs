@@ -94,6 +94,7 @@ mod tests {
             sim_time_ms: 1.0,
             elems_sent_rank0: 0,
             retransmissions: 0,
+            link_stats: Vec::new(),
             survivors: 2,
             mean_update_nnz: 0.0,
             pool_hits_rank0: 0,

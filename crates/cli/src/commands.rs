@@ -2,14 +2,18 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use gtopk::{
-    train_distributed, Algorithm, DensitySchedule, OverlapConfig, Selector, Topology, TrainConfig,
+    train_distributed, train_rank, Algorithm, DensitySchedule, OverlapConfig, Selector, Topology,
+    TrainConfig,
 };
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
 };
-use gtopk_comm::{CostModel, FaultPlan};
+use gtopk_comm::transport::{TcpConfig, TcpTransport};
+use gtopk_comm::{Communicator, CostModel, FaultPlan};
 use gtopk_data::{GaussianMixture, MarkovText, PatternImages};
 use gtopk_nn::{models, Model};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
 
 /// Executes a parsed command line; returns the text to print.
 ///
@@ -121,6 +125,124 @@ fn parse_fault_plan(parsed: &ParsedArgs, workers: usize) -> Result<Option<FaultP
     Ok(Some(plan))
 }
 
+/// How `train` obtains its communicator(s).
+enum Launch {
+    /// In-process simulated cluster: one thread per rank.
+    Sim,
+    /// This OS process is one rank of a real multi-process cluster.
+    Tcp(Box<Communicator>),
+}
+
+/// Parses the `--transport`/`--rank`/`--listen`/`--peers`/`--rendezvous`
+/// options into a [`Launch`]. The default (`sim`) tolerates none of the
+/// TCP-only options.
+fn parse_launch(parsed: &ParsedArgs, workers: usize, cost: CostModel) -> Result<Launch, ArgError> {
+    let transport = parsed.get_str("transport", "sim");
+    match transport.as_str() {
+        "sim" => {
+            for opt in ["rank", "listen", "peers", "rendezvous"] {
+                if parsed.has_option(opt) {
+                    return Err(ArgError(format!("--{opt} requires --transport tcp")));
+                }
+            }
+            Ok(Launch::Sim)
+        }
+        "tcp" => {
+            if !parsed.has_option("rank") {
+                return Err(ArgError(
+                    "--transport tcp requires --rank (this process's rank)".into(),
+                ));
+            }
+            let rank: usize = parsed.get("rank", 0)?;
+            if rank >= workers {
+                return Err(ArgError(format!(
+                    "--rank {rank} out of range (P = {workers})"
+                )));
+            }
+            let listen = parsed.get_str("listen", "127.0.0.1:0");
+            let listener = TcpListener::bind(&listen)
+                .map_err(|e| ArgError(format!("--listen {listen}: {e}")))?;
+            let peers: Vec<SocketAddr> = if parsed.has_option("peers") {
+                parsed
+                    .get_str("peers", "")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| ArgError(format!("--peers: bad address `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?
+            } else if parsed.has_option("rendezvous") {
+                let own = listener
+                    .local_addr()
+                    .map_err(|e| ArgError(format!("listener address: {e}")))?;
+                rendezvous_peers(&parsed.get_str("rendezvous", ""), rank, workers, own)?
+            } else {
+                return Err(ArgError(
+                    "--transport tcp requires --peers addr0,addr1,... or --rendezvous DIR".into(),
+                ));
+            };
+            if peers.len() != workers {
+                return Err(ArgError(format!(
+                    "expected {workers} peer addresses, got {}",
+                    peers.len()
+                )));
+            }
+            let t = TcpTransport::establish(listener, rank, peers, TcpConfig::fast_local())
+                .map_err(|e| ArgError(format!("tcp transport: {e}")))?;
+            Ok(Launch::Tcp(Box::new(Communicator::from_transport(
+                Box::new(t),
+                cost,
+            ))))
+        }
+        other => Err(ArgError(format!(
+            "unknown transport `{other}` (accepted values: sim, tcp)"
+        ))),
+    }
+}
+
+/// OS-assigned-port rendezvous: publish this rank's bound address as
+/// `DIR/rank-R.addr` (atomically, via rename) and poll until every rank's
+/// file exists. Lets launch scripts start `P` processes on port 0 with no
+/// pre-agreed port list.
+fn rendezvous_peers(
+    dir: &str,
+    rank: usize,
+    workers: usize,
+    own: SocketAddr,
+) -> Result<Vec<SocketAddr>, ArgError> {
+    if dir.is_empty() {
+        return Err(ArgError("--rendezvous needs a directory path".into()));
+    }
+    let dir = std::path::Path::new(dir);
+    let io_err = |what: &str, e: std::io::Error| ArgError(format!("rendezvous {what}: {e}"));
+    std::fs::create_dir_all(dir).map_err(|e| io_err("dir", e))?;
+    let tmp = dir.join(format!(".rank-{rank}.addr.tmp"));
+    std::fs::write(&tmp, own.to_string()).map_err(|e| io_err("write", e))?;
+    std::fs::rename(&tmp, dir.join(format!("rank-{rank}.addr")))
+        .map_err(|e| io_err("publish", e))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut peers: Vec<Option<SocketAddr>> = vec![None; workers];
+    loop {
+        for (r, slot) in peers.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Ok(s) = std::fs::read_to_string(dir.join(format!("rank-{r}.addr"))) {
+                    *slot = s.trim().parse().ok();
+                }
+            }
+        }
+        if peers.iter().all(Option::is_some) {
+            return Ok(peers.into_iter().flatten().collect());
+        }
+        if Instant::now() >= deadline {
+            return Err(ArgError(
+                "rendezvous timed out waiting for peer address files".into(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     parsed.ensure_known(&[
         "model",
@@ -138,6 +260,11 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "topology",
         "momentum-correction",
         "clip",
+        "transport",
+        "rank",
+        "listen",
+        "peers",
+        "rendezvous",
         "fault-seed",
         "fault-drop",
         "fault-jitter",
@@ -225,45 +352,79 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
             return Err(ArgError("--fault-checkpoint must be positive".into()));
         }
     }
+    let mut launch = parse_launch(parsed, workers, cfg.cost_model)?;
+    if matches!(launch, Launch::Tcp(_))
+        && cfg.fault_plan.is_none()
+        && matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback)
+    {
+        // Real processes die for real: arm the checkpoint/rollback
+        // recovery policy with a fault-free plan, so organic peer death
+        // (detected by the transport's deadlines and heartbeats) takes
+        // the same ULFM-style recovery path as an injected crash.
+        cfg.fault_plan = Some(FaultPlan::seeded(parsed.get("fault-seed", 1)?));
+        cfg.checkpoint_interval = parsed.get("fault-checkpoint", 10)?;
+        if cfg.checkpoint_interval == 0 {
+            return Err(ArgError("--fault-checkpoint must be positive".into()));
+        }
+    }
+
+    // Dispatches one model family to the selected launch mode: the
+    // in-process cluster always yields a report; a TCP rank yields `None`
+    // if it crashed or was expelled mid-run.
+    macro_rules! launch_model {
+        ($build:expr, $data:expr) => {{
+            let build = $build;
+            let data = $data;
+            let m = build().num_params();
+            let report = match &mut launch {
+                Launch::Sim => Some(train_distributed(&cfg, build, &data, None)),
+                Launch::Tcp(comm) => train_rank(&cfg, comm, build, &data, None),
+            };
+            (report, m)
+        }};
+    }
     let (report, m) = match model_name.as_str() {
         "mlp" => {
             let data =
                 GaussianMixture::new(seed, 64 * workers.max(4) * batch.max(8), 16, 4, 2.5, 0.5);
-            let build = move || models::mlp(seed, 16, 32, 4);
-            let m = build().num_params();
-            (train_distributed(&cfg, build, &data, None), m)
+            launch_model!(move || models::mlp(seed, 16, 32, 4), data)
         }
         "vgg" => {
             let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
-            let build = move || models::vgg_lite(seed, 3, 8, 10);
-            let m = build().num_params();
-            (train_distributed(&cfg, build, &data, None), m)
+            launch_model!(move || models::vgg_lite(seed, 3, 8, 10), data)
         }
         "resnet" => {
             let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
-            let build = move || models::resnet20_lite(seed, 3, 10);
-            let m = build().num_params();
-            (train_distributed(&cfg, build, &data, None), m)
+            launch_model!(move || models::resnet20_lite(seed, 3, 10), data)
         }
         "alexnet" => {
             let data = PatternImages::imagenet_like(seed, 12 * workers.max(4) * batch.max(8));
-            let build = move || models::alex_lite(seed, 3, 16, 20);
-            let m = build().num_params();
-            (train_distributed(&cfg, build, &data, None), m)
+            launch_model!(move || models::alex_lite(seed, 3, 16, 20), data)
         }
         "lstm" => {
             let data = MarkovText::new(seed, 16 * workers.max(4) * batch.max(8), 16, 12);
-            let build = move || models::lstm_lm(seed, 16, 12, 24);
-            let m = build().num_params();
-            (train_distributed(&cfg, build, &data, None), m)
+            launch_model!(move || models::lstm_lm(seed, 16, 12, 24), data)
         }
         other => return Err(ArgError(format!("unknown model `{other}`"))),
     };
 
-    let mut out = format!(
+    let Some(report) = report else {
+        // Only reachable on a TCP rank that died or was expelled.
+        let rank: usize = parsed.get("rank", 0)?;
+        return Ok(format!("rank {rank} left the run (crashed or expelled)\n"));
+    };
+    let mut out = String::new();
+    if let Launch::Tcp(comm) = &launch {
+        out.push_str(&format!(
+            "tcp rank {}/{} trained as one real process\n",
+            comm.rank(),
+            workers
+        ));
+    }
+    out.push_str(&format!(
         "{} on {model_name} ({} parameters), P = {}, b = {batch}, rho = {density}\n",
         report.algorithm, m, report.workers
-    );
+    ));
     for e in &report.epochs {
         out.push_str(&format!(
             "epoch {:3}  density {:.4}  loss {:.4}\n",
@@ -297,6 +458,12 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
             report.survivors,
             report.workers
         ));
+        for ls in &report.link_stats {
+            out.push_str(&format!(
+                "  link to rank {}: {} retransmissions, {} timeouts\n",
+                ls.peer, ls.retransmissions, ls.timeouts
+            ));
+        }
     }
     Ok(out)
 }
@@ -517,6 +684,33 @@ mod tests {
         .unwrap();
         assert!(out.contains("retransmissions"), "{out}");
         assert!(out.contains("2/2 ranks survived"), "{out}");
+    }
+
+    #[test]
+    fn transport_options_are_validated() {
+        // TCP-only options are rejected under the default sim transport.
+        for opt in [
+            "--rank 0",
+            "--listen 127.0.0.1:0",
+            "--peers a",
+            "--rendezvous d",
+        ] {
+            let err = run_line(&format!("train {opt}")).unwrap_err();
+            assert!(err.0.contains("--transport tcp"), "{}", err.0);
+        }
+        // Unknown transports list the accepted values.
+        let err = run_line("train --transport carrier-pigeon").unwrap_err();
+        assert!(err.0.contains("sim, tcp"), "{}", err.0);
+        // TCP needs a rank in range and a peer source.
+        assert!(run_line("train --transport tcp").is_err());
+        assert!(run_line("train --transport tcp --workers 2 --rank 5").is_err());
+        let err = run_line("train --transport tcp --rank 0").unwrap_err();
+        assert!(err.0.contains("--peers"), "{}", err.0);
+        // Peer list length must match the worker count.
+        assert!(run_line(
+            "train --transport tcp --workers 4 --rank 0 --peers 127.0.0.1:1,127.0.0.1:2"
+        )
+        .is_err());
     }
 
     #[test]

@@ -2,9 +2,8 @@
 //! channel mesh.
 
 use crate::comm::LinkCostFn;
-use crate::{Communicator, CostModel, FaultPlan, Message};
-use crossbeam::channel::unbounded;
-use crossbeam::channel::{Receiver, Sender};
+use crate::transport::SimTransport;
+use crate::{Communicator, CostModel, FaultPlan};
 use std::sync::Arc;
 
 /// A simulated cluster of `P` workers.
@@ -117,29 +116,10 @@ impl Cluster {
     /// Useful for single-threaded stepwise tests; most callers want
     /// [`Cluster::run`].
     pub fn communicators(&self) -> Vec<Communicator> {
-        let p = self.size;
-        // mesh[s][d] transports messages from rank s to rank d.
-        let mut tx: Vec<Vec<Option<Sender<Message>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut rx: Vec<Vec<Option<Receiver<Message>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        for s in 0..p {
-            for d in 0..p {
-                if s == d {
-                    continue;
-                }
-                let (t, r) = unbounded();
-                tx[s][d] = Some(t);
-                // receivers indexed by source at the destination
-                rx[d][s] = Some(r);
-            }
-        }
-        // Distribute: rank r gets senders tx[r][*] and receivers rx[r][*].
-        tx.into_iter()
-            .zip(rx)
-            .enumerate()
-            .map(|(rank, (senders, receivers))| {
-                let mut comm = Communicator::from_mesh(rank, p, senders, receivers, self.cost);
+        SimTransport::mesh(self.size)
+            .into_iter()
+            .map(|endpoint| {
+                let mut comm = Communicator::from_transport(Box::new(endpoint), self.cost);
                 if let Some(links) = &self.link_costs {
                     comm.set_link_costs(links.clone());
                 }
@@ -163,19 +143,60 @@ impl Cluster {
         T: Send,
         F: Fn(&mut Communicator) -> T + Send + Sync,
     {
+        self.run_caught(f)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, r)| match r {
+                Ok(v) => v,
+                Err(msg) => panic!("rank {rank} panicked: {msg}"),
+            })
+            .collect()
+    }
+
+    /// Like [`Cluster::run`], but a rank panic is caught instead of
+    /// propagated: the panicking rank revokes the current membership
+    /// epoch toward every peer *before* its endpoint closes — so ranks
+    /// blocked in a collective observe [`CommError::Aborted`](crate::CommError::Aborted)
+    /// (or, at worst, `Disconnected`) rather than deadlocking — and its
+    /// slot carries the panic message. Survivor slots carry the closure's
+    /// value. Death-path tests and supervisors use this; everyone else
+    /// wants [`Cluster::run`].
+    pub fn run_caught<T, F>(&self, f: F) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
         let comms = self.communicators();
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|mut comm| scope.spawn(move || f(&mut comm)))
+                .map(|mut comm| {
+                    scope.spawn(move || {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&mut comm)
+                        })) {
+                            Ok(v) => Ok(v),
+                            Err(payload) => {
+                                // Orderly teardown: announce death to every
+                                // peer while this endpoint is still open, so
+                                // blocked receivers abort deterministically
+                                // instead of relying on channel-drop order.
+                                let epoch = comm.epoch();
+                                for peer in 0..comm.size() {
+                                    comm.revoke(peer, epoch);
+                                }
+                                Err(panic_message(payload))
+                            }
+                        }
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .enumerate()
-                .map(|(rank, h)| match h.join() {
-                    Ok(v) => v,
-                    Err(_) => panic!("rank {rank} panicked"),
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("rank thread died outside the catch guard".into()))
                 })
                 .collect()
         })
@@ -198,10 +219,23 @@ impl Cluster {
     }
 }
 
+/// Renders a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces) for the per-rank error slot.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Payload;
+    use crate::plan::{execute_plan, CollectivePlan, PlanOps, Topology};
+    use crate::{CommError, Communicator, Payload, Result};
 
     #[test]
     #[should_panic(expected = "at least one rank")]
@@ -244,5 +278,58 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn run_caught_returns_panic_message_and_survivor_values() {
+        let out = Cluster::new(2, CostModel::zero()).run_caught(|comm| {
+            if comm.rank() == 0 {
+                panic!("deliberate: {}", comm.rank());
+            }
+            comm.rank()
+        });
+        assert_eq!(out[0], Err("deliberate: 0".to_string()));
+        assert_eq!(out[1], Ok(1));
+    }
+
+    /// Regression: a rank dying *inside* a collective must not deadlock
+    /// the survivors — they must observe the death as an error and
+    /// terminate.
+    #[test]
+    fn rank_panic_mid_collective_aborts_peers_instead_of_deadlocking() {
+        struct ScalarSum(f64);
+        impl PlanOps for ScalarSum {
+            fn on_send(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+                comm.send(peer, tag, Payload::Scalar(self.0))
+            }
+            fn on_recv(&mut self, comm: &mut Communicator, peer: usize, tag: u32) -> Result<()> {
+                self.0 += comm.recv(peer, tag)?.payload.into_scalar();
+                Ok(())
+            }
+        }
+        // The (drop-free) fault plan matters only for its wall-clock
+        // safety cap: if the abort path ever regressed into a deadlock,
+        // the test would fail fast with Timeout instead of hanging.
+        let out = Cluster::new(4, CostModel::zero())
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run_caught(|comm| {
+                if comm.rank() == 2 {
+                    panic!("killed mid-collective");
+                }
+                let plan = CollectivePlan::reduce(Topology::Binomial, comm.size());
+                let mut ops = ScalarSum(1.0);
+                execute_plan(comm, &plan, comm.rank(), 0, |p| p, &mut ops)
+            });
+        assert_eq!(out[2], Err("killed mid-collective".to_string()));
+        // Binomial reduce over 4: round 0 is 1→0 and 3→2, round 1 is
+        // 2→0. The root blocks on the dead rank and must see its revoke.
+        match &out[0] {
+            Ok(Err(CommError::Aborted { rank: 2, .. })) => {}
+            other => panic!("root must abort on the dead rank's revoke, got {other:?}"),
+        }
+        // The other survivors only send; they must terminate without
+        // panicking, successfully or with a clean transport error.
+        assert!(out[1].is_ok(), "rank 1 must not panic: {:?}", out[1]);
+        assert!(out[3].is_ok(), "rank 3 must not panic: {:?}", out[3]);
     }
 }

@@ -1,11 +1,11 @@
 //! The per-rank communicator: tagged blocking point-to-point messaging over
-//! a channel mesh, with simulated-time accounting and (optional)
+//! a pluggable [`Transport`], with simulated-time accounting and (optional)
 //! deterministic fault injection beneath the happy-path API.
 
 use crate::fault::RetryPolicy;
 use crate::pool::{BufferPool, PoolStats};
+use crate::transport::Transport;
 use crate::{CommError, CostModel, FaultPlan, Message, Payload, Result, SimClock};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +50,21 @@ impl CommStats {
     }
 }
 
+/// Failure counters of one directed link, as seen by this rank.
+///
+/// Surfaced through `TrainReport` so a real-network run is diagnosable
+/// from the report alone: which peer dropped traffic, which peer went
+/// silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// The peer at the far end of the link.
+    pub peer: usize,
+    /// Retransmissions this rank performed toward `peer`.
+    pub retransmissions: u64,
+    /// Operations with `peer` that gave up with [`CommError::Timeout`].
+    pub timeouts: u64,
+}
+
 /// Fault-injection context of one rank (present only when a plan is
 /// active; `None` keeps every hot path bit-identical to the pre-fault
 /// code).
@@ -65,33 +80,41 @@ struct FaultCtx {
     send_seq: Vec<u64>,
 }
 
-/// One rank's endpoint into the simulated cluster.
+/// One rank's endpoint into the cluster.
 ///
 /// Mirrors the MPI calls the paper's pseudo-code uses: `Send`, `Recv`,
 /// (collectives are free functions in [`crate::collectives`]). All
 /// operations are blocking and tagged; matching is by `(source, tag)` with
 /// out-of-order messages from the same source buffered internally.
 ///
+/// Delivery is delegated to a [`Transport`]: the in-process channel mesh
+/// of the simulated [`Cluster`](crate::Cluster), or a supervised TCP
+/// backend ([`crate::transport::TcpTransport`]) for real multi-process
+/// runs. Everything above delivery — the simulated α-β clock, tag
+/// matching, fault injection, REVOKE handling — lives here and is
+/// identical on every backend.
+///
 /// With a [`FaultPlan`] installed (see
-/// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan)) the same
-/// API additionally models message drops with bounded exponential-backoff
-/// retransmission, delivery jitter, per-rank crash schedules
-/// ([`Communicator::begin_step`]) and straggler slowdowns; `recv` gains a
-/// simulated-clock timeout. Without a plan, behaviour is bit-identical to
-/// the fault-free build.
+/// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan) or
+/// [`Communicator::arm_fault_plan`]) the same API additionally models
+/// message drops with bounded exponential-backoff retransmission, delivery
+/// jitter, per-rank crash schedules ([`Communicator::begin_step`]) and
+/// straggler slowdowns; `recv` gains a simulated-clock timeout. Without a
+/// plan, behaviour is bit-identical to the fault-free build.
 pub struct Communicator {
     rank: usize,
     size: usize,
-    /// `senders[d]` is the channel endpoint that delivers to rank `d`.
-    senders: Vec<Option<Sender<Message>>>,
-    /// `receivers[s]` yields messages sent by rank `s`.
-    receivers: Vec<Option<Receiver<Message>>>,
+    transport: Box<dyn Transport>,
     /// Out-of-order stash, per source.
     pending: Vec<VecDeque<Message>>,
     clock: SimClock,
     cost: CostModel,
     link_costs: Option<LinkCostFn>,
     stats: CommStats,
+    /// Per-destination retransmission counters (indexed by peer).
+    link_retrans: Vec<u64>,
+    /// Per-peer timeout counters (indexed by peer).
+    link_timeouts: Vec<u64>,
     /// Simulated time at which this rank's inbound link finishes its
     /// last delivery — messages arriving together serialize (incast).
     rx_link_free_ms: f64,
@@ -120,26 +143,26 @@ impl std::fmt::Debug for Communicator {
 }
 
 impl Communicator {
-    /// Assembles a communicator endpoint. Used by
-    /// [`Cluster`](crate::Cluster); not part of the public construction
-    /// API.
-    pub(crate) fn from_mesh(
-        rank: usize,
-        size: usize,
-        senders: Vec<Option<Sender<Message>>>,
-        receivers: Vec<Option<Receiver<Message>>>,
-        cost: CostModel,
-    ) -> Self {
+    /// Assembles a communicator endpoint over an arbitrary [`Transport`].
+    ///
+    /// The simulated [`Cluster`](crate::Cluster) uses this with
+    /// [`SimTransport`](crate::transport::SimTransport) endpoints; real
+    /// multi-process launches pair it with
+    /// [`TcpTransport`](crate::transport::TcpTransport).
+    pub fn from_transport(transport: Box<dyn Transport>, cost: CostModel) -> Self {
+        let rank = transport.rank();
+        let size = transport.size();
         Communicator {
             rank,
             size,
-            senders,
-            receivers,
+            transport,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             clock: SimClock::new(),
             cost,
             link_costs: None,
             stats: CommStats::default(),
+            link_retrans: vec![0; size],
+            link_timeouts: vec![0; size],
             rx_link_free_ms: 0.0,
             fault: None,
             epoch: 0,
@@ -167,6 +190,14 @@ impl Communicator {
             send_seq: vec![0; self.size],
             plan,
         });
+    }
+
+    /// Arms a deterministic [`FaultPlan`] on this rank (the per-endpoint
+    /// equivalent of [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan),
+    /// for endpoints constructed via [`Communicator::from_transport`]).
+    /// An inactive plan ([`FaultPlan::none`]) changes nothing.
+    pub fn arm_fault_plan(&mut self, plan: FaultPlan) {
+        self.set_fault_plan(Arc::new(plan));
     }
 
     /// Cost model of the directed link `src → dst` (the uniform model
@@ -226,7 +257,9 @@ impl Communicator {
 
     /// Advances the membership epoch. Fault-tolerant collectives bump
     /// this on every shrink-and-continue recovery; revoke messages
-    /// stamped with an older epoch are then recognized as stale.
+    /// stamped with an older epoch are then recognized as stale, and a
+    /// real-network transport additionally rejects handshakes from peers
+    /// still living in a revoked epoch.
     ///
     /// # Panics
     ///
@@ -237,6 +270,7 @@ impl Communicator {
             "membership epoch cannot move backwards"
         );
         self.epoch = epoch;
+        self.transport.set_epoch(epoch);
     }
 
     /// Marks the start of one training step and enforces the fault
@@ -253,7 +287,7 @@ impl Communicator {
         if let Some(f) = &self.fault {
             if f.crash_step == Some(self.step) {
                 self.crashed = true;
-                return Err(CommError::Aborted { rank: self.rank });
+                return Err(CommError::aborted(self.rank));
             }
         }
         self.step += 1;
@@ -301,6 +335,20 @@ impl Communicator {
         s
     }
 
+    /// Per-link failure counters: one entry per peer that saw at least
+    /// one retransmission or timeout from this rank (quiet links are
+    /// omitted). Entries are in peer order.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        (0..self.size)
+            .filter(|&p| self.link_retrans[p] != 0 || self.link_timeouts[p] != 0)
+            .map(|p| LinkStats {
+                peer: p,
+                retransmissions: self.link_retrans[p],
+                timeouts: self.link_timeouts[p],
+            })
+            .collect()
+    }
+
     /// This rank's recycled-buffer pool. Collectives and trainers draw
     /// message/workspace buffers from here and retire them after use so
     /// the steady-state hot path allocates nothing.
@@ -316,22 +364,25 @@ impl Communicator {
     /// Resets counters and clock (between timed experiment repetitions).
     pub fn reset_accounting(&mut self) {
         self.stats = CommStats::default();
+        self.link_retrans.iter_mut().for_each(|c| *c = 0);
+        self.link_timeouts.iter_mut().for_each(|c| *c = 0);
         self.clock.reset();
         self.rx_link_free_ms = 0.0;
     }
 
     /// Drops stashed out-of-order messages for which `stale` returns
     /// true, after draining everything currently queued on the inbound
-    /// channels into the stash. Fault-tolerant recovery calls this to
+    /// links into the stash. Fault-tolerant recovery calls this to
     /// discard data from a revoked collective (identified by its
     /// epoch-stamped tags) so it can never alias a future receive.
     pub fn purge_pending<F: Fn(&Message) -> bool>(&mut self, stale: F) -> usize {
         for src in 0..self.size {
+            if src == self.rank {
+                continue;
+            }
             let mut drained = Vec::new();
-            if let Some(rx) = self.receivers[src].as_ref() {
-                while let Some(msg) = rx.try_recv() {
-                    drained.push(msg);
-                }
+            while let Some(msg) = self.transport.try_recv(src) {
+                drained.push(msg);
             }
             for mut msg in drained {
                 self.serialize_inbound_at(src, &mut msg);
@@ -359,7 +410,7 @@ impl Communicator {
 
     fn check_alive(&self) -> Result<()> {
         if self.crashed {
-            return Err(CommError::Aborted { rank: self.rank });
+            return Err(CommError::aborted(self.rank));
         }
         Ok(())
     }
@@ -371,17 +422,20 @@ impl Communicator {
     /// Under an active [`FaultPlan`], each transmission attempt may be
     /// dropped; drops trigger bounded retransmission with exponential
     /// backoff, every attempt charged the full transfer cost and counted
-    /// in [`CommStats`].
+    /// in [`CommStats`]. Drops are decided *above* the transport — a
+    /// dropped attempt never reaches the wire — so fault injection is
+    /// identical on the simulated and TCP backends.
     ///
-    /// The transport is unbounded, so the call never blocks on the peer;
-    /// blocking flow control is modeled purely in simulated time, exactly
-    /// like the paper's cost analysis assumes.
+    /// The transport buffers unboundedly, so the call never blocks on the
+    /// peer draining; blocking flow control is modeled purely in simulated
+    /// time, exactly like the paper's cost analysis assumes.
     ///
     /// # Errors
     ///
     /// [`CommError::InvalidRank`] if `dest` is out of range or `self`;
-    /// [`CommError::Disconnected`] if the peer thread has exited;
-    /// [`CommError::Timeout`] if every bounded retransmission was dropped;
+    /// [`CommError::Disconnected`] if the peer is gone;
+    /// [`CommError::Timeout`] if every bounded retransmission was dropped
+    /// (or a real network had no writable connection within its deadline);
     /// [`CommError::Aborted`] if this rank already crashed.
     pub fn send(&mut self, dest: usize, tag: u32, payload: Payload) -> Result<()> {
         self.check_alive()?;
@@ -399,14 +453,11 @@ impl Communicator {
             };
             self.stats.msgs_sent += 1;
             self.stats.elems_sent += n;
-            return self.senders[dest]
-                .as_ref()
-                .expect("sender endpoint present for valid peer")
-                .send(msg)
-                .map_err(|_| CommError::Disconnected { peer: dest });
+            return self.transport.send(dest, msg);
         };
         let cost = base_cost * fault.straggle;
         let retry = fault.retry;
+        let t_start = self.clock.now_ms();
         // Revokes are control-plane traffic: exempt from drop injection,
         // like a connection reset — otherwise a dropped revoke could
         // stall the very recovery that handles drops.
@@ -422,12 +473,18 @@ impl Communicator {
             if !reliable && plan.drops(self.rank, dest, seq) {
                 if attempt == retry.max_retries {
                     self.stats.timeouts += 1;
-                    return Err(CommError::Timeout { peer: dest });
+                    self.link_timeouts[dest] += 1;
+                    return Err(CommError::Timeout {
+                        peer: dest,
+                        attempts: attempt + 1,
+                        elapsed_ms: self.clock.now_ms() - t_start,
+                    });
                 }
                 // Exponential backoff before the retransmission.
                 self.clock
                     .advance(retry.backoff_base_ms * f64::from(1u32 << attempt.min(20)));
                 self.stats.retransmissions += 1;
+                self.link_retrans[dest] += 1;
                 attempt += 1;
                 continue;
             }
@@ -442,11 +499,7 @@ impl Communicator {
                 payload,
                 arrival_ms: self.clock.now_ms() + jitter,
             };
-            return self.senders[dest]
-                .as_ref()
-                .expect("sender endpoint present for valid peer")
-                .send(msg)
-                .map_err(|_| CommError::Disconnected { peer: dest });
+            return self.transport.send(dest, msg);
         }
     }
 
@@ -475,7 +528,10 @@ impl Communicator {
     ///
     /// Under an active [`FaultPlan`] the receive is bounded by the plan's
     /// simulated-clock timeout (see [`RetryPolicy::recv_timeout_ms`]) and
-    /// aborts when a peer revokes the current membership epoch.
+    /// aborts when a peer revokes the current membership epoch. A
+    /// real-network transport additionally applies its own per-link
+    /// receive deadline, so organic peer death surfaces even with no
+    /// fault plan armed.
     ///
     /// # Errors
     ///
@@ -512,6 +568,7 @@ impl Communicator {
     fn recv_inner(&mut self, source: usize, tag: u32, deadline_ms: Option<f64>) -> Result<Message> {
         self.check_alive()?;
         self.check_peer(source)?;
+        let sim_start = self.clock.now_ms();
         // Check the stash first.
         if let Some(pos) = self.pending[source].iter().position(|m| m.tag == tag) {
             let msg = self.pending[source]
@@ -523,43 +580,38 @@ impl Communicator {
                     // the (simulated) deadline. Keep the message for a
                     // retry after recovery.
                     self.pending[source].push_front(msg);
-                    self.clock.sync_to(deadline);
-                    self.stats.timeouts += 1;
-                    return Err(CommError::Timeout { peer: source });
+                    return Err(self.recv_timeout_err(source, deadline, sim_start, 1, 0.0));
                 }
             }
             self.deliver(&msg);
             return Ok(msg);
         }
         // Wall-clock safety net: never hang the host process even if the
-        // protocol deadlocks — surface a Timeout instead.
-        let wall_cap = Duration::from_millis(
-            self.fault
-                .as_ref()
-                .map_or(u64::MAX / 2, |f| f.retry.wall_cap_ms),
-        );
+        // protocol deadlocks — surface a Timeout instead. Without a fault
+        // plan the sim backend blocks indefinitely (waiting is modeled in
+        // simulated time only), while a real-network backend applies its
+        // own per-link deadline.
+        let wall_cap_ms = self.fault.as_ref().map(|f| f.retry.wall_cap_ms);
         let wall_start = Instant::now();
         loop {
-            let rx = self.receivers[source]
-                .as_ref()
-                .expect("receiver endpoint present for valid peer");
-            let mut msg = if self.fault.is_some() {
-                match rx.recv_timeout(wall_cap.saturating_sub(wall_start.elapsed())) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(CommError::Disconnected { peer: source })
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if let Some(deadline) = deadline_ms {
-                            self.clock.sync_to(deadline);
-                        }
-                        self.stats.timeouts += 1;
-                        return Err(CommError::Timeout { peer: source });
-                    }
+            let cap = wall_cap_ms
+                .map(|ms| Duration::from_millis(ms).saturating_sub(wall_start.elapsed()));
+            let mut msg = match self.transport.recv(source, cap) {
+                Ok(m) => m,
+                Err(CommError::Timeout {
+                    attempts,
+                    elapsed_ms,
+                    ..
+                }) => {
+                    return Err(self.recv_timeout_err(
+                        source,
+                        deadline_ms.unwrap_or(sim_start),
+                        sim_start,
+                        attempts,
+                        elapsed_ms,
+                    ));
                 }
-            } else {
-                rx.recv()
-                    .map_err(|_| CommError::Disconnected { peer: source })?
+                Err(e) => return Err(e),
             };
             self.serialize_inbound(&mut msg);
             if msg.tag == Message::REVOKE_TAG {
@@ -572,21 +624,50 @@ impl Communicator {
                     continue; // stale revoke from an already-recovered epoch
                 }
                 self.clock.sync_to(msg.arrival_ms);
-                return Err(CommError::Aborted { rank: msg.src });
+                return Err(CommError::Aborted {
+                    rank: msg.src,
+                    attempts: 1,
+                    elapsed_ms: self.clock.now_ms() - sim_start,
+                });
             }
             if msg.tag == tag {
                 if let Some(deadline) = deadline_ms {
                     if msg.arrival_ms > deadline {
                         self.pending[source].push_back(msg);
-                        self.clock.sync_to(deadline);
-                        self.stats.timeouts += 1;
-                        return Err(CommError::Timeout { peer: source });
+                        return Err(self.recv_timeout_err(source, deadline, sim_start, 1, 0.0));
                     }
                 }
                 self.deliver(&msg);
                 return Ok(msg);
             }
             self.pending[source].push_back(msg);
+        }
+    }
+
+    /// Accounts a receive timeout: advances the simulated clock to the
+    /// deadline, bumps the global and per-link counters, and builds the
+    /// enriched error. `wall_elapsed_ms` is used when the deadline carries
+    /// no simulated-time information (real-network deadline expiry).
+    fn recv_timeout_err(
+        &mut self,
+        source: usize,
+        deadline: f64,
+        sim_start: f64,
+        attempts: u32,
+        wall_elapsed_ms: f64,
+    ) -> CommError {
+        self.clock.sync_to(deadline);
+        self.stats.timeouts += 1;
+        self.link_timeouts[source] += 1;
+        let sim_elapsed = deadline - sim_start;
+        CommError::Timeout {
+            peer: source,
+            attempts,
+            elapsed_ms: if sim_elapsed > 0.0 {
+                sim_elapsed
+            } else {
+                wall_elapsed_ms
+            },
         }
     }
 
@@ -815,17 +896,44 @@ mod tests {
             .run(|comm| {
                 if comm.rank() == 0 {
                     let err = comm.send(1, 0, Payload::Scalar(1.0)).err();
-                    (err, comm.stats().timeouts)
+                    (err, comm.stats().timeouts, comm.link_stats())
                 } else {
                     // The peer must not hang waiting for the lost message:
                     // the sender gives up and exits, which the receiver
                     // observes as a closed channel.
-                    (comm.recv_deadline(0, 0, 10.0).err(), 0)
+                    (comm.recv_deadline(0, 0, 10.0).err(), 0, comm.link_stats())
                 }
             });
-        assert_eq!(out[0].0, Some(CommError::Timeout { peer: 1 }));
+        match out[0].0 {
+            Some(CommError::Timeout {
+                peer,
+                attempts,
+                elapsed_ms,
+            }) => {
+                assert_eq!(peer, 1);
+                assert_eq!(
+                    attempts,
+                    RetryPolicy::default().max_retries + 1,
+                    "every bounded attempt must be counted"
+                );
+                assert!(elapsed_ms > 0.0, "backoff must cost simulated time");
+            }
+            ref other => panic!("expected timeout, got {other:?}"),
+        }
         assert_eq!(out[0].1, 1, "exhausted sends count as timeouts");
-        assert_eq!(out[1].0, Some(CommError::Disconnected { peer: 0 }));
+        // Per-link counters pinpoint the failing peer.
+        assert_eq!(
+            out[0].2,
+            vec![LinkStats {
+                peer: 1,
+                retransmissions: u64::from(RetryPolicy::default().max_retries),
+                timeouts: 1,
+            }]
+        );
+        assert!(matches!(
+            out[1].0,
+            Some(CommError::Disconnected { peer: 0 })
+        ));
     }
 
     #[test]
@@ -847,7 +955,15 @@ mod tests {
                 }
             });
         let (early, t, late_ok) = out[1].clone().unwrap();
-        assert_eq!(early, Err(CommError::Timeout { peer: 0 }));
+        match early {
+            Err(CommError::Timeout {
+                peer, elapsed_ms, ..
+            }) => {
+                assert_eq!(peer, 0);
+                assert_eq!(elapsed_ms, 2.0, "elapsed must be the simulated wait");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
         assert_eq!(t, 2.0, "timeout must advance the clock to the deadline");
         assert!(late_ok, "retry after the deadline still finds the message");
     }
@@ -881,7 +997,7 @@ mod tests {
                 for _ in 0..5 {
                     match comm.begin_step() {
                         Ok(()) => completed += 1,
-                        Err(CommError::Aborted { rank }) => {
+                        Err(CommError::Aborted { rank, .. }) => {
                             assert_eq!(rank, comm.rank());
                             break;
                         }
@@ -906,10 +1022,10 @@ mod tests {
                     Some(comm.recv(0, 42))
                 }
             });
-        assert_eq!(
-            out[1],
-            Some(Err(CommError::Aborted { rank: 0 })),
-            "a revoke must unblock a receiver waiting on an unrelated tag"
+        assert!(
+            matches!(out[1], Some(Err(CommError::Aborted { rank: 0, .. }))),
+            "a revoke must unblock a receiver waiting on an unrelated tag: {:?}",
+            out[1]
         );
     }
 
@@ -963,7 +1079,23 @@ mod tests {
                 }
             });
         let (crash, send) = out[0].clone().unwrap();
-        assert_eq!(crash, CommError::Aborted { rank: 0 });
-        assert_eq!(send, CommError::Aborted { rank: 0 });
+        assert!(matches!(crash, CommError::Aborted { rank: 0, .. }));
+        assert!(matches!(send, CommError::Aborted { rank: 0, .. }));
+    }
+
+    #[test]
+    fn quiet_links_are_omitted_from_link_stats() {
+        let out = Cluster::new(3, CostModel::zero()).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::Control).unwrap();
+                comm.send(2, 0, Payload::Control).unwrap();
+            } else {
+                comm.recv(0, 0).unwrap();
+            }
+            comm.link_stats()
+        });
+        for stats in out {
+            assert!(stats.is_empty(), "fault-free links must report nothing");
+        }
     }
 }

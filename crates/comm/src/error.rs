@@ -5,11 +5,12 @@ use std::fmt;
 /// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
 /// arm, so future fault modes (the fault-injection subsystem grows them)
 /// are not breaking changes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CommError {
-    /// A peer rank's channel endpoint was dropped (its thread exited or
-    /// panicked) while a transfer was in flight.
+    /// A peer rank's endpoint vanished (its thread exited or panicked in
+    /// the simulated cluster; its connection died beyond reconnection on
+    /// a real network) while a transfer was in flight.
     Disconnected {
         /// The peer whose endpoint vanished.
         peer: usize,
@@ -31,11 +32,17 @@ pub enum CommError {
         actual: usize,
     },
     /// An operation with `peer` gave up: either every bounded
-    /// retransmission of a send was dropped by the fault plan, or a recv's
+    /// retransmission of a send was dropped (by the fault plan, or by a
+    /// real network with no writable connection), or a recv's
     /// (simulated-clock or wall-clock) deadline expired with no delivery.
     Timeout {
         /// The unresponsive peer.
         peer: usize,
+        /// Transmission/wait attempts performed before giving up.
+        attempts: u32,
+        /// Time spent before giving up, in milliseconds (simulated time
+        /// for the in-process backend, wall time for real networks).
+        elapsed_ms: f64,
     },
     /// The operation was torn down deliberately: this rank reached its
     /// fault-plan crash step, or a peer revoked the in-flight collective
@@ -44,7 +51,33 @@ pub enum CommError {
         /// The rank that originated the abort (self for a scheduled
         /// crash, the revoking peer otherwise).
         rank: usize,
+        /// Attempts the aborted operation had performed (0 when the
+        /// operation never started, e.g. this rank was already dead).
+        attempts: u32,
+        /// Time the aborted operation had spent, in milliseconds.
+        elapsed_ms: f64,
     },
+}
+
+impl CommError {
+    /// A [`CommError::Timeout`] with no attempt/latency context — for
+    /// call sites that only know *who* was unresponsive.
+    pub fn timeout(peer: usize) -> Self {
+        CommError::Timeout {
+            peer,
+            attempts: 0,
+            elapsed_ms: 0.0,
+        }
+    }
+
+    /// An [`CommError::Aborted`] with no attempt/latency context.
+    pub fn aborted(rank: usize) -> Self {
+        CommError::Aborted {
+            rank,
+            attempts: 0,
+            elapsed_ms: 0.0,
+        }
+    }
 }
 
 impl fmt::Display for CommError {
@@ -69,11 +102,27 @@ impl fmt::Display for CommError {
                     "buffer size mismatch in {op}: expected {expected}, got {actual}"
                 )
             }
-            CommError::Timeout { peer } => {
-                write!(f, "operation with peer rank {peer} timed out")
+            CommError::Timeout {
+                peer,
+                attempts,
+                elapsed_ms,
+            } => {
+                write!(
+                    f,
+                    "operation with peer rank {peer} timed out \
+                     after {attempts} attempt(s) over {elapsed_ms:.1} ms"
+                )
             }
-            CommError::Aborted { rank } => {
-                write!(f, "operation aborted by rank {rank}")
+            CommError::Aborted {
+                rank,
+                attempts,
+                elapsed_ms,
+            } => {
+                write!(
+                    f,
+                    "operation aborted by rank {rank} \
+                     after {attempts} attempt(s) over {elapsed_ms:.1} ms"
+                )
             }
         }
     }
@@ -103,22 +152,51 @@ mod tests {
     }
 
     #[test]
-    fn fault_variant_display_names_the_rank() {
-        assert!(CommError::Timeout { peer: 5 }
-            .to_string()
-            .contains("peer rank 5 timed out"));
-        assert!(CommError::Aborted { rank: 2 }
-            .to_string()
-            .contains("aborted by rank 2"));
+    fn fault_variant_display_names_rank_attempts_and_latency() {
+        let t = CommError::Timeout {
+            peer: 5,
+            attempts: 6,
+            elapsed_ms: 123.45,
+        };
+        let s = t.to_string();
+        assert!(s.contains("peer rank 5"), "{s}");
+        assert!(s.contains("6 attempt(s)"), "{s}");
+        assert!(s.contains("123.5 ms"), "{s}");
+        let a = CommError::Aborted {
+            rank: 2,
+            attempts: 1,
+            elapsed_ms: 7.0,
+        };
+        assert!(a.to_string().contains("aborted by rank 2"));
     }
 
     #[test]
     fn fault_variants_are_clonable_values() {
-        let t = CommError::Timeout { peer: 1 };
-        let a = CommError::Aborted { rank: 0 };
+        let t = CommError::timeout(1);
+        let a = CommError::aborted(0);
         assert_eq!(t.clone(), t);
         assert_eq!(a.clone(), a);
         assert_ne!(t, a);
+    }
+
+    #[test]
+    fn context_free_constructors_zero_the_diagnostics() {
+        assert!(matches!(
+            CommError::timeout(4),
+            CommError::Timeout {
+                peer: 4,
+                attempts: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            CommError::aborted(2),
+            CommError::Aborted {
+                rank: 2,
+                attempts: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -132,9 +210,15 @@ mod tests {
         // Send/Sync coverage exercised, not just asserted by bound: the
         // new variants travel through a thread join like any MPI error
         // value surfaced by a rank closure.
-        let handle = std::thread::spawn(|| CommError::Timeout { peer: 7 });
-        assert_eq!(handle.join().unwrap(), CommError::Timeout { peer: 7 });
-        let handle = std::thread::spawn(|| CommError::Aborted { rank: 3 });
-        assert_eq!(handle.join().unwrap(), CommError::Aborted { rank: 3 });
+        let handle = std::thread::spawn(|| CommError::timeout(7));
+        assert!(matches!(
+            handle.join().unwrap(),
+            CommError::Timeout { peer: 7, .. }
+        ));
+        let handle = std::thread::spawn(|| CommError::aborted(3));
+        assert!(matches!(
+            handle.join().unwrap(),
+            CommError::Aborted { rank: 3, .. }
+        ));
     }
 }

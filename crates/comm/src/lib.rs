@@ -56,9 +56,10 @@ pub mod fault;
 mod message;
 pub mod plan;
 mod pool;
+pub mod transport;
 
 pub use cluster::Cluster;
-pub use comm::{CommStats, Communicator, LinkCostFn};
+pub use comm::{CommStats, Communicator, LinkCostFn, LinkStats};
 pub use cost::{CostModel, SimClock};
 pub use error::CommError;
 pub use fault::{FaultPlan, RetryPolicy};

@@ -1,0 +1,87 @@
+//! Pluggable byte/message transports beneath the [`Communicator`].
+//!
+//! The [`Communicator`] owns everything *semantic* about messaging —
+//! simulated-time accounting, tag matching and the out-of-order stash,
+//! fault injection (drops, jitter, retransmission), REVOKE handling and
+//! membership epochs. A [`Transport`] owns only *delivery*: moving one
+//! [`Message`] from this rank to a peer and handing back messages a peer
+//! moved here. Two implementations exist:
+//!
+//! * [`SimTransport`] — the original in-process channel mesh. Delivery is
+//!   an unbounded MPSC enqueue; peer death is a closed channel. Zero
+//!   overhead relative to the pre-trait code: the channels are the same,
+//!   only reached through one virtual call per operation.
+//! * [`TcpTransport`] — length-prefixed frames over `std::net` sockets,
+//!   wrapped in a connection supervisor (handshake with rank identity and
+//!   epoch tags, heartbeats, per-link deadlines, bounded
+//!   exponential-backoff reconnect). Socket failures surface as the same
+//!   [`CommError`](crate::CommError) values the simulated fault layer
+//!   produces, so `gtopk::ft` recovery runs unmodified over real sockets.
+//!
+//! Because drop/jitter injection happens in the [`Communicator`] *above*
+//! the transport (a dropped attempt never reaches [`Transport::send`]),
+//! the PR-3 `FaultPlan` semantics are identical on either backend —
+//! frame-level interception for free.
+//!
+//! [`Communicator`]: crate::Communicator
+
+use crate::{Message, Result};
+use std::time::Duration;
+
+pub mod frame;
+mod sim;
+mod tcp;
+
+pub use sim::SimTransport;
+pub use tcp::{TcpConfig, TcpTransport};
+
+/// One rank's delivery endpoint: the minimal surface the
+/// [`Communicator`](crate::Communicator) needs from a network.
+///
+/// # Contract
+///
+/// * `send(dest, msg)` either enqueues/transmits the whole message or
+///   fails; partial delivery must never surface as success. Sends to a
+///   given peer are delivered in send order *per connection* (a transport
+///   that reconnects may lose in-flight messages across the break, but
+///   never reorders within a connection).
+/// * `recv(src, cap)` blocks for the next message from `src`.
+///   `cap = None` means "no caller-imposed bound": the sim backend blocks
+///   indefinitely, while a real-network backend applies its own per-link
+///   receive deadline so organic peer death is detected even when the
+///   caller armed no fault plan. `Some(d)` bounds the wait by `d` (a
+///   backend may bound it further by its own deadline).
+/// * Peer death is reported as
+///   [`CommError::Disconnected`](crate::CommError::Disconnected), an
+///   expired wait as [`CommError::Timeout`](crate::CommError::Timeout) —
+///   the exact values the fault-tolerance layer already understands.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the cluster.
+    fn size(&self) -> usize;
+
+    /// Delivers `msg` to `dest`. Never blocks on the receiver draining
+    /// its queue (both backends buffer unboundedly); may block briefly on
+    /// the physical write.
+    fn send(&mut self, dest: usize, msg: Message) -> Result<()>;
+
+    /// Blocks for the next message from `src`, bounded by `cap` (and by
+    /// the backend's own receive deadline, if it has one).
+    fn recv(&mut self, src: usize, cap: Option<Duration>) -> Result<Message>;
+
+    /// Non-blocking receive: the next already-delivered message from
+    /// `src`, if any.
+    fn try_recv(&mut self, src: usize) -> Option<Message>;
+
+    /// Informs the transport of a membership-epoch bump (shrink-and-
+    /// continue recovery). A real-network backend uses this to reject
+    /// handshakes from peers still living in a revoked epoch.
+    fn set_epoch(&mut self, _epoch: u64) {}
+
+    /// Tears the endpoint down (closes sockets, joins supervisor
+    /// threads). Idempotent; also invoked on drop by backends that need
+    /// it.
+    fn shutdown(&mut self) {}
+}

@@ -1,0 +1,154 @@
+//! The in-process simulated backend: an unbounded channel mesh.
+
+use super::Transport;
+use crate::{CommError, Message, Result};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One endpoint of the in-process channel mesh — the transport the
+/// simulated [`Cluster`](crate::Cluster) wires up.
+///
+/// Semantics are exactly those of the pre-trait communicator: sends are
+/// unbounded enqueues that never block, a peer whose endpoint is dropped
+/// (thread exit or panic) is observed as
+/// [`CommError::Disconnected`], and `recv(src, None)` blocks without
+/// limit (the simulated clock, not wall time, models waiting).
+pub struct SimTransport {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` delivers to rank `d`; `None` at `d == rank`.
+    senders: Vec<Option<Sender<Message>>>,
+    /// `receivers[s]` yields messages sent by rank `s`.
+    receivers: Vec<Option<Receiver<Message>>>,
+}
+
+impl SimTransport {
+    /// Builds the full `size × size` channel mesh and returns one
+    /// endpoint per rank, in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn mesh(size: usize) -> Vec<SimTransport> {
+        assert!(size > 0, "mesh needs at least one rank");
+        // tx[s][d] transports messages from rank s to rank d.
+        let mut tx: Vec<Vec<Option<Sender<Message>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        let mut rx: Vec<Vec<Option<Receiver<Message>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for s in 0..size {
+            for d in 0..size {
+                if s == d {
+                    continue;
+                }
+                let (t, r) = unbounded();
+                tx[s][d] = Some(t);
+                // receivers indexed by source at the destination
+                rx[d][s] = Some(r);
+            }
+        }
+        tx.into_iter()
+            .zip(rx)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| SimTransport {
+                rank,
+                size,
+                senders,
+                receivers,
+            })
+            .collect()
+    }
+
+    fn rx(&self, src: usize) -> &Receiver<Message> {
+        self.receivers[src]
+            .as_ref()
+            .expect("receiver endpoint present for valid peer")
+    }
+}
+
+impl Transport for SimTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, dest: usize, msg: Message) -> Result<()> {
+        self.senders[dest]
+            .as_ref()
+            .expect("sender endpoint present for valid peer")
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { peer: dest })
+    }
+
+    fn recv(&mut self, src: usize, cap: Option<Duration>) -> Result<Message> {
+        match cap {
+            None => self
+                .rx(src)
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: src }),
+            Some(cap) => match self.rx(src).recv_timeout(cap) {
+                Ok(m) => Ok(m),
+                Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer: src }),
+                Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                    peer: src,
+                    attempts: 1,
+                    elapsed_ms: cap.as_secs_f64() * 1e3,
+                }),
+            },
+        }
+    }
+
+    fn try_recv(&mut self, src: usize) -> Option<Message> {
+        self.rx(src).try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    #[test]
+    fn mesh_delivers_in_order() {
+        let mut ends = SimTransport::mesh(2);
+        let mut b = ends.pop().unwrap();
+        let mut a = ends.pop().unwrap();
+        for i in 0..10u32 {
+            a.send(
+                1,
+                Message {
+                    src: 0,
+                    tag: i,
+                    payload: Payload::Scalar(f64::from(i)),
+                    arrival_ms: 0.0,
+                },
+            )
+            .unwrap();
+        }
+        for i in 0..10u32 {
+            assert_eq!(b.recv(0, None).unwrap().tag, i);
+        }
+    }
+
+    #[test]
+    fn dropped_endpoint_is_disconnected() {
+        let mut ends = SimTransport::mesh(2);
+        let mut b = ends.pop().unwrap();
+        drop(ends); // rank 0's endpoint (holds the sender into rank 1)
+        assert!(matches!(
+            b.recv(0, None),
+            Err(CommError::Disconnected { peer: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_mesh_rejected() {
+        let _ = SimTransport::mesh(0);
+    }
+}

@@ -184,7 +184,7 @@ fn agree_survivors(
     let off = epoch_tag_offset(comm.epoch());
     let me = comm.rank();
     let timeout = comm.recovery_timeout_ms();
-    let mut last_err = CommError::Timeout { peer: me };
+    let mut last_err = CommError::timeout(me);
     for (idx, &candidate) in prev_members.iter().enumerate() {
         let tag_alive = TAG_ALIVE + off + idx as u32;
         let tag_member = TAG_MEMBERSHIP + off + idx as u32;

@@ -75,7 +75,7 @@ pub use gtopk_allreduce::{
     gtopk_all_reduce, gtopk_all_reduce_over, gtopk_all_reduce_topo, gtopk_all_reduce_with_feedback,
     naive_gtopk_all_reduce,
 };
-pub use gtopk_comm::Topology;
+pub use gtopk_comm::{LinkStats, Topology};
 pub use metrics::{EpochRecord, TimingBreakdown, TrainReport};
 pub use overlap::{
     backward_layer_costs, BucketSpec, OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats,
@@ -84,4 +84,4 @@ pub use ps::ps_gtopk_all_reduce;
 pub use schedule::{DensitySchedule, LrSchedule};
 pub use selector::{Selector, SelectorState};
 pub use sparse_coll::{sparse_broadcast, sparse_sum_recursive_doubling};
-pub use trainer::{train_distributed, ComputeCost, TrainConfig};
+pub use trainer::{train_distributed, train_rank, ComputeCost, TrainConfig};

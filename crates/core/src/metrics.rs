@@ -1,6 +1,7 @@
 //! Training metrics: per-epoch records and per-phase time breakdown.
 
 use crate::overlap::OverlapStats;
+use gtopk_comm::LinkStats;
 
 /// Per-iteration time breakdown in simulated milliseconds — the
 /// decomposition of the paper's Fig. 11 (computation, compression,
@@ -94,6 +95,10 @@ pub struct TrainReport {
     /// Messages retransmitted by the reporting rank after simulated
     /// drops (0 in fault-free runs).
     pub retransmissions: usize,
+    /// Per-link failure counters of the reporting rank: one entry per
+    /// peer that saw retransmissions or timeouts (empty in clean runs).
+    /// On a real network this pinpoints *which* link misbehaved.
+    pub link_stats: Vec<LinkStats>,
     /// Ranks still alive at the end of the run (equals `workers` in
     /// fault-free runs; smaller after shrink-and-continue).
     pub survivors: usize,
@@ -197,6 +202,7 @@ mod tests {
             sim_time_ms: 1000.0,
             elems_sent_rank0: 1234,
             retransmissions: 0,
+            link_stats: Vec::new(),
             survivors: 4,
             mean_update_nnz: 10.0,
             pool_hits_rank0: 0,

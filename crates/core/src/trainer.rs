@@ -274,11 +274,15 @@ struct RankOutcome {
     sim_time_ms: f64,
     elems_sent: usize,
     retransmissions: usize,
+    link_stats: Vec<gtopk_comm::LinkStats>,
     update_nnz_sum: u64,
     param_checksum: f64,
     pool_hits: u64,
     pool_misses: u64,
     overlap: Option<OverlapStats>,
+    /// Ranks in this rank's final membership view (equals the initial
+    /// worker count unless shrink-and-continue recoveries removed some).
+    survivors: usize,
     /// True when this rank left the run: a scheduled crash, or expulsion
     /// after failing to reach any recovery coordinator.
     crashed: bool,
@@ -308,24 +312,7 @@ where
     M: Model,
     F: Fn() -> M + Send + Sync,
 {
-    assert!(cfg.workers > 0, "need at least one worker");
-    assert!(cfg.epochs > 0, "need at least one epoch");
-    if cfg.overlap.is_some() {
-        assert_eq!(
-            cfg.algorithm,
-            Algorithm::GTopK,
-            "the overlap engine drives per-bucket gTopKAllReduce (got {})",
-            cfg.algorithm.name()
-        );
-    }
-    let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
-    assert!(
-        iters_per_epoch > 0,
-        "dataset too small: {} items for {} workers × batch {}",
-        train_data.len(),
-        cfg.workers,
-        cfg.batch_per_worker
-    );
+    let iters_per_epoch = validate(cfg, train_data);
 
     let mut cluster = Cluster::new(cfg.workers, cfg.cost_model);
     if let Some(plan) = &cfg.fault_plan {
@@ -396,12 +383,121 @@ where
         sim_time_ms: reporter.sim_time_ms,
         elems_sent_rank0: reporter.elems_sent,
         retransmissions: reporter.retransmissions,
+        link_stats: reporter.link_stats.clone(),
         survivors: survivors.len(),
         mean_update_nnz: reporter.update_nnz_sum as f64 / iterations as f64,
         pool_hits_rank0: reporter.pool_hits,
         pool_misses_rank0: reporter.pool_misses,
         overlap: reporter.overlap.clone(),
     }
+}
+
+/// Runs the per-rank training loop on an externally constructed
+/// communicator — the entry point for *real* multi-process launches,
+/// where each OS process owns one rank over a
+/// [`TcpTransport`](gtopk_comm::transport::TcpTransport) and there is no
+/// in-process [`Cluster`] to orchestrate.
+///
+/// The communicator's size must match `cfg.workers`. `cfg.fault_plan`
+/// (if any) is armed on the endpoint here; arming an empty active plan
+/// ([`FaultPlan::seeded`] with no faults layered on) is how a real
+/// deployment turns on the checkpoint/rollback recovery policy without
+/// injecting any synthetic faults — organic peer death then surfaces
+/// through the transport's own deadlines and heartbeats and takes the
+/// same ULFM-style recovery path as a simulated crash.
+///
+/// Returns this rank's view of the run, or `None` if the rank crashed or
+/// was expelled from the membership (its partial results are meaningless
+/// — on a real cluster the process would have died).
+///
+/// # Panics
+///
+/// As for [`train_distributed`], plus if `comm.size() != cfg.workers`.
+pub fn train_rank<M, F>(
+    cfg: &TrainConfig,
+    comm: &mut Communicator,
+    build_model: F,
+    train_data: &dyn Dataset,
+    eval_data: Option<&dyn Dataset>,
+) -> Option<TrainReport>
+where
+    M: Model,
+    F: Fn() -> M,
+{
+    assert_eq!(
+        comm.size(),
+        cfg.workers,
+        "communicator size must match cfg.workers"
+    );
+    let iters_per_epoch = validate(cfg, train_data);
+    if let Some(plan) = &cfg.fault_plan {
+        comm.arm_fault_plan(plan.clone());
+    }
+    let outcome = run_rank(
+        cfg,
+        comm,
+        &build_model,
+        train_data,
+        eval_data,
+        iters_per_epoch,
+    );
+    if outcome.crashed {
+        return None;
+    }
+    assert_eq!(
+        outcome.losses.len(),
+        cfg.epochs,
+        "a surviving rank must complete every epoch"
+    );
+    let epochs = (0..cfg.epochs)
+        .map(|e| EpochRecord {
+            epoch: e,
+            train_loss: outcome.losses[e],
+            eval_accuracy: outcome.evals[e],
+            density: cfg.density.density(e),
+        })
+        .collect();
+    let iterations = outcome.timing.iterations.max(1);
+    Some(TrainReport {
+        algorithm: cfg.algorithm.name(),
+        workers: cfg.workers,
+        epochs,
+        timing: outcome.timing,
+        sim_time_ms: outcome.sim_time_ms,
+        elems_sent_rank0: outcome.elems_sent,
+        retransmissions: outcome.retransmissions,
+        link_stats: outcome.link_stats.clone(),
+        survivors: outcome.survivors,
+        mean_update_nnz: outcome.update_nnz_sum as f64 / iterations as f64,
+        pool_hits_rank0: outcome.pool_hits,
+        pool_misses_rank0: outcome.pool_misses,
+        overlap: outcome.overlap.clone(),
+    })
+}
+
+/// Validates a configuration against the dataset and returns the
+/// iterations per epoch (shared by [`train_distributed`] and
+/// [`train_rank`]).
+fn validate(cfg: &TrainConfig, train_data: &dyn Dataset) -> usize {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    if cfg.overlap.is_some() {
+        assert_eq!(
+            cfg.algorithm,
+            Algorithm::GTopK,
+            "the overlap engine drives per-bucket gTopKAllReduce (got {})",
+            cfg.algorithm.name()
+        );
+    }
+    let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
+    assert!(
+        iters_per_epoch > 0,
+        "dataset too small: {} items for {} workers × batch {}",
+        train_data.len(),
+        cfg.workers,
+        cfg.batch_per_worker
+    );
+    iters_per_epoch
 }
 
 /// Rank-local state captured by the fault-tolerant recovery policy at
@@ -648,11 +744,13 @@ where
         sim_time_ms: comm.now_ms(),
         elems_sent: stats.elems_sent,
         retransmissions: stats.retransmissions,
+        link_stats: comm.link_stats(),
         update_nnz_sum,
         param_checksum: params.iter().map(|&v| v as f64).sum(),
         pool_hits: stats.pool_hits,
         pool_misses: stats.pool_misses,
         overlap: engine.overlap_engine().map(OverlapEngine::stats),
+        survivors: members.len(),
         crashed,
     }
 }

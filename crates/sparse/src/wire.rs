@@ -8,6 +8,11 @@
 //! serialized bytes.
 //!
 //! Layout: `dim: u64 | nnz: u64 | indices: nnz × u32 | values: nnz × f32`.
+//!
+//! This is not only an accounting device: the real-TCP transport
+//! (`gtopk_comm::transport`) ships sparse DATA frames in exactly this
+//! encoding, so the bytes the simulator charges for are the bytes that
+//! cross the socket.
 
 use crate::SparseVec;
 use std::fmt;

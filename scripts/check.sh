@@ -38,6 +38,27 @@ for threads in "${THREAD_MATRIX[@]}"; do
     fi
     cargo test -q --offline -p gtopk-core --test "$name"
   done
+
+  # Transport contract: the shared conformance suite must hold for both
+  # the simulated and the real-TCP backend (it also runs as part of the
+  # workspace tests above; the explicit invocation keeps a rename or
+  # removal from silently dropping it).
+  echo "==> transport conformance suite (GTOPK_THREADS=$threads)"
+  cargo test -q --offline -p gtopk-comm --test transport_conformance
 done
+
+# Real processes, real sockets, a real SIGKILL: a 4-process localhost
+# cluster over `--transport tcp --rendezvous` (OS-assigned ports published
+# via rendezvous files — no pre-agreed port list, so parallel CI jobs
+# cannot collide) loses one worker mid-run and must finish on the
+# survivors. Skipped where loopback sockets are unavailable; the
+# tcp_cluster test suite above gates itself the same way.
+echo "==> multi-process TCP cluster (kill one worker mid-run)"
+if cargo run -q --offline -p gtopk-cli -- info >/dev/null 2>&1 \
+  && scripts/probe_loopback.sh; then
+  scripts/run_tcp_cluster.sh 4 16
+else
+  echo "    skipped: loopback sockets unavailable"
+fi
 
 echo "==> OK"

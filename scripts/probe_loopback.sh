@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Succeeds when loopback TCP sockets are available (bindable), the gate
+# for the multi-process transport checks. Environments without python3
+# are assumed to have working loopback — the Rust test suites gate
+# themselves independently either way.
+set -euo pipefail
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import socket
+s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+s.bind(("127.0.0.1", 0))
+s.close()
+EOF
+fi

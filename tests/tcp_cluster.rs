@@ -1,0 +1,395 @@
+//! Multi-process loopback cluster tests: each rank is a real OS process
+//! over [`gtopk_comm::transport::TcpTransport`], rendezvousing through
+//! OS-assigned ports published in a shared directory.
+//!
+//! The tests re-exec this test binary (`child_process_entry` filtered by
+//! name) once per rank, so no separately built artifact is needed. Two
+//! scenarios run:
+//!
+//! * **kill-a-worker** — four processes train gTop-k S-SGD; rank 3 is
+//!   SIGKILLed mid-run with *no fault flags armed*. Survivors must detect
+//!   the death through the transport's own deadlines/heartbeats, run the
+//!   ULFM-style recovery (revoke, survivor agreement, rollback), finish
+//!   all epochs shrunk to three ranks, and reproduce the loss trajectory
+//!   of the in-process simulator with an equivalent injected crash.
+//! * **parity** — a clean two-process run must produce the same per-epoch
+//!   losses as the in-process simulated cluster, bit-for-bit.
+//!
+//! Both are gated to skip (loudly) when loopback sockets are unavailable.
+
+use gtopk::{
+    train_distributed, train_rank, Algorithm, DensitySchedule, LrSchedule, Selector, TrainConfig,
+};
+use gtopk_comm::transport::{TcpConfig, TcpTransport};
+use gtopk_comm::{Communicator, CostModel, FaultPlan, Payload};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use std::io::Read as _;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RESULT_MARKER: &str = "GTOPK_TCP_RESULT";
+
+fn cfg(workers: usize, epochs: usize, fault_plan: Option<FaultPlan>) -> TrainConfig {
+    TrainConfig {
+        workers,
+        batch_per_worker: 4,
+        epochs,
+        algorithm: Algorithm::GTopK,
+        lr: LrSchedule::constant(0.05),
+        momentum: 0.9,
+        density: DensitySchedule::constant(0.05),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 3,
+        fault_plan,
+        checkpoint_interval: 10,
+        overlap: None,
+    }
+}
+
+/// Kill-scenario dataset: 1600 items / 4 workers / batch 4 = 100
+/// iterations per epoch.
+fn kill_data() -> GaussianMixture {
+    GaussianMixture::new(11, 1600, 16, 4, 2.5, 0.5)
+}
+
+/// Parity-scenario dataset: 320 items / 2 workers / batch 4 = 40
+/// iterations per epoch.
+fn parity_data() -> GaussianMixture {
+    GaussianMixture::new(12, 320, 16, 4, 2.5, 0.5)
+}
+
+fn build_model() -> impl Fn() -> gtopk_nn::Sequential {
+    || models::mlp(7, 16, 32, 4)
+}
+
+fn loopback_available() -> bool {
+    TcpListener::bind("127.0.0.1:0").is_ok()
+}
+
+// ------------------------------------------------------------ rendezvous
+
+/// Publishes this rank's address atomically and polls for every rank's
+/// file — the same OS-assigned-port scheme the CLI's `--rendezvous` uses.
+fn rendezvous(dir: &Path, rank: usize, workers: usize, own: SocketAddr) -> Vec<SocketAddr> {
+    std::fs::create_dir_all(dir).expect("create rendezvous dir");
+    let tmp = dir.join(format!(".rank-{rank}.addr.tmp"));
+    std::fs::write(&tmp, own.to_string()).expect("write address");
+    std::fs::rename(&tmp, dir.join(format!("rank-{rank}.addr"))).expect("publish address");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut peers = Vec::with_capacity(workers);
+    for r in 0..workers {
+        let path = dir.join(format!("rank-{r}.addr"));
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&path) {
+                if let Ok(addr) = s.trim().parse() {
+                    peers.push(addr);
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "rank {r} never published");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    peers
+}
+
+// ------------------------------------------------------------ child role
+
+/// Entry point of a spawned rank. A no-op under the normal test run; the
+/// parent tests re-exec this binary with `GTOPK_TCP_CHILD` set.
+#[test]
+fn child_process_entry() {
+    let Ok(rank) = std::env::var("GTOPK_TCP_CHILD") else {
+        return;
+    };
+    let rank: usize = rank.parse().expect("child rank");
+    let workers: usize = std::env::var("GTOPK_TCP_WORKERS")
+        .expect("GTOPK_TCP_WORKERS")
+        .parse()
+        .expect("worker count");
+    let mode = std::env::var("GTOPK_TCP_MODE").expect("GTOPK_TCP_MODE");
+    let dir = PathBuf::from(std::env::var("GTOPK_TCP_DIR").expect("GTOPK_TCP_DIR"));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let own = listener.local_addr().expect("local addr");
+    let peers = rendezvous(&dir, rank, workers, own);
+    let transport =
+        TcpTransport::establish(listener, rank, peers, TcpConfig::fast_local()).expect("establish");
+    let mut comm = Communicator::from_transport(Box::new(transport), CostModel::zero());
+
+    // All-pairs handshake so every link provably exists before training
+    // (and before the parent is allowed to kill anyone).
+    for peer in 0..workers {
+        if peer != rank {
+            comm.send(peer, 1, Payload::Control).expect("barrier send");
+        }
+    }
+    for peer in 0..workers {
+        if peer != rank {
+            comm.recv(peer, 1).expect("barrier recv");
+        }
+    }
+
+    let report = match mode.as_str() {
+        // Clean two-process parity rank: no fault machinery at all.
+        "clean" => train_rank(
+            &cfg(workers, 3, None),
+            &mut comm,
+            build_model(),
+            &parity_data(),
+            None,
+        ),
+        // Survivor of the kill scenario: a fault-free *active* plan arms
+        // the checkpoint/rollback policy, but nothing is injected — the
+        // victim's death is only observable through the real sockets.
+        "survivor" => train_rank(
+            &cfg(workers, 6, Some(FaultPlan::seeded(0))),
+            &mut comm,
+            build_model(),
+            &kill_data(),
+            None,
+        ),
+        // The victim trains exactly one epoch (stopping before iteration
+        // 100, in lockstep with its peers), then signals the parent and
+        // parks until SIGKILL. Peers are blocked waiting for its
+        // iteration-100 messages, so the kill always lands mid-run.
+        "victim" => {
+            let r = train_rank(
+                &cfg(workers, 1, Some(FaultPlan::seeded(0))),
+                &mut comm,
+                build_model(),
+                &kill_data(),
+                None,
+            );
+            assert!(r.is_some(), "the victim's own single epoch must succeed");
+            std::fs::write(dir.join("victim-parked"), "1").expect("signal parent");
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        other => panic!("unknown child mode {other}"),
+    };
+
+    match report {
+        Some(r) => {
+            let losses: Vec<String> = r
+                .epochs
+                .iter()
+                .map(|e| format!("{:?}", e.train_loss))
+                .collect();
+            println!(
+                "{RESULT_MARKER} rank={rank} survivors={} losses={}",
+                r.survivors,
+                losses.join(",")
+            );
+        }
+        None => println!("{RESULT_MARKER} rank={rank} none"),
+    }
+}
+
+// ----------------------------------------------------------- parent side
+
+struct ChildGuard(Vec<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn spawn_rank(dir: &Path, rank: usize, workers: usize, mode: &str) -> Child {
+    Command::new(std::env::current_exe().expect("current exe"))
+        .args(["child_process_entry", "--exact", "--nocapture"])
+        .env("GTOPK_TCP_CHILD", rank.to_string())
+        .env("GTOPK_TCP_WORKERS", workers.to_string())
+        .env("GTOPK_TCP_MODE", mode)
+        .env("GTOPK_TCP_DIR", dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn child rank")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gtopk-tcp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create work dir");
+    dir
+}
+
+/// Waits for a child with a wall deadline, returning (stdout, stderr).
+fn finish(child: &mut Child, deadline: Instant) -> (String, String) {
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                let mut err = String::new();
+                if let Some(s) = child.stdout.as_mut() {
+                    let _ = s.read_to_string(&mut out);
+                }
+                if let Some(s) = child.stderr.as_mut() {
+                    let _ = s.read_to_string(&mut err);
+                }
+                assert!(
+                    status.success(),
+                    "child failed:\nstdout:\n{out}\nstderr:\n{err}"
+                );
+                return (out, err);
+            }
+            None => {
+                assert!(Instant::now() < deadline, "child did not finish in time");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Parses `GTOPK_TCP_RESULT rank=R survivors=S losses=a,b,c`.
+fn parse_result(stdout: &str) -> (usize, usize, Vec<f64>) {
+    // libtest may glue its own "test ... " prefix onto the marker line,
+    // so search within lines rather than anchoring at the start.
+    let line = stdout
+        .lines()
+        .find_map(|l| l.find(RESULT_MARKER).map(|i| &l[i..]))
+        .unwrap_or_else(|| panic!("no result line in:\n{stdout}"));
+    let field = |key: &str| {
+        line.split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+            .to_string()
+    };
+    let rank = field("rank").parse().expect("rank");
+    let survivors = field("survivors").parse().expect("survivors");
+    let losses = field("losses")
+        .split(',')
+        .map(|v| v.parse().expect("loss"))
+        .collect();
+    (rank, survivors, losses)
+}
+
+#[test]
+fn killed_worker_is_detected_and_survivors_finish_like_the_simulator() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let dir = fresh_dir("kill");
+    let workers = 4;
+    let victim = 3;
+
+    let mut children = ChildGuard(
+        (0..workers)
+            .map(|r| {
+                let mode = if r == victim { "victim" } else { "survivor" };
+                spawn_rank(&dir, r, workers, mode)
+            })
+            .collect(),
+    );
+
+    // The victim parks (heartbeats still flowing) once its peers are
+    // blocked on its iteration-100 messages — then we genuinely kill it.
+    let parked = dir.join("victim-parked");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !parked.exists() {
+        assert!(Instant::now() < deadline, "victim never reached its park");
+        if let Some(status) = children.0[victim].try_wait().expect("try_wait") {
+            panic!("victim exited prematurely: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    children.0[victim].kill().expect("SIGKILL the victim");
+    let _ = children.0[victim].wait();
+
+    // Every survivor must finish all six epochs on the shrunken cluster.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut survivor_losses = Vec::new();
+    for r in 0..workers {
+        if r == victim {
+            continue;
+        }
+        let (out, _err) = finish(&mut children.0[r], deadline);
+        let (rank, survivors, losses) = parse_result(&out);
+        assert_eq!(rank, r);
+        assert_eq!(survivors, 3, "rank {r} saw wrong membership:\n{out}");
+        assert_eq!(losses.len(), 6, "rank {r} missed epochs:\n{out}");
+        survivor_losses.push(losses);
+    }
+
+    // Reference: the in-process simulator with the equivalent *injected*
+    // crash (rank 3 dies before iteration 100 — exactly where the real
+    // victim stopped). The real-socket run must reproduce its loss
+    // trajectory: same detection point, same rollback, same shrunken
+    // membership, same math.
+    let sim = train_distributed(
+        &cfg(
+            workers,
+            6,
+            Some(FaultPlan::seeded(0).with_crash(victim, 100)),
+        ),
+        build_model(),
+        &kill_data(),
+        None,
+    );
+    assert_eq!(sim.survivors, 3);
+    for e in 0..6 {
+        let tcp_mean =
+            survivor_losses.iter().map(|l| l[e]).sum::<f64>() / survivor_losses.len() as f64;
+        assert!(
+            (tcp_mean - sim.epochs[e].train_loss).abs() < 1e-9,
+            "epoch {e}: tcp mean {tcp_mean} vs simulator {}",
+            sim.epochs[e].train_loss
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_two_process_run_matches_the_in_process_simulator() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let dir = fresh_dir("parity");
+    let workers = 2;
+
+    let mut children = ChildGuard(
+        (0..workers)
+            .map(|r| spawn_rank(&dir, r, workers, "clean"))
+            .collect(),
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut per_rank = Vec::new();
+    for r in 0..workers {
+        let (out, _err) = finish(&mut children.0[r], deadline);
+        let (rank, survivors, losses) = parse_result(&out);
+        assert_eq!(rank, r);
+        assert_eq!(survivors, workers);
+        per_rank.push(losses);
+    }
+
+    let sim = train_distributed(&cfg(workers, 3, None), build_model(), &parity_data(), None);
+    assert_eq!(sim.epochs.len(), 3);
+    for e in 0..3 {
+        let tcp_mean = per_rank.iter().map(|l| l[e]).sum::<f64>() / workers as f64;
+        assert!(
+            (tcp_mean - sim.epochs[e].train_loss).abs() < 1e-12,
+            "epoch {e}: tcp mean {tcp_mean} vs simulator {}",
+            sim.epochs[e].train_loss
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
