@@ -35,12 +35,22 @@ impl LocalSelect {
         }
     }
 
-    fn extract(&mut self, comm: &Communicator, residual: &mut Residual, k: usize) -> SparseVec {
+    /// Fused accumulate + extract (one memory pass for the
+    /// threshold-estimate selector; accumulate-then-extract otherwise).
+    fn accumulate_extract(
+        &mut self,
+        comm: &Communicator,
+        residual: &mut Residual,
+        grad: &[f32],
+        k: usize,
+    ) -> SparseVec {
+        self.state_for(comm).accumulate_extract(residual, grad, k)
+    }
+
+    fn state_for(&mut self, comm: &Communicator) -> &mut SelectorState {
         let selector = self.selector;
-        let state = self
-            .state
-            .get_or_insert_with(|| SelectorState::new(selector, comm.rank()));
-        state.extract(residual, k)
+        self.state
+            .get_or_insert_with(|| SelectorState::new(selector, comm.rank()))
     }
 }
 
@@ -72,11 +82,13 @@ pub trait GradientAggregator: Send {
     /// sorted, alive rank set — the full `0..P` outside the
     /// fault-tolerant loop).
     ///
-    /// On entry, `residual` holds the accumulated gradient `Gᵢ`
-    /// (Algorithm 1/4, line 4). The aggregator extracts its share,
-    /// communicates, returns rejected values to `residual`, and yields
-    /// the update averaged over `|members|`. Must be called collectively
-    /// by every member.
+    /// On entry, `residual` holds the error feedback carried over from
+    /// previous iterations and `grad` this iteration's fresh gradient.
+    /// The aggregator folds `grad` into the residual (Algorithm 1/4,
+    /// line 4 — fused with selection into a single memory pass where the
+    /// selector allows), extracts its share, communicates, returns
+    /// rejected values to `residual`, and yields the update averaged
+    /// over `|members|`. Must be called collectively by every member.
     ///
     /// # Errors
     ///
@@ -86,6 +98,7 @@ pub trait GradientAggregator: Send {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update>;
 }
@@ -266,9 +279,11 @@ impl GradientAggregator for DenseAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         _k: usize,
     ) -> Result<Update> {
         require_full_membership(comm, members, "Dense");
+        residual.accumulate(grad);
         let mut grad = residual.dense().to_vec();
         residual.clear();
         collectives::allreduce_ring(comm, &mut grad)?;
@@ -301,10 +316,11 @@ impl GradientAggregator for TopkAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update> {
         require_full_membership(comm, members, "Top-k");
-        let local = self.select.extract(comm, residual, k);
+        let local = self.select.accumulate_extract(comm, residual, grad, k);
         let mut sum = sparse_sum_recursive_doubling(comm, local)?;
         sum.scale(1.0 / comm.size() as f32);
         Ok(Update::Sparse(sum))
@@ -333,9 +349,10 @@ impl GradientAggregator for GtopkAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update> {
-        let local = self.select.extract(comm, residual, k);
+        let local = self.select.accumulate_extract(comm, residual, grad, k);
         let tag_off = epoch_tag_offset(comm.epoch());
         let (mut global, gmask, tree_rejects) =
             gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
@@ -367,10 +384,11 @@ impl GradientAggregator for NaiveGtopkAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update> {
         require_full_membership(comm, members, "gTop-k(naive)");
-        let local = self.select.extract(comm, residual, k);
+        let local = self.select.accumulate_extract(comm, residual, grad, k);
         let (mut global, gmask) = naive_gtopk_all_reduce(comm, local.clone(), k)?;
         let (_kept, rejected) = local.partition_by(&gmask);
         residual.put_back(&rejected);
@@ -402,9 +420,10 @@ impl GradientAggregator for GtopkFeedbackAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update> {
-        let local = self.select.extract(comm, residual, k);
+        let local = self.select.accumulate_extract(comm, residual, grad, k);
         let tag_off = epoch_tag_offset(comm.epoch());
         let (mut global, gmask, tree_rejects) =
             gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
@@ -450,9 +469,10 @@ impl GradientAggregator for GtopkNoPutbackAggregator {
         comm: &mut Communicator,
         members: &[usize],
         residual: &mut Residual,
+        grad: &[f32],
         k: usize,
     ) -> Result<Update> {
-        let local = self.select.extract(comm, residual, k);
+        let local = self.select.accumulate_extract(comm, residual, grad, k);
         let tag_off = epoch_tag_offset(comm.epoch());
         let (mut global, _gmask, tree_rejects) =
             gtopk_all_reduce_over(comm, members, local, k, tag_off, self.topology)?;
@@ -484,8 +504,15 @@ mod tests {
             let mut agg = alg.aggregator();
             let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
-            residual.accumulate(&worker_grad(comm.rank(), dim));
-            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
+            let update = agg
+                .aggregate(
+                    comm,
+                    &members,
+                    &mut residual,
+                    &worker_grad(comm.rank(), dim),
+                    k,
+                )
+                .unwrap();
             (update, residual.dense().to_vec())
         })
     }
@@ -512,8 +539,14 @@ mod tests {
                     let mut agg = alg.aggregator_with_topology(Selector::Exact, topology);
                     let members: Vec<usize> = (0..comm.size()).collect();
                     let mut residual = Residual::new(32);
-                    residual.accumulate(&worker_grad(comm.rank(), 32));
-                    agg.aggregate(comm, &members, &mut residual, 3).unwrap()
+                    agg.aggregate(
+                        comm,
+                        &members,
+                        &mut residual,
+                        &worker_grad(comm.rank(), 32),
+                        3,
+                    )
+                    .unwrap()
                 });
                 for u in &out {
                     assert_eq!(u, &out[0], "{} over {topology}", alg.name());
@@ -592,8 +625,7 @@ mod tests {
             let mut residual = Residual::new(dim);
             let mut g = vec![0.0f32; dim];
             g[comm.rank()] = 1.0 + comm.rank() as f32; // rank 3 wins
-            residual.accumulate(&g);
-            let update = agg.aggregate(comm, &members, &mut residual, 1).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, &g, 1).unwrap();
             (update, residual.dense().to_vec())
         });
         for (r, (update, residual)) in out.iter().enumerate() {
@@ -653,8 +685,7 @@ mod tests {
             // Overlapping coordinate 0 plus a unique one per rank.
             g[0] = 0.5 + r as f32 * 0.1;
             g[(r + 1) as usize] = 1.0 + r as f32;
-            residual.accumulate(&g);
-            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, &g, k).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = vec![0.0f64; dim];
@@ -704,8 +735,7 @@ mod tests {
                 2 => g[1] = 5.0,
                 _ => g[3] = 0.2,
             }
-            residual.accumulate(&g);
-            let update = agg.aggregate(comm, &members, &mut residual, 1).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, &g, 1).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = 0.0f64;

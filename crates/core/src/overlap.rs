@@ -357,9 +357,14 @@ impl OverlapEngine {
             // channel longer (FIFO) — wait_until never moves backwards.
             comm.wait_until(ready);
             let start = comm.now_ms();
-            self.residuals[j].accumulate(&grad[range.clone()]);
             let k = bucket_k(range.len(), rho);
-            let local = self.selectors[j].extract(&mut self.residuals[j], k);
+            // Fused accumulate + select over the bucket slice (one
+            // memory pass for the threshold-estimate selector).
+            let local = self.selectors[j].accumulate_extract(
+                &mut self.residuals[j],
+                &grad[range.clone()],
+                k,
+            );
             let (mut global, gmask, tree_rejects) =
                 gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
             comm.pool().put_sparse(tree_rejects);

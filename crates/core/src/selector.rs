@@ -68,6 +68,32 @@ impl SelectorState {
             }
         }
     }
+
+    /// Accumulates this iteration's gradient into the residual and
+    /// extracts `min(k, dim)` coordinates, in one call.
+    ///
+    /// For [`Selector::ThresholdEstimate`] this takes the fused
+    /// accumulate + threshold-scan + compact kernel
+    /// ([`Residual::accumulate_extract_threshold`]) — one memory pass
+    /// over the buffer instead of three, bitwise identical to the
+    /// unfused sequence. The other selectors accumulate and then extract
+    /// exactly as before.
+    pub fn accumulate_extract(
+        &mut self,
+        residual: &mut Residual,
+        grad: &[f32],
+        k: usize,
+    ) -> SparseVec {
+        match self.selector {
+            Selector::ThresholdEstimate { sample } => {
+                residual.accumulate_extract_threshold(grad, k, sample, &mut self.rng)
+            }
+            Selector::Exact | Selector::Sampled { .. } => {
+                residual.accumulate(grad);
+                self.extract(residual, k)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +150,37 @@ mod tests {
         let b = extract(1);
         assert_eq!(a.nnz(), 32);
         assert_eq!(b.nnz(), 32);
+    }
+
+    #[test]
+    fn accumulate_extract_matches_accumulate_then_extract() {
+        // Every selector: the one-call form must reproduce the two-call
+        // form bitwise — for ThresholdEstimate that exercises the fused
+        // single-pass kernel against the three-pass sequence.
+        let grads: Vec<Vec<f32>> = (0..3)
+            .map(|s: usize| {
+                (0..512)
+                    .map(|i| ((i * 37 + s * 11) % 101) as f32 - 50.0)
+                    .collect()
+            })
+            .collect();
+        for selector in [
+            Selector::Exact,
+            Selector::Sampled { sample: 64 },
+            Selector::ThresholdEstimate { sample: 64 },
+        ] {
+            let mut r1 = Residual::new(512);
+            let mut r2 = Residual::new(512);
+            let mut s1 = SelectorState::new(selector, 2);
+            let mut s2 = SelectorState::new(selector, 2);
+            for g in &grads {
+                let fused = s1.accumulate_extract(&mut r1, g, 16);
+                r2.accumulate(g);
+                let unfused = s2.extract(&mut r2, 16);
+                assert_eq!(fused, unfused, "{selector:?}");
+                assert_eq!(r1.dense(), r2.dense(), "{selector:?} residual state");
+            }
+        }
     }
 
     #[test]

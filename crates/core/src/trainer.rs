@@ -235,8 +235,10 @@ impl StepEngine {
                 aggregator,
                 residual,
             } => {
-                residual.accumulate(src);
-                let update = aggregator.aggregate(comm, members, residual, k)?;
+                // The aggregator folds `src` into the residual itself —
+                // fused with selection into one memory pass where the
+                // configured selector allows.
+                let update = aggregator.aggregate(comm, members, residual, src, k)?;
                 let nnz = update.nnz() as u64;
                 match &update {
                     Update::Dense(v) => opt.step_dense(model, v),

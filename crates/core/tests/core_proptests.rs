@@ -46,8 +46,7 @@ proptest! {
             let members: Vec<usize> = (0..comm.size()).collect();
             let mut residual = Residual::new(dim);
             let g = grad(comm.rank(), dim, seed);
-            residual.accumulate(&g);
-            let update = agg.aggregate(comm, &members, &mut residual, k).unwrap();
+            let update = agg.aggregate(comm, &members, &mut residual, &g, k).unwrap();
             (g, update, residual.dense().to_vec())
         });
         let mut contributed = vec![0.0f64; dim];
@@ -99,8 +98,8 @@ proptest! {
             let mut residual = Residual::new(dim);
             let mut updates = Vec::new();
             for step in 0..4u64 {
-                residual.accumulate(&grad(comm.rank(), dim, seed + step));
-                let u = agg.aggregate(comm, &members, &mut residual, k).unwrap();
+                let g = grad(comm.rank(), dim, seed + step);
+                let u = agg.aggregate(comm, &members, &mut residual, &g, k).unwrap();
                 updates.push(u);
             }
             updates

@@ -8,9 +8,11 @@
 //! ever silently dropped — only delayed.
 
 use crate::topk::{
-    sampled_topk_sparse, threshold_estimate_topk_into, topk_sparse_into, TopkScratch,
+    accumulate_select_compact, sampled_topk_sparse, threshold_estimate_topk_into, topk_sparse_into,
+    TopkScratch,
 };
 use crate::SparseVec;
+use gtopk_tensor::simd;
 use rand::Rng;
 
 /// Dense error-feedback buffer with top-k extraction.
@@ -66,9 +68,7 @@ impl Residual {
     /// Panics if `grad.len() != self.dim()`.
     pub fn accumulate(&mut self, grad: &[f32]) {
         assert_eq!(grad.len(), self.acc.len(), "gradient length mismatch");
-        for (a, &g) in self.acc.iter_mut().zip(grad.iter()) {
-            *a += g;
-        }
+        simd::axpy(&mut self.acc, grad);
     }
 
     /// Extracts the top-`k` coordinates by |value|, zeroing them in the
@@ -103,11 +103,59 @@ impl Residual {
         rng: &mut impl Rng,
     ) -> SparseVec {
         let mut sv = SparseVec::empty(self.acc.len());
-        threshold_estimate_topk_into(&self.acc, k, sample, rng, &mut self.scratch, &mut sv);
-        for &i in sv.indices() {
+        self.extract_topk_threshold_into(k, sample, rng, &mut sv);
+        sv
+    }
+
+    /// Like [`Residual::extract_topk_threshold`] but writing into a
+    /// caller-supplied vector — fully allocation-free in steady state.
+    /// Returns the candidate count the select examined.
+    pub fn extract_topk_threshold_into(
+        &mut self,
+        k: usize,
+        sample: usize,
+        rng: &mut impl Rng,
+        out: &mut SparseVec,
+    ) -> usize {
+        let examined =
+            threshold_estimate_topk_into(&self.acc, k, sample, rng, &mut self.scratch, out);
+        for &i in out.indices() {
             self.acc[i as usize] = 0.0;
         }
+        examined
+    }
+
+    /// Fused accumulate + threshold extraction: `G += grad` and the
+    /// top-`k` extraction of [`Residual::extract_topk_threshold`] in one
+    /// memory pass over the buffer (see
+    /// [`accumulate_select_compact`]). Bitwise identical — result,
+    /// buffer state, and RNG consumption — to
+    /// [`Residual::accumulate`] followed by
+    /// [`Residual::extract_topk_threshold`].
+    pub fn accumulate_extract_threshold(
+        &mut self,
+        grad: &[f32],
+        k: usize,
+        sample: usize,
+        rng: &mut impl Rng,
+    ) -> SparseVec {
+        let mut sv = SparseVec::empty(self.acc.len());
+        self.accumulate_extract_threshold_into(grad, k, sample, rng, &mut sv);
         sv
+    }
+
+    /// Like [`Residual::accumulate_extract_threshold`] but writing into a
+    /// caller-supplied vector — fully allocation-free in steady state.
+    /// Returns the candidate count the select examined.
+    pub fn accumulate_extract_threshold_into(
+        &mut self,
+        grad: &[f32],
+        k: usize,
+        sample: usize,
+        rng: &mut impl Rng,
+        out: &mut SparseVec,
+    ) -> usize {
+        accumulate_select_compact(&mut self.acc, grad, k, sample, rng, &mut self.scratch, out)
     }
 
     /// Like [`Residual::extract_topk`] but using the sampled-threshold
@@ -199,6 +247,30 @@ mod tests {
         // residual on coord 0 is now 1.2 > 1.0
         assert_eq!(t2.indices(), &[0]);
         assert!((t2.values()[0] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_accumulate_extract_matches_unfused() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let grads: Vec<Vec<f32>> = (0..4)
+            .map(|s| {
+                (0..257)
+                    .map(|i| ((i * 31 + s * 7) % 101) as f32 - 50.0 + (i as f32 * 0.13).sin())
+                    .collect()
+            })
+            .collect();
+        let mut fused = Residual::new(257);
+        let mut unfused = Residual::new(257);
+        let mut rng_f = StdRng::seed_from_u64(11);
+        let mut rng_u = StdRng::seed_from_u64(11);
+        for g in &grads {
+            let a = fused.accumulate_extract_threshold(g, 19, 64, &mut rng_f);
+            unfused.accumulate(g);
+            let b = unfused.extract_topk_threshold(19, 64, &mut rng_u);
+            assert_eq!(a, b);
+            assert_eq!(fused.dense(), unfused.dense());
+        }
     }
 
     #[test]

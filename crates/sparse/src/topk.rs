@@ -32,7 +32,7 @@
 //! allocate internally and are unchanged in behavior.
 
 use crate::SparseVec;
-use gtopk_tensor::parallel;
+use gtopk_tensor::{parallel, simd};
 use rand::Rng;
 use std::cmp::Ordering;
 
@@ -73,8 +73,12 @@ pub struct TopkScratch {
     /// Index buffer: 0..n, partially selected in place (per chunk when
     /// running parallel).
     idx: Vec<u32>,
-    /// Gathered per-chunk candidates (≤ chunks·k entries).
+    /// Gathered per-chunk candidates (≤ chunks·k entries), and the
+    /// strictly-above-threshold candidates of the estimate paths.
     cand: Vec<u32>,
+    /// Sampled magnitudes of the threshold-estimate paths (`sample`
+    /// entries) — kept here so estimation allocates nothing per call.
+    mags: Vec<f32>,
 }
 
 impl TopkScratch {
@@ -179,14 +183,11 @@ pub fn topk_sparse(dense: &[f32], k: usize) -> SparseVec {
 /// gathered in order, so the result is identical to the serial filter.
 pub fn threshold_sparse(dense: &[f32], thr: f32) -> SparseVec {
     let parts = parallel::map_chunks(dense, PAR_MIN_CHUNK, |_, start, chunk| {
+        // SIMD compaction emits the surviving indices in order; the
+        // (short) value gather reads only the survivors back.
         let mut indices = Vec::new();
-        let mut values = Vec::new();
-        for (i, &v) in chunk.iter().enumerate() {
-            if v.abs() > thr {
-                indices.push((start + i) as u32);
-                values.push(v);
-            }
-        }
+        simd::compact_above(chunk, thr, start as u32, &mut indices);
+        let values: Vec<f32> = indices.iter().map(|&i| dense[i as usize]).collect();
         (indices, values)
     });
     let total: usize = parts.iter().map(|(i, _)| i.len()).sum();
@@ -272,6 +273,37 @@ pub fn sampled_topk_sparse(
     topk_sparse(dense, k)
 }
 
+/// Estimates the strict selection threshold for a top-`k`-of-`n` select
+/// from `sample` uniform draws of the magnitudes supplied by `value_at`,
+/// reusing the `mags` scratch buffer (no allocation at steady state).
+///
+/// Consumes exactly `sample` RNG draws. Shared by the unfused
+/// ([`threshold_estimate_topk_into`]) and fused
+/// ([`accumulate_select_compact`]) estimate paths so their thresholds —
+/// and therefore their selections — cannot drift apart.
+fn estimate_threshold(
+    n: usize,
+    k: usize,
+    sample: usize,
+    rng: &mut impl Rng,
+    mags: &mut Vec<f32>,
+    value_at: impl Fn(usize) -> f32,
+) -> f32 {
+    mags.clear();
+    mags.extend((0..sample).map(|_| mag(value_at(rng.gen_range(0..n)))));
+    // Aim the threshold at ~2k candidates: a 2x quota margin makes the
+    // strict filter overshoot k with high probability (a slightly large
+    // candidate set costs one cheap select; an undershoot costs a full
+    // exact rescan).
+    let quota = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
+    let quota = quota.saturating_mul(2).clamp(1, sample);
+    // `mag` outputs are never NaN, so this comparator is total.
+    mags.select_nth_unstable_by(quota - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(Ordering::Equal)
+    });
+    mags[quota - 1]
+}
+
 /// Exact top-k via sampled-threshold estimation with an exact-`k` fixup:
 /// the fast path of the `ThresholdEstimate` selector.
 ///
@@ -306,30 +338,13 @@ pub fn threshold_estimate_topk_into(
     let sample = sample.min(n);
     out.dim = n;
     out.indices.clear();
-    // Reuse the output value buffer for the sampled magnitudes — the
-    // whole estimation runs allocation-free at steady state.
     out.values.clear();
-    out.values
-        .extend((0..sample).map(|_| mag(dense[rng.gen_range(0..n)])));
-    // Aim the threshold at ~2k candidates: a 2x quota margin makes the
-    // strict filter overshoot k with high probability (a slightly large
-    // candidate set costs one cheap select; an undershoot costs a full
-    // exact rescan).
-    let quota = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
-    let quota = quota.saturating_mul(2).clamp(1, sample);
-    // `mag` outputs are never NaN, so this comparator is total.
-    out.values.select_nth_unstable_by(quota - 1, |a, b| {
-        b.partial_cmp(a).unwrap_or(Ordering::Equal)
-    });
-    let thr = out.values[quota - 1];
-    out.values.clear();
-    // Single pass: strictly-above-threshold candidates.
+    let thr = estimate_threshold(n, k, sample, rng, &mut scratch.mags, |i| dense[i]);
+    // Single pass: strictly-above-threshold candidates (SIMD compaction;
+    // `|v| > thr` and `mag(v) > thr` agree for every thr ≥ 0 because NaN
+    // fails both).
     scratch.cand.clear();
-    for (i, &v) in dense.iter().enumerate() {
-        if mag(v) > thr {
-            scratch.cand.push(i as u32);
-        }
-    }
+    simd::compact_above(dense, thr, 0, &mut scratch.cand);
     let examined = scratch.cand.len();
     if examined < k {
         // Estimate overshot (heavy ties at or below thr): exact fallback.
@@ -346,6 +361,91 @@ pub fn threshold_estimate_topk_into(
     out.indices.extend_from_slice(&scratch.cand);
     out.values
         .extend(out.indices.iter().map(|&i| dense[i as usize]));
+    examined
+}
+
+/// Fused residual-accumulate + threshold-estimate top-k extraction: the
+/// per-step gradient hot loop in **one memory pass** instead of three.
+///
+/// Semantically identical — bitwise, including the RNG stream — to the
+/// unfused sequence
+///
+/// 1. `acc[i] += grad[i]` (residual accumulate),
+/// 2. [`threshold_estimate_topk_into`] over the accumulated buffer,
+/// 3. zeroing the selected coordinates in `acc`,
+///
+/// but the accumulate, the threshold scan, and the candidate compaction
+/// all happen in a single traversal (`gtopk_tensor::simd::
+/// accumulate_compact_above`), so the big buffer crosses the memory bus
+/// once rather than three times. The threshold is estimated *before*
+/// the pass by sampling `mag(acc[i] + grad[i])` — the identical floats
+/// (one IEEE rounding per add) the unfused path samples after
+/// accumulating, drawn from the identical RNG sequence via the shared
+/// [`estimate_threshold`] helper.
+///
+/// Writes the exact top-`k` of the accumulated buffer into `out` and
+/// zeroes the selected coordinates in `acc`. Returns the number of
+/// coordinates the final exact select examined, like
+/// [`threshold_estimate_topk_into`].
+///
+/// # Panics
+///
+/// Panics if `grad.len() != acc.len()`, or if `sample == 0` while the
+/// estimate path is taken (`0 < k < n`).
+pub fn accumulate_select_compact(
+    acc: &mut [f32],
+    grad: &[f32],
+    k: usize,
+    sample: usize,
+    rng: &mut impl Rng,
+    scratch: &mut TopkScratch,
+    out: &mut SparseVec,
+) -> usize {
+    let n = acc.len();
+    assert_eq!(grad.len(), n, "gradient length mismatch");
+    if k == 0 || n == 0 || k >= n {
+        // Degenerate select: plain accumulate, then the exact kernel
+        // (mirrors the unfused path's delegation).
+        simd::axpy(acc, grad);
+        topk_sparse_into(acc, k, scratch, out);
+        for &i in out.indices() {
+            acc[i as usize] = 0.0;
+        }
+        return n;
+    }
+    assert!(sample > 0, "sample size must be positive");
+    let sample = sample.min(n);
+    let thr = estimate_threshold(n, k, sample, rng, &mut scratch.mags, |i| acc[i] + grad[i]);
+    out.dim = n;
+    out.indices.clear();
+    out.values.clear();
+    // THE fused pass: accumulate, threshold-compare the accumulated
+    // value, and emit candidate indices, one traversal.
+    scratch.cand.clear();
+    simd::accumulate_compact_above(acc, grad, thr, 0, &mut scratch.cand);
+    let examined = scratch.cand.len();
+    if examined < k {
+        // Estimate overshot (heavy ties at or below thr): exact fallback
+        // over the already-accumulated buffer.
+        topk_sparse_into(acc, k, scratch, out);
+        for &i in out.indices() {
+            acc[i as usize] = 0.0;
+        }
+        return n;
+    }
+    if examined > k {
+        scratch
+            .cand
+            .select_nth_unstable_by(k - 1, |&a, &b| tie_cmp(acc, a, b));
+        scratch.cand.truncate(k);
+    }
+    scratch.cand.sort_unstable();
+    out.indices.extend_from_slice(&scratch.cand);
+    out.values
+        .extend(out.indices.iter().map(|&i| acc[i as usize]));
+    for &i in out.indices() {
+        acc[i as usize] = 0.0;
+    }
     examined
 }
 
@@ -537,7 +637,89 @@ mod tests {
         );
     }
 
+    #[test]
+    fn fused_fast_path_engages_and_stays_exact() {
+        // Same heavy-hitter structure as the unfused fast-path test: the
+        // fused pass must stay exact while examining far fewer than n.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000usize;
+        let acc0: Vec<f32> = (0..n).map(|i| (i % 5) as f32 * 1e-5).collect();
+        let grad: Vec<f32> = (0..n)
+            .map(|i| {
+                if i % 20 == 0 {
+                    100.0 + i as f32 * 1e-3
+                } else {
+                    (i % 7) as f32 * 1e-4
+                }
+            })
+            .collect();
+        let mut acc = acc0.clone();
+        let mut scratch = TopkScratch::new();
+        let mut out = SparseVec::empty(0);
+        let k = 150;
+        let examined =
+            accumulate_select_compact(&mut acc, &grad, k, 512, &mut rng, &mut scratch, &mut out);
+        let mut expect_dense = acc0;
+        for (a, &g) in expect_dense.iter_mut().zip(grad.iter()) {
+            *a += g;
+        }
+        assert_eq!(out, topk_sparse(&expect_dense, k), "must be bitwise exact");
+        assert!(
+            examined < n / 4,
+            "fast path should examine far fewer than n candidates, examined {examined}"
+        );
+        // Selected coordinates zeroed, everything else untouched.
+        for (i, (&got, &exp)) in acc.iter().zip(expect_dense.iter()).enumerate() {
+            let want = if out.contains(i as u32) { 0.0 } else { exp };
+            assert_eq!(got.to_bits(), want.to_bits(), "coord {i}");
+        }
+    }
+
     proptest! {
+        /// The fused accumulate+select+compact kernel is bitwise
+        /// identical — extracted vector, buffer state, and RNG
+        /// consumption — to the unfused three-pass sequence (accumulate,
+        /// estimate-select, zero), for any state, gradient, k, and seed.
+        /// Ties, NaNs, and degenerate k included.
+        #[test]
+        fn prop_fused_bitwise_equals_unfused(
+            base in proptest::collection::vec(-6i32..6, 1..300),
+            k in 0usize..48,
+            seed in 0u64..25,
+        ) {
+            let acc0: Vec<f32> = base.iter().enumerate()
+                .map(|(i, &v)| if i % 17 == 16 { f32::NAN } else { v as f32 * 0.5 })
+                .collect();
+            let grad: Vec<f32> = base.iter().enumerate()
+                .map(|(i, &v)| if i % 13 == 12 { f32::NAN } else { (v as f32 * 0.7).cos() })
+                .collect();
+
+            // Unfused reference: accumulate, select, zero.
+            let mut acc_ref = acc0.clone();
+            for (a, &g) in acc_ref.iter_mut().zip(grad.iter()) { *a += g; }
+            let mut rng_ref = StdRng::seed_from_u64(seed);
+            let mut out_ref = SparseVec::empty(0);
+            threshold_estimate_topk_into(
+                &acc_ref, k, 16, &mut rng_ref, &mut TopkScratch::new(), &mut out_ref);
+            for &i in out_ref.indices() { acc_ref[i as usize] = 0.0; }
+
+            let mut acc = acc0;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = SparseVec::empty(0);
+            accumulate_select_compact(
+                &mut acc, &grad, k, 16, &mut rng, &mut TopkScratch::new(), &mut out);
+
+            prop_assert_eq!(out.indices(), out_ref.indices());
+            let vb: Vec<u32> = out.values().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = out_ref.values().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(vb, rb);
+            let ab: Vec<u32> = acc.iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = acc_ref.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(ab, eb, "buffer state diverged");
+            // Both paths must have consumed the identical rng prefix.
+            prop_assert_eq!(rng.gen_range(0..u32::MAX), rng_ref.gen_range(0..u32::MAX));
+        }
+
         /// The threshold-estimate selector is bitwise identical to the
         /// exact kernel for any input, k, and rng seed — only its running
         /// time is probabilistic. Ties and NaNs included.

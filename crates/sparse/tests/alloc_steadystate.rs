@@ -1,0 +1,123 @@
+//! Steady-state allocation accounting for the selection hot path.
+//!
+//! The `TopkScratch` discipline promises that once buffers are warm,
+//! per-step selection performs **zero** heap allocation — the analogue of
+//! the `BufferPool` steady-state test on the comm side, but enforced at
+//! the allocator itself: a counting `#[global_allocator]` wrapper
+//! measures an entire warmed epoch and demands exactly zero calls.
+//!
+//! This lives in its own integration binary so no concurrently-running
+//! test can allocate into the measurement window (integration tests get
+//! their own process; the two `#[test]`s here serialize on a lock).
+
+use gtopk_sparse::{Residual, SparseVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// System allocator wrapper that counts every allocation entry point.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// The two tests share the process; serialize so neither allocates into
+/// the other's measurement window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Deterministic gradient stream (same content on the warm-up epoch and
+/// the measured epoch, so buffer high-water marks are already reached).
+fn grad_epoch(n: usize, steps: usize) -> Vec<Vec<f32>> {
+    (0..steps)
+        .map(|s| {
+            (0..n)
+                .map(|i| {
+                    let h = (i as u64 + 3)
+                        .wrapping_mul(s as u64 + 17)
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d);
+                    ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one epoch of the unfused estimate path over warmed state.
+fn run_unfused(r: &mut Residual, grads: &[Vec<f32>], k: usize, out: &mut SparseVec) {
+    let mut rng = StdRng::seed_from_u64(42);
+    for g in grads {
+        r.accumulate(g);
+        r.extract_topk_threshold_into(k, 128, &mut rng, out);
+    }
+}
+
+/// Runs one epoch of the fused accumulate+select+compact path.
+fn run_fused(r: &mut Residual, grads: &[Vec<f32>], k: usize, out: &mut SparseVec) {
+    let mut rng = StdRng::seed_from_u64(42);
+    for g in grads {
+        r.accumulate_extract_threshold_into(g, k, 128, &mut rng, out);
+    }
+}
+
+#[test]
+fn threshold_estimate_path_allocates_nothing_at_steady_state() {
+    let _lock = SERIAL.lock().unwrap();
+    let n = 8192;
+    let k = 96;
+    let grads = grad_epoch(n, 12);
+    let mut r = Residual::new(n);
+    let mut out = SparseVec::empty(n);
+    // Warm-up epoch: identical call sequence (same seed, same gradients),
+    // so every scratch buffer reaches its epoch high-water capacity.
+    run_unfused(&mut r, &grads, k, &mut out);
+    r.clear();
+    let before = alloc_calls();
+    run_unfused(&mut r, &grads, k, &mut out);
+    let allocs = alloc_calls() - before;
+    assert_eq!(allocs, 0, "steady-state estimate epoch allocated {allocs}x");
+}
+
+#[test]
+fn fused_path_allocates_nothing_at_steady_state() {
+    let _lock = SERIAL.lock().unwrap();
+    let n = 8192;
+    let k = 96;
+    let grads = grad_epoch(n, 12);
+    let mut r = Residual::new(n);
+    let mut out = SparseVec::empty(n);
+    run_fused(&mut r, &grads, k, &mut out);
+    r.clear();
+    let before = alloc_calls();
+    run_fused(&mut r, &grads, k, &mut out);
+    let allocs = alloc_calls() - before;
+    assert_eq!(allocs, 0, "steady-state fused epoch allocated {allocs}x");
+}

@@ -30,6 +30,7 @@ mod matmul;
 mod ops;
 pub mod parallel;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::TensorError;

@@ -9,17 +9,25 @@
 //! Large multiplies run row-parallel (threads own disjoint blocks of
 //! output rows, see `crate::parallel`) and the standard kernels block the
 //! shared dimension so a `KC`-row panel of `B` stays cache-resident across
-//! output rows. Both transformations are *bitwise identical* to the plain
-//! serial i-k-j loops: every output element accumulates its products in
-//! exactly the same order (ascending `p` for the standard kernels,
-//! ascending `i` for the `Aᵀ·B` kernel), because row-parallelism only
-//! partitions independent output rows and the `p`-blocking visits blocks in
-//! ascending order with the same per-thread row kernel serial execution
-//! uses. The `av == 0.0` skip is likewise shared by every path. Training
-//! replicas rely on this: identical inputs must produce identical models
-//! on every rank regardless of `GTOPK_THREADS`.
+//! output rows — but only when more than one thread will actually engage:
+//! the single-thread path dispatches to an unblocked i-k-j kernel, since
+//! blocking without sharing only re-reads `C` rows. All transformations
+//! are *bitwise identical* to the plain serial i-k-j loops: every output
+//! element accumulates its products in exactly the same order (ascending
+//! `p` for the standard kernels, ascending `i` for the `Aᵀ·B` kernel),
+//! because row-parallelism only partitions independent output rows and the
+//! `p`-blocking visits blocks in ascending order with the same per-thread
+//! row kernel serial execution uses. The `av == 0.0` skip is likewise
+//! shared by every path, and the inner `c += a·b` loop runs through the
+//! [`crate::simd`] microkernel (one multiply + one add per element, never
+//! FMA), which is itself bitwise identical at every dispatch level.
+//! Training replicas rely on this: identical inputs must produce identical
+//! models on every rank regardless of `GTOPK_THREADS` or `GTOPK_SIMD`.
+//! (The `A·Bᵀ` kernel keeps its scalar sequential dot product: its
+//! accumulation chain is a single running sum, which a lane-parallel
+//! reduction would reassociate.)
 
-use crate::parallel;
+use crate::{parallel, simd};
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Shared-dimension block size: a `KC × n` panel of `B` (`KC` rows) is
@@ -54,12 +62,30 @@ fn flat_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: 
                     continue;
                 }
                 let brow = &b[(p0 + off) * n..(p0 + off + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += av * bv;
-                }
+                simd::row_axpy(crow, brow, av);
             }
         }
         p0 = p1;
+    }
+}
+
+/// Unblocked serial i-k-j kernel for [`matmul_flat_acc`]'s single-thread
+/// path. The `KC`-blocking exists to keep a `B` panel cache-resident
+/// while *several threads* stream over it; with one thread it only adds
+/// `⌈k/KC⌉` re-reads of every `C` row, which the kernel benchmark showed
+/// costs ~25% at large sizes. Per-element accumulation order is ascending
+/// `p` — identical to the blocked kernel — so dispatching on thread count
+/// stays bitwise deterministic.
+fn serial_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            simd::row_axpy(crow, &b[p * n..(p + 1) * n], av);
+        }
     }
 }
 
@@ -85,7 +111,16 @@ pub fn matmul_flat_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     if m == 0 || n == 0 {
         return;
     }
-    parallel::for_each_row_block_mut(c, n, min_rows_for(k * n), |first_row, cblock| {
+    let min_rows = min_rows_for(k * n);
+    if parallel::chunk_count(m, min_rows) <= 1 {
+        // Effective threads == 1 (below the blocking/parallel threshold
+        // or a single-core limit): skip the p-blocking — see
+        // `serial_acc_rows`. Bitwise identical to the blocked path by
+        // the shared accumulation order.
+        serial_acc_rows(a, b, c, m, k, n);
+        return;
+    }
+    parallel::for_each_row_block_mut(c, n, min_rows, |first_row, cblock| {
         let rows = cblock.len() / n;
         let ablock = &a[first_row * k..(first_row + rows) * k];
         flat_acc_rows(ablock, b, cblock, rows, k, n);
@@ -149,10 +184,7 @@ fn at_acc_rows(
             if av == 0.0 {
                 continue;
             }
-            let crow = &mut cblock[r * n..(r + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
-            }
+            simd::row_axpy(&mut cblock[r * n..(r + 1) * n], brow, av);
         }
     }
 }
@@ -307,6 +339,32 @@ mod tests {
         let mut c = [10.0, 10.0, 10.0, 10.0];
         matmul_flat_acc(&a, &b, &mut c, 2, 2, 2);
         assert_eq!(c, [12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn serial_blocked_and_simd_dispatch_bitwise_identical() {
+        use crate::parallel::{with_min_chunk, with_thread_limit};
+        use crate::simd::{self, SimdLevel};
+        // k > KC exercises the p-blocked kernel on the parallel path vs
+        // the unblocked kernel on the single-thread path; irrational
+        // inputs make any reassociation visible in the low bits.
+        let (m, k, n) = (7, 2 * KC + 13, 9);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.61).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect();
+        let run = || {
+            let mut c = vec![0.0f32; m * n];
+            matmul_flat(&a, &b, &mut c, m, k, n);
+            c.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        let reference = with_thread_limit(1, || simd::with_simd_level(SimdLevel::Scalar, run));
+        for level in SimdLevel::ALL.into_iter().filter(|l| l.available()) {
+            simd::with_simd_level(level, || {
+                assert_eq!(with_thread_limit(1, run), reference, "serial {level}");
+                with_thread_limit(4, || {
+                    with_min_chunk(1, || assert_eq!(run(), reference, "parallel {level}"));
+                });
+            });
+        }
     }
 
     #[test]

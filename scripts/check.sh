@@ -3,9 +3,11 @@
 #
 # Usage: scripts/check.sh
 #
-# Tests run under a GTOPK_THREADS matrix ({1, 4} by default) because the
-# kernels promise bit-identical results for any pool size; exporting
-# GTOPK_THREADS pins a single value (CI's matrix jobs do exactly that).
+# Tests run under a GTOPK_THREADS × GTOPK_SIMD matrix ({1, 4} ×
+# {scalar, auto} by default) because the kernels promise bit-identical
+# results for any pool size at any SIMD dispatch level; exporting
+# GTOPK_THREADS / GTOPK_SIMD pins single values (CI's matrix jobs do
+# exactly that).
 #
 # The build environment has no registry access; everything runs with
 # --offline against the vendored stubs in vendor/ (see vendor/README.md).
@@ -13,6 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREAD_MATRIX=(${GTOPK_THREADS:-1 4})
+SIMD_MATRIX=(${GTOPK_SIMD:-scalar auto})
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -21,30 +24,33 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 for threads in "${THREAD_MATRIX[@]}"; do
-  export GTOPK_THREADS="$threads"
-  echo "==> cargo test -q (GTOPK_THREADS=$threads)"
-  cargo test -q --offline
+  for simd in "${SIMD_MATRIX[@]}"; do
+    export GTOPK_THREADS="$threads" GTOPK_SIMD="$simd"
+    echo "==> cargo test -q (GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
+    cargo test -q --offline
 
-  # The workspace-level integration suites under tests/ are registered as
-  # [[test]] targets of gtopk-core; run them explicitly so a registration
-  # mistake (a file added to tests/ but not to crates/core/Cargo.toml)
-  # fails loudly here instead of silently never running.
-  echo "==> workspace integration suites (tests/, GTOPK_THREADS=$threads)"
-  for f in tests/*.rs; do
-    name="$(basename "$f" .rs)"
-    if ! grep -q "name = \"$name\"" crates/core/Cargo.toml; then
-      echo "error: $f is not registered as a [[test]] target in crates/core/Cargo.toml" >&2
-      exit 1
-    fi
-    cargo test -q --offline -p gtopk-core --test "$name"
+    # The workspace-level integration suites under tests/ are registered
+    # as [[test]] targets of gtopk-core; run them explicitly so a
+    # registration mistake (a file added to tests/ but not to
+    # crates/core/Cargo.toml) fails loudly here instead of silently never
+    # running.
+    echo "==> workspace integration suites (tests/, GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
+    for f in tests/*.rs; do
+      name="$(basename "$f" .rs)"
+      if ! grep -q "name = \"$name\"" crates/core/Cargo.toml; then
+        echo "error: $f is not registered as a [[test]] target in crates/core/Cargo.toml" >&2
+        exit 1
+      fi
+      cargo test -q --offline -p gtopk-core --test "$name"
+    done
+
+    # Transport contract: the shared conformance suite must hold for both
+    # the simulated and the real-TCP backend (it also runs as part of the
+    # workspace tests above; the explicit invocation keeps a rename or
+    # removal from silently dropping it).
+    echo "==> transport conformance suite (GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
+    cargo test -q --offline -p gtopk-comm --test transport_conformance
   done
-
-  # Transport contract: the shared conformance suite must hold for both
-  # the simulated and the real-TCP backend (it also runs as part of the
-  # workspace tests above; the explicit invocation keeps a rename or
-  # removal from silently dropping it).
-  echo "==> transport conformance suite (GTOPK_THREADS=$threads)"
-  cargo test -q --offline -p gtopk-comm --test transport_conformance
 done
 
 # Real processes, real sockets, a real SIGKILL: a 4-process localhost
