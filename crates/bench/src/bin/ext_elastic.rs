@@ -1,0 +1,231 @@
+//! **Extension** — elastic recovery: durable checkpoints and rank
+//! rejoin → `BENCH_elastic.json`.
+//!
+//! Quantifies the two costs of the elastic-recovery subsystem:
+//!
+//! * the overhead of *writing* durable checkpoints on a fault-free run
+//!   (expected: exactly zero simulated time — durable I/O is charged to
+//!   the wall clock only — and a small wall-clock fraction);
+//! * the price of a full kill-and-rejoin cycle as a function of the
+//!   checkpoint interval: the killed rank restarts, restores its newest
+//!   durable generation, and the whole membership rolls back to the
+//!   agreed generation and replays — so a longer interval trades fewer
+//!   writes for a deeper replay after a crash.
+//!
+//! Every elastic run must end with full membership and epoch losses
+//! within 1e-9 of the fault-free baseline (the discard-shrunk-progress
+//! rejoin replays the exact fault-free trajectory).
+//!
+//! Run: `cargo run --release -p gtopk-bench --bin ext_elastic`
+
+use gtopk::{train_rank, TrainConfig, TrainReport};
+use gtopk_bench::report::{workspace_root, Table};
+use gtopk_comm::transport::SimTransport;
+use gtopk_comm::{Communicator, CostModel, FaultPlan};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+const EPOCHS: usize = 10;
+const BATCH: usize = 8;
+const VICTIM: usize = 3;
+/// Comm-local step at which the victim dies. With 80 iterations total
+/// the rollback depth after the rejoin is `37 mod interval` — the sweep
+/// below makes the replay cost of a long interval visible.
+const CRASH_STEP: u64 = 37;
+
+fn cfg(interval: usize, dir: Option<std::path::PathBuf>) -> TrainConfig {
+    let mut cfg = TrainConfig::convergence(WORKERS, BATCH, EPOCHS, 0.05, 0.01);
+    cfg.cost_model = CostModel::gigabit_ethernet();
+    cfg.fault_plan = Some(FaultPlan::seeded(9));
+    cfg.checkpoint_interval = interval;
+    cfg.checkpoint_dir = dir;
+    cfg
+}
+
+/// Runs `cfg` over a manually wired mesh so the victim rank can be
+/// killed and *restarted* in-process (the same harness the trainer's
+/// elastic tests use). Returns per-rank reports in rank order.
+fn run_elastic(data: &GaussianMixture, cfg: &TrainConfig, crash: bool) -> Vec<TrainReport> {
+    let build = || models::mlp(61, 8, 16, 4);
+    let (mesh, ends) = SimTransport::mesh_with_handle(cfg.workers);
+    std::thread::scope(|scope| {
+        let mut handles: Vec<Option<_>> = ends
+            .into_iter()
+            .enumerate()
+            .map(|(rank, endpoint)| {
+                let mut vcfg = cfg.clone();
+                if crash && rank == VICTIM {
+                    let base = vcfg.fault_plan.clone().expect("elastic runs arm a plan");
+                    vcfg.fault_plan = Some(base.with_crash(VICTIM, CRASH_STEP));
+                }
+                Some(scope.spawn(move || {
+                    let mut comm =
+                        Communicator::from_transport(Box::new(endpoint), vcfg.cost_model);
+                    train_rank(&vcfg, &mut comm, build, data, None)
+                }))
+            })
+            .collect();
+        if crash {
+            let dead = handles[VICTIM]
+                .take()
+                .expect("victim handle")
+                .join()
+                .unwrap();
+            assert!(dead.is_none(), "the victim must report a crash");
+            let rcfg = cfg.clone();
+            let endpoint = mesh.rejoin(VICTIM);
+            handles[VICTIM] = Some(scope.spawn(move || {
+                let mut comm = Communicator::from_transport(Box::new(endpoint), rcfg.cost_model);
+                train_rank(&rcfg, &mut comm, build, data, None)
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.expect("handle present")
+                    .join()
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("rank {rank} must finish the run"))
+            })
+            .collect()
+    })
+}
+
+/// Max absolute per-epoch loss deviation of `run` vs `reference`
+/// (rank-0 reports carry the rank-averaged losses).
+fn loss_dev(run: &TrainReport, reference: &TrainReport) -> f64 {
+    run.epochs
+        .iter()
+        .zip(&reference.epochs)
+        .map(|(a, b)| (a.train_loss - b.train_loss).abs())
+        .fold(0.0, f64::max)
+}
+
+struct Cycle {
+    interval: usize,
+    elastic_sim_ms: f64,
+    extra_sim_ms: f64,
+    recovery_ms: f64,
+    recoveries: u64,
+    wall_ms: f64,
+    loss_dev: f64,
+}
+
+fn main() {
+    let data = GaussianMixture::new(61, 256, 8, 4, 2.5, 0.5);
+    let dir = std::env::temp_dir().join(format!("gtopk-ext-elastic-{}", std::process::id()));
+
+    // --- Durable-write overhead on a fault-free run. -----------------
+    eprintln!("durable-write overhead (no crash) ...");
+    let t0 = Instant::now();
+    let plain = run_elastic(&data, &cfg(10, None), false);
+    let plain_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&dir);
+    let t0 = Instant::now();
+    let durable = run_elastic(&data, &cfg(10, Some(dir.clone())), false);
+    let durable_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let sim_identical = plain[0].sim_time_ms == durable[0].sim_time_ms;
+    assert!(sim_identical, "durable I/O must cost zero simulated time");
+
+    // --- Kill-and-rejoin cost vs checkpoint interval. ----------------
+    let baseline = &plain[0];
+    let mut cycles = Vec::new();
+    for interval in [2usize, 5, 10, 20] {
+        eprintln!("kill-and-rejoin cycle, checkpoint interval {interval} ...");
+        let _ = std::fs::remove_dir_all(&dir);
+        let t0 = Instant::now();
+        let reports = run_elastic(&data, &cfg(interval, Some(dir.clone())), true);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let dev = loss_dev(&reports[0], baseline);
+        assert!(
+            dev <= 1e-9,
+            "interval {interval}: elastic losses deviate by {dev}"
+        );
+        for (rank, r) in reports.iter().enumerate() {
+            assert_eq!(r.survivors, WORKERS, "rank {rank} must end fully healed");
+        }
+        cycles.push(Cycle {
+            interval,
+            elastic_sim_ms: reports[0].sim_time_ms,
+            extra_sim_ms: reports[0].sim_time_ms - baseline.sim_time_ms,
+            recovery_ms: reports[0].timing.recovery_ms,
+            recoveries: reports[0].timing.recoveries as u64,
+            wall_ms,
+            loss_dev: dev,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Console table. ----------------------------------------------
+    let mut table = Table::new(
+        &format!(
+            "Elastic recovery — kill rank {VICTIM} at step {CRASH_STEP}, restart, rejoin \
+             (P = {WORKERS}, {EPOCHS} epochs; durable-write sim overhead: 0 by assertion)"
+        ),
+        &[
+            "ckpt interval",
+            "elastic sim ms",
+            "extra sim ms",
+            "recovery ms",
+            "recoveries",
+            "wall ms",
+            "max loss dev",
+        ],
+    );
+    for c in &cycles {
+        table.row(vec![
+            c.interval.to_string(),
+            format!("{:.1}", c.elastic_sim_ms),
+            format!("{:.1}", c.extra_sim_ms),
+            format!("{:.1}", c.recovery_ms),
+            c.recoveries.to_string(),
+            format!("{:.0}", c.wall_ms),
+            format!("{:.2e}", c.loss_dev),
+        ]);
+    }
+    table.emit("ext_elastic");
+
+    // --- JSON artifact. ----------------------------------------------
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"elastic_recovery\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"workers\": {WORKERS}, \"epochs\": {EPOCHS}, \
+         \"batch_per_worker\": {BATCH}, \"algorithm\": \"gTop-k\", \
+         \"network\": \"1GbE\", \"victim\": {VICTIM}, \"crash_step\": {CRASH_STEP}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"durable_write_overhead\": {{\"plain_sim_ms\": {:.3}, \"durable_sim_ms\": {:.3}, \
+         \"sim_identical\": {}, \"plain_wall_ms\": {:.1}, \"durable_wall_ms\": {:.1}}},",
+        plain[0].sim_time_ms, durable[0].sim_time_ms, sim_identical, plain_wall, durable_wall,
+    );
+    let _ = writeln!(out, "  \"kill_and_rejoin_vs_interval\": [");
+    for (i, c) in cycles.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"checkpoint_interval\": {}, \"elastic_sim_ms\": {:.3}, \
+             \"extra_sim_ms\": {:.3}, \"recovery_ms\": {:.3}, \"recoveries\": {}, \
+             \"wall_ms\": {:.1}, \"max_loss_dev\": {:.3e}, \"healed\": true}}{}",
+            c.interval,
+            c.elastic_sim_ms,
+            c.extra_sim_ms,
+            c.recovery_ms,
+            c.recoveries,
+            c.wall_ms,
+            c.loss_dev,
+            if i + 1 == cycles.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    print!("{out}");
+    let path = workspace_root().join("BENCH_elastic.json");
+    std::fs::write(&path, &out).expect("write BENCH_elastic.json");
+    eprintln!("wrote {}", path.display());
+}

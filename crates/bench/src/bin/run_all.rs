@@ -26,6 +26,7 @@ const BINARIES: &[&str] = &[
     "ext_momentum_correction",
     "ext_support_overlap",
     "ext_fault_tolerance",
+    "ext_elastic",
     "bench_plans",
 ];
 

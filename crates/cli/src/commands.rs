@@ -8,7 +8,7 @@ use gtopk::{
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
 };
-use gtopk_comm::transport::{TcpConfig, TcpTransport};
+use gtopk_comm::transport::{install_leave_signals, AddrResolver, TcpConfig, TcpTransport};
 use gtopk_comm::{Communicator, CostModel, FaultPlan};
 use gtopk_data::{GaussianMixture, MarkovText, PatternImages};
 use gtopk_nn::{models, Model};
@@ -136,7 +136,19 @@ enum Launch {
 /// Parses the `--transport`/`--rank`/`--listen`/`--peers`/`--rendezvous`
 /// options into a [`Launch`]. The default (`sim`) tolerates none of the
 /// TCP-only options.
-fn parse_launch(parsed: &ParsedArgs, workers: usize, cost: CostModel) -> Result<Launch, ArgError> {
+///
+/// `elastic` (set by `--checkpoint-dir`) switches the TCP backend to
+/// its rejoin-tolerant configuration — a restarted process may dial
+/// peers that are mid-training — installs the SIGINT/SIGTERM graceful-
+/// LEAVE handlers, and, under `--rendezvous`, wires the address files
+/// in as the live address book so survivors can redial a restarted
+/// rank at its new port.
+fn parse_launch(
+    parsed: &ParsedArgs,
+    workers: usize,
+    cost: CostModel,
+    elastic: bool,
+) -> Result<Launch, ArgError> {
     let transport = parsed.get_str("transport", "sim");
     match transport.as_str() {
         "sim" => {
@@ -188,8 +200,28 @@ fn parse_launch(parsed: &ParsedArgs, workers: usize, cost: CostModel) -> Result<
                     peers.len()
                 )));
             }
-            let t = TcpTransport::establish(listener, rank, peers, TcpConfig::fast_local())
+            let config = if elastic {
+                TcpConfig::elastic_local()
+            } else {
+                TcpConfig::fast_local()
+            };
+            let resolver: Option<AddrResolver> = if elastic && parsed.has_option("rendezvous") {
+                let dir = std::path::PathBuf::from(parsed.get_str("rendezvous", ""));
+                Some(std::sync::Arc::new(move |r| {
+                    std::fs::read_to_string(dir.join(format!("rank-{r}.addr")))
+                        .ok()?
+                        .trim()
+                        .parse()
+                        .ok()
+                }))
+            } else {
+                None
+            };
+            let t = TcpTransport::establish_with_resolver(listener, rank, peers, config, resolver)
                 .map_err(|e| ArgError(format!("tcp transport: {e}")))?;
+            if elastic {
+                install_leave_signals();
+            }
             Ok(Launch::Tcp(Box::new(Communicator::from_transport(
                 Box::new(t),
                 cost,
@@ -271,6 +303,7 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "fault-crash",
         "fault-straggle",
         "fault-checkpoint",
+        "checkpoint-dir",
     ])?;
     let model_name = parsed.get_str("model", "mlp");
     let algorithm = parse_algorithm(&parsed.get_str("algorithm", "gtopk"))?;
@@ -352,7 +385,29 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
             return Err(ArgError("--fault-checkpoint must be positive".into()));
         }
     }
-    let mut launch = parse_launch(parsed, workers, cfg.cost_model)?;
+    let ckpt_dir = parsed.get_str("checkpoint-dir", "");
+    let elastic = !ckpt_dir.is_empty();
+    if elastic {
+        if !matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback) {
+            return Err(ArgError(
+                "--checkpoint-dir requires --algorithm gtopk or feedback \
+                 (durable restore and rejoin run through the fault-tolerant loop)"
+                    .into(),
+            ));
+        }
+        cfg = cfg.with_checkpoint_dir(&ckpt_dir);
+        if cfg.fault_plan.is_none() {
+            // Durable checkpoints imply the recovery policy: a restart
+            // must restore, and survivors must notice the death and the
+            // later rejoin.
+            cfg.fault_plan = Some(FaultPlan::seeded(parsed.get("fault-seed", 1)?));
+        }
+        cfg.checkpoint_interval = parsed.get("fault-checkpoint", 10)?;
+        if cfg.checkpoint_interval == 0 {
+            return Err(ArgError("--fault-checkpoint must be positive".into()));
+        }
+    }
+    let mut launch = parse_launch(parsed, workers, cfg.cost_model, elastic)?;
     if matches!(launch, Launch::Tcp(_))
         && cfg.fault_plan.is_none()
         && matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback)
@@ -711,6 +766,30 @@ mod tests {
             "train --transport tcp --workers 4 --rank 0 --peers 127.0.0.1:1,127.0.0.1:2"
         )
         .is_err());
+    }
+
+    #[test]
+    fn checkpoint_dir_requires_a_fault_tolerant_algorithm() {
+        let err = run_line("train --algorithm dense --checkpoint-dir /tmp/x").unwrap_err();
+        assert!(err.0.contains("gtopk or feedback"), "{}", err.0);
+    }
+
+    #[test]
+    fn train_with_checkpoint_dir_writes_durable_snapshots() {
+        let dir = std::env::temp_dir().join(format!("gtopk-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_line(&format!(
+            "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+             --checkpoint-dir {} --fault-checkpoint 4",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(out.contains("rank-0 traffic"), "{out}");
+        let wrote = std::fs::read_dir(&dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false);
+        assert!(wrote, "no durable checkpoints under {}", dir.display());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -53,13 +53,19 @@ COMMANDS:
     --fault-crash R:T[,..]  kill rank R before its T-th step
     --fault-straggle R:F[,..]  slow rank R down by factor F >= 1
     --fault-checkpoint N    iterations between checkpoints        [10]
+    --checkpoint-dir DIR    write durable checkpoints under DIR; a
+                            killed process restarted with the same
+                            arguments resumes from DIR (and, under
+                            --transport tcp, rejoins the live run)
     real processes (one gtopk process per rank, TCP loopback/LAN):
     --transport  sim | tcp                               [sim]
     --rank R                this process's rank (tcp only, required)
     --listen ADDR           bind address                 [127.0.0.1:0]
     --peers A0,A1,..        all P rank addresses, in rank order
     --rendezvous DIR        exchange addresses via files in DIR
-                            (alternative to --peers; OS picks ports)
+                            (alternative to --peers; OS picks ports;
+                            with --checkpoint-dir it doubles as the
+                            live address book for rank rejoin)
 
   aggregate   time one gradient aggregation at paper scale
     --workers    worker count (power of two)             [32]

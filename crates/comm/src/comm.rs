@@ -15,6 +15,12 @@ use std::time::{Duration, Instant};
 /// slow inter-rack backbone).
 pub type LinkCostFn = Arc<dyn Fn(usize, usize) -> CostModel + Send + Sync>;
 
+/// Wait-slice length for wall-clock receives under a fault plan: between
+/// slices the communicator scans the other inbound links so a REVOKE
+/// (or a join request) queued there can interrupt/resolve promptly.
+/// Bounds cross-rank failure-detection skew to roughly this value.
+const REVOKE_SCAN_SLICE: Duration = Duration::from_millis(25);
+
 /// Communication-volume counters for one rank.
 ///
 /// Used by tests and benches to verify the paper's complexity claims — e.g.
@@ -398,6 +404,154 @@ impl Communicator {
         dropped
     }
 
+    /// Non-blocking probe of the inbound link from `src`: moves every
+    /// already-delivered message into the pending stash (dropping stale
+    /// revokes) and reports whether the link is *closed* (peer dead).
+    /// Recovery code uses this to distinguish a dead peer — instant
+    /// `true` — from a live-but-silent one, without burning a timeout.
+    pub fn probe_link(&mut self, src: usize) -> bool {
+        if src == self.rank || src >= self.size {
+            return false;
+        }
+        loop {
+            match self.transport.recv(src, Some(Duration::ZERO)) {
+                Ok(mut msg) => {
+                    if msg.tag == Message::REVOKE_TAG {
+                        if let Payload::Scalar(e) = msg.payload {
+                            if (e as u64) < self.epoch {
+                                continue; // stale revoke
+                            }
+                        }
+                    }
+                    self.serialize_inbound_at(src, &mut msg);
+                    self.pending[src].push_back(msg);
+                }
+                Err(CommError::Disconnected { .. }) => return true,
+                Err(_) => return false, // link open, nothing queued now
+            }
+        }
+    }
+
+    /// Drains every link other than `blocked` without waiting, stashing
+    /// data messages and erroring on a REVOKE of the current (or a
+    /// future) epoch. Called between wait slices of a wall-clock
+    /// receive so a revoke can interrupt a receive that is blocked on a
+    /// *different* link (see [`Transport::wall_clock`]).
+    ///
+    /// [`Transport::wall_clock`]: crate::transport::Transport::wall_clock
+    fn scan_links_for_revoke(&mut self, blocked: usize, sim_start: f64) -> Result<()> {
+        for src in 0..self.size {
+            if src == self.rank || src == blocked {
+                continue;
+            }
+            while let Some(mut msg) = self.transport.try_recv(src) {
+                self.serialize_inbound_at(src, &mut msg);
+                if msg.tag == Message::REVOKE_TAG {
+                    let Payload::Scalar(revoked) = msg.payload else {
+                        debug_assert!(false, "revoke payload must be a scalar");
+                        continue;
+                    };
+                    if (revoked as u64) < self.epoch {
+                        continue; // stale revoke from a recovered epoch
+                    }
+                    self.clock.sync_to(msg.arrival_ms);
+                    return Err(CommError::Aborted {
+                        rank: msg.src,
+                        attempts: 1,
+                        elapsed_ms: self.clock.now_ms() - sim_start,
+                    });
+                }
+                self.pending[src].push_back(msg);
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking claim of a stashed `tag` message from `src`. Does
+    /// not drain the transport itself — pair it with
+    /// [`Communicator::probe_link`], which does.
+    pub fn poll_tagged_from(&mut self, src: usize, tag: u32) -> Option<Message> {
+        if src == self.rank || src >= self.size {
+            return None;
+        }
+        let pos = self.pending[src].iter().position(|m| m.tag == tag)?;
+        let msg = self.pending[src].remove(pos).expect("position just found");
+        self.deliver(&msg);
+        Some(msg)
+    }
+
+    /// Non-blocking sweep for rejoin requests from `sources` (ranks
+    /// currently outside the membership): drains their inbound links into
+    /// the stash, removes every [`Message::JOIN_REQ_TAG`] message, and
+    /// returns `(rank, newest durable checkpoint iteration)` per joiner.
+    ///
+    /// Members call this at step boundaries; a non-empty result triggers
+    /// a membership-growth recovery round. Repeated requests from the
+    /// same rank collapse to the newest reported checkpoint.
+    pub fn poll_join_requests(&mut self, sources: &[usize]) -> Vec<(usize, u64)> {
+        let mut joins = Vec::new();
+        for &src in sources {
+            if src == self.rank || src >= self.size {
+                continue;
+            }
+            let mut drained = Vec::new();
+            while let Some(msg) = self.transport.try_recv(src) {
+                drained.push(msg);
+            }
+            for mut msg in drained {
+                self.serialize_inbound_at(src, &mut msg);
+                self.pending[src].push_back(msg);
+            }
+            let mut newest: Option<u64> = None;
+            self.pending[src].retain(|m| {
+                if m.tag == Message::JOIN_REQ_TAG {
+                    if let Payload::Scalar(it) = m.payload {
+                        let it = it as u64;
+                        newest = Some(newest.map_or(it, |n| n.max(it)));
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(it) = newest {
+                joins.push((src, it));
+            }
+        }
+        joins
+    }
+
+    /// Non-blocking sweep of *every* inbound link for the next message
+    /// carrying `tag`, regardless of source. Revokes encountered while
+    /// draining are discarded (the caller of this method is outside the
+    /// membership — a joiner polling for its welcome — so it has no
+    /// collective to abort). Returns `None` when no matching message is
+    /// currently buffered anywhere.
+    pub fn poll_tagged(&mut self, tag: u32) -> Option<Message> {
+        for src in 0..self.size {
+            if src == self.rank {
+                continue;
+            }
+            let mut drained = Vec::new();
+            while let Some(msg) = self.transport.try_recv(src) {
+                drained.push(msg);
+            }
+            for mut msg in drained {
+                if msg.tag == Message::REVOKE_TAG {
+                    continue;
+                }
+                self.serialize_inbound_at(src, &mut msg);
+                self.pending[src].push_back(msg);
+            }
+            if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+                let msg = self.pending[src].remove(pos).expect("position just found");
+                self.deliver(&msg);
+                return Some(msg);
+            }
+        }
+        None
+    }
+
     fn check_peer(&self, peer: usize) -> Result<()> {
         if peer >= self.size || peer == self.rank {
             return Err(CommError::InvalidRank {
@@ -458,10 +612,13 @@ impl Communicator {
         let cost = base_cost * fault.straggle;
         let retry = fault.retry;
         let t_start = self.clock.now_ms();
-        // Revokes are control-plane traffic: exempt from drop injection,
-        // like a connection reset — otherwise a dropped revoke could
-        // stall the very recovery that handles drops.
-        let reliable = tag == Message::REVOKE_TAG;
+        // Revokes and join-protocol messages are control-plane traffic:
+        // exempt from drop injection, like a connection reset — otherwise
+        // a dropped revoke could stall the very recovery that handles
+        // drops, and a dropped join request could strand a rejoiner.
+        let reliable = tag == Message::REVOKE_TAG
+            || tag == Message::JOIN_REQ_TAG
+            || tag == Message::JOIN_WELCOME_TAG;
         let mut attempt = 0u32;
         loop {
             let seq = fault.send_seq[dest];
@@ -593,22 +750,48 @@ impl Communicator {
         // own per-link deadline.
         let wall_cap_ms = self.fault.as_ref().map(|f| f.retry.wall_cap_ms);
         let wall_start = Instant::now();
+        // On a wall-clock transport a blocked receive must stay
+        // responsive to REVOKEs arriving on *other* links: the revoke
+        // broadcast is what bounds failure-detection skew across ranks
+        // ("no rank stays blocked on a rank that entered recovery"),
+        // and it cannot do that while it sits unread in another link's
+        // queue — left unsliced, each receive in a blocked dependency
+        // chain adds a full wall cap of skew. Simulated waits cost no
+        // wall time, so they keep the single blocking receive.
+        let scan = self.transport.wall_clock() && self.fault.is_some();
         loop {
             let cap = wall_cap_ms
                 .map(|ms| Duration::from_millis(ms).saturating_sub(wall_start.elapsed()));
-            let mut msg = match self.transport.recv(source, cap) {
+            let slice = if scan {
+                Some(cap.map_or(REVOKE_SCAN_SLICE, |c| c.min(REVOKE_SCAN_SLICE)))
+            } else {
+                cap
+            };
+            let mut msg = match self.transport.recv(source, slice) {
                 Ok(m) => m,
                 Err(CommError::Timeout {
                     attempts,
                     elapsed_ms,
                     ..
                 }) => {
+                    if scan {
+                        self.scan_links_for_revoke(source, sim_start)?;
+                        if wall_cap_ms
+                            .is_none_or(|ms| wall_start.elapsed() < Duration::from_millis(ms))
+                        {
+                            continue; // only the scan slice expired
+                        }
+                    }
                     return Err(self.recv_timeout_err(
                         source,
                         deadline_ms.unwrap_or(sim_start),
                         sim_start,
                         attempts,
-                        elapsed_ms,
+                        if scan {
+                            wall_start.elapsed().as_secs_f64() * 1e3
+                        } else {
+                            elapsed_ms
+                        },
                     ));
                 }
                 Err(e) => return Err(e),
@@ -679,6 +862,16 @@ impl Communicator {
     }
 
     fn serialize_inbound_at(&mut self, src: usize, msg: &mut Message) {
+        // Recovery control-plane traffic (REVOKE, join frames, the
+        // ALIVE/MEMBERSHIP agreement band) must cost nothing
+        // *consistently*: different receive paths drain it at
+        // wall-clock-dependent moments (inline receive, recovery
+        // probes, the purge sweep), so charging it would make
+        // simulated time depend on host scheduling. See
+        // [`Message::is_control`].
+        if Message::is_control(msg.tag) {
+            return;
+        }
         let cost = self
             .link_cost(src, self.rank)
             .transfer_ms(msg.payload.wire_elems());

@@ -182,6 +182,47 @@ impl Message {
     /// revokes for epochs older than the receiver's current epoch are
     /// stale and ignored.
     pub const REVOKE_TAG: u32 = u32::MAX;
+
+    /// Control-plane tag of a rejoin request: a restarted process
+    /// broadcasts this to every rank of the original universe, carrying a
+    /// [`Payload::Scalar`] with the iteration of its newest durable
+    /// checkpoint. Members notice it at the next step boundary (via
+    /// [`crate::Communicator::poll_join_requests`]) and trigger a
+    /// membership-growth recovery round.
+    pub const JOIN_REQ_TAG: u32 = u32::MAX - 1;
+
+    /// Control-plane tag of the coordinator's answer to a join request: a
+    /// dense payload `[epoch, rollback_iter, members...]` telling the
+    /// joiner which membership epoch to adopt, which durable checkpoint
+    /// generation to restore, and the agreed (regrown) member set.
+    pub const JOIN_WELCOME_TAG: u32 = u32::MAX - 2;
+
+    /// Tags-per-membership-epoch stride used by the fault-tolerance
+    /// layer: epoch `e` owns collective tags
+    /// `[COLLECTIVE_TAG_BASE + e·stride, COLLECTIVE_TAG_BASE + (e+1)·stride)`.
+    pub const EPOCH_TAG_STRIDE: u32 = 4096;
+
+    /// Whether `tag` is recovery control-plane traffic (REVOKE, join
+    /// request/welcome, or the per-epoch ALIVE/MEMBERSHIP agreement
+    /// band at in-stride offsets `[512, 1536)`).
+    ///
+    /// Control messages are exempt from the receiver's serialized-
+    /// inbound-link cost model: they are tiny, their wall-clock drain
+    /// order is scheduling-dependent (recovery polls several links
+    /// concurrently with purges), and charging them would make the
+    /// *simulated* clock depend on host thread timing. Bulk recovery
+    /// state transfer (offset 1536+, shared with the sparse
+    /// collectives) still pays full price.
+    pub fn is_control(tag: u32) -> bool {
+        if tag >= Self::JOIN_WELCOME_TAG {
+            return true;
+        }
+        if tag < Self::COLLECTIVE_TAG_BASE {
+            return false;
+        }
+        let off = (tag - Self::COLLECTIVE_TAG_BASE) % Self::EPOCH_TAG_STRIDE;
+        (512..1536).contains(&off)
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub const MAX_FRAME_BYTES: usize = 1 << 30;
 const KIND_HELLO: u8 = 1;
 const KIND_HEARTBEAT: u8 = 2;
 const KIND_DATA: u8 = 3;
+const KIND_LEAVE: u8 = 4;
 
 const PAYLOAD_DENSE: u8 = 0;
 const PAYLOAD_SPARSE: u8 = 1;
@@ -68,6 +69,14 @@ pub enum Frame {
         /// The payload.
         payload: Payload,
     },
+    /// Graceful departure: the sender is shutting down on purpose (SIGTERM
+    /// or ctrl-C). The receiver kills the link immediately instead of
+    /// waiting out heartbeat deadlines, so a deliberate shutdown is
+    /// detected as fast as a crash.
+    Leave {
+        /// The departing sender's membership epoch (diagnostic).
+        epoch: u64,
+    },
 }
 
 impl Frame {
@@ -97,6 +106,10 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         }
         Frame::Heartbeat { epoch } => {
             body.push(KIND_HEARTBEAT);
+            body.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Frame::Leave { epoch } => {
+            body.push(KIND_LEAVE);
             body.extend_from_slice(&epoch.to_le_bytes());
         }
         Frame::Data {
@@ -238,6 +251,7 @@ fn decode_body(body: &[u8]) -> io::Result<Frame> {
             }
         }
         KIND_HEARTBEAT => Frame::Heartbeat { epoch: c.u64()? },
+        KIND_LEAVE => Frame::Leave { epoch: c.u64()? },
         KIND_DATA => {
             let tag = c.u32()?;
             let arrival_ms = c.f64()?;
@@ -301,6 +315,17 @@ mod tests {
     fn heartbeat_roundtrips() {
         let f = Frame::Heartbeat { epoch: 7 };
         assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn leave_roundtrips() {
+        let f = Frame::Leave { epoch: 11 };
+        assert_eq!(roundtrip(&f), f);
+        let bytes = encode(&f);
+        for cut in 0..bytes.len() {
+            let mut cursor = io::Cursor::new(&bytes[..cut]);
+            assert!(read_frame(&mut cursor).is_err(), "prefix of {cut} decoded");
+        }
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod frame;
 mod sim;
 mod tcp;
 
-pub use sim::SimTransport;
-pub use tcp::{TcpConfig, TcpTransport};
+pub use sim::{SimMesh, SimTransport};
+pub use tcp::{install_leave_signals, AddrResolver, TcpConfig, TcpTransport};
 
 /// One rank's delivery endpoint: the minimal surface the
 /// [`Communicator`](crate::Communicator) needs from a network.
@@ -74,6 +74,16 @@ pub trait Transport: Send {
     /// Non-blocking receive: the next already-delivered message from
     /// `src`, if any.
     fn try_recv(&mut self, src: usize) -> Option<Message>;
+
+    /// Whether blocked receives on this transport wait in *wall* time
+    /// (a real network) rather than simulated time. The
+    /// [`Communicator`](crate::Communicator) slices wall-clock waits so
+    /// a REVOKE arriving on another link can still interrupt them —
+    /// on the simulated backend waits cost no wall time, so the
+    /// slicing (and its extra polling) is pointless there.
+    fn wall_clock(&self) -> bool {
+        false
+    }
 
     /// Informs the transport of a membership-epoch bump (shrink-and-
     /// continue recovery). A real-network backend uses this to reject

@@ -84,6 +84,16 @@ pub struct TcpConfig {
     pub max_reconnect_attempts: u32,
     /// Base of the exponential reconnect backoff (doubled per attempt).
     pub backoff_base: Duration,
+    /// Elastic-rejoin mode. When set, a link whose reconnect budget is
+    /// exhausted *parks* instead of dying for good: the reader keeps
+    /// waiting (accept side) or re-dialing about twice a second (dial
+    /// side) for a restarted incarnation of the peer, and dials carry the
+    /// `u64::MAX` epoch sentinel so acceptors at a newer membership epoch
+    /// admit them. Peer death is then reported through the link's dead
+    /// flag rather than a closed channel — the same [`CommError`] values,
+    /// just revivable. Stale-epoch handshake rejection is traded away;
+    /// the communicator's REVOKE/epoch purging still guards correctness.
+    pub rejoin: bool,
 }
 
 impl Default for TcpConfig {
@@ -97,6 +107,7 @@ impl Default for TcpConfig {
             death_timeout: Duration::from_secs(3),
             max_reconnect_attempts: 5,
             backoff_base: Duration::from_millis(50),
+            rejoin: false,
         }
     }
 }
@@ -115,9 +126,23 @@ impl TcpConfig {
             death_timeout: Duration::from_millis(1500),
             max_reconnect_attempts: 4,
             backoff_base: Duration::from_millis(25),
+            rejoin: false,
+        }
+    }
+
+    /// [`TcpConfig::fast_local`] with elastic rejoin switched on — the
+    /// configuration the chaos harness and `--elastic` launches use.
+    pub fn elastic_local() -> Self {
+        TcpConfig {
+            rejoin: true,
+            ..Self::fast_local()
         }
     }
 }
+
+/// Re-resolves a rank's current socket address (a restarted rank binds a
+/// fresh port and republishes it through the rendezvous mechanism).
+pub type AddrResolver = Arc<dyn Fn(usize) -> Option<SocketAddr> + Send + Sync>;
 
 /// State one link shares between the main thread, its reader, and the
 /// heartbeat thread.
@@ -140,10 +165,21 @@ struct Ctx {
     size: usize,
     cfg: TcpConfig,
     peers: Vec<SocketAddr>,
+    resolver: Option<AddrResolver>,
     epoch: AtomicU64,
     shutdown: AtomicBool,
     start: Instant,
     links: Vec<Option<Arc<LinkShared>>>,
+}
+
+/// The peer's current address: the resolver's answer when one is
+/// installed (rejoined ranks republish fresh ports), else the address
+/// from `establish`.
+fn peer_addr(ctx: &Ctx, peer: usize) -> SocketAddr {
+    ctx.resolver
+        .as_ref()
+        .and_then(|r| r(peer))
+        .unwrap_or(ctx.peers[peer])
 }
 
 fn now_ms(ctx: &Ctx) -> u64 {
@@ -198,6 +234,24 @@ impl TcpTransport {
         peers: Vec<SocketAddr>,
         cfg: TcpConfig,
     ) -> Result<TcpTransport> {
+        Self::establish_with_resolver(listener, rank, peers, cfg, None)
+    }
+
+    /// [`TcpTransport::establish`] with an address resolver for elastic
+    /// clusters: whenever a link dials, it asks `resolver` for the peer's
+    /// *current* address first (a restarted rank binds a fresh port), and
+    /// falls back to the `peers` entry when the resolver has no answer.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::InvalidRank`] if `rank` is not an index of `peers`.
+    pub fn establish_with_resolver(
+        listener: TcpListener,
+        rank: usize,
+        peers: Vec<SocketAddr>,
+        cfg: TcpConfig,
+        resolver: Option<AddrResolver>,
+    ) -> Result<TcpTransport> {
         let size = peers.len();
         if size == 0 || rank >= size {
             return Err(CommError::InvalidRank { rank, size });
@@ -218,6 +272,7 @@ impl TcpTransport {
             size,
             cfg,
             peers,
+            resolver,
             epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
@@ -277,7 +332,18 @@ impl TcpTransport {
         })
     }
 
+    /// Broadcasts a graceful [`Frame::Leave`] on every live link: peers
+    /// kill the link the moment it arrives instead of waiting out
+    /// heartbeat deadlines, so a deliberate shutdown is detected as fast
+    /// as a crash.
+    pub fn announce_leave(&self) {
+        announce_leave_ctx(&self.ctx);
+    }
+
     fn shutdown_impl(&mut self) {
+        if !self.ctx.shutdown.load(SeqCst) {
+            announce_leave_ctx(&self.ctx);
+        }
         self.ctx.shutdown.store(true, SeqCst);
         for shared in self.ctx.links.iter().flatten() {
             if let Ok(guard) = shared.writer.lock() {
@@ -362,14 +428,45 @@ impl Transport for TcpTransport {
             c.min(self.ctx.cfg.recv_deadline)
         });
         let rx = self.rx[src].as_ref().expect("recv source is a valid peer");
-        match rx.recv_timeout(cap) {
-            Ok(m) => Ok(m),
-            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer: src }),
-            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
-                peer: src,
-                attempts: 1,
-                elapsed_ms: cap.as_secs_f64() * 1e3,
-            }),
+        if !self.ctx.cfg.rejoin {
+            return match rx.recv_timeout(cap) {
+                Ok(m) => Ok(m),
+                Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer: src }),
+                Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                    peer: src,
+                    attempts: 1,
+                    elapsed_ms: cap.as_secs_f64() * 1e3,
+                }),
+            };
+        }
+        // Elastic mode: the reader parks on peer death instead of
+        // dropping its channel, so deadness is reported through the
+        // link's dead flag. Deliver anything already queued first (frames
+        // that raced in before the break), then fail fast while parked.
+        let shared = self.ctx.links[src].as_ref().expect("valid peer").clone();
+        let deadline = Instant::now() + cap;
+        loop {
+            if let Some(m) = rx.try_recv() {
+                return Ok(m);
+            }
+            if shared.dead.load(SeqCst) {
+                return Err(CommError::Disconnected { peer: src });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    peer: src,
+                    attempts: 1,
+                    elapsed_ms: cap.as_secs_f64() * 1e3,
+                });
+            }
+            match rx.recv_timeout((deadline - now).min(Duration::from_millis(20))) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: src })
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+            }
         }
     }
 
@@ -378,6 +475,10 @@ impl Transport for TcpTransport {
             .as_ref()
             .expect("recv source is a valid peer")
             .try_recv()
+    }
+
+    fn wall_clock(&self) -> bool {
+        true
     }
 
     fn set_epoch(&mut self, epoch: u64) {
@@ -397,11 +498,29 @@ fn reader_loop(ctx: &Arc<Ctx>, peer: usize, repl: &Receiver<TcpStream>, tx: &Sen
     let dials = peer < ctx.rank; // higher rank dials lower rank
     let mut first = true;
     'outer: loop {
-        if ctx.shutdown.load(SeqCst) || shared.dead.load(SeqCst) {
+        if ctx.shutdown.load(SeqCst) {
             break;
         }
-        let Some(stream) = acquire(ctx, &shared, peer, dials, repl, first) else {
-            break;
+        let stream = if shared.dead.load(SeqCst) {
+            // DEAD is terminal — unless elastic rejoin is on, in which
+            // case the reader parks and waits for a restarted incarnation
+            // of the peer to show up.
+            if !ctx.cfg.rejoin {
+                break;
+            }
+            let Some(s) = park(ctx, peer, dials, repl) else {
+                break;
+            };
+            shared.dead.store(false, SeqCst);
+            s
+        } else {
+            match acquire(ctx, &shared, peer, dials, repl, first) {
+                Some(s) => s,
+                None => {
+                    shared.dead.store(true, SeqCst);
+                    continue; // park (rejoin) or exit at the loop top
+                }
+            }
         };
         first = false;
         touch(ctx, &shared);
@@ -413,6 +532,7 @@ fn reader_loop(ctx: &Arc<Ctx>, peer: usize, repl: &Receiver<TcpStream>, tx: &Sen
             break;
         }
         let mut rdr = BufReader::new(stream);
+        let mut left = false;
         loop {
             match frame::read_frame(&mut rdr) {
                 Ok(Frame::Data {
@@ -431,16 +551,52 @@ fn reader_loop(ctx: &Arc<Ctx>, peer: usize, repl: &Receiver<TcpStream>, tx: &Sen
                         break 'outer; // transport dropped
                     }
                 }
+                Ok(Frame::Leave { .. }) => {
+                    left = true;
+                    break;
+                }
                 Ok(_) => touch(ctx, &shared), // heartbeat / late hello
                 Err(_) => break,              // EOF, reset, or local shutdown
             }
         }
         *shared.writer.lock().expect("writer lock") = None;
+        if left {
+            // Graceful departure: skip the reconnect schedule entirely —
+            // the peer is gone on purpose, so the link dies (or parks)
+            // the moment the LEAVE arrives.
+            shared.dead.store(true, SeqCst);
+        }
     }
     *shared.writer.lock().expect("writer lock") = None;
     shared.dead.store(true, SeqCst);
     // `tx` drops here: the communicator sees the link as a closed channel,
     // exactly like an exited rank in the simulated cluster.
+}
+
+/// The parked state of an elastic link: waits, bounded only by shutdown,
+/// for a restarted incarnation of the peer. The accepting side waits for
+/// the acceptor to route a fresh handshaken stream here; the dialing side
+/// re-dials the (re-resolved) peer address about twice a second.
+fn park(ctx: &Ctx, peer: usize, dials: bool, repl: &Receiver<TcpStream>) -> Option<TcpStream> {
+    loop {
+        if ctx.shutdown.load(SeqCst) {
+            return None;
+        }
+        if dials {
+            if let Some(s) = dial(ctx, peer) {
+                return Some(s);
+            }
+            if sleep_interruptibly(ctx, None, Duration::from_millis(500)) {
+                return None;
+            }
+        } else {
+            match repl.recv_timeout(Duration::from_millis(200)) {
+                Ok(s) => return Some(s),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
 }
 
 /// Obtains a connected, handshaken stream for the link, or `None` when the
@@ -521,7 +677,7 @@ fn accept_reconnect_window(cfg: &TcpConfig) -> Duration {
 
 /// One dial + handshake attempt.
 fn dial(ctx: &Ctx, peer: usize) -> Option<TcpStream> {
-    let s = TcpStream::connect_timeout(&ctx.peers[peer], ctx.cfg.connect_timeout).ok()?;
+    let s = TcpStream::connect_timeout(&peer_addr(ctx, peer), ctx.cfg.connect_timeout).ok()?;
     s.set_nodelay(true).ok()?;
     s.set_write_timeout(Some(ctx.cfg.send_deadline)).ok()?;
     // A short read timeout is safe here: the handshake owns the stream
@@ -530,10 +686,18 @@ fn dial(ctx: &Ctx, peer: usize) -> Option<TcpStream> {
         ctx.cfg.connect_timeout.max(Duration::from_millis(500)),
     ))
     .ok()?;
+    // Elastic dials carry the epoch sentinel: a restarted rank cannot
+    // know the membership's current epoch yet (it learns it from the
+    // JOIN welcome), so acceptors in rejoin mode admit the sentinel.
+    let epoch = if ctx.cfg.rejoin {
+        u64::MAX
+    } else {
+        ctx.epoch.load(SeqCst)
+    };
     let hello = Frame::Hello {
         rank: ctx.rank as u32,
         size: ctx.size as u32,
-        epoch: ctx.epoch.load(SeqCst),
+        epoch,
     };
     frame::write_frame(&mut &s, &hello).ok()?;
     match frame::read_frame(&mut &s).ok()? {
@@ -581,7 +745,12 @@ fn handshake_accept(ctx: &Ctx, stream: TcpStream) -> Option<(usize, TcpStream)> 
     if size as usize != ctx.size || peer >= ctx.size || peer <= ctx.rank {
         return None;
     }
-    if epoch < ctx.epoch.load(SeqCst) {
+    let stale = if epoch == u64::MAX {
+        !ctx.cfg.rejoin // sentinel only honoured in elastic mode
+    } else {
+        epoch < ctx.epoch.load(SeqCst)
+    };
+    if stale {
         return None;
     }
     frame::write_frame(
@@ -597,11 +766,57 @@ fn handshake_accept(ctx: &Ctx, stream: TcpStream) -> Option<(usize, TcpStream)> 
     Some((peer, stream))
 }
 
+/// Writes a [`Frame::Leave`] on every currently-connected link.
+fn announce_leave_ctx(ctx: &Ctx) {
+    let epoch = ctx.epoch.load(SeqCst);
+    for shared in ctx.links.iter().flatten() {
+        if shared.dead.load(SeqCst) {
+            continue;
+        }
+        if let Ok(guard) = shared.writer.lock() {
+            if let Some(s) = guard.as_ref() {
+                let _ = frame::write_frame(&mut &*s, &Frame::Leave { epoch });
+            }
+        }
+    }
+}
+
+/// Signal number requesting a graceful departure (0 = none requested).
+static LEAVE_SIGNAL: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn request_leave(sig: i32) {
+    LEAVE_SIGNAL.store(sig as u64, SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers for graceful cluster departure: the
+/// handler only flags an atomic (async-signal-safe); every live
+/// [`TcpTransport`]'s heartbeat thread then broadcasts [`Frame::Leave`]
+/// on its links and the process exits with the conventional
+/// `128 + signal` status. Peers kill the links the moment the LEAVE
+/// arrives instead of waiting out heartbeat deadlines.
+pub fn install_leave_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        let handler = request_leave as extern "C" fn(i32) as *const () as usize;
+        let _ = signal(2, handler); // SIGINT
+        let _ = signal(15, handler); // SIGTERM
+    }
+}
+
 /// Beacons every connected link and declares silent peers dead.
 fn heartbeat_loop(ctx: &Arc<Ctx>) {
     loop {
         if sleep_interruptibly(ctx, None, ctx.cfg.heartbeat_interval) {
             return;
+        }
+        let sig = LEAVE_SIGNAL.load(SeqCst);
+        if sig != 0 {
+            // A termination signal arrived: say goodbye on every link,
+            // then exit with the conventional signal status.
+            announce_leave_ctx(ctx);
+            std::process::exit(128 + sig as i32);
         }
         let epoch = ctx.epoch.load(SeqCst);
         let death_ms = ctx.cfg.death_timeout.as_millis() as u64;
@@ -674,6 +889,96 @@ mod tests {
         let t = TcpTransport::establish(l, 0, vec![addr], TcpConfig::fast_local()).unwrap();
         assert_eq!(t.rank(), 0);
         assert_eq!(t.size(), 1);
+    }
+
+    fn msg(tag: u32) -> Message {
+        Message {
+            src: 0,
+            tag,
+            payload: Payload::Control,
+            arrival_ms: 0.0,
+        }
+    }
+
+    /// Drains `t`'s queue from `src` until the link reports an error.
+    fn drain_to_err(t: &mut TcpTransport, src: usize) -> CommError {
+        loop {
+            match t.recv(src, Some(Duration::from_secs(30))) {
+                Err(e) => break e,
+                Ok(_) => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_link_revives_after_peer_restart() {
+        let cfg = TcpConfig::elastic_local();
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let peers = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let mut t0 = TcpTransport::establish(l0, 0, peers.clone(), cfg).unwrap();
+        let mut t1 = TcpTransport::establish(l1, 1, peers.clone(), cfg).unwrap();
+        t1.send(0, msg(7)).unwrap();
+        assert_eq!(t0.recv(1, Some(Duration::from_secs(10))).unwrap().tag, 7);
+        // A deliberate shutdown broadcasts LEAVE: rank 0 sees the peer
+        // die (Disconnected, as ever) and parks the link.
+        drop(t1);
+        assert!(matches!(
+            drain_to_err(&mut t0, 1),
+            CommError::Disconnected { peer: 1 }
+        ));
+        // The restarted incarnation binds a *fresh* port; its dial to
+        // rank 0 carries the epoch sentinel and revives the parked link.
+        let l1b = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut peers_b = peers.clone();
+        peers_b[1] = l1b.local_addr().unwrap();
+        let mut t1b = TcpTransport::establish(l1b, 1, peers_b, cfg).unwrap();
+        t1b.send(0, msg(9)).unwrap();
+        assert_eq!(t0.recv(1, Some(Duration::from_secs(20))).unwrap().tag, 9);
+        t0.send(1, msg(11)).unwrap();
+        assert_eq!(t1b.recv(0, Some(Duration::from_secs(10))).unwrap().tag, 11);
+    }
+
+    #[test]
+    fn parked_dialer_follows_the_resolver_to_a_new_port() {
+        let cfg = TcpConfig::elastic_local();
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let peers = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let current0 = Arc::new(Mutex::new(peers[0]));
+        let published = current0.clone();
+        let resolver: super::AddrResolver =
+            Arc::new(move |r| (r == 0).then(|| *published.lock().unwrap()));
+        let mut t0 = TcpTransport::establish(l0, 0, peers.clone(), cfg).unwrap();
+        let mut t1 =
+            TcpTransport::establish_with_resolver(l1, 1, peers.clone(), cfg, Some(resolver))
+                .unwrap();
+        t1.send(0, msg(1)).unwrap();
+        t0.recv(1, Some(Duration::from_secs(10))).unwrap();
+        drop(t0);
+        assert!(matches!(
+            drain_to_err(&mut t1, 0),
+            CommError::Disconnected { peer: 0 }
+        ));
+        // Rank 0 restarts on a fresh port and republishes it; rank 1's
+        // parked dialer must pick the new address up from the resolver.
+        let l0b = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr0b = l0b.local_addr().unwrap();
+        *current0.lock().unwrap() = addr0b;
+        let mut peers_b = peers.clone();
+        peers_b[0] = addr0b;
+        let mut t0b = TcpTransport::establish(l0b, 0, peers_b, cfg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            match t1.send(0, msg(5)) {
+                Ok(()) => break,
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "link never revived");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        assert_eq!(t0b.recv(1, Some(Duration::from_secs(20))).unwrap().tag, 5);
     }
 
     #[test]

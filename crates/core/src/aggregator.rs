@@ -52,6 +52,17 @@ impl LocalSelect {
         self.state
             .get_or_insert_with(|| SelectorState::new(selector, comm.rank()))
     }
+
+    /// The materialized per-rank state, once an iteration has run.
+    fn state(&self) -> Option<&SelectorState> {
+        self.state.as_ref()
+    }
+
+    /// Restores a previously captured state (process restart), resuming
+    /// the RNG stream exactly where the checkpoint froze it.
+    fn restore(&mut self, state: SelectorState) {
+        self.state = Some(state);
+    }
 }
 
 /// The aggregated, already `1/P`-averaged model update.
@@ -101,6 +112,34 @@ pub trait GradientAggregator: Send {
         grad: &[f32],
         k: usize,
     ) -> Result<Update>;
+
+    /// The aggregator's local-selection state, when it owns one that has
+    /// been materialized. Durable checkpoints persist this at process
+    /// granularity so that a restarted rank resumes the sampled kernels'
+    /// RNG streams bit-exactly. The dense baseline has no selection
+    /// state and keeps the default.
+    fn selector_state(&self) -> Option<&SelectorState> {
+        None
+    }
+
+    /// Restores state captured via
+    /// [`GradientAggregator::selector_state`] after a process restart.
+    /// No-op for aggregators without selection state.
+    fn restore_selector_state(&mut self, _state: SelectorState) {}
+}
+
+/// Expands the selector-state capture/restore pair for aggregators that
+/// hold a [`LocalSelect`].
+macro_rules! selector_state_passthrough {
+    () => {
+        fn selector_state(&self) -> Option<&SelectorState> {
+            self.select.state()
+        }
+
+        fn restore_selector_state(&mut self, state: SelectorState) {
+            self.select.restore(state);
+        }
+    };
 }
 
 /// Generates the `new`/`with_selector` constructor pair every
@@ -311,6 +350,8 @@ impl GradientAggregator for TopkAggregator {
         "Top-k"
     }
 
+    selector_state_passthrough!();
+
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
@@ -343,6 +384,8 @@ impl GradientAggregator for GtopkAggregator {
     fn name(&self) -> &'static str {
         "gTop-k"
     }
+
+    selector_state_passthrough!();
 
     fn aggregate(
         &mut self,
@@ -379,6 +422,8 @@ impl GradientAggregator for NaiveGtopkAggregator {
         "gTop-k(naive)"
     }
 
+    selector_state_passthrough!();
+
     fn aggregate(
         &mut self,
         comm: &mut Communicator,
@@ -414,6 +459,8 @@ impl GradientAggregator for GtopkFeedbackAggregator {
     fn name(&self) -> &'static str {
         "gTop-k(feedback)"
     }
+
+    selector_state_passthrough!();
 
     fn aggregate(
         &mut self,
@@ -463,6 +510,8 @@ impl GradientAggregator for GtopkNoPutbackAggregator {
     fn name(&self) -> &'static str {
         "gTop-k(no-putback)"
     }
+
+    selector_state_passthrough!();
 
     fn aggregate(
         &mut self,

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod aggregator;
+pub mod ckpt;
 pub mod ft;
 mod gtopk_allreduce;
 mod metrics;
@@ -68,6 +69,7 @@ pub use aggregator::{
     Algorithm, DenseAggregator, GradientAggregator, GtopkAggregator, GtopkFeedbackAggregator,
     GtopkNoPutbackAggregator, NaiveGtopkAggregator, TopkAggregator, Update,
 };
+pub use ckpt::{CheckpointStore, CkptError, DurableCheckpoint, EngineState, SelectorDump};
 pub use ft::{
     ft_gtopk_all_reduce, ft_gtopk_all_reduce_with_feedback, recover, Recovery, EPOCH_TAG_STRIDE,
 };

@@ -472,6 +472,36 @@ pub struct OverlapSnapshot {
     selectors: Vec<SelectorState>,
 }
 
+impl OverlapSnapshot {
+    /// Per-bucket dense residual copies, in backward bucket order.
+    pub fn residuals(&self) -> &[Vec<f32>] {
+        &self.residuals
+    }
+
+    /// Per-bucket selector states, in backward bucket order.
+    pub fn selectors(&self) -> &[SelectorState] {
+        &self.selectors
+    }
+
+    /// Reassembles a snapshot from serialized parts (durable-checkpoint
+    /// decode path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lists disagree on the bucket count.
+    pub fn from_parts(residuals: Vec<Vec<f32>>, selectors: Vec<SelectorState>) -> Self {
+        assert_eq!(
+            residuals.len(),
+            selectors.len(),
+            "bucket count mismatch between residuals and selectors"
+        );
+        OverlapSnapshot {
+            residuals,
+            selectors,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,22 @@ impl SelectorState {
         self.selector
     }
 
+    /// Raw RNG state, for exact serialization in durable checkpoints (the
+    /// sampled kernels' threshold draws must replay bit-identically after
+    /// a process restart).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds selector state from its parts (see
+    /// [`SelectorState::rng_state`]), continuing the RNG stream exactly.
+    pub fn from_parts(selector: Selector, rng_state: [u64; 4]) -> Self {
+        SelectorState {
+            selector,
+            rng: StdRng::from_state(rng_state),
+        }
+    }
+
     /// Extracts `min(k, dim)` coordinates from the residual using the
     /// configured kernel (zeroing them in the buffer).
     pub fn extract(&mut self, residual: &mut Residual, k: usize) -> SparseVec {

@@ -8,12 +8,13 @@
 //! are orthogonal switches on the same loop, so `--overlap` composes
 //! with crash recovery instead of selecting a different code path.
 
+use crate::ckpt::{self, CheckpointStore, DurableCheckpoint, SelectorDump};
 use crate::overlap::{OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats};
 use crate::{
     ft, Algorithm, DensitySchedule, EpochRecord, GradientAggregator, LrSchedule, Selector,
     TimingBreakdown, TrainReport, Update,
 };
-use gtopk_comm::{Cluster, Communicator, CostModel, FaultPlan, Result, Topology};
+use gtopk_comm::{Cluster, Communicator, CostModel, FaultPlan, Message, Payload, Result, Topology};
 use gtopk_data::{shard_indices, BatchIter, Dataset};
 use gtopk_nn::{accuracy, softmax_cross_entropy, Model, MomentumSgd};
 use gtopk_sparse::Residual;
@@ -91,6 +92,16 @@ pub struct TrainConfig {
     /// compute (see [`crate::overlap`]). Composes with fault injection,
     /// crash recovery included.
     pub overlap: Option<OverlapConfig>,
+    /// Durable checkpoint directory for elastic recovery. `None` (the
+    /// default) writes nothing — and adds **exactly zero** simulated
+    /// time, since durable I/O is charged to the wall clock only, never
+    /// the α-β clock. `Some` makes every checkpoint boundary also write
+    /// a CRC-protected per-rank file under the directory (see
+    /// [`crate::ckpt`]): a killed process restarted on the same
+    /// directory restores from disk and — with the fault-tolerant
+    /// policy armed — rejoins the membership via the join protocol in
+    /// [`crate::ft`].
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl TrainConfig {
@@ -117,7 +128,15 @@ impl TrainConfig {
             fault_plan: None,
             checkpoint_interval: 10,
             overlap: None,
+            checkpoint_dir: None,
         }
+    }
+
+    /// Returns a copy with durable checkpoints written under `dir` (see
+    /// [`TrainConfig::checkpoint_dir`]).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
     }
 
     /// Returns a copy with a different algorithm (for baseline sweeps).
@@ -265,6 +284,65 @@ impl StepEngine {
             }
             (Mode::Overlap(engine), EngineSnapshot::Overlap(saved)) => engine.restore(saved),
             _ => unreachable!("snapshot mode matches the engine that took it"),
+        }
+    }
+
+    /// Durable (process-granularity) engine state: residuals *plus*
+    /// selector state. The latter is deliberately absent from the
+    /// in-memory [`EngineSnapshot`] — a same-process rollback keeps the
+    /// kernel's RNG naturally — but a process restart must persist it to
+    /// replay the sampled kernels' draws bit-exactly.
+    fn durable_state(&self) -> ckpt::EngineState {
+        match &self.mode {
+            Mode::Serial {
+                aggregator,
+                residual,
+            } => ckpt::EngineState::Serial {
+                residual: residual.dense().to_vec(),
+                selector: aggregator.selector_state().map(SelectorDump::capture),
+            },
+            Mode::Overlap(engine) => {
+                let snap = engine.snapshot();
+                ckpt::EngineState::Overlap {
+                    residuals: snap.residuals().to_vec(),
+                    selectors: snap.selectors().iter().map(SelectorDump::capture).collect(),
+                }
+            }
+        }
+    }
+
+    fn restore_durable(&mut self, state: &ckpt::EngineState) {
+        match (&mut self.mode, state) {
+            (
+                Mode::Serial {
+                    aggregator,
+                    residual,
+                },
+                ckpt::EngineState::Serial {
+                    residual: saved,
+                    selector,
+                },
+            ) => {
+                residual.clear();
+                residual.accumulate(saved);
+                if let Some(sel) = selector {
+                    aggregator.restore_selector_state(sel.revive());
+                }
+            }
+            (
+                Mode::Overlap(engine),
+                ckpt::EngineState::Overlap {
+                    residuals,
+                    selectors,
+                },
+            ) => {
+                let snap = OverlapSnapshot::from_parts(
+                    residuals.clone(),
+                    selectors.iter().map(SelectorDump::revive).collect(),
+                );
+                engine.restore(&snap);
+            }
+            _ => unreachable!("durable state mode matches the engine that took it"),
         }
     }
 }
@@ -579,6 +657,17 @@ where
     let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
     let mut members: Vec<usize> = (0..comm.size()).collect();
     let interval = cfg.checkpoint_interval.max(1) as u64;
+    let durable: Option<CheckpointStore> = cfg.checkpoint_dir.as_ref().map(|dir| {
+        CheckpointStore::new(dir, comm.rank()).expect("checkpoint directory must be writable")
+    });
+    // Checkpoints are taken by the fault-tolerant policy and whenever a
+    // durable directory is configured (a solo run can then cold-resume).
+    let take_ckpts = ft || durable.is_some();
+    // Number of checkpoints pinned at the front of the deque: after a
+    // shrink, everything up to the rollback anchor stays resident so a
+    // later rejoin can roll the regrown membership back to it. Zero
+    // outside a shrunk phase (plain keep-2 eviction).
+    let mut pinned = 0usize;
 
     let ipe = iters_per_epoch as u64;
     let total_iters = cfg.epochs as u64 * ipe;
@@ -591,13 +680,103 @@ where
     let mut ckpts: VecDeque<Checkpoint> = VecDeque::with_capacity(2);
     let mut crashed = false;
 
-    while it < total_iters {
+    // Durable restart: a non-empty checkpoint directory means this
+    // process is a restarted incarnation of its rank. Solo it simply
+    // cold-resumes from the newest intact generation; in a cluster it
+    // runs the joiner side of the rejoin protocol — broadcast JOIN_REQ,
+    // wait for the coordinator's WELCOME, restore the agreed generation
+    // from disk, and verify the donor's state transfer bit-for-bit.
+    if let Some(store) = &durable {
+        if let Some((disk, _rejected)) = store.load_latest() {
+            if comm.size() == 1 {
+                it = disk.iter;
+                apply_durable(
+                    &disk,
+                    &mut model,
+                    &mut opt,
+                    &mut engine,
+                    &mut local_velocity,
+                    &mut batches,
+                    &mut losses,
+                    &mut evals,
+                    &mut epoch_loss,
+                );
+            } else {
+                assert!(
+                    ft,
+                    "a multi-rank durable restart requires the fault-tolerant policy"
+                );
+                match request_join(comm, disk.iter) {
+                    Some((new_members, rollback, coordinator, epoch)) => {
+                        comm.set_epoch(epoch);
+                        members = new_members;
+                        let gen = store
+                            .load(rollback)
+                            .expect("the agreed rollback generation is retained on disk");
+                        it = gen.iter;
+                        apply_durable(
+                            &gen,
+                            &mut model,
+                            &mut opt,
+                            &mut engine,
+                            &mut local_velocity,
+                            &mut batches,
+                            &mut losses,
+                            &mut evals,
+                            &mut epoch_loss,
+                        );
+                        // Donor transfer: redundant with the disk copy by
+                        // construction; receiving and checking it makes
+                        // the replica invariant *established*, not
+                        // assumed.
+                        let off = ft::epoch_tag_offset(epoch);
+                        let timeout = comm.recovery_timeout_ms();
+                        let xfer = comm
+                            .recv_deadline(coordinator, ft::TAG_XFER + off, timeout)
+                            .and_then(|p| {
+                                let v = comm.recv_deadline(
+                                    coordinator,
+                                    ft::TAG_XFER + off + 1,
+                                    timeout,
+                                )?;
+                                Ok((p.payload.into_dense(), v.payload.into_dense()))
+                            });
+                        match xfer {
+                            Ok((donor_params, donor_vel)) => {
+                                let bits_eq = |a: &[f32], b: &[f32]| {
+                                    a.len() == b.len()
+                                        && a.iter()
+                                            .zip(b.iter())
+                                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                                };
+                                assert!(
+                                    bits_eq(&donor_params, &gen.params),
+                                    "donor params must be bit-identical to the durable checkpoint"
+                                );
+                                assert!(
+                                    bits_eq(&donor_vel, &gen.velocity),
+                                    "donor velocity must be bit-identical to the durable checkpoint"
+                                );
+                                model.set_flat_params(&donor_params);
+                                opt.set_velocity(&donor_vel);
+                                timing.recoveries += 1;
+                            }
+                            Err(_) => crashed = true,
+                        }
+                    }
+                    None => crashed = true,
+                }
+            }
+        }
+    }
+
+    while !crashed && it < total_iters {
         let epoch = (it / ipe) as usize;
         opt.set_lr(cfg.lr.lr(epoch));
         let rho = cfg.density.density(epoch);
         let k = cfg.density.k(epoch, m);
 
-        if ft {
+        if take_ckpts {
             // Periodic in-memory checkpoint. After a rollback `it` lands
             // on the restored snapshot's boundary; the `<` guard avoids
             // re-snapshotting the identical state.
@@ -613,15 +792,75 @@ where
                     evals: evals.clone(),
                     epoch_loss,
                 });
-                while ckpts.len() > 2 {
-                    ckpts.pop_front();
+                // Keep the last two unpinned snapshots; pinned anchors
+                // (front of the deque, shrunk phases only) stay.
+                while ckpts.len() > pinned + 2 {
+                    let _ = ckpts.remove(pinned);
+                }
+                if let Some(store) = &durable {
+                    // Durable twin of the snapshot just taken. Wall-clock
+                    // only: never touches the simulated α-β clock, so
+                    // `--checkpoint-dir` costs exactly zero simulated ms.
+                    let c = ckpts.back().expect("just pushed");
+                    let (data_epoch, data_cursor) = c.batches.position();
+                    store
+                        .save(&DurableCheckpoint {
+                            rank: comm.rank() as u64,
+                            iter: it,
+                            params: c.params.clone(),
+                            velocity: c.opt.velocity().to_vec(),
+                            engine: engine.durable_state(),
+                            local_velocity: c.local_velocity.clone(),
+                            data_epoch,
+                            data_cursor: data_cursor as u64,
+                            epoch_loss: c.epoch_loss,
+                            losses: c.losses.clone(),
+                            evals: c.evals.clone(),
+                        })
+                        .expect("durable checkpoint write must succeed");
                 }
             }
+        }
+        if ft {
             // Scheduled crashes fire here: the rank just stops, and its
             // peers find out through the transport (no farewell message).
             if comm.begin_step().is_err() {
                 crashed = true;
                 break;
+            }
+            // A shrunk membership watches for rejoin requests at every
+            // step boundary; seeing one triggers a growth recovery round
+            // before any collective of this iteration starts.
+            if members.len() < comm.size() {
+                let absent: Vec<usize> =
+                    (0..comm.size()).filter(|r| !members.contains(r)).collect();
+                let joiners = comm.poll_join_requests(&absent);
+                if !joiners.is_empty() {
+                    let t_rec = comm.now_ms();
+                    if !handle_recovery(
+                        comm,
+                        &mut members,
+                        &mut ckpts,
+                        &mut pinned,
+                        &joiners,
+                        durable.as_ref(),
+                        &mut model,
+                        &mut opt,
+                        &mut engine,
+                        &mut local_velocity,
+                        &mut batches,
+                        &mut losses,
+                        &mut evals,
+                        &mut epoch_loss,
+                        &mut it,
+                        &mut timing,
+                        t_rec,
+                    ) {
+                        crashed = true;
+                        break;
+                    }
+                    continue;
+                }
             }
         }
 
@@ -700,38 +939,31 @@ where
             }
             Err(err) => {
                 assert!(ft, "aggregation must not fail mid-training: {err:?}");
-                let my_ckpt = ckpts
-                    .back()
-                    .expect("a checkpoint is taken before iteration 0")
-                    .iter;
-                match ft::recover(comm, &members, my_ckpt) {
-                    Ok(rec) => {
-                        members = rec.members;
-                        let pos = ckpts
-                            .iter()
-                            .position(|c| c.iter == rec.rollback_iter)
-                            .expect("agreed rollback point is one of the last two checkpoints");
-                        ckpts.truncate(pos + 1);
-                        let c = ckpts.back().expect("just truncated to keep this");
-                        model.set_flat_params(&c.params);
-                        opt = c.opt.clone();
-                        engine.restore(&c.engine);
-                        local_velocity = c.local_velocity.clone();
-                        batches = c.batches.clone();
-                        losses = c.losses.clone();
-                        evals = c.evals.clone();
-                        epoch_loss = c.epoch_loss;
-                        it = c.iter;
-                        timing.recovery_ms += comm.now_ms() - t_step;
-                        timing.recoveries += 1;
-                    }
-                    Err(_) => {
-                        // Could not reach any coordinator: this rank was
-                        // expelled (e.g. it timed out long enough for the
-                        // others to shrink past it). It leaves the run.
-                        crashed = true;
-                        break;
-                    }
+                ft::ft_trace(|| format!("rank {} step {it} failed: {err:?}", comm.rank()));
+                if !handle_recovery(
+                    comm,
+                    &mut members,
+                    &mut ckpts,
+                    &mut pinned,
+                    &[],
+                    durable.as_ref(),
+                    &mut model,
+                    &mut opt,
+                    &mut engine,
+                    &mut local_velocity,
+                    &mut batches,
+                    &mut losses,
+                    &mut evals,
+                    &mut epoch_loss,
+                    &mut it,
+                    &mut timing,
+                    t_step,
+                ) {
+                    // Could not reach any coordinator: this rank was
+                    // expelled (e.g. it timed out long enough for the
+                    // others to shrink past it). It leaves the run.
+                    crashed = true;
+                    break;
                 }
             }
         }
@@ -768,6 +1000,204 @@ fn clip_to_norm(g: &mut [f32], max_norm: f32) {
     if norm > max_norm {
         let scale = max_norm / norm;
         g.iter_mut().for_each(|v| *v *= scale);
+    }
+}
+
+/// Restores every piece of training state captured in a durable
+/// checkpoint (the caller sets `it` from `c.iter` itself, since some
+/// call sites need the value before the borrow).
+#[allow(clippy::too_many_arguments)]
+fn apply_durable<M: Model>(
+    c: &DurableCheckpoint,
+    model: &mut M,
+    opt: &mut MomentumSgd,
+    engine: &mut StepEngine,
+    local_velocity: &mut Option<Vec<f32>>,
+    batches: &mut BatchIter,
+    losses: &mut Vec<f64>,
+    evals: &mut Vec<Option<f64>>,
+    epoch_loss: &mut f64,
+) {
+    model.set_flat_params(&c.params);
+    opt.set_velocity(&c.velocity);
+    engine.restore_durable(&c.engine);
+    *local_velocity = c.local_velocity.clone();
+    batches.restore_position(c.data_epoch, c.data_cursor as usize);
+    *losses = c.losses.clone();
+    *evals = c.evals.clone();
+    *epoch_loss = c.epoch_loss;
+}
+
+/// The joiner side of the rejoin handshake: broadcast JOIN_REQ (stamped
+/// with the newest intact disk generation) to every other rank until a
+/// WELCOME arrives, then return `(members, rollback_iter, coordinator,
+/// epoch)`. Gives up after a generous multiple of the recovery timeout —
+/// `None` means the cluster is gone (or never noticed us) and the
+/// restarted process should exit instead of spinning forever.
+fn request_join(
+    comm: &mut Communicator,
+    latest_iter: u64,
+) -> Option<(Vec<usize>, u64, usize, u64)> {
+    let slice_ms = 200u64;
+    let deadline = std::time::Instant::now()
+        + std::time::Duration::from_millis((comm.recovery_timeout_ms() * 20.0) as u64 + 2000);
+    loop {
+        for m in 0..comm.size() {
+            if m != comm.rank() {
+                // Best effort: some targets may themselves be dead.
+                let _ = comm.send(
+                    m,
+                    Message::JOIN_REQ_TAG,
+                    Payload::Scalar(latest_iter as f64),
+                );
+            }
+        }
+        let slice_end = std::time::Instant::now() + std::time::Duration::from_millis(slice_ms);
+        while std::time::Instant::now() < slice_end {
+            if let Some(msg) = comm.poll_tagged(Message::JOIN_WELCOME_TAG) {
+                let coordinator = msg.src;
+                let wire = msg.payload.into_dense();
+                assert!(wire.len() >= 3, "malformed WELCOME frame");
+                let epoch = wire[0] as u64;
+                let rollback = wire[1] as u64;
+                let members: Vec<usize> = wire[2..].iter().map(|&v| v as usize).collect();
+                return Some((members, rollback, coordinator, epoch));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        if std::time::Instant::now() >= deadline {
+            return None;
+        }
+    }
+}
+
+/// One full recovery round as seen by a surviving member: agree on
+/// membership (shrunk or regrown) and the rollback iteration, restore
+/// that in-memory checkpoint, maintain the pinned-anchor window, and —
+/// when this rank coordinates a growth round — transfer model state to
+/// the joiners. Returns `false` if no coordinator was reachable (this
+/// rank was expelled and must leave the run).
+#[allow(clippy::too_many_arguments)]
+fn handle_recovery<M: Model>(
+    comm: &mut Communicator,
+    members: &mut Vec<usize>,
+    ckpts: &mut VecDeque<Checkpoint>,
+    pinned: &mut usize,
+    known_joiners: &[(usize, u64)],
+    durable: Option<&CheckpointStore>,
+    model: &mut M,
+    opt: &mut MomentumSgd,
+    engine: &mut StepEngine,
+    local_velocity: &mut Option<Vec<f32>>,
+    batches: &mut BatchIter,
+    losses: &mut Vec<f64>,
+    evals: &mut Vec<Option<f64>>,
+    epoch_loss: &mut f64,
+    it: &mut u64,
+    timing: &mut TimingBreakdown,
+    t_start: f64,
+) -> bool {
+    let my_latest = ckpts
+        .back()
+        .expect("a checkpoint is taken before iteration 0")
+        .iter;
+    // The anchor is the rollback point the *previous* (shrink) round
+    // agreed on — the newest pinned snapshot. Every survivor pinned the
+    // same value, so a regrow round can always roll back to it.
+    let my_anchor = if *pinned > 0 {
+        ckpts[*pinned - 1].iter
+    } else {
+        my_latest
+    };
+    let prev = members.clone();
+    match ft::recover(comm, &prev, my_latest, my_anchor, known_joiners) {
+        Ok(rec) => {
+            *members = rec.members.clone();
+            match ckpts.iter().position(|c| c.iter == rec.rollback_iter) {
+                Some(pos) => {
+                    ckpts.truncate(pos + 1);
+                    let c = ckpts.back().expect("just truncated to keep this");
+                    model.set_flat_params(&c.params);
+                    *opt = c.opt.clone();
+                    engine.restore(&c.engine);
+                    *local_velocity = c.local_velocity.clone();
+                    *batches = c.batches.clone();
+                    *losses = c.losses.clone();
+                    *evals = c.evals.clone();
+                    *epoch_loss = c.epoch_loss;
+                    *it = c.iter;
+                }
+                None => {
+                    // The agreed rollback predates the in-memory window
+                    // (a joiner whose newest disk generation was corrupt
+                    // fell back an extra interval). Reload it from this
+                    // rank's own durable store and rebuild the deque.
+                    let gen = durable
+                        .expect("a rollback below the in-memory window needs a durable store")
+                        .load(rec.rollback_iter)
+                        .expect("agreed rollback generation is retained on disk");
+                    apply_durable(
+                        &gen,
+                        model,
+                        opt,
+                        engine,
+                        local_velocity,
+                        batches,
+                        losses,
+                        evals,
+                        epoch_loss,
+                    );
+                    *it = gen.iter;
+                    ckpts.clear();
+                    ckpts.push_back(Checkpoint {
+                        iter: gen.iter,
+                        params: model.flat_params(),
+                        opt: opt.clone(),
+                        engine: engine.snapshot(),
+                        local_velocity: local_velocity.clone(),
+                        batches: batches.clone(),
+                        losses: losses.clone(),
+                        evals: evals.clone(),
+                        epoch_loss: *epoch_loss,
+                    });
+                }
+            }
+            let c = ckpts.back().expect("rollback target present");
+            if rec.joined.is_empty() {
+                // Shrink: pin everything up to (and including) the
+                // rollback anchor so a later rejoin can still reach it.
+                *pinned = ckpts.len();
+            } else {
+                // Regrow: back to full membership, drop the pins and any
+                // stale join traffic (ranks that are members again must
+                // not re-trigger a recovery round).
+                *pinned = 0;
+                comm.purge_pending(|m| {
+                    m.tag == Message::JOIN_REQ_TAG || m.tag == Message::JOIN_WELCOME_TAG
+                });
+                if rec.coordinator == comm.rank() {
+                    let off = ft::epoch_tag_offset(comm.epoch());
+                    let params = std::sync::Arc::new(c.params.clone());
+                    let velocity = std::sync::Arc::new(c.opt.velocity().to_vec());
+                    for &j in &rec.joined {
+                        let _ = comm.send(
+                            j,
+                            ft::TAG_XFER + off,
+                            Payload::dense_shared(std::sync::Arc::clone(&params)),
+                        );
+                        let _ = comm.send(
+                            j,
+                            ft::TAG_XFER + off + 1,
+                            Payload::dense_shared(std::sync::Arc::clone(&velocity)),
+                        );
+                    }
+                }
+            }
+            timing.recovery_ms += comm.now_ms() - t_start;
+            timing.recoveries += 1;
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -818,6 +1248,7 @@ mod tests {
             data_seed: 1,
             fault_plan: None,
             checkpoint_interval: 4,
+            checkpoint_dir: None,
             overlap: None,
         }
     }
@@ -1136,5 +1567,198 @@ mod tests {
         let data = GaussianMixture::new(11, 8, 4, 2, 2.0, 0.4);
         let cfg = quick_cfg(Algorithm::Dense, 4);
         let _ = train_distributed(&cfg, || models::mlp(1, 4, 4, 2), &data, None);
+    }
+
+    fn unique_dir(label: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gtopk-elastic-{label}-{}", std::process::id()))
+    }
+
+    /// Runs `cfg` over a manually wired mesh so a victim rank can be
+    /// killed and *restarted* (the [`Cluster`] harness cannot re-spawn a
+    /// thread). With `victim = Some((rank, step, corrupt))` that rank
+    /// crashes at comm-local `step`, optionally has its newest durable
+    /// generation truncated (torn-write drill), and is then re-wired in
+    /// to rejoin from disk. Returns per-rank reports in rank order.
+    fn run_elastic(
+        data: &GaussianMixture,
+        cfg: &TrainConfig,
+        victim: Option<(usize, u64, bool)>,
+    ) -> Vec<TrainReport> {
+        use gtopk_comm::transport::SimTransport;
+        let build = || models::mlp(61, 8, 16, 4);
+        let (mesh, ends) = SimTransport::mesh_with_handle(cfg.workers);
+        std::thread::scope(|scope| {
+            let mut handles: Vec<Option<_>> = ends
+                .into_iter()
+                .enumerate()
+                .map(|(rank, endpoint)| {
+                    let mut vcfg = cfg.clone();
+                    if let Some((v, step, _)) = victim {
+                        if rank == v {
+                            let base = vcfg.fault_plan.clone().expect("elastic runs arm a plan");
+                            vcfg.fault_plan = Some(base.with_crash(v, step));
+                        }
+                    }
+                    Some(scope.spawn(move || {
+                        let mut comm =
+                            Communicator::from_transport(Box::new(endpoint), vcfg.cost_model);
+                        train_rank(&vcfg, &mut comm, build, data, None)
+                    }))
+                })
+                .collect();
+            if let Some((v, _, corrupt)) = victim {
+                let dead = handles[v].take().expect("victim handle").join().unwrap();
+                assert!(dead.is_none(), "the victim must report a crash");
+                if corrupt {
+                    let dir = cfg.checkpoint_dir.as_ref().expect("elastic runs set a dir");
+                    let store = CheckpointStore::new(dir, v).unwrap();
+                    let newest = *store
+                        .generations()
+                        .last()
+                        .expect("victim wrote checkpoints");
+                    let path = dir.join(format!("ckpt-{v:04}-{newest:012}.bin"));
+                    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+                    f.set_len(9).unwrap(); // tear the newest generation
+                }
+                // The restarted incarnation: crash-free plan (its comm
+                // step counter restarts at 0), same checkpoint directory.
+                let rcfg = cfg.clone();
+                let endpoint = mesh.rejoin(v);
+                handles[v] = Some(scope.spawn(move || {
+                    let mut comm =
+                        Communicator::from_transport(Box::new(endpoint), rcfg.cost_model);
+                    train_rank(&rcfg, &mut comm, build, data, None)
+                }));
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.expect("handle present")
+                        .join()
+                        .unwrap()
+                        .unwrap_or_else(|| panic!("rank {rank} must finish the run"))
+                })
+                .collect()
+        })
+    }
+
+    fn elastic_cfg(dir: Option<std::path::PathBuf>) -> TrainConfig {
+        let mut cfg = quick_cfg(Algorithm::GTopK, 4);
+        cfg.epochs = 10; // 8 iters/epoch on 256 items: 80 iterations
+        cfg.fault_plan = Some(FaultPlan::seeded(9));
+        cfg.checkpoint_dir = dir;
+        cfg
+    }
+
+    #[test]
+    fn killed_rank_rejoins_from_disk_and_matches_the_fault_free_run() {
+        let data = GaussianMixture::new(61, 256, 8, 4, 2.5, 0.4);
+        let dir = unique_dir("rejoin");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Crash rank 3 at step 21 (one past the it=20 boundary, so every
+        // rank's checkpoint window is aligned at [16, 20]).
+        let elastic = run_elastic(&data, &elastic_cfg(Some(dir.clone())), Some((3, 21, false)));
+        let baseline = run_elastic(&data, &elastic_cfg(None), None);
+        for (rank, (e, b)) in elastic.iter().zip(&baseline).enumerate() {
+            assert_eq!(e.survivors, 4, "rank {rank} must end with full membership");
+            for (ee, eb) in e.epochs.iter().zip(&b.epochs) {
+                assert!(
+                    (ee.train_loss - eb.train_loss).abs() <= 1e-9,
+                    "rank {rank} epoch {}: elastic {} vs fault-free {}",
+                    ee.epoch,
+                    ee.train_loss,
+                    eb.train_loss
+                );
+            }
+        }
+        // Survivors log at least one round (the crash and the rejoin
+        // collapse into a single round when the restart is fast enough
+        // for the coordinator to spot the JOIN_REQ while collecting
+        // ALIVEs); the joiner logs its verified state transfer.
+        assert!(elastic[0].timing.recoveries >= 1, "survivor recoveries");
+        assert!(elastic[3].timing.recoveries >= 1, "joiner recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejoin_survives_a_torn_newest_generation() {
+        let data = GaussianMixture::new(61, 256, 8, 4, 2.5, 0.4);
+        let dir = unique_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        // The victim's newest on-disk generation (it = 20) is truncated
+        // before the restart: the joiner must fall back to 16 and the
+        // whole membership must roll back there with it.
+        let elastic = run_elastic(&data, &elastic_cfg(Some(dir.clone())), Some((3, 21, true)));
+        let baseline = run_elastic(&data, &elastic_cfg(None), None);
+        for (rank, (e, b)) in elastic.iter().zip(&baseline).enumerate() {
+            assert_eq!(e.survivors, 4, "rank {rank} must end with full membership");
+            for (ee, eb) in e.epochs.iter().zip(&b.epochs) {
+                assert!(
+                    (ee.train_loss - eb.train_loss).abs() <= 1e-9,
+                    "rank {rank} epoch {}: elastic {} vs fault-free {}",
+                    ee.epoch,
+                    ee.train_loss,
+                    eb.train_loss
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_checkpoints_cost_zero_simulated_time() {
+        // Same crash-and-shrink run with and without a checkpoint
+        // directory: durable I/O is wall-clock only, so the simulated
+        // clock and the numerics must be bit-identical.
+        let data = GaussianMixture::new(34, 256, 8, 4, 2.5, 0.4);
+        let build = || models::mlp(39, 8, 16, 4);
+        let mut plain = quick_cfg(Algorithm::GTopK, 4);
+        plain.epochs = 4;
+        plain.cost_model = CostModel::gigabit_ethernet();
+        plain.fault_plan = Some(FaultPlan::seeded(1).with_crash(3, 10));
+        let dir = unique_dir("overhead");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut durable = plain.clone();
+        durable.checkpoint_dir = Some(dir.clone());
+        let a = train_distributed(&plain, build, &data, None);
+        let b = train_distributed(&durable, build, &data, None);
+        assert_eq!(
+            a.sim_time_ms, b.sim_time_ms,
+            "durable checkpoints must cost exactly zero simulated time"
+        );
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ea.train_loss, eb.train_loss, "numerics must not change");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn solo_run_cold_resumes_from_disk() {
+        // A single worker needs no rejoin protocol: a restart with the
+        // same directory resumes from the newest intact generation and
+        // must land exactly where an uninterrupted run lands.
+        let data = GaussianMixture::new(44, 128, 8, 4, 2.0, 0.4);
+        let build = || models::mlp(53, 8, 16, 4);
+        let dir = unique_dir("solo");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut short = quick_cfg(Algorithm::GTopK, 1);
+        short.epochs = 2;
+        short.checkpoint_dir = Some(dir.clone());
+        let _ = train_distributed(&short, build, &data, None);
+        let mut resumed = short.clone();
+        resumed.epochs = 4;
+        let resumed_report = train_distributed(&resumed, build, &data, None);
+        let mut full = resumed.clone();
+        full.checkpoint_dir = None;
+        let full_report = train_distributed(&full, build, &data, None);
+        for (er, ef) in resumed_report.epochs.iter().zip(&full_report.epochs) {
+            assert_eq!(
+                er.train_loss, ef.train_loss,
+                "epoch {}: cold resume must replay the uninterrupted run",
+                er.epoch
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -133,6 +133,32 @@ impl BatchIter {
         self.shard.len() / self.batch_size
     }
 
+    /// The iterator's durable position: `(epoch, cursor)`. Together with
+    /// the constructor arguments this is the *entire* state — the shuffle
+    /// order is a pure function of `(seed, epoch)` — so a checkpoint
+    /// stores two integers instead of the index permutation.
+    pub fn position(&self) -> (u64, usize) {
+        (self.epoch, self.cursor)
+    }
+
+    /// Restores a position captured by [`BatchIter::position`] on an
+    /// iterator built with the same shard/batch/seed: reshuffles for
+    /// `epoch` and seeks to `cursor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` is not a batch boundary within the shard.
+    pub fn restore_position(&mut self, epoch: u64, cursor: usize) {
+        assert!(
+            cursor <= self.shard.len() && cursor.is_multiple_of(self.batch_size),
+            "cursor {cursor} is not a batch boundary of a {}-item shard",
+            self.shard.len()
+        );
+        self.epoch = epoch;
+        self.reshuffle();
+        self.cursor = cursor;
+    }
+
     /// Advances to the next epoch (reshuffles deterministically).
     pub fn next_epoch(&mut self) {
         self.epoch += 1;

@@ -44,6 +44,27 @@ impl MomentumSgd {
         self.lr
     }
 
+    /// The momentum buffer (for durable checkpoint serialization).
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Overwrites the momentum buffer from a checkpoint. The scratch
+    /// buffer is marked dirty so bucketed updates re-zero it lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `velocity.len()` differs from the parameter count.
+    pub fn set_velocity(&mut self, velocity: &[f32]) {
+        assert_eq!(
+            velocity.len(),
+            self.velocity.len(),
+            "velocity length mismatch"
+        );
+        self.velocity.copy_from_slice(velocity);
+        self.scratch_dirty = true;
+    }
+
     /// Replaces the learning rate (for warmup / decay schedules).
     ///
     /// # Panics

@@ -63,6 +63,12 @@ echo "==> multi-process TCP cluster (kill one worker mid-run)"
 if cargo run -q --offline -p gtopk-cli -- info >/dev/null 2>&1 \
   && scripts/probe_loopback.sh; then
   scripts/run_tcp_cluster.sh 4 16
+
+  # Elastic recovery: same cluster shape, but with durable checkpoints
+  # armed; the killed worker is RESTARTED and must restore from disk,
+  # rejoin, and heal the membership back to full strength.
+  echo "==> chaos cluster (kill one worker, restart it, expect heal)"
+  scripts/run_chaos_cluster.sh 4 24
 else
   echo "    skipped: loopback sockets unavailable"
 fi

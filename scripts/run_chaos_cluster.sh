@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# "Kill it and watch it heal": launches a real multi-process gTop-k
+# S-SGD cluster on localhost with durable checkpoints armed, SIGKILLs
+# one worker mid-run, then RESTARTS it with the same arguments. The
+# restarted process restores its newest durable checkpoint, broadcasts
+# a join request, and the survivors regrow the membership around it —
+# every rank must finish reporting the *full* membership.
+#
+# Usage:
+#   scripts/run_chaos_cluster.sh [P] [EPOCHS] [KILL_RANK]
+#
+#   P          number of worker processes            (default 4)
+#   EPOCHS     training epochs                       (default 24)
+#   KILL_RANK  rank to SIGKILL and restart           (default P-1)
+#
+# Exits non-zero unless every rank (including the restarted one)
+# finishes all epochs and reports P/P ranks in the final membership.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+P="${1:-4}"
+EPOCHS="${2:-24}"
+KILL_RANK="${3:-$((P - 1))}"
+
+echo "==> building the gtopk binary (offline)"
+cargo build -q --offline -p gtopk-cli
+
+BIN=target/debug/gtopk
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/gtopk-chaos-XXXXXX")"
+trap 'kill ${PIDS[@]:-} 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+launch_rank() { # rank, output file
+  "$BIN" train \
+    --transport tcp --rank "$1" --rendezvous "$DIR" \
+    --workers "$P" --model mlp --epochs "$EPOCHS" \
+    --batch 4 --density 0.05 \
+    --checkpoint-dir "$DIR/ckpt" --fault-checkpoint 10 \
+    >"$2" 2>&1 &
+}
+
+echo "==> launching $P elastic ranks (rendezvous dir: $DIR)"
+PIDS=()
+for ((r = 0; r < P; r++)); do
+  launch_rank "$r" "$DIR/rank-$r.out"
+  PIDS[r]=$!
+done
+
+# Let the cluster connect and write at least one durable checkpoint
+# generation, then kill the victim for real.
+sleep 3
+echo "==> SIGKILL rank $KILL_RANK (pid ${PIDS[KILL_RANK]})"
+kill -9 "${PIDS[KILL_RANK]}" 2>/dev/null || true
+wait "${PIDS[KILL_RANK]}" 2>/dev/null || true
+
+# Restart it with the same arguments: it restores from $DIR/ckpt,
+# republishes its (new) address, and rejoins the live run.
+sleep 1
+echo "==> restarting rank $KILL_RANK"
+launch_rank "$KILL_RANK" "$DIR/rank-$KILL_RANK.rejoin.out"
+PIDS[KILL_RANK]=$!
+
+status=0
+for ((r = 0; r < P; r++)); do
+  if ! wait "${PIDS[r]}"; then
+    echo "!! rank $r failed:"
+    cat "$DIR/rank-$r.out"
+    status=1
+  fi
+done
+
+echo "==> final reports"
+for ((r = 0; r < P; r++)); do
+  out="$DIR/rank-$r.out"
+  [[ "$r" == "$KILL_RANK" ]] && out="$DIR/rank-$KILL_RANK.rejoin.out"
+  echo "---- rank $r"
+  cat "$out"
+  if ! grep -q "$P/$P ranks survived" "$out"; then
+    echo "!! rank $r did not report the healed (full) membership"
+    status=1
+  fi
+done
+
+if [[ "$status" == 0 ]]; then
+  echo "==> OK: killed rank rejoined; membership healed to $P/$P"
+else
+  echo "==> FAILED"
+fi
+exit "$status"

@@ -1,0 +1,392 @@
+//! Chaos-soak cluster tests: real OS processes over
+//! [`gtopk_comm::transport::TcpTransport`] in elastic-rejoin mode, with a
+//! parent that SIGKILLs ranks mid-training and restarts them from their
+//! durable checkpoints.
+//!
+//! Two scenarios run (both gated to skip loudly when loopback sockets are
+//! unavailable):
+//!
+//! * **kill → rejoin → parity** — four processes train gTop-k S-SGD with
+//!   durable checkpoints. Rank 3 is SIGKILLed once it has generations on
+//!   disk, then restarted. The restarted incarnation must rejoin (JOIN_REQ
+//!   → WELCOME → bit-verified state transfer), the membership must heal
+//!   back to four, and — because every member rolls back to the agreed
+//!   pre-crash generation — the per-epoch losses of every rank must match
+//!   the fault-free in-process simulator to 1e-9.
+//! * **two-cycle soak** — the same cluster survives two full
+//!   kill/restart cycles and still reproduces the fault-free trajectory.
+//!
+//! The tests re-exec this binary (`chaos_child_entry` filtered by name)
+//! once per rank, like `tcp_cluster.rs`.
+
+use gtopk::{
+    train_distributed, train_rank, Algorithm, CheckpointStore, DensitySchedule, LrSchedule,
+    Selector, TrainConfig,
+};
+use gtopk_comm::transport::{AddrResolver, TcpConfig, TcpTransport};
+use gtopk_comm::{Communicator, CostModel, FaultPlan, Payload};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::models;
+use std::io::Read as _;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RESULT_MARKER: &str = "GTOPK_CHAOS_RESULT";
+const WORKERS: usize = 4;
+const VICTIM: usize = 3;
+
+/// 800 items / 4 workers / batch 4 = 50 iterations per epoch; checkpoint
+/// interval 10 gives five durable generations per epoch per rank.
+fn chaos_data() -> GaussianMixture {
+    GaussianMixture::new(11, 800, 16, 4, 2.5, 0.5)
+}
+
+fn build_model() -> impl Fn() -> gtopk_nn::Sequential {
+    || models::mlp(7, 16, 32, 4)
+}
+
+fn cfg(epochs: usize, ckpt_dir: Option<PathBuf>) -> TrainConfig {
+    TrainConfig {
+        workers: WORKERS,
+        batch_per_worker: 4,
+        epochs,
+        algorithm: Algorithm::GTopK,
+        lr: LrSchedule::constant(0.05),
+        momentum: 0.9,
+        density: DensitySchedule::constant(0.05),
+        cost_model: CostModel::zero(),
+        compute_cost: None,
+        selector: Selector::Exact,
+        topology: gtopk::Topology::Binomial,
+        momentum_correction: false,
+        clip_norm: None,
+        data_seed: 3,
+        // A fault-free *active* plan arms the checkpoint/rollback policy;
+        // the only faults are the parent's real SIGKILLs.
+        fault_plan: Some(FaultPlan::seeded(0)),
+        checkpoint_interval: 10,
+        overlap: None,
+        checkpoint_dir: ckpt_dir,
+    }
+}
+
+fn loopback_available() -> bool {
+    TcpListener::bind("127.0.0.1:0").is_ok()
+}
+
+// ------------------------------------------------------------ rendezvous
+
+/// Publishes this rank's address atomically and polls for every rank's
+/// file. Restarted incarnations overwrite their own file with the fresh
+/// port; survivors' parked dialers re-read it through the resolver.
+fn rendezvous(dir: &Path, rank: usize, own: SocketAddr) -> Vec<SocketAddr> {
+    std::fs::create_dir_all(dir).expect("create rendezvous dir");
+    let tmp = dir.join(format!(".rank-{rank}.addr.tmp"));
+    std::fs::write(&tmp, own.to_string()).expect("write address");
+    std::fs::rename(&tmp, dir.join(format!("rank-{rank}.addr"))).expect("publish address");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut peers = Vec::with_capacity(WORKERS);
+    for r in 0..WORKERS {
+        let path = dir.join(format!("rank-{r}.addr"));
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&path) {
+                if let Ok(addr) = s.trim().parse() {
+                    peers.push(addr);
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "rank {r} never published");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    peers
+}
+
+/// The rendezvous directory doubles as the live address book.
+fn file_resolver(dir: PathBuf) -> AddrResolver {
+    Arc::new(move |r| {
+        std::fs::read_to_string(dir.join(format!("rank-{r}.addr")))
+            .ok()?
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
+// ------------------------------------------------------------ child role
+
+/// Entry point of a spawned rank. A no-op under the normal test run; the
+/// parent re-execs this binary with `GTOPK_CHAOS_CHILD` set.
+#[test]
+fn chaos_child_entry() {
+    let Ok(rank) = std::env::var("GTOPK_CHAOS_CHILD") else {
+        return;
+    };
+    let rank: usize = rank.parse().expect("child rank");
+    let mode = std::env::var("GTOPK_CHAOS_MODE").expect("GTOPK_CHAOS_MODE");
+    let epochs: usize = std::env::var("GTOPK_CHAOS_EPOCHS")
+        .expect("GTOPK_CHAOS_EPOCHS")
+        .parse()
+        .expect("epochs");
+    let dir = PathBuf::from(std::env::var("GTOPK_CHAOS_DIR").expect("GTOPK_CHAOS_DIR"));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let own = listener.local_addr().expect("local addr");
+    let peers = rendezvous(&dir, rank, own);
+    let transport = TcpTransport::establish_with_resolver(
+        listener,
+        rank,
+        peers,
+        TcpConfig::elastic_local(),
+        Some(file_resolver(dir.clone())),
+    )
+    .expect("establish");
+    let mut comm = Communicator::from_transport(Box::new(transport), CostModel::zero());
+
+    if mode == "member" {
+        // All-pairs handshake so every link provably exists before the
+        // parent is allowed to kill anyone. A restarted incarnation must
+        // NOT barrier: its peers are mid-training.
+        for peer in 0..WORKERS {
+            if peer != rank {
+                comm.send(peer, 1, Payload::Control).expect("barrier send");
+            }
+        }
+        for peer in 0..WORKERS {
+            if peer != rank {
+                comm.recv(peer, 1).expect("barrier recv");
+            }
+        }
+    }
+
+    let report = train_rank(
+        &cfg(epochs, Some(dir.join("ckpt"))),
+        &mut comm,
+        build_model(),
+        &chaos_data(),
+        None,
+    );
+
+    match report {
+        Some(r) => {
+            let losses: Vec<String> = r
+                .epochs
+                .iter()
+                .map(|e| format!("{:?}", e.train_loss))
+                .collect();
+            println!(
+                "{RESULT_MARKER} rank={rank} survivors={} recoveries={} losses={}",
+                r.survivors,
+                r.timing.recoveries,
+                losses.join(",")
+            );
+        }
+        None => println!("{RESULT_MARKER} rank={rank} none"),
+    }
+}
+
+// ----------------------------------------------------------- parent side
+
+struct ChildGuard(Vec<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn spawn_rank(dir: &Path, rank: usize, epochs: usize, mode: &str) -> Child {
+    Command::new(std::env::current_exe().expect("current exe"))
+        .args(["chaos_child_entry", "--exact", "--nocapture"])
+        .env("GTOPK_CHAOS_CHILD", rank.to_string())
+        .env("GTOPK_CHAOS_MODE", mode)
+        .env("GTOPK_CHAOS_EPOCHS", epochs.to_string())
+        .env("GTOPK_CHAOS_DIR", dir)
+        .env("GTOPK_FT_TRACE", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn child rank")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gtopk-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create work dir");
+    dir
+}
+
+/// Blocks until the victim's durable store holds a generation at or past
+/// `min_iter` — the observable proof that it is mid-training with
+/// restartable state — and returns that newest generation.
+fn wait_for_generation(
+    ckpt_dir: &Path,
+    rank: usize,
+    min_iter: u64,
+    children: &mut ChildGuard,
+) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(store) = CheckpointStore::new(ckpt_dir, rank) {
+            if let Some(&newest) = store.generations().last() {
+                if newest >= min_iter {
+                    return newest;
+                }
+            }
+        }
+        if let Some(status) = children.0[rank].try_wait().expect("try_wait") {
+            panic!("rank {rank} exited before reaching iteration {min_iter}: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rank {rank} never checkpointed past {min_iter}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// SIGKILLs the rank's current incarnation and spawns a restarted one.
+fn kill_and_restart(dir: &Path, rank: usize, epochs: usize, children: &mut ChildGuard) {
+    children.0[rank].kill().expect("SIGKILL the victim");
+    let _ = children.0[rank].wait();
+    children.0[rank] = spawn_rank(dir, rank, epochs, "rejoin");
+}
+
+/// Waits for a child with a wall deadline, returning its stdout.
+fn finish(child: &mut Child, deadline: Instant) -> String {
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                let mut err = String::new();
+                if let Some(s) = child.stdout.as_mut() {
+                    let _ = s.read_to_string(&mut out);
+                }
+                if let Some(s) = child.stderr.as_mut() {
+                    let _ = s.read_to_string(&mut err);
+                }
+                assert!(
+                    status.success(),
+                    "child failed:\nstdout:\n{out}\nstderr:\n{err}"
+                );
+                return format!("{out}\n{err}");
+            }
+            None => {
+                assert!(Instant::now() < deadline, "child did not finish in time");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Parses `GTOPK_CHAOS_RESULT rank=R survivors=S recoveries=N losses=...`.
+fn parse_result(stdout: &str) -> (usize, usize, usize, Vec<f64>) {
+    let line = stdout
+        .lines()
+        .find_map(|l| l.find(RESULT_MARKER).map(|i| &l[i..]))
+        .unwrap_or_else(|| panic!("no result line in:\n{stdout}"));
+    let field = |key: &str| {
+        line.split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+            .to_string()
+    };
+    let rank = field("rank").parse().expect("rank");
+    let survivors = field("survivors").parse().expect("survivors");
+    let recoveries = field("recoveries").parse().expect("recoveries");
+    let losses = field("losses")
+        .split(',')
+        .map(|v| v.parse().expect("loss"))
+        .collect();
+    (rank, survivors, recoveries, losses)
+}
+
+/// Collects every rank's result and checks membership healed to full and
+/// every per-epoch loss matches the fault-free simulator to 1e-9.
+fn assert_healed_and_fault_free(children: &mut ChildGuard, epochs: usize, rejoined: usize) {
+    let deadline = Instant::now() + Duration::from_secs(240);
+    // Gather every rank's output before asserting anything, so a failure
+    // message can show what the *other* ranks (e.g. the rejoiner) saw.
+    let outs: Vec<String> = (0..WORKERS)
+        .map(|r| finish(&mut children.0[r], deadline))
+        .collect();
+    let all = outs.join("\n----\n");
+    let mut per_rank = Vec::new();
+    for (r, out) in outs.iter().enumerate() {
+        let (rank, survivors, recoveries, losses) = parse_result(out);
+        assert_eq!(rank, r);
+        assert_eq!(survivors, WORKERS, "rank {r} saw wrong membership:\n{all}");
+        assert_eq!(losses.len(), epochs, "rank {r} missed epochs:\n{all}");
+        if r == rejoined {
+            assert!(recoveries >= 1, "rejoiner logged no recovery:\n{all}");
+        }
+        per_rank.push(losses);
+    }
+    // The discard-shrunk-progress design makes the elastic run replay the
+    // fault-free trajectory exactly: every member rolls back to a
+    // pre-crash generation that is bit-identical to the fault-free state.
+    // Each rank reports its *local* per-epoch training loss; the
+    // simulator's report averages over ranks, so compare the same mean.
+    let sim = train_distributed(&cfg(epochs, None), build_model(), &chaos_data(), None);
+    assert_eq!(sim.survivors, WORKERS);
+    let reference: Vec<f64> = sim.epochs.iter().map(|e| e.train_loss).collect();
+    let mean: Vec<f64> = (0..epochs)
+        .map(|e| per_rank.iter().map(|l| l[e]).sum::<f64>() / WORKERS as f64)
+        .collect();
+    for (e, (&l, &s)) in mean.iter().zip(&reference).enumerate() {
+        assert!(
+            (l - s).abs() <= 1e-9,
+            "epoch {e}: elastic {l} vs fault-free {s}\n\
+             elastic mean: {mean:?}\nfault-free:   {reference:?}\n{all}",
+        );
+    }
+}
+
+#[test]
+fn killed_rank_rejoins_and_matches_the_fault_free_run() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let dir = fresh_dir("rejoin");
+    let epochs = 6; // 300 iterations
+    let mut children = ChildGuard(
+        (0..WORKERS)
+            .map(|r| spawn_rank(&dir, r, epochs, "member"))
+            .collect(),
+    );
+    wait_for_generation(&dir.join("ckpt"), VICTIM, 20, &mut children);
+    kill_and_restart(&dir, VICTIM, epochs, &mut children);
+    assert_healed_and_fault_free(&mut children, epochs, VICTIM);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_kill_restart_cycles_heal_back_to_full_membership() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let dir = fresh_dir("soak");
+    let ckpt = dir.join("ckpt");
+    let epochs = 8; // 400 iterations: room for two full cycles
+    let mut children = ChildGuard(
+        (0..WORKERS)
+            .map(|r| spawn_rank(&dir, r, epochs, "member"))
+            .collect(),
+    );
+    let g1 = wait_for_generation(&ckpt, VICTIM, 20, &mut children);
+    kill_and_restart(&dir, VICTIM, epochs, &mut children);
+    // Proof of a completed rejoin: the restarted incarnation is writing
+    // generations well past where it was killed.
+    wait_for_generation(&ckpt, VICTIM, g1 + 40, &mut children);
+    kill_and_restart(&dir, VICTIM, epochs, &mut children);
+    assert_healed_and_fault_free(&mut children, epochs, VICTIM);
+    let _ = std::fs::remove_dir_all(&dir);
+}

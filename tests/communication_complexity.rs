@@ -133,6 +133,7 @@ fn training_volume_matches_aggregation_volume() {
         data_seed: 2,
         fault_plan: None,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: None,
     };
     let dense = gtopk::train_distributed(

@@ -27,6 +27,7 @@ fn cfg(alg: Algorithm, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
         data_seed: 9,
         fault_plan: None,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: None,
     }
 }

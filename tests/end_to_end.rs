@@ -31,6 +31,7 @@ fn cfg(
         data_seed: 3,
         fault_plan: None,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: None,
     }
 }

@@ -38,6 +38,7 @@ fn overlap_cfg(workers: usize, buckets: usize, epochs: usize) -> TrainConfig {
         data_seed: 17,
         fault_plan: None,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: Some(OverlapConfig::buckets(buckets)),
     }
 }

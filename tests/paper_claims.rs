@@ -87,6 +87,7 @@ fn claim_convergence_parity_with_dense() {
         data_seed: 4,
         fault_plan: None,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: None,
     };
     let build = || models::mlp(61, 12, 24, 4);
@@ -124,6 +125,7 @@ fn claim_speedup_grows_with_workers() {
             data_seed: 5,
             fault_plan: None,
             checkpoint_interval: 10,
+            checkpoint_dir: None,
             overlap: None,
         };
         train_distributed(&cfg, || models::mlp(63, 32, 256, 4), &data, None).sim_time_ms

@@ -50,6 +50,7 @@ fn cfg(workers: usize, epochs: usize, fault_plan: Option<FaultPlan>) -> TrainCon
         data_seed: 3,
         fault_plan,
         checkpoint_interval: 10,
+        checkpoint_dir: None,
         overlap: None,
     }
 }

@@ -11,6 +11,20 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// Exposes the raw xoshiro256** state, for exact serialization of an
+    /// in-flight generator (durable checkpoints).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`StdRng::state`],
+    /// continuing the stream bit-exactly where it left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
