@@ -28,6 +28,7 @@ const BINARIES: &[&str] = &[
     "ext_fault_tolerance",
     "ext_elastic",
     "bench_plans",
+    "bench_zoo",
 ];
 
 fn main() {

@@ -40,7 +40,14 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, ArgError> {
         "naive" => Algorithm::NaiveGTopK,
         "feedback" => Algorithm::GTopKFeedback,
         "no-putback" => Algorithm::GTopKNoPutback,
-        other => return Err(ArgError(format!("unknown algorithm `{other}`"))),
+        "oktopk" => Algorithm::OkTopk,
+        "spardl" => Algorithm::SparDl,
+        other => {
+            return Err(ArgError(format!(
+                "unknown algorithm `{other}` (accepted values: dense, topk, \
+                 gtopk, naive, feedback, no-putback, oktopk, spardl)"
+            )))
+        }
     })
 }
 
@@ -344,10 +351,13 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         cfg.selector = Selector::ThresholdEstimate { sample: thr_sample };
     }
     if parsed.has_flag("overlap") {
-        if algorithm != Algorithm::GTopK {
+        if !matches!(
+            algorithm,
+            Algorithm::GTopK | Algorithm::OkTopk | Algorithm::SparDl
+        ) {
             return Err(ArgError(
-                "--overlap requires --algorithm gtopk (the overlap engine \
-                 drives per-bucket gTopKAllReduce)"
+                "--overlap requires --algorithm gtopk, oktopk or spardl (the \
+                 overlap engine drives per-bucket sparse collectives)"
                     .into(),
             ));
         }
@@ -363,9 +373,15 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
     }
     let topology = parse_topology(&parsed.get_str("topology", "binomial"))?;
     if topology != Topology::Binomial && !algorithm.supports_topology() {
+        let why = if matches!(algorithm, Algorithm::OkTopk | Algorithm::SparDl) {
+            "runs its own binomial split/gather schedule (drop --topology \
+             or use the default binomial)"
+        } else {
+            "runs a fixed collective schedule"
+        };
         return Err(ArgError(format!(
             "--topology {} requires a plan-driven algorithm (gtopk, feedback or \
-             no-putback); `{}` runs a fixed collective schedule",
+             no-putback); `{}` {why}",
             topology.name(),
             parsed.get_str("algorithm", "gtopk"),
         )));
@@ -587,6 +603,10 @@ fn cmd_info() -> String {
             Algorithm::NaiveGTopK => "exact-sum global top-k reference (Alg. 2)\n",
             Algorithm::GTopKFeedback => "tree gTop-k + loss-free merge feedback (extension)\n",
             Algorithm::GTopKNoPutback => "ablation: gTop-k without residual put-back\n",
+            Algorithm::OkTopk => {
+                "threshold-estimate split/gather with O(k) per-rank volume (zoo)\n"
+            }
+            Algorithm::SparDl => "Spar-Reduce-Scatter + Spar-All-Gather, no dense tail (zoo)\n",
         });
     }
     out.push_str("\nmodels: mlp, vgg, resnet, alexnet, lstm (scaled-down analogues)\n");
@@ -654,8 +674,51 @@ mod tests {
     }
 
     #[test]
+    fn train_runs_the_zoo_algorithms() {
+        for alg in ["oktopk", "spardl"] {
+            let out = run_line(&format!(
+                "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+                 --algorithm {alg}"
+            ))
+            .unwrap();
+            assert!(out.contains("epoch   1"), "{alg}: {out}");
+            assert!(out.contains("rank-0 traffic"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn zoo_algorithms_compose_with_overlap() {
+        let out = run_line(
+            "train --model mlp --workers 2 --epochs 2 --batch 4 --density 0.05 \
+             --algorithm oktopk --overlap --buckets 2",
+        )
+        .unwrap();
+        assert!(out.contains("overlap: 2 buckets"), "{out}");
+    }
+
+    #[test]
+    fn zoo_algorithm_rejections_are_actionable() {
+        // Unknown names enumerate the full zoo.
+        let err = run_line("train --algorithm ok-topk").unwrap_err();
+        assert!(err.0.contains("oktopk, spardl"), "{}", err.0);
+        // The zoo schedules are binomial-only; the message says what to do.
+        let err = run_line("train --algorithm spardl --topology ring").unwrap_err();
+        assert!(err.0.contains("binomial split/gather"), "{}", err.0);
+        // Fault injection stays a gTop-k facility.
+        assert!(run_line("train --algorithm oktopk --fault-drop 0.1").is_err());
+        assert!(run_line("train --algorithm spardl --checkpoint-dir /tmp/x").is_err());
+    }
+
+    #[test]
+    fn info_lists_the_zoo() {
+        let info = run_line("info").unwrap();
+        assert!(info.contains("Ok-Topk"), "{info}");
+        assert!(info.contains("SparDL"), "{info}");
+    }
+
+    #[test]
     fn overlap_options_are_validated() {
-        // Overlap drives per-bucket gTopKAllReduce only.
+        // Overlap drives per-bucket sparse collectives only.
         assert!(run_line("train --algorithm dense --overlap").is_err());
         // Bucket count without the engine is a likely typo.
         assert!(run_line("train --buckets 4").is_err());

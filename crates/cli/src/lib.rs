@@ -30,7 +30,8 @@ USAGE:
 COMMANDS:
   train       train a model with distributed S-SGD on a simulated cluster
     --model      mlp | vgg | resnet | alexnet | lstm     [mlp]
-    --algorithm  dense | topk | gtopk | naive | feedback | no-putback  [gtopk]
+    --algorithm  dense | topk | gtopk | naive | feedback | no-putback
+                 | oktopk | spardl                        [gtopk]
     --workers    number of simulated workers             [4]
     --epochs     training epochs                         [10]
     --batch      per-worker batch size                   [8]
@@ -39,8 +40,8 @@ COMMANDS:
     --seed       model/data seed                         [42]
     --sampled-selection N   use sampled top-k with N samples
     --threshold-selection N exact top-k via N-sample threshold estimate
-    --overlap               pipeline per-bucket gTopKAllReduce behind
-                            backward compute (gtopk algorithm only)
+    --overlap               pipeline per-bucket sparse collectives behind
+                            backward compute (gtopk | oktopk | spardl)
     --buckets N             overlap buckets (0 = one per layer)    [4]
     --topology   binomial | hierarchical | ring collective plan
                  (gtopk | feedback | no-putback algorithms) [binomial]

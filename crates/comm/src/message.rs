@@ -36,6 +36,20 @@ pub enum Payload {
         /// Declared wire size in 4-byte elements.
         elems: usize,
     },
+    /// A sparse gradient padded to a fixed slot budget on the wire.
+    ///
+    /// The Ok-Topk / SparDL collectives exchange fixed-size buffers whose
+    /// slot count is determined by the communication *schedule*, not by the
+    /// data: a rank holding fewer than `slots` survivors still ships (and
+    /// is charged for) the full budget. This makes the executed α-β time
+    /// input-independent, so an analytic [`crate::plan::CollectivePlan`]
+    /// replay predicts it exactly.
+    PaddedSparse {
+        /// The carried entries (`nnz() <= slots`).
+        data: Arc<SparseVec>,
+        /// Declared wire budget in index/value pairs.
+        slots: usize,
+    },
 }
 
 impl Payload {
@@ -60,6 +74,34 @@ impl Payload {
         Payload::Sparse(v)
     }
 
+    /// Wraps a sparse vector padded to a fixed wire budget of `slots`
+    /// index/value pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector holds more than `slots` entries — the schedule
+    /// budget is a hard capacity, not a hint.
+    pub fn sparse_padded(v: SparseVec, slots: usize) -> Self {
+        Self::sparse_padded_shared(Arc::new(v), slots)
+    }
+
+    /// Wraps an already-shared sparse buffer padded to a fixed wire
+    /// budget of `slots` index/value pairs (the sender keeps reading the
+    /// vector through the [`Arc`] after the send).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector holds more than `slots` entries — the schedule
+    /// budget is a hard capacity, not a hint.
+    pub fn sparse_padded_shared(v: Arc<SparseVec>, slots: usize) -> Self {
+        assert!(
+            v.nnz() <= slots,
+            "padded payload overflow: {} entries in a {slots}-slot budget",
+            v.nnz()
+        );
+        Payload::PaddedSparse { data: v, slots }
+    }
+
     /// Number of 4-byte elements this payload occupies on the wire.
     pub fn wire_elems(&self) -> usize {
         match self {
@@ -68,6 +110,7 @@ impl Payload {
             Payload::Scalar(_) => 2, // one f64 = two 4-byte words
             Payload::Control => 0,
             Payload::Virtual { elems } => *elems,
+            Payload::PaddedSparse { slots, .. } => 2 * slots,
         }
     }
 
@@ -91,6 +134,7 @@ impl Payload {
     pub fn as_sparse(&self) -> &SparseVec {
         match self {
             Payload::Sparse(v) => v,
+            Payload::PaddedSparse { data, .. } => data,
             other => panic!("expected sparse payload, got {other:?}"),
         }
     }
@@ -128,7 +172,9 @@ impl Payload {
     /// Panics if the payload is not [`Payload::Sparse`].
     pub fn into_sparse(self) -> SparseVec {
         match self {
-            Payload::Sparse(v) => Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone()),
+            Payload::Sparse(v) | Payload::PaddedSparse { data: v, .. } => {
+                Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone())
+            }
             other => panic!("expected sparse payload, got {other:?}"),
         }
     }
@@ -140,7 +186,7 @@ impl Payload {
     /// Panics if the payload is not [`Payload::Sparse`].
     pub fn into_sparse_arc(self) -> Arc<SparseVec> {
         match self {
-            Payload::Sparse(v) => v,
+            Payload::Sparse(v) | Payload::PaddedSparse { data: v, .. } => v,
             other => panic!("expected sparse payload, got {other:?}"),
         }
     }
@@ -237,6 +283,21 @@ mod tests {
         assert_eq!(Payload::Scalar(1.0).wire_elems(), 2);
         assert_eq!(Payload::Control.wire_elems(), 0);
         assert_eq!(Payload::Virtual { elems: 123 }.wire_elems(), 123);
+        // A padded payload is charged for its slot budget, not its nnz.
+        let sv = SparseVec::from_pairs(100, vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(Payload::sparse_padded(sv, 5).wire_elems(), 10);
+    }
+
+    #[test]
+    fn padded_sparse_extraction_and_budget_check() {
+        let sv = SparseVec::from_pairs(10, vec![(1, 1.0), (4, -2.0)]);
+        let p = Payload::sparse_padded(sv.clone(), 3);
+        assert_eq!(p.as_sparse().nnz(), 2);
+        assert_eq!(p.into_sparse(), sv);
+        let shared = Payload::sparse_padded(sv.clone(), 2).into_sparse_arc();
+        assert_eq!(shared.nnz(), 2);
+        let overflow = std::panic::catch_unwind(|| Payload::sparse_padded(sv, 1));
+        assert!(overflow.is_err(), "nnz > slots must panic");
     }
 
     #[test]

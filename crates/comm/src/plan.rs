@@ -387,6 +387,98 @@ impl CollectivePlan {
         plan
     }
 
+    /// Recursive-halving plan: fold-in round (positions beyond the
+    /// largest power of two `p2` send down), then `log₂p2` rounds of
+    /// pairwise [`Exchange::Swap`] with *descending* masks
+    /// `p2/2, p2/4, …, 1`. This is the reduce-scatter shape: at swap
+    /// round `s` each position trades with the peer `p2/2^{s+1}` away,
+    /// so after all rounds position `i < p2` is paired ever more locally
+    /// and can end up owning an ever-narrower slice of the index space
+    /// (the Ok-Topk / SparDL split phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn halving_exchange(p: usize) -> Self {
+        assert!(p > 0, "plan needs at least one position");
+        let p2 = crate::collectives::largest_power_of_two_leq(p);
+        let extra = p - p2;
+        let mut rounds = Vec::new();
+        if extra > 0 {
+            rounds.push(Round {
+                exchanges: (0..extra)
+                    .map(|i| Exchange::Send {
+                        src: p2 + i,
+                        dst: i,
+                    })
+                    .collect(),
+            });
+        }
+        let mut mask = p2 >> 1;
+        while mask > 0 {
+            rounds.push(Round {
+                exchanges: (0..p2)
+                    .filter(|a| a & mask == 0)
+                    .map(|a| Exchange::Swap { a, b: a ^ mask })
+                    .collect(),
+            });
+            mask >>= 1;
+        }
+        let plan = CollectivePlan {
+            topology: Topology::Binomial,
+            size: p,
+            root: 0,
+            rounds,
+        };
+        plan.check();
+        plan
+    }
+
+    /// Recursive-doubling all-gather plan: `log₂p2` rounds of pairwise
+    /// [`Exchange::Swap`] with *ascending* masks `1, 2, …, p2/2`, then a
+    /// fold-out round shipping the assembled result to the positions
+    /// beyond the largest power of two. The mirror of
+    /// [`CollectivePlan::halving_exchange`]: each swap round doubles the
+    /// slice of the index space a position holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn doubling_exchange(p: usize) -> Self {
+        assert!(p > 0, "plan needs at least one position");
+        let p2 = crate::collectives::largest_power_of_two_leq(p);
+        let extra = p - p2;
+        let mut rounds = Vec::new();
+        let mut mask = 1usize;
+        while mask < p2 {
+            rounds.push(Round {
+                exchanges: (0..p2)
+                    .filter(|a| a & mask == 0)
+                    .map(|a| Exchange::Swap { a, b: a ^ mask })
+                    .collect(),
+            });
+            mask <<= 1;
+        }
+        if extra > 0 {
+            rounds.push(Round {
+                exchanges: (0..extra)
+                    .map(|i| Exchange::Send {
+                        src: i,
+                        dst: p2 + i,
+                    })
+                    .collect(),
+            });
+        }
+        let plan = CollectivePlan {
+            topology: Topology::Binomial,
+            size: p,
+            root: 0,
+            rounds,
+        };
+        plan.check();
+        plan
+    }
+
     /// Number of rounds (the plan's tag-window footprint and its α
     /// depth along the busiest position).
     pub fn num_rounds(&self) -> usize {
@@ -614,6 +706,59 @@ mod tests {
             for (i, h) in holds.iter().enumerate() {
                 assert_eq!(h.len(), p, "P={p}: position {i} incomplete");
             }
+        }
+    }
+
+    #[test]
+    fn halving_then_doubling_leaves_every_position_complete() {
+        // Running the split schedule followed by the gather schedule must
+        // give every position a path from every other position — the
+        // set-union reachability the zoo collectives rely on.
+        for p in 1..=17usize {
+            let halve = CollectivePlan::halving_exchange(p);
+            let double = CollectivePlan::doubling_exchange(p);
+            let mut holds: Vec<std::collections::HashSet<usize>> =
+                (0..p).map(|i| [i].into_iter().collect()).collect();
+            for round in halve.rounds.iter().chain(double.rounds.iter()) {
+                for ex in &round.exchanges {
+                    match *ex {
+                        Exchange::Send { src, dst } => {
+                            let from = holds[src].clone();
+                            holds[dst].extend(from);
+                        }
+                        Exchange::Swap { a, b } => {
+                            let ha = holds[a].clone();
+                            let hb = holds[b].clone();
+                            holds[a].extend(hb);
+                            holds[b].extend(ha);
+                        }
+                    }
+                }
+            }
+            for (i, h) in holds.iter().enumerate() {
+                assert_eq!(h.len(), p, "P={p}: position {i} incomplete");
+            }
+        }
+    }
+
+    #[test]
+    fn halving_and_doubling_are_mask_mirrors() {
+        // Same number of swap rounds, masks in opposite order, same fold
+        // structure on the opposite side.
+        for p in [2usize, 4, 6, 8, 12, 16] {
+            let halve = CollectivePlan::halving_exchange(p);
+            let double = CollectivePlan::doubling_exchange(p);
+            assert_eq!(halve.num_rounds(), double.num_rounds(), "P={p}");
+            let swaps = |plan: &CollectivePlan| -> Vec<Vec<Exchange>> {
+                plan.rounds
+                    .iter()
+                    .filter(|r| matches!(r.exchanges[0], Exchange::Swap { .. }))
+                    .map(|r| r.exchanges.clone())
+                    .collect()
+            };
+            let mut h = swaps(&halve);
+            h.reverse();
+            assert_eq!(h, swaps(&double), "P={p}: swap rounds must mirror");
         }
     }
 

@@ -37,6 +37,7 @@ const PAYLOAD_SPARSE: u8 = 1;
 const PAYLOAD_SCALAR: u8 = 2;
 const PAYLOAD_CONTROL: u8 = 3;
 const PAYLOAD_VIRTUAL: u8 = 4;
+const PAYLOAD_PADDED_SPARSE: u8 = 5;
 
 /// One frame of the TCP protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +141,11 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
                 Payload::Virtual { elems } => {
                     body.push(PAYLOAD_VIRTUAL);
                     body.extend_from_slice(&(*elems as u64).to_le_bytes());
+                }
+                Payload::PaddedSparse { data, slots } => {
+                    body.push(PAYLOAD_PADDED_SPARSE);
+                    body.extend_from_slice(&(*slots as u64).to_le_bytes());
+                    body.extend_from_slice(&wire::encode(data));
                 }
             }
         }
@@ -275,6 +281,21 @@ fn decode_body(body: &[u8]) -> io::Result<Frame> {
                 PAYLOAD_VIRTUAL => Payload::Virtual {
                     elems: c.u64()? as usize,
                 },
+                PAYLOAD_PADDED_SPARSE => {
+                    let slots = c.u64()? as usize;
+                    let sv =
+                        wire::decode(c.rest()).map_err(|e| bad(format!("padded payload: {e}")))?;
+                    if sv.nnz() > slots {
+                        return Err(bad(format!(
+                            "padded payload overflow: {} entries in {slots} slots",
+                            sv.nnz()
+                        )));
+                    }
+                    Payload::PaddedSparse {
+                        data: Arc::new(sv),
+                        slots,
+                    }
+                }
                 other => return Err(bad(format!("unknown payload type {other}"))),
             };
             Frame::Data {
@@ -333,10 +354,11 @@ mod tests {
         let sv = SparseVec::from_pairs(100, vec![(3, 1.5), (42, -2.0)]);
         for payload in [
             Payload::dense(vec![1.0, -2.5, 3.25]),
-            Payload::sparse(sv),
+            Payload::sparse(sv.clone()),
             Payload::Scalar(6.5),
             Payload::Control,
             Payload::Virtual { elems: 123_456 },
+            Payload::sparse_padded(sv, 7),
         ] {
             let f = Frame::Data {
                 tag: 9,

@@ -15,8 +15,9 @@
 use crate::ft::epoch_tag_offset;
 use crate::gtopk_allreduce::{gtopk_all_reduce_over, naive_gtopk_all_reduce};
 use crate::selector::{Selector, SelectorState};
-use crate::sparse_coll::sparse_sum_recursive_doubling;
+use crate::sparse_coll::{sparse_sum_recursive_doubling, sparse_zoo_all_reduce_over};
 use gtopk_comm::{collectives, Communicator, Result, Topology};
+use gtopk_perfmodel::ZooSchedule;
 use gtopk_sparse::{Residual, SparseVec};
 
 /// Lazily-initialized per-rank local top-k extraction (the rank is only
@@ -211,17 +212,27 @@ pub enum Algorithm {
     /// line 10 — the configuration §III-A warns "could damage the model
     /// convergence". Exists to demonstrate that claim.
     GTopKNoPutback,
+    /// Ok-Topk (Li & Hoefler, PPoPP'22): equal `⌈k/P⌉` per-rank
+    /// contribution quotas, balanced split-and-aggregate rounds and a
+    /// region gather — per-rank volume `O(k)` with no `log P` factor.
+    OkTopk,
+    /// SparDL (Duan et al.): Spar-Reduce-Scatter with cascading holding
+    /// budgets and Spar-All-Gather of the surviving regions — no dense
+    /// allgather tail.
+    SparDl,
 }
 
 impl Algorithm {
     /// All algorithms used in experiments, in presentation order.
-    pub const ALL: [Algorithm; 6] = [
+    pub const ALL: [Algorithm; 8] = [
         Algorithm::Dense,
         Algorithm::TopK,
         Algorithm::GTopK,
         Algorithm::NaiveGTopK,
         Algorithm::GTopKFeedback,
         Algorithm::GTopKNoPutback,
+        Algorithm::OkTopk,
+        Algorithm::SparDl,
     ];
 
     /// Display name.
@@ -233,6 +244,8 @@ impl Algorithm {
             Algorithm::NaiveGTopK => "gTop-k(naive)",
             Algorithm::GTopKFeedback => "gTop-k(feedback)",
             Algorithm::GTopKNoPutback => "gTop-k(no-putback)",
+            Algorithm::OkTopk => "Ok-Topk",
+            Algorithm::SparDl => "SparDL",
         }
     }
 
@@ -290,6 +303,15 @@ impl Algorithm {
             Algorithm::GTopKNoPutback => {
                 Box::new(GtopkNoPutbackAggregator::with_selector(selector).with_topology(topology))
             }
+            // Ok-Topk's native local selection is the sampling-based
+            // threshold estimate (bitwise identical to the exact kernel),
+            // so the generic exact default maps onto it; an explicitly
+            // sampled/threshold selector is honored as configured.
+            Algorithm::OkTopk => Box::new(match selector {
+                Selector::Exact => OkTopkAggregator::new(),
+                other => OkTopkAggregator::with_selector(other),
+            }),
+            Algorithm::SparDl => Box::new(SparDlAggregator::with_selector(selector)),
         }
     }
 }
@@ -529,6 +551,153 @@ impl GradientAggregator for GtopkNoPutbackAggregator {
         // Deliberately no residual put-back.
         global.scale(1.0 / members.len() as f32);
         Ok(Update::Sparse(global))
+    }
+}
+
+/// Shared body of the zoo aggregators: (re)build the cached schedule for
+/// the current `(P, k)`, extract the schedule's contribution quota into a
+/// pooled vector (allocation-free for the exact and threshold-estimate
+/// selectors), run the budget-padded collective, return the witnessed
+/// rejects to this rank's residual, and average.
+#[allow(clippy::too_many_arguments)]
+fn zoo_aggregate(
+    comm: &mut Communicator,
+    members: &[usize],
+    residual: &mut Residual,
+    grad: &[f32],
+    k: usize,
+    select: &mut LocalSelect,
+    cache: &mut Option<ZooSchedule>,
+    build: fn(usize, usize) -> ZooSchedule,
+) -> Result<Update> {
+    let p = members.len();
+    let sched = match cache {
+        Some(s) if s.p == p && s.k == k => &*s,
+        _ => &*cache.insert(build(p, k)),
+    };
+    let mut local = comm.pool().take_sparse(grad.len());
+    select
+        .state_for(comm)
+        .accumulate_extract_into(residual, grad, sched.contrib_slots, &mut local);
+    let tag_off = epoch_tag_offset(comm.epoch());
+    let (mut global, rejects) = sparse_zoo_all_reduce_over(comm, members, local, sched, tag_off)?;
+    // Witness-based put-back: whichever rank a budget forced to drop
+    // entries returns exactly that dropped sum to its own residual, so
+    // no gradient mass is lost anywhere in the collective.
+    residual.put_back(&rejects);
+    comm.pool().put_sparse(rejects);
+    global.scale(1.0 / p as f32);
+    Ok(Update::Sparse(global))
+}
+
+/// Ok-Topk S-SGD: equal `⌈k/P⌉` contribution quotas with a
+/// sampling-based threshold-estimate local selection, balanced
+/// split-and-aggregate rounds, and a gather of the per-region top
+/// selections. Per-rank communication volume is `O(k)` — no `log P`
+/// factor (contrast the gTop-k tree's `O(k log P)`).
+#[derive(Debug, Default)]
+pub struct OkTopkAggregator {
+    select: LocalSelect,
+    sched: Option<ZooSchedule>,
+}
+
+impl OkTopkAggregator {
+    /// Creates the Ok-Topk aggregator with its native single-pass
+    /// sampling-based threshold selection (bitwise identical to the
+    /// exact kernel; only the selection cost is probabilistic).
+    pub fn new() -> Self {
+        Self::with_selector(Selector::ThresholdEstimate { sample: 256 })
+    }
+
+    /// Creates the Ok-Topk aggregator with an explicit local selection
+    /// kernel.
+    pub fn with_selector(selector: Selector) -> Self {
+        OkTopkAggregator {
+            select: LocalSelect::new(selector),
+            sched: None,
+        }
+    }
+}
+
+impl GradientAggregator for OkTopkAggregator {
+    fn name(&self) -> &'static str {
+        "Ok-Topk"
+    }
+
+    selector_state_passthrough!();
+
+    fn aggregate(
+        &mut self,
+        comm: &mut Communicator,
+        members: &[usize],
+        residual: &mut Residual,
+        grad: &[f32],
+        k: usize,
+    ) -> Result<Update> {
+        zoo_aggregate(
+            comm,
+            members,
+            residual,
+            grad,
+            k,
+            &mut self.select,
+            &mut self.sched,
+            ZooSchedule::oktopk,
+        )
+    }
+}
+
+/// SparDL S-SGD: Spar-Reduce-Scatter with cascading `⌈h/2⌉` holding
+/// budgets, then Spar-All-Gather of the surviving regions — the whole
+/// tail stays sparse (no dense allgather), with every cascade
+/// truncation witnessed back into the truncating rank's residual.
+#[derive(Debug, Default)]
+pub struct SparDlAggregator {
+    select: LocalSelect,
+    sched: Option<ZooSchedule>,
+}
+
+impl SparDlAggregator {
+    /// Creates the SparDL aggregator (exact selection).
+    pub fn new() -> Self {
+        Self::with_selector(Selector::Exact)
+    }
+
+    /// Creates the SparDL aggregator with an explicit local selection
+    /// kernel.
+    pub fn with_selector(selector: Selector) -> Self {
+        SparDlAggregator {
+            select: LocalSelect::new(selector),
+            sched: None,
+        }
+    }
+}
+
+impl GradientAggregator for SparDlAggregator {
+    fn name(&self) -> &'static str {
+        "SparDL"
+    }
+
+    selector_state_passthrough!();
+
+    fn aggregate(
+        &mut self,
+        comm: &mut Communicator,
+        members: &[usize],
+        residual: &mut Residual,
+        grad: &[f32],
+        k: usize,
+    ) -> Result<Update> {
+        zoo_aggregate(
+            comm,
+            members,
+            residual,
+            grad,
+            k,
+            &mut self.select,
+            &mut self.sched,
+            ZooSchedule::spardl,
+        )
     }
 }
 
@@ -808,13 +977,91 @@ mod tests {
 
     #[test]
     fn algorithm_metadata() {
-        assert_eq!(Algorithm::ALL.len(), 6);
+        assert_eq!(Algorithm::ALL.len(), 8);
         assert_eq!(Algorithm::GTopK.name(), "gTop-k");
+        assert_eq!(Algorithm::OkTopk.name(), "Ok-Topk");
+        assert_eq!(Algorithm::SparDl.name(), "SparDL");
         assert!(Algorithm::GTopK.supports_topology());
         assert!(!Algorithm::Dense.supports_topology());
         assert!(!Algorithm::NaiveGTopK.supports_topology());
+        assert!(!Algorithm::OkTopk.supports_topology());
+        assert!(!Algorithm::SparDl.supports_topology());
         for alg in Algorithm::ALL {
             assert_eq!(alg.aggregator().name(), alg.name());
+        }
+    }
+
+    #[test]
+    fn zoo_aggregators_conserve_gradient_mass_exactly() {
+        // Same accounting as the feedback aggregator: sum of all
+        // contributed gradients == P x (averaged update) + sum of all
+        // residuals — here it must hold even though the zoo budgets can
+        // drop entries mid-collective, because every drop is witnessed
+        // back into the dropping rank's residual.
+        for alg in [Algorithm::OkTopk, Algorithm::SparDl] {
+            let p = 8usize;
+            let dim = 32usize;
+            let k = 4usize;
+            let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let mut agg = alg.aggregator();
+                let members: Vec<usize> = (0..comm.size()).collect();
+                let mut residual = Residual::new(dim);
+                let g = worker_grad(comm.rank(), dim);
+                let update = agg.aggregate(comm, &members, &mut residual, &g, k).unwrap();
+                (g, update, residual.dense().to_vec())
+            });
+            let mut contributed = vec![0.0f64; dim];
+            let mut recovered = vec![0.0f64; dim];
+            for (r, (g, update, res)) in out.iter().enumerate() {
+                for (c, &v) in contributed.iter_mut().zip(g.iter()) {
+                    *c += v as f64;
+                }
+                for (rec, &v) in recovered.iter_mut().zip(res.iter()) {
+                    *rec += v as f64;
+                }
+                if r == 0 {
+                    match update {
+                        Update::Sparse(sv) => {
+                            for (i, v) in sv.iter() {
+                                recovered[i as usize] += v as f64 * p as f64;
+                            }
+                        }
+                        other => panic!("expected sparse, got {other:?}"),
+                    }
+                }
+            }
+            for i in 0..dim {
+                assert!(
+                    (contributed[i] - recovered[i]).abs() < 1e-4,
+                    "{} coord {i}: contributed {} vs recovered {}",
+                    alg.name(),
+                    contributed[i],
+                    recovered[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_update_respects_schedule_budget() {
+        for (alg, sched_of) in [
+            (
+                Algorithm::OkTopk,
+                ZooSchedule::oktopk as fn(usize, usize) -> ZooSchedule,
+            ),
+            (Algorithm::SparDl, ZooSchedule::spardl),
+        ] {
+            let p = 8usize;
+            let k = 5usize;
+            let sched = sched_of(p, k);
+            let cap = sched.region_slots * 8; // p2 regions
+            let out = run_algorithm(alg, p, 64, k);
+            match &out[0].0 {
+                Update::Sparse(sv) => {
+                    assert!(sv.nnz() <= cap, "{}: {} > {cap}", alg.name(), sv.nnz());
+                }
+                other => panic!("expected sparse update, got {other:?}"),
+            }
         }
     }
 }

@@ -67,7 +67,8 @@ mod trainer;
 
 pub use aggregator::{
     Algorithm, DenseAggregator, GradientAggregator, GtopkAggregator, GtopkFeedbackAggregator,
-    GtopkNoPutbackAggregator, NaiveGtopkAggregator, TopkAggregator, Update,
+    GtopkNoPutbackAggregator, NaiveGtopkAggregator, OkTopkAggregator, SparDlAggregator,
+    TopkAggregator, Update,
 };
 pub use ckpt::{CheckpointStore, CkptError, DurableCheckpoint, EngineState, SelectorDump};
 pub use ft::{
@@ -85,5 +86,8 @@ pub use overlap::{
 pub use ps::ps_gtopk_all_reduce;
 pub use schedule::{DensitySchedule, LrSchedule};
 pub use selector::{Selector, SelectorState};
-pub use sparse_coll::{sparse_broadcast, sparse_sum_recursive_doubling};
+pub use sparse_coll::{
+    ok_topk_all_reduce, spardl_all_reduce, sparse_broadcast, sparse_sum_recursive_doubling,
+    sparse_zoo_all_reduce_over,
+};
 pub use trainer::{train_distributed, train_rank, ComputeCost, TrainConfig};

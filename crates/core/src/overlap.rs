@@ -24,14 +24,16 @@
 //! collective lands ([`MomentumSgd::step_range`]), which is provably
 //! equivalent to one full-vector step of the combined update.
 
+use crate::aggregator::Algorithm;
 use crate::ft::epoch_tag_offset;
 use crate::gtopk_allreduce::gtopk_all_reduce_over;
 use crate::pipeline::{bucket_k, check_timeline_invariants, fuse_layers, LayerCost, LayerTimeline};
 use crate::selector::{Selector, SelectorState};
+use crate::sparse_coll::sparse_zoo_all_reduce_over;
 use crate::trainer::ComputeCost;
 use gtopk_comm::{CollectivePlan, Communicator, CostModel, Result, Topology};
 use gtopk_nn::{Model, MomentumSgd};
-use gtopk_perfmodel::{gtopk_allreduce_ms, PlanClock};
+use gtopk_perfmodel::{gtopk_allreduce_ms, oktopk_plan_ms, spardl_plan_ms, PlanClock, ZooSchedule};
 use gtopk_sparse::Residual;
 use std::ops::Range;
 
@@ -162,6 +164,12 @@ pub struct OverlapEngine {
     selectors: Vec<SelectorState>,
     net: CostModel,
     topology: Topology,
+    /// Which sparse collective each bucket runs (gTop-k tree, Ok-Topk,
+    /// or SparDL).
+    algorithm: Algorithm,
+    /// Per-bucket zoo schedules, cached per `(P, k)` (zoo algorithms
+    /// only; `None` entries rebuild lazily).
+    zoo_scheds: Vec<Option<ZooSchedule>>,
     /// Analytic twin: one α-β clock per member position, replaying every
     /// bucket collective's plan. Carried across buckets *and* iterations
     /// so cross-iteration channel backpressure is modelled exactly.
@@ -189,6 +197,8 @@ impl OverlapEngine {
     /// Builds the engine for a model with the given parameter segments
     /// (see [`Model::param_segments`]); `net` must be the cluster's cost
     /// model so analytic predictions price communication identically.
+    /// The bucket collective defaults to the gTop-k tree; see
+    /// [`OverlapEngine::with_algorithm`] for the zoo variants.
     ///
     /// # Panics
     ///
@@ -202,7 +212,53 @@ impl OverlapEngine {
         rank: usize,
         net: CostModel,
     ) -> Self {
+        Self::with_algorithm(
+            cfg,
+            segments,
+            compute,
+            selector,
+            rank,
+            net,
+            Algorithm::GTopK,
+        )
+    }
+
+    /// Builds the engine with an explicit per-bucket collective:
+    /// [`Algorithm::GTopK`], [`Algorithm::OkTopk`], or
+    /// [`Algorithm::SparDl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, `algorithm` is not one of the
+    /// plan-driven sparse collectives above, or a zoo algorithm is
+    /// combined with a non-binomial topology (the zoo schedules are
+    /// fixed halving/doubling exchanges).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_algorithm(
+        cfg: &OverlapConfig,
+        segments: &[usize],
+        compute: Option<ComputeCost>,
+        selector: Selector,
+        rank: usize,
+        net: CostModel,
+        algorithm: Algorithm,
+    ) -> Self {
         assert!(!segments.is_empty(), "model has no parameter segments");
+        assert!(
+            matches!(
+                algorithm,
+                Algorithm::GTopK | Algorithm::OkTopk | Algorithm::SparDl
+            ),
+            "the overlap engine drives per-bucket sparse collectives \
+             (gtopk, oktopk or spardl); {} has none",
+            algorithm.name()
+        );
+        assert!(
+            cfg.topology == Topology::Binomial || algorithm == Algorithm::GTopK,
+            "{} runs a fixed halving/doubling exchange schedule; \
+             only the binomial topology applies",
+            algorithm.name()
+        );
         let m: usize = segments.iter().sum();
         let per_layer = backward_layer_costs(segments, compute);
         let costs = match cfg.buckets {
@@ -229,6 +285,7 @@ impl OverlapEngine {
             .iter()
             .map(|_| SelectorState::new(selector, rank))
             .collect();
+        let zoo_scheds = vec![None; ranges.len()];
         OverlapEngine {
             ranges,
             costs,
@@ -237,6 +294,8 @@ impl OverlapEngine {
             selectors,
             net,
             topology: cfg.topology,
+            algorithm,
+            zoo_scheds,
             twin: PlanClock::new(1),
             twin_members: Vec::new(),
             plans: None,
@@ -324,6 +383,7 @@ impl OverlapEngine {
             self.twin = PlanClock::new(p);
             self.twin_members = members.to_vec();
             self.plans = None;
+            self.zoo_scheds.iter_mut().for_each(|s| *s = None);
             self.last_end_ms = None;
         }
         let tag_off = epoch_tag_offset(comm.epoch());
@@ -365,11 +425,29 @@ impl OverlapEngine {
                 &grad[range.clone()],
                 k,
             );
-            let (mut global, gmask, tree_rejects) =
-                gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
-            comm.pool().put_sparse(tree_rejects);
-            let (_kept, rejected) = local.partition_by(&gmask);
-            self.residuals[j].put_back(&rejected);
+            let is_zoo = matches!(self.algorithm, Algorithm::OkTopk | Algorithm::SparDl);
+            let mut global = if is_zoo {
+                let build = match self.algorithm {
+                    Algorithm::OkTopk => ZooSchedule::oktopk,
+                    _ => ZooSchedule::spardl,
+                };
+                let sched = match &mut self.zoo_scheds[j] {
+                    Some(s) if s.p == p && s.k == k => &*s,
+                    slot => &*slot.insert(build(p, k)),
+                };
+                let (global, rejects) =
+                    sparse_zoo_all_reduce_over(comm, members, local, sched, tag_off)?;
+                self.residuals[j].put_back(&rejects);
+                comm.pool().put_sparse(rejects);
+                global
+            } else {
+                let (global, gmask, tree_rejects) =
+                    gtopk_all_reduce_over(comm, members, local.clone(), k, tag_off, self.topology)?;
+                comm.pool().put_sparse(tree_rejects);
+                let (_kept, rejected) = local.partition_by(&gmask);
+                self.residuals[j].put_back(&rejected);
+                global
+            };
             global.scale(inv);
             nnz += global.nnz() as u64;
             opt.step_range(model, range, &global);
@@ -380,17 +458,26 @@ impl OverlapEngine {
             });
 
             // Twin replay of the same bucket: readiness gate, then the
-            // exact reduce + broadcast plans at 2k wire elements each.
+            // exact collective plans — reduce + broadcast at 2k wire
+            // elements each for gTop-k; the budget-padded split + gather
+            // rounds for the zoo schedules.
             for pos in 0..p {
                 self.twin.sync_to(pos, self.twin_t0[pos] + cum);
             }
-            let (reduce, bcast) = self.plans.get_or_insert_with(|| {
-                let reduce = CollectivePlan::reduce(self.topology, p);
-                let bcast = CollectivePlan::broadcast(self.topology, p, reduce.root);
-                (reduce, bcast)
-            });
-            self.twin.charge_plan(&self.net, reduce, 2 * k);
-            self.twin.charge_plan(&self.net, bcast, 2 * k);
+            if is_zoo {
+                let sched = self.zoo_scheds[j]
+                    .as_ref()
+                    .expect("schedule cached by the collective above");
+                sched.charge(&mut self.twin, &self.net);
+            } else {
+                let (reduce, bcast) = self.plans.get_or_insert_with(|| {
+                    let reduce = CollectivePlan::reduce(self.topology, p);
+                    let bcast = CollectivePlan::broadcast(self.topology, p, reduce.root);
+                    (reduce, bcast)
+                });
+                self.twin.charge_plan(&self.net, reduce, 2 * k);
+                self.twin.charge_plan(&self.net, bcast, 2 * k);
+            }
         }
         let span = comm.now_ms() - t0;
         let twin_span = self.twin.now(my_pos) - self.twin_t0[my_pos];
@@ -404,8 +491,12 @@ impl OverlapEngine {
         let total_backward: f64 = self.costs.iter().map(|c| c.backward_ms).sum();
         let m = self.ranges[0].end;
         self.analytic_overlapped_ms += twin_span;
-        self.analytic_serial_ms +=
-            total_backward + gtopk_allreduce_ms(&self.net, p, bucket_k(m, rho));
+        let serial_coll_ms = match self.algorithm {
+            Algorithm::OkTopk => oktopk_plan_ms(&self.net, p, bucket_k(m, rho)),
+            Algorithm::SparDl => spardl_plan_ms(&self.net, p, bucket_k(m, rho)),
+            _ => gtopk_allreduce_ms(&self.net, p, bucket_k(m, rho)),
+        };
+        self.analytic_serial_ms += total_backward + serial_coll_ms;
         if straggle == 1.0 && p == comm.size() {
             self.max_abs_dev_ms = self.max_abs_dev_ms.max((span - twin_span).abs());
         }
@@ -632,5 +723,74 @@ mod tests {
             );
             assert!((now - out[0].2).abs() < 1e-9, "ranks finish together");
         }
+    }
+
+    #[test]
+    fn zoo_overlap_keeps_replicas_identical_and_matches_twin_exactly() {
+        // The zoo collectives are budget-padded, so the plan-clock twin
+        // must reproduce the executed bucket timeline to float precision
+        // — including non-power-of-two P (fold rounds).
+        for &p in &[4usize, 5] {
+            for alg in [Algorithm::OkTopk, Algorithm::SparDl] {
+                let segments = vec![24usize, 40];
+                let m: usize = segments.iter().sum();
+                let out = Cluster::new(p, CostModel::gigabit_ethernet()).run(move |comm| {
+                    let mut model = models::logistic(9, 7, 8);
+                    let mut opt = MomentumSgd::new(m, 0.1, 0.9);
+                    let mut engine = OverlapEngine::with_algorithm(
+                        &OverlapConfig::buckets(2),
+                        &segments,
+                        Some(ComputeCost {
+                            compute_ms: 4.0,
+                            sparsify_ms: 0.0,
+                        }),
+                        Selector::Exact,
+                        comm.rank(),
+                        CostModel::gigabit_ethernet(),
+                        alg,
+                    );
+                    let members: Vec<usize> = (0..comm.size()).collect();
+                    for it in 0..3u64 {
+                        let g: Vec<f32> = (0..m)
+                            .map(|i| {
+                                let h = (i as u64 + 7)
+                                    .wrapping_mul(comm.rank() as u64 + 3)
+                                    .wrapping_mul(it + 11)
+                                    .wrapping_mul(0x2545_f491_4f6c_dd1d);
+                                ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                            })
+                            .collect();
+                        engine
+                            .step(comm, &members, &g, 0.1, &mut opt, &mut model)
+                            .unwrap();
+                    }
+                    (gtopk_nn::Model::flat_params(&model), engine.stats())
+                });
+                for (params, stats) in &out {
+                    assert_eq!(params, &out[0].0, "{} P={p}: replicas diverged", alg.name());
+                    check_timeline_invariants(&stats.timelines).unwrap();
+                    assert!(
+                        stats.max_abs_dev_ms < 1e-9,
+                        "{} P={p}: executed deviates from analytic by {} ms",
+                        alg.name(),
+                        stats.max_abs_dev_ms
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only the binomial topology applies")]
+    fn zoo_overlap_rejects_non_binomial_topologies() {
+        let _ = OverlapEngine::with_algorithm(
+            &OverlapConfig::buckets(2).with_topology(Topology::Ring),
+            &[16, 16],
+            None,
+            Selector::Exact,
+            0,
+            CostModel::zero(),
+            Algorithm::SparDl,
+        );
     }
 }

@@ -110,6 +110,33 @@ impl SelectorState {
             }
         }
     }
+
+    /// Like [`SelectorState::accumulate_extract`] but writing into a
+    /// caller-supplied (typically pooled) vector. Bitwise identical to
+    /// the allocating form; for [`Selector::Exact`] and
+    /// [`Selector::ThresholdEstimate`] the whole path is allocation-free
+    /// in steady state — the Ok-Topk contribution path relies on this.
+    pub fn accumulate_extract_into(
+        &mut self,
+        residual: &mut Residual,
+        grad: &[f32],
+        k: usize,
+        out: &mut SparseVec,
+    ) {
+        match self.selector {
+            Selector::ThresholdEstimate { sample } => {
+                residual.accumulate_extract_threshold_into(grad, k, sample, &mut self.rng, out);
+            }
+            Selector::Exact => {
+                residual.accumulate(grad);
+                residual.extract_topk_into(k, out);
+            }
+            Selector::Sampled { sample } => {
+                residual.accumulate(grad);
+                *out = residual.extract_topk_sampled(k, sample, &mut self.rng);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -208,13 +208,14 @@ enum EngineSnapshot {
 impl StepEngine {
     fn new(cfg: &TrainConfig, segments: &[usize], rank: usize) -> Self {
         let mode = match &cfg.overlap {
-            Some(ov) => Mode::Overlap(Box::new(OverlapEngine::new(
+            Some(ov) => Mode::Overlap(Box::new(OverlapEngine::with_algorithm(
                 ov,
                 segments,
                 cfg.compute_cost,
                 cfg.selector,
                 rank,
                 cfg.cost_model,
+                cfg.algorithm,
             ))),
             None => Mode::Serial {
                 aggregator: cfg
@@ -562,10 +563,13 @@ fn validate(cfg: &TrainConfig, train_data: &dyn Dataset) -> usize {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.epochs > 0, "need at least one epoch");
     if cfg.overlap.is_some() {
-        assert_eq!(
-            cfg.algorithm,
-            Algorithm::GTopK,
-            "the overlap engine drives per-bucket gTopKAllReduce (got {})",
+        assert!(
+            matches!(
+                cfg.algorithm,
+                Algorithm::GTopK | Algorithm::OkTopk | Algorithm::SparDl
+            ),
+            "the overlap engine drives per-bucket sparse collectives \
+             (gtopk, oktopk or spardl; got {})",
             cfg.algorithm.name()
         );
     }
@@ -1257,7 +1261,12 @@ mod tests {
     fn all_algorithms_reduce_loss() {
         let data = GaussianMixture::new(3, 256, 8, 4, 2.0, 0.4);
         for alg in Algorithm::ALL {
-            let cfg = quick_cfg(alg, 4);
+            let mut cfg = quick_cfg(alg, 4);
+            // Six epochs: the budget-cascade algorithms (Ok-Topk, SparDL)
+            // oscillate for a few epochs at this aggressive lr/momentum
+            // while their witnessed-reject feedback settles, then
+            // converge like the rest.
+            cfg.epochs = 6;
             let report = train_distributed(&cfg, || models::mlp(7, 8, 16, 4), &data, None);
             let first = report.epochs[0].train_loss;
             let last = report.final_loss();
@@ -1267,7 +1276,7 @@ mod tests {
                 alg.name()
             );
             assert_eq!(report.workers, 4);
-            assert_eq!(report.epochs.len(), 3);
+            assert_eq!(report.epochs.len(), 6);
         }
     }
 

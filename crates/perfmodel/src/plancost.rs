@@ -137,6 +137,59 @@ impl PlanClock {
         }
         self.pending = pending;
     }
+
+    /// Charges one full plan execution with a *per-round* wire size:
+    /// every message of round `r` carries `round_elems[r]` elements.
+    /// Within a round the size is uniform — exactly the shape of the
+    /// zoo collectives, whose fixed slot budgets vary by round but not
+    /// by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's size disagrees with this clock's, or if
+    /// `round_elems` does not have one entry per plan round.
+    pub fn charge_plan_rounds(
+        &mut self,
+        net: &CostModel,
+        plan: &CollectivePlan,
+        round_elems: &[usize],
+    ) {
+        assert_eq!(
+            plan.size,
+            self.size(),
+            "plan size must match the clock's position count"
+        );
+        assert_eq!(
+            round_elems.len(),
+            plan.rounds.len(),
+            "need one wire size per plan round"
+        );
+        let mut pending = std::mem::take(&mut self.pending);
+        for (round, &elems) in plan.rounds.iter().zip(round_elems) {
+            let cost = net.transfer_ms(elems);
+            pending.clear();
+            for ex in &round.exchanges {
+                match *ex {
+                    Exchange::Send { src, dst } => {
+                        self.clocks[src] += cost;
+                        pending.push((src, dst, self.clocks[src]));
+                    }
+                    Exchange::Swap { a, b } => {
+                        self.clocks[a] += cost;
+                        pending.push((a, b, self.clocks[a]));
+                        self.clocks[b] += cost;
+                        pending.push((b, a, self.clocks[b]));
+                    }
+                }
+            }
+            for &(_src, dst, arrival) in &pending {
+                let delivery = arrival.max(self.rx_free[dst] + cost);
+                self.rx_free[dst] = delivery;
+                self.sync_to(dst, delivery);
+            }
+        }
+        self.pending = pending;
+    }
 }
 
 /// Makespan of a single plan executed from time zero, every message
@@ -276,6 +329,36 @@ mod tests {
             clock.max_now(),
             gtopk_plan_ms(&net, Topology::Binomial, p, 1)
         );
+    }
+
+    #[test]
+    fn per_round_charging_matches_uniform_charging_on_equal_sizes() {
+        let net = CostModel::new(0.7, 0.003);
+        for p in [2usize, 5, 8, 12] {
+            let plan = CollectivePlan::exchange(p);
+            let sizes = vec![64usize; plan.num_rounds()];
+            let mut uniform = PlanClock::new(p);
+            uniform.charge_plan(&net, &plan, 64);
+            let mut per_round = PlanClock::new(p);
+            per_round.charge_plan_rounds(&net, &plan, &sizes);
+            for pos in 0..p {
+                assert_eq!(uniform.now(pos), per_round.now(pos), "P={p} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_round_charging_uses_each_rounds_size() {
+        // Two positions, one swap per round: each round costs α + n_r β
+        // on both clocks, so the total is the sum over rounds.
+        let net = CostModel::new(1.0, 0.01);
+        let plan = CollectivePlan::exchange(2);
+        assert_eq!(plan.num_rounds(), 1);
+        let mut clock = PlanClock::new(2);
+        clock.charge_plan_rounds(&net, &plan, &[100]);
+        clock.charge_plan_rounds(&net, &plan, &[10]);
+        let expect = net.transfer_ms(100) + net.transfer_ms(10);
+        assert!((clock.max_now() - expect).abs() < 1e-12);
     }
 
     #[test]

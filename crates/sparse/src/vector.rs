@@ -329,6 +329,26 @@ impl SparseVec {
         out.values.extend_from_slice(&other.values[b..]);
     }
 
+    /// Splits entries at a coordinate boundary: entries with index
+    /// `< boundary` go to `lo`, the rest to `hi` (both cleared first,
+    /// buffers reused — no allocation once capacity suffices).
+    ///
+    /// This is the split primitive of the recursive-halving sparse
+    /// collectives: one binary search, two bulk copies.
+    pub fn split_at_into(&self, boundary: u32, lo: &mut SparseVec, hi: &mut SparseVec) {
+        let cut = self.indices.partition_point(|&i| i < boundary);
+        lo.dim = self.dim;
+        lo.indices.clear();
+        lo.values.clear();
+        lo.indices.extend_from_slice(&self.indices[..cut]);
+        lo.values.extend_from_slice(&self.values[..cut]);
+        hi.dim = self.dim;
+        hi.indices.clear();
+        hi.values.clear();
+        hi.indices.extend_from_slice(&self.indices[cut..]);
+        hi.values.extend_from_slice(&self.values[cut..]);
+    }
+
     /// L2 norm of the stored values.
     pub fn norm2(&self) -> f32 {
         self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
@@ -459,6 +479,23 @@ mod tests {
         assert_eq!(out, a);
         e.add_into(&b, &mut out);
         assert_eq!(out, b);
+    }
+
+    #[test]
+    fn split_at_into_partitions_by_coordinate() {
+        let v = SparseVec::from_pairs(16, vec![(0, 1.0), (3, 2.0), (8, -1.0), (15, 4.0)]);
+        let mut lo = SparseVec::from_pairs(2, vec![(0, 9.0)]);
+        let mut hi = SparseVec::empty(2);
+        v.split_at_into(8, &mut lo, &mut hi);
+        assert_eq!(lo, SparseVec::from_pairs(16, vec![(0, 1.0), (3, 2.0)]));
+        assert_eq!(hi, SparseVec::from_pairs(16, vec![(8, -1.0), (15, 4.0)]));
+        // Degenerate boundaries: everything on one side.
+        v.split_at_into(0, &mut lo, &mut hi);
+        assert!(lo.is_empty());
+        assert_eq!(hi, v);
+        v.split_at_into(16, &mut lo, &mut hi);
+        assert_eq!(lo, v);
+        assert!(hi.is_empty());
     }
 
     #[test]

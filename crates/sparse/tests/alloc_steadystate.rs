@@ -7,34 +7,45 @@
 //! measures an entire warmed epoch and demands exactly zero calls.
 //!
 //! This lives in its own integration binary so no concurrently-running
-//! test can allocate into the measurement window (integration tests get
-//! their own process; the two `#[test]`s here serialize on a lock).
+//! test can allocate into the measurement window. The counter is
+//! *thread-local*: libtest's harness threads (result channels, output
+//! printing) allocate at unpredictable moments, so a process-global
+//! count would flake whenever one test finishes while another measures —
+//! each `#[test]` only ever counts its own thread's allocations.
 
 use gtopk_sparse::{Residual, SparseVec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::cell::Cell;
 
-/// System allocator wrapper that counts every allocation entry point.
+/// System allocator wrapper that counts every allocation entry point
+/// made by the current thread.
 struct CountingAlloc;
 
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps the calling thread's counter; `try_with` sidesteps the TLS
+/// teardown window where the key is no longer accessible.
+fn count_one() {
+    let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -47,12 +58,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn alloc_calls() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
+    ALLOC_CALLS.with(Cell::get)
 }
-
-/// The two tests share the process; serialize so neither allocates into
-/// the other's measurement window.
-static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Deterministic gradient stream (same content on the warm-up epoch and
 /// the measured epoch, so buffer high-water marks are already reached).
@@ -90,7 +97,6 @@ fn run_fused(r: &mut Residual, grads: &[Vec<f32>], k: usize, out: &mut SparseVec
 
 #[test]
 fn threshold_estimate_path_allocates_nothing_at_steady_state() {
-    let _lock = SERIAL.lock().unwrap();
     let n = 8192;
     let k = 96;
     let grads = grad_epoch(n, 12);
@@ -106,9 +112,47 @@ fn threshold_estimate_path_allocates_nothing_at_steady_state() {
     assert_eq!(allocs, 0, "steady-state estimate epoch allocated {allocs}x");
 }
 
+/// One epoch of the Ok-Topk local selection discipline: fused
+/// accumulate+threshold-select of the k-entry candidate set, split off
+/// the over-budget tail (the entries the collective's per-round quotas
+/// would drop), and witness it back into the residual.
+fn run_oktopk(
+    r: &mut Residual,
+    grads: &[Vec<f32>],
+    k: usize,
+    out: &mut SparseVec,
+    keep: &mut SparseVec,
+    rej: &mut SparseVec,
+) {
+    let mut rng = StdRng::seed_from_u64(42);
+    for g in grads {
+        r.accumulate_extract_threshold_into(g, k, 128, &mut rng, out);
+        // Boundary split stands in for the budget truncation: the upper
+        // index range plays the witnessed rejects put back each step.
+        out.split_at_into(out.dim() as u32 / 2, keep, rej);
+        r.put_back(rej);
+    }
+}
+
+#[test]
+fn oktopk_selection_epoch_allocates_nothing_at_steady_state() {
+    let n = 8192;
+    let k = 96;
+    let grads = grad_epoch(n, 12);
+    let mut r = Residual::new(n);
+    let mut out = SparseVec::empty(n);
+    let mut keep = SparseVec::empty(n);
+    let mut rej = SparseVec::empty(n);
+    run_oktopk(&mut r, &grads, k, &mut out, &mut keep, &mut rej);
+    r.clear();
+    let before = alloc_calls();
+    run_oktopk(&mut r, &grads, k, &mut out, &mut keep, &mut rej);
+    let allocs = alloc_calls() - before;
+    assert_eq!(allocs, 0, "steady-state Ok-Topk epoch allocated {allocs}x");
+}
+
 #[test]
 fn fused_path_allocates_nothing_at_steady_state() {
-    let _lock = SERIAL.lock().unwrap();
     let n = 8192;
     let k = 96;
     let grads = grad_epoch(n, 12);

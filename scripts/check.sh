@@ -50,6 +50,17 @@ for threads in "${THREAD_MATRIX[@]}"; do
     # removal from silently dropping it).
     echo "==> transport conformance suite (GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
     cargo test -q --offline -p gtopk-comm --test transport_conformance
+
+    # Algorithm zoo (Ok-Topk / SparDL): the budget-padded collectives,
+    # schedule replay, and the Ok-Topk steady-state allocation gate must
+    # hold at every (threads, SIMD) point — the same bitwise-identity
+    # promise the gTop-k kernels make. The plan_equivalence /
+    # communication_complexity / convergence_parity zoo properties run
+    # in the per-file loop above; these cover the crate-local suites.
+    echo "==> algorithm zoo suites (GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
+    cargo test -q --offline -p gtopk-core --lib zoo
+    cargo test -q --offline -p gtopk-perfmodel --lib zoo
+    cargo test -q --offline -p gtopk-sparse --test alloc_steadystate oktopk
   done
 done
 

@@ -3,8 +3,8 @@
 //! algorithms, using the comm substrate's element counters.
 
 use gtopk::{
-    gtopk_all_reduce, sparse_sum_recursive_doubling, Algorithm, DensitySchedule, LrSchedule,
-    Selector, TrainConfig,
+    gtopk_all_reduce, ok_topk_all_reduce, spardl_all_reduce, sparse_sum_recursive_doubling,
+    Algorithm, DensitySchedule, LrSchedule, Selector, TrainConfig,
 };
 use gtopk_comm::{collectives, Cluster, CostModel};
 use gtopk_data::GaussianMixture;
@@ -39,6 +39,21 @@ fn rank0_elems_topk(p: usize, dim: usize, k: usize) -> usize {
         comm.stats()
     });
     stats[0].elems_sent + stats[0].elems_received
+}
+
+/// Rank-0 *sent* wire elements for a zoo collective (send volume is the
+/// per-rank budget the zoo schedules bound; received volume mirrors it).
+fn rank0_sent_zoo(p: usize, dim: usize, k: usize, oktopk: bool) -> usize {
+    let stats = Cluster::new(p, CostModel::zero()).run(move |comm| {
+        let local = topk_sparse(&grad(comm.rank(), dim), k);
+        if oktopk {
+            ok_topk_all_reduce(comm, local, k).unwrap();
+        } else {
+            spardl_all_reduce(comm, local, k).unwrap();
+        }
+        comm.stats()
+    });
+    stats[0].elems_sent
 }
 
 fn rank0_elems_dense(p: usize, dim: usize) -> usize {
@@ -109,6 +124,55 @@ fn gtopk_vs_topk_vs_dense_ordering_at_scale() {
     assert!(t < d, "Top-k {t} !< Dense {d}");
     // gTop-k must be at least an order of magnitude below dense here.
     assert!(g * 10 < d, "gTop-k {g} vs dense {d}");
+}
+
+#[test]
+fn oktopk_traffic_is_o_k_with_no_log_p_factor() {
+    let (dim, k) = (8192usize, 128usize);
+    // Measured wire elements, not the analytic model: per-rank send
+    // volume must stay O(k) as P grows. The split phase sends ⌈k/P⌉ per
+    // round (log P rounds → the product *shrinks* with P) and the gather
+    // phase sends ~2k total, so quadrupling P twice must not apply a
+    // log-P factor the way gTop-k's 2k·log₂P volume does.
+    let t4 = rank0_sent_zoo(4, dim, k, true);
+    let t16 = rank0_sent_zoo(16, dim, k, true);
+    let t64 = rank0_sent_zoo(64, dim, k, true);
+    let g4 = rank0_elems_gtopk(4, dim, k);
+    let g64 = rank0_elems_gtopk(64, dim, k);
+    assert!(
+        (t64 as f64) < 1.3 * t4 as f64,
+        "Ok-Topk volume must be ~flat in P: {t4} {t16} {t64}"
+    );
+    // gTop-k's log-P growth over the same span, for contrast.
+    assert!(
+        g64 as f64 / g4 as f64 > 2.0,
+        "gTop-k control should triple over 4 -> 64: {g4} {g64}"
+    );
+    // And the absolute scale is a small multiple of k (2 wire elems per
+    // entry), nowhere near k·log P.
+    assert!(
+        t64 < 8 * k,
+        "Ok-Topk per-rank send volume {t64} should be a few k (k = {k})"
+    );
+}
+
+#[test]
+fn spardl_has_no_dense_allgather_tail() {
+    let (p, k) = (16usize, 128usize);
+    // The Spar-All-Gather circulates the already-selected sparse regions;
+    // nothing in the schedule touches the model dimension. Measured
+    // volume must be *identical* across a 16x change in m (the budgets
+    // are fixed by (P, k) alone) and far below one dense pass.
+    let small = rank0_sent_zoo(p, 8192, k, false);
+    let large = rank0_sent_zoo(p, 131_072, k, false);
+    assert_eq!(
+        small, large,
+        "SparDL volume must not depend on m: {small} vs {large}"
+    );
+    assert!(
+        large * 10 < 131_072,
+        "SparDL send volume {large} must be far below a dense tail of m elements"
+    );
 }
 
 #[test]

@@ -89,6 +89,22 @@ fn lstm_parity_on_text() {
 }
 
 #[test]
+fn zoo_algorithms_reach_dense_parity() {
+    // The algorithm-zoo collectives (Ok-Topk, SparDL) carry heavier
+    // budget truncation than gTop-k, but the witnessed-reject feedback
+    // returns every dropped value to a residual, so they must track the
+    // dense trajectory like the paper's variants do. A moderate lr keeps
+    // the early budget-cascade oscillation out of the picture.
+    let data = GaussianMixture::new(38, 256, 12, 4, 2.5, 0.5);
+    let build = || models::mlp(8, 12, 24, 4);
+    let dense = train_distributed(&cfg(Algorithm::Dense, 10, 0.05, 0.01), build, &data, None);
+    for alg in [Algorithm::OkTopk, Algorithm::SparDl] {
+        let zoo = train_distributed(&cfg(alg, 10, 0.05, 0.01), build, &data, None);
+        assert_parity(&dense, &zoo, 0.35);
+    }
+}
+
+#[test]
 fn error_feedback_is_essential() {
     // Ablation: the residual put-back is what makes extreme sparsity
     // work. Train gTop-k at a very low density — with the residual

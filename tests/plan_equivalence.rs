@@ -12,10 +12,10 @@
 //!    the ring chain reproduces that left fold bitwise even for
 //!    overlapping supports, because its plan *is* the fold.
 
-use gtopk::gtopk_all_reduce_over;
+use gtopk::{gtopk_all_reduce_over, sparse_zoo_all_reduce_over, Selector, SelectorState};
 use gtopk_comm::{Cluster, CostModel, Topology};
-use gtopk_perfmodel::gtopk_plan_ms;
-use gtopk_sparse::{topk_merge_many, topk_sparse, SparseVec};
+use gtopk_perfmodel::{gtopk_plan_ms, ZooSchedule};
+use gtopk_sparse::{topk_merge_many, topk_sparse, Residual, SparseVec};
 use proptest::prelude::*;
 
 /// Rank `r`'s k-sparse contribution with support disjoint from every
@@ -87,6 +87,102 @@ proptest! {
             executed == planned,
             "{topo} P={p} k={k} net={net_idx}: executed {executed} != plan cost {planned}"
         );
+    }
+
+    /// Zoo collectives: executed α-β time == the ZooSchedule's offline
+    /// PlanClock replay, exactly, for any worker count (power-of-two or
+    /// folded) and any network. The budget-padded wire format makes the
+    /// executed time input-independent, so the identity is bitwise.
+    #[test]
+    fn prop_zoo_executed_time_equals_plan_cost(
+        p in 2usize..=48,
+        k in 1usize..=6,
+        alg_idx in 0usize..2,
+        net_idx in 0usize..3,
+    ) {
+        let oktopk = alg_idx == 0;
+        let net = [
+            CostModel::gigabit_ethernet(),
+            CostModel::new(0.7, 0.003),
+            CostModel::new(0.05, 0.0001),
+        ][net_idx];
+        let sched = if oktopk {
+            ZooSchedule::oktopk(p, k)
+        } else {
+            ZooSchedule::spardl(p, k)
+        };
+        let members: Vec<usize> = (0..p).collect();
+        let times = {
+            let sched = sched.clone();
+            Cluster::new(p, net).run(move |comm| {
+                let mine = disjoint_local(comm.rank(), p, k);
+                sparse_zoo_all_reduce_over(comm, &members, mine, &sched, 0).unwrap();
+                comm.now_ms()
+            })
+        };
+        let executed = times.iter().copied().fold(0.0f64, f64::max);
+        let planned = sched.cost_ms(&net);
+        prop_assert!(
+            executed == planned,
+            "{} P={p} k={k} net={net_idx}: executed {executed} != plan cost {planned}",
+            sched.name
+        );
+    }
+
+    /// The Ok-Topk threshold-estimate selection path conserves gradient
+    /// mass exactly: every extracted value either lands in the (unscaled)
+    /// global or returns to someone's residual via the witnessed-reject
+    /// put-back — coordinate-wise, across arbitrary P and k.
+    #[test]
+    fn prop_oktopk_threshold_path_conserves_mass(
+        p in 2usize..=16,
+        k in 1usize..=8,
+        seed in 0u64..20,
+    ) {
+        let dim = 48usize;
+        let sched = ZooSchedule::oktopk(p, k);
+        let members: Vec<usize> = (0..p).collect();
+        let out: Vec<(Vec<f32>, Vec<f32>, SparseVec)> = {
+            let sched = sched.clone();
+            Cluster::new(p, CostModel::zero()).run(move |comm| {
+                let rank = comm.rank();
+                let mut residual = Residual::new(dim);
+                let mut select =
+                    SelectorState::new(Selector::ThresholdEstimate { sample: 16 }, rank);
+                let mut local = SparseVec::empty(dim);
+                let g = grad(rank, dim, seed);
+                select.accumulate_extract_into(
+                    &mut residual,
+                    &g,
+                    sched.contrib_slots,
+                    &mut local,
+                );
+                let mass_in: Vec<f32> = residual
+                    .dense()
+                    .iter()
+                    .zip(local.to_dense())
+                    .map(|(r, l)| r + l)
+                    .collect();
+                let (global, rejects) =
+                    sparse_zoo_all_reduce_over(comm, &members, local, &sched, 0).unwrap();
+                residual.put_back(&rejects);
+                (mass_in, residual.dense().to_vec(), global)
+            })
+        };
+        let global = out[0].2.to_dense();
+        for (r, cell) in out.iter().enumerate() {
+            prop_assert_eq!(&cell.2, &out[0].2, "rank {} global diverges", r);
+        }
+        for (c, &applied) in global.iter().enumerate() {
+            let mass_in: f64 = out.iter().map(|cell| cell.0[c] as f64).sum();
+            let mass_out: f64 =
+                out.iter().map(|cell| cell.1[c] as f64).sum::<f64>() + applied as f64;
+            prop_assert!(
+                (mass_in - mass_out).abs() < 1e-4,
+                "P={p} k={k} seed={seed}: coordinate {c} lost mass: \
+                 {mass_in} != {mass_out}"
+            );
+        }
     }
 
     /// Every topology yields the same global on every rank, bit-for-bit
