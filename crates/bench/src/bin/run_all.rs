@@ -29,6 +29,7 @@ const BINARIES: &[&str] = &[
     "ext_elastic",
     "bench_plans",
     "bench_zoo",
+    "bench_ps",
 ];
 
 fn main() {

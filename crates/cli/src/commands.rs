@@ -2,8 +2,8 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use gtopk::{
-    train_distributed, train_rank, Algorithm, DensitySchedule, OverlapConfig, Selector, Topology,
-    TrainConfig,
+    train_distributed, train_rank, Algorithm, DensitySchedule, JobSpec, Orchestrator,
+    OverlapConfig, PsConfig, PsVariant, Selector, Topology, TrainConfig,
 };
 use gtopk_bench::virtualsim::{
     dense_allreduce_sim_ms, gtopk_allreduce_sim_ms, topk_allreduce_sim_ms,
@@ -299,6 +299,10 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "topology",
         "momentum-correction",
         "clip",
+        "mode",
+        "shards",
+        "staleness",
+        "jobs",
         "transport",
         "rank",
         "listen",
@@ -387,6 +391,82 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         )));
     }
     cfg = cfg.with_topology(topology);
+
+    // Execution mode: the gTop-k allreduce family (default) or the
+    // sharded parameter-server push/pull engine.
+    let mode = parsed.get_str("mode", "allreduce");
+    match mode.as_str() {
+        "allreduce" => {
+            for opt in ["shards", "staleness"] {
+                if parsed.has_option(opt) {
+                    return Err(ArgError(format!(
+                        "--{opt} requires --mode ps (the allreduce mode has no \
+                         server shards)"
+                    )));
+                }
+            }
+        }
+        "ps" => {
+            if algorithm != Algorithm::GTopK {
+                return Err(ArgError(format!(
+                    "--mode ps drives the gTop-k sparse push path; it requires \
+                     --algorithm gtopk (got `{}`)",
+                    parsed.get_str("algorithm", "gtopk")
+                )));
+            }
+            if cfg.overlap.is_some() {
+                return Err(ArgError(
+                    "--mode ps schedules its own push/pull pipeline and cannot \
+                     compose with --overlap; drop one of the two"
+                        .into(),
+                ));
+            }
+            if topology != Topology::Binomial {
+                return Err(ArgError(format!(
+                    "--mode ps replaces the collective entirely; --topology {} \
+                     has no effect there (drop it or use the default binomial)",
+                    topology.name()
+                )));
+            }
+            if cfg.selector != Selector::Exact {
+                return Err(ArgError(
+                    "--mode ps selects exactly per shard region (budgeted wire \
+                     sizes); drop --sampled-selection / --threshold-selection"
+                        .into(),
+                ));
+            }
+            let shards: usize = parsed.get("shards", workers)?;
+            if shards == 0 || shards > workers {
+                return Err(ArgError(format!(
+                    "--shards must be in [1, workers]: got {shards} shards for \
+                     {workers} workers"
+                )));
+            }
+            cfg.ps = Some(if parsed.has_option("staleness") {
+                PsConfig::wait_free(shards, parsed.get("staleness", 0)?)
+            } else {
+                PsConfig::bulk_sync(shards)
+            });
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown mode `{other}` (accepted values: allreduce, ps)"
+            )))
+        }
+    }
+
+    let jobs: usize = parsed.get("jobs", 1)?;
+    if jobs == 0 {
+        return Err(ArgError("--jobs must be positive".into()));
+    }
+    if jobs > 1 && parsed.get_str("transport", "sim") != "sim" {
+        return Err(ArgError(
+            "--jobs runs the multi-job orchestrator over the in-process \
+             simulated cluster; it requires the default --transport sim"
+                .into(),
+        ));
+    }
+
     if let Some(plan) = parse_fault_plan(parsed, workers)? {
         if !matches!(algorithm, Algorithm::GTopK | Algorithm::GTopKFeedback) {
             return Err(ArgError(
@@ -437,6 +517,93 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         if cfg.checkpoint_interval == 0 {
             return Err(ArgError("--fault-checkpoint must be positive".into()));
         }
+    }
+
+    if matches!(
+        cfg.ps,
+        Some(PsConfig {
+            variant: PsVariant::WaitFree { .. },
+            ..
+        })
+    ) && cfg.fault_plan.is_some()
+    {
+        return Err(ArgError(
+            "--staleness (wait-free PS) pipelines rounds across steps and \
+             cannot roll back mid-pipeline; it composes with neither fault \
+             injection, --checkpoint-dir, nor --transport tcp (which arms the \
+             recovery policy). Drop --staleness for bulk-sync PS"
+                .into(),
+        ));
+    }
+
+    // Multi-job path: queue `jobs` independent jobs (distinct model
+    // seeds and batch orders) on the shared simulated cluster and run
+    // them through the fair-share orchestrator.
+    if jobs > 1 {
+        use gtopk_data::Dataset;
+        use std::sync::Arc;
+        macro_rules! launch_jobs {
+            ($mk:expr, $data:expr) => {{
+                let mk = $mk;
+                let data: Arc<dyn Dataset> = Arc::new($data);
+                let mut orch = Orchestrator::new(jobs);
+                for j in 0..jobs {
+                    let mut jcfg = cfg.clone();
+                    jcfg.data_seed = cfg.data_seed ^ ((j as u64) << 32);
+                    orch.submit(JobSpec::new(
+                        format!("job-{j}"),
+                        jcfg,
+                        mk(seed + j as u64),
+                        Arc::clone(&data),
+                    ));
+                }
+                orch.run()
+            }};
+        }
+        let report = match model_name.as_str() {
+            "mlp" => {
+                let data =
+                    GaussianMixture::new(seed, 64 * workers.max(4) * batch.max(8), 16, 4, 2.5, 0.5);
+                launch_jobs!(|s: u64| move || models::mlp(s, 16, 32, 4), data)
+            }
+            "vgg" => {
+                let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
+                launch_jobs!(|s: u64| move || models::vgg_lite(s, 3, 8, 10), data)
+            }
+            "resnet" => {
+                let data = PatternImages::cifar_like(seed, 16 * workers.max(4) * batch.max(8));
+                launch_jobs!(|s: u64| move || models::resnet20_lite(s, 3, 10), data)
+            }
+            "alexnet" => {
+                let data = PatternImages::imagenet_like(seed, 12 * workers.max(4) * batch.max(8));
+                launch_jobs!(|s: u64| move || models::alex_lite(s, 3, 16, 20), data)
+            }
+            "lstm" => {
+                let data = MarkovText::new(seed, 16 * workers.max(4) * batch.max(8), 16, 12);
+                launch_jobs!(|s: u64| move || models::lstm_lm(s, 16, 12, 24), data)
+            }
+            other => return Err(ArgError(format!("unknown model `{other}`"))),
+        };
+        let mut out = format!(
+            "orchestrator: {jobs} jobs on {model_name}, P = {workers} each, \
+             shared simulated links (fair share)\n"
+        );
+        for j in &report.jobs {
+            out.push_str(&format!(
+                "{}  wave {}  share {}  final loss {:.4}  sim {:.1} ms\n",
+                j.name,
+                j.wave,
+                j.share,
+                j.report.final_loss(),
+                j.report.sim_time_ms
+            ));
+        }
+        out.push_str(&format!(
+            "makespan {:.1} ms, aggregate throughput {:.0} samples/s\n",
+            report.makespan_ms,
+            report.aggregate_samples_per_sec()
+        ));
+        return Ok(out);
     }
 
     // Dispatches one model family to the selected launch mode: the
@@ -496,6 +663,18 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "{} on {model_name} ({} parameters), P = {}, b = {batch}, rho = {density}\n",
         report.algorithm, m, report.workers
     ));
+    if let Some(ps) = &cfg.ps {
+        let discipline = match ps.variant {
+            PsVariant::BulkSync => "bulk-sync".to_string(),
+            PsVariant::WaitFree { staleness_bound } => {
+                format!("wait-free (staleness bound {staleness_bound})")
+            }
+        };
+        out.push_str(&format!(
+            "parameter server: {} shard(s), {discipline}\n",
+            ps.shards
+        ));
+    }
     for e in &report.epochs {
         out.push_str(&format!(
             "epoch {:3}  density {:.4}  loss {:.4}\n",
@@ -853,6 +1032,91 @@ mod tests {
             .unwrap_or(false);
         assert!(wrote, "no durable checkpoints under {}", dir.display());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_ps_mode_runs_and_reports_the_discipline() {
+        let out = run_line(
+            "train --model mlp --workers 4 --epochs 2 --batch 4 --density 0.05 \
+             --mode ps --shards 2",
+        )
+        .unwrap();
+        assert!(
+            out.contains("parameter server: 2 shard(s), bulk-sync"),
+            "{out}"
+        );
+        assert!(out.contains("rank-0 traffic"), "{out}");
+        let out = run_line(
+            "train --model mlp --workers 4 --epochs 2 --batch 4 --density 0.05 \
+             --mode ps --staleness 2",
+        )
+        .unwrap();
+        assert!(
+            out.contains("parameter server: 4 shard(s), wait-free (staleness bound 2)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn ps_mode_options_are_validated() {
+        // Shard/staleness knobs belong to the PS mode.
+        let err = run_line("train --shards 2").unwrap_err();
+        assert!(err.0.contains("--mode ps"), "{}", err.0);
+        let err = run_line("train --staleness 1").unwrap_err();
+        assert!(err.0.contains("--mode ps"), "{}", err.0);
+        // PS replaces the collective: no topology, overlap or sampled
+        // selection, and only the gTop-k push path.
+        let err = run_line("train --mode ps --topology ring").unwrap_err();
+        assert!(err.0.contains("replaces the collective"), "{}", err.0);
+        assert!(run_line("train --mode ps --overlap").is_err());
+        assert!(run_line("train --mode ps --sampled-selection 64").is_err());
+        let err = run_line("train --mode ps --algorithm dense").unwrap_err();
+        assert!(err.0.contains("--algorithm gtopk"), "{}", err.0);
+        // Shard counts are bounded by the worker count.
+        let err = run_line("train --mode ps --workers 2 --shards 5").unwrap_err();
+        assert!(err.0.contains("[1, workers]"), "{}", err.0);
+        assert!(run_line("train --mode ps --shards 0").is_err());
+        // Wait-free cannot roll back mid-pipeline.
+        let err = run_line("train --mode ps --staleness 1 --fault-crash 1:4").unwrap_err();
+        assert!(err.0.contains("bulk-sync"), "{}", err.0);
+        assert!(run_line("train --mode ps --staleness 1 --checkpoint-dir /tmp/x").is_err());
+        // Unknown modes list the accepted values.
+        let err = run_line("train --mode star").unwrap_err();
+        assert!(err.0.contains("allreduce, ps"), "{}", err.0);
+    }
+
+    #[test]
+    fn ps_mode_composes_with_crash_recovery() {
+        // Bulk-sync PS runs through the same rollback/shrink loop as the
+        // allreduce family.
+        let out = run_line(
+            "train --model mlp --workers 4 --epochs 2 --batch 4 --density 0.05 \
+             --mode ps --shards 4 --fault-seed 3 --fault-crash 3:6 --fault-checkpoint 4",
+        )
+        .unwrap();
+        assert!(out.contains("parameter server"), "{out}");
+        assert!(out.contains("3/4 ranks survived"), "{out}");
+    }
+
+    #[test]
+    fn multi_job_orchestrator_reports_makespan_and_throughput() {
+        let out = run_line(
+            "train --model mlp --workers 2 --epochs 1 --batch 4 --density 0.05 \
+             --jobs 2",
+        )
+        .unwrap();
+        assert!(out.contains("orchestrator: 2 jobs"), "{out}");
+        assert!(out.contains("job-0"), "{out}");
+        assert!(out.contains("job-1"), "{out}");
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("samples/s"), "{out}");
+    }
+
+    #[test]
+    fn multi_job_options_are_validated() {
+        assert!(run_line("train --jobs 0").is_err());
+        let err = run_line("train --jobs 2 --transport tcp --rank 0").unwrap_err();
+        assert!(err.0.contains("--transport sim"), "{}", err.0);
     }
 
     #[test]

@@ -57,9 +57,10 @@ pub mod ckpt;
 pub mod ft;
 mod gtopk_allreduce;
 mod metrics;
+mod orchestrator;
 pub mod overlap;
 pub mod pipeline;
-mod ps;
+pub mod ps;
 mod schedule;
 mod selector;
 mod sparse_coll;
@@ -80,10 +81,11 @@ pub use gtopk_allreduce::{
 };
 pub use gtopk_comm::{LinkStats, Topology};
 pub use metrics::{EpochRecord, TimingBreakdown, TrainReport};
+pub use orchestrator::{JobEvent, JobRecord, JobSpec, Orchestrator, OrchestratorReport};
 pub use overlap::{
     backward_layer_costs, BucketSpec, OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats,
 };
-pub use ps::ps_gtopk_all_reduce;
+pub use ps::{ps_pull_round, ps_push_round, PsConfig, PsEngine, PsVariant};
 pub use schedule::{DensitySchedule, LrSchedule};
 pub use selector::{Selector, SelectorState};
 pub use sparse_coll::{

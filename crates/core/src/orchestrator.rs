@@ -1,0 +1,370 @@
+//! Multi-job cluster orchestrator — the "heavy traffic from many
+//! users" scenario of the roadmap.
+//!
+//! An [`Orchestrator`] owns a FIFO queue of training jobs and a shared
+//! simulated cluster with an admission cap of `max_concurrent` jobs.
+//! Jobs are admitted in **waves**: up to `max_concurrent` jobs leave
+//! the queue together, run to completion concurrently, and only then is
+//! the next wave admitted (a batch scheduler, not a preemptive one —
+//! the deterministic choice).
+//!
+//! **Fair-share link scheduling.** Co-resident jobs contend for the
+//! same physical links, so each job in a wave of `n` runs under a cost
+//! model with its bandwidth term scaled `β → n·β` — an equal 1/n slice
+//! of every link, the α-β analogue of per-flow fair queueing (latency
+//! α is a propagation property and is not shared). This keeps the
+//! schedule *deterministic*: a job in a wave of `n` is bit-identical to
+//! the same job run alone on an `n`-times-slower network, which is
+//! exactly what the orchestrator tests pin.
+//!
+//! The per-job [`TrainReport`]s, a submission-ordered [`JobEvent`]
+//! stream, and the makespan (sum over waves of the slowest member's
+//! simulated time — waves share the cluster's wall) are aggregated into
+//! an [`OrchestratorReport`].
+
+use crate::{train_distributed, TrainConfig, TrainReport};
+use gtopk_comm::CostModel;
+use gtopk_data::Dataset;
+use gtopk_nn::Model;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One queued training job: a name for the metrics stream, its own
+/// [`TrainConfig`], a model builder, and its dataset.
+pub struct JobSpec<M: Model> {
+    /// Job name, carried through records and events.
+    pub name: String,
+    /// Per-job training configuration (workers, algorithm, PS mode,
+    /// schedules — fully independent between jobs).
+    pub cfg: TrainConfig,
+    build: Box<dyn Fn() -> M + Send + Sync>,
+    data: Arc<dyn Dataset>,
+}
+
+impl<M: Model> JobSpec<M> {
+    /// A new job over `data` with per-rank replicas built by `build`.
+    pub fn new(
+        name: impl Into<String>,
+        cfg: TrainConfig,
+        build: impl Fn() -> M + Send + Sync + 'static,
+        data: Arc<dyn Dataset>,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            cfg,
+            build: Box::new(build),
+            data,
+        }
+    }
+}
+
+/// Completed-job record: where it ran and what it reported.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job name from the [`JobSpec`].
+    pub name: String,
+    /// Wave index the job ran in (0-based admission order).
+    pub wave: usize,
+    /// Number of co-resident jobs in that wave (its fair share was
+    /// `1/share` of every link).
+    pub share: usize,
+    /// Per-worker batch size, for throughput aggregation.
+    pub batch_per_worker: usize,
+    /// The job's full training report.
+    pub report: TrainReport,
+}
+
+/// Submission-ordered job lifecycle stream. Within a wave, `Started`
+/// events are emitted in admission order and `Finished` events in the
+/// same order once the wave completes — a deterministic normalization
+/// of the concurrent completions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job left the queue and began training.
+    Started {
+        /// Job name.
+        job: String,
+        /// Wave it was admitted into.
+        wave: usize,
+        /// Co-resident job count (link share denominator).
+        share: usize,
+    },
+    /// The job completed every epoch.
+    Finished {
+        /// Job name.
+        job: String,
+        /// Wave it ran in.
+        wave: usize,
+        /// Final mean training loss.
+        final_loss: f64,
+        /// The job's simulated time under its fair link share.
+        sim_time_ms: f64,
+    },
+}
+
+/// Aggregated outcome of an orchestrator run.
+#[derive(Debug, Clone)]
+pub struct OrchestratorReport {
+    /// One record per submitted job, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// The lifecycle event stream.
+    pub events: Vec<JobEvent>,
+    /// Sum over waves of the slowest member's simulated time — the
+    /// shared cluster is busy until its last job finishes.
+    pub makespan_ms: f64,
+}
+
+impl OrchestratorReport {
+    /// Cluster-level throughput: total training samples processed by
+    /// all jobs, divided by the makespan.
+    pub fn aggregate_samples_per_sec(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        let samples: f64 = self
+            .jobs
+            .iter()
+            .map(|j| {
+                j.report.timing.iterations as f64
+                    * j.batch_per_worker as f64
+                    * j.report.workers as f64
+            })
+            .sum();
+        samples / (self.makespan_ms / 1000.0)
+    }
+
+    /// The record for `name`, if that job was submitted.
+    pub fn job(&self, name: &str) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+}
+
+/// FIFO multi-job scheduler over a shared simulated cluster (module
+/// docs for the wave and fair-share semantics).
+pub struct Orchestrator<M: Model> {
+    queue: VecDeque<JobSpec<M>>,
+    max_concurrent: usize,
+}
+
+impl<M: Model> Orchestrator<M> {
+    /// An empty orchestrator admitting up to `max_concurrent` jobs per
+    /// wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrent == 0`.
+    pub fn new(max_concurrent: usize) -> Self {
+        assert!(max_concurrent > 0, "need capacity for at least one job");
+        Orchestrator {
+            queue: VecDeque::new(),
+            max_concurrent,
+        }
+    }
+
+    /// Enqueues a job (FIFO admission).
+    pub fn submit(&mut self, job: JobSpec<M>) -> &mut Self {
+        self.queue.push_back(job);
+        self
+    }
+
+    /// Number of jobs still queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs every queued job to completion, wave by wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's training run panics (invalid configuration,
+    /// replica divergence — the same contract as
+    /// [`train_distributed`]).
+    pub fn run(mut self) -> OrchestratorReport {
+        let mut jobs = Vec::new();
+        let mut events = Vec::new();
+        let mut makespan_ms = 0.0f64;
+        let mut wave = 0usize;
+        while !self.queue.is_empty() {
+            let n = self.max_concurrent.min(self.queue.len());
+            let admitted: Vec<JobSpec<M>> = self.queue.drain(..n).collect();
+            for j in &admitted {
+                events.push(JobEvent::Started {
+                    job: j.name.clone(),
+                    wave,
+                    share: n,
+                });
+            }
+            let reports: Vec<(JobSpec<M>, TrainReport)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = admitted
+                    .into_iter()
+                    .map(|job| {
+                        scope.spawn(move || {
+                            let mut cfg = job.cfg.clone();
+                            // Fair share of every link: β scales with the
+                            // number of co-resident jobs, α does not.
+                            cfg.cost_model = CostModel::new(
+                                cfg.cost_model.alpha_ms,
+                                cfg.cost_model.beta_ms_per_elem * n as f64,
+                            );
+                            let report =
+                                train_distributed(&cfg, &job.build, job.data.as_ref(), None);
+                            (job, report)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("job thread must not panic"))
+                    .collect()
+            });
+            let wave_ms = reports
+                .iter()
+                .map(|(_, r)| r.sim_time_ms)
+                .fold(0.0f64, f64::max);
+            makespan_ms += wave_ms;
+            for (job, report) in reports {
+                events.push(JobEvent::Finished {
+                    job: job.name.clone(),
+                    wave,
+                    final_loss: report.final_loss(),
+                    sim_time_ms: report.sim_time_ms,
+                });
+                jobs.push(JobRecord {
+                    name: job.name,
+                    wave,
+                    share: n,
+                    batch_per_worker: job.cfg.batch_per_worker,
+                    report,
+                });
+            }
+            wave += 1;
+        }
+        OrchestratorReport {
+            jobs,
+            events,
+            makespan_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, PsConfig};
+    use gtopk_data::GaussianMixture;
+    use gtopk_nn::models;
+
+    fn cfg(workers: usize, seed: u64) -> TrainConfig {
+        let mut c = TrainConfig::convergence(workers, 8, 2, 0.2, 0.05);
+        c.data_seed = seed;
+        c
+    }
+
+    fn data(seed: u64) -> Arc<dyn Dataset> {
+        Arc::new(GaussianMixture::new(seed, 256, 8, 4, 2.0, 0.4))
+    }
+
+    fn job(name: &str, workers: usize, seed: u64) -> JobSpec<gtopk_nn::Sequential> {
+        JobSpec::new(
+            name,
+            cfg(workers, seed),
+            || models::mlp(7, 8, 16, 4),
+            data(3),
+        )
+    }
+
+    #[test]
+    fn wave_member_is_bitwise_identical_to_solo_run_on_scaled_network() {
+        // Two co-resident jobs each get β×2; the fair-share contract
+        // says each must reproduce a solo run on the ×2-β network
+        // bit-for-bit (losses and simulated time alike).
+        let mut orch = Orchestrator::new(2);
+        orch.submit(job("a", 4, 11)).submit(job("b", 4, 12));
+        let out = orch.run();
+        assert_eq!(out.jobs.len(), 2);
+        for (name, seed) in [("a", 11u64), ("b", 12)] {
+            let mut solo = cfg(4, seed);
+            solo.cost_model = CostModel::new(
+                solo.cost_model.alpha_ms,
+                solo.cost_model.beta_ms_per_elem * 2.0,
+            );
+            let reference =
+                train_distributed(&solo, || models::mlp(7, 8, 16, 4), data(3).as_ref(), None);
+            let got = &out.job(name).unwrap().report;
+            assert_eq!(got.sim_time_ms.to_bits(), reference.sim_time_ms.to_bits());
+            for (a, b) in got.epochs.iter().zip(&reference.epochs) {
+                assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_one_serializes_and_makespan_adds_up() {
+        let mut orch = Orchestrator::new(1);
+        orch.submit(job("first", 2, 1)).submit(job("second", 2, 2));
+        let out = orch.run();
+        assert_eq!(out.jobs[0].wave, 0);
+        assert_eq!(out.jobs[1].wave, 1);
+        assert_eq!(out.jobs[0].share, 1);
+        assert_eq!(out.jobs[1].share, 1);
+        let sum = out.jobs[0].report.sim_time_ms + out.jobs[1].report.sim_time_ms;
+        assert!((out.makespan_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_are_submission_ordered_within_waves() {
+        let mut orch = Orchestrator::new(2);
+        orch.submit(job("a", 2, 1))
+            .submit(job("b", 2, 2))
+            .submit(job("c", 2, 3));
+        let out = orch.run();
+        let names: Vec<(bool, String)> = out
+            .events
+            .iter()
+            .map(|e| match e {
+                JobEvent::Started { job, .. } => (true, job.clone()),
+                JobEvent::Finished { job, .. } => (false, job.clone()),
+            })
+            .collect();
+        let expect = [
+            (true, "a"),
+            (true, "b"),
+            (false, "a"),
+            (false, "b"),
+            (true, "c"),
+            (false, "c"),
+        ];
+        assert_eq!(
+            names,
+            expect
+                .iter()
+                .map(|(s, n)| (*s, n.to_string()))
+                .collect::<Vec<_>>()
+        );
+        // c ran alone in wave 1 with a full link share.
+        assert_eq!(out.job("c").unwrap().share, 1);
+    }
+
+    #[test]
+    fn mixed_allreduce_and_ps_jobs_share_the_cluster_and_converge() {
+        let mut orch = Orchestrator::new(2);
+        let mut ps_cfg = cfg(4, 21);
+        ps_cfg = ps_cfg.with_ps(PsConfig::bulk_sync(2));
+        orch.submit(job("allreduce", 4, 20)).submit(JobSpec::new(
+            "ps",
+            ps_cfg,
+            || models::mlp(7, 8, 16, 4),
+            data(3),
+        ));
+        let out = orch.run();
+        assert!(out.aggregate_samples_per_sec() > 0.0);
+        for j in &out.jobs {
+            assert_eq!(j.report.algorithm, Algorithm::GTopK.name());
+            assert!(
+                j.report.final_loss() < j.report.epochs[0].train_loss,
+                "{} did not converge",
+                j.name
+            );
+        }
+    }
+}

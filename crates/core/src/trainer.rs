@@ -10,6 +10,7 @@
 
 use crate::ckpt::{self, CheckpointStore, DurableCheckpoint, SelectorDump};
 use crate::overlap::{OverlapConfig, OverlapEngine, OverlapSnapshot, OverlapStats};
+use crate::ps::{PsConfig, PsEngine, PsVariant};
 use crate::{
     ft, Algorithm, DensitySchedule, EpochRecord, GradientAggregator, LrSchedule, Selector,
     TimingBreakdown, TrainReport, Update,
@@ -102,6 +103,14 @@ pub struct TrainConfig {
     /// policy armed — rejoins the membership via the join protocol in
     /// [`crate::ft`].
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Sharded parameter-server execution mode (see [`crate::ps`]).
+    /// `None` (the default) runs the configured allreduce family;
+    /// `Some` replaces the collective with per-shard push/pull rounds —
+    /// bulk-synchronous or wait-free with a bounded staleness — while
+    /// keeping the same error-feedback, checkpoint and recovery
+    /// machinery. Requires [`Algorithm::GTopK`], [`Selector::Exact`],
+    /// the default binomial topology, and no overlap engine.
+    pub ps: Option<PsConfig>,
 }
 
 impl TrainConfig {
@@ -129,6 +138,7 @@ impl TrainConfig {
             checkpoint_interval: 10,
             overlap: None,
             checkpoint_dir: None,
+            ps: None,
         }
     }
 
@@ -165,6 +175,13 @@ impl TrainConfig {
         self
     }
 
+    /// Returns a copy running the sharded parameter-server execution
+    /// mode instead of an allreduce collective.
+    pub fn with_ps(mut self, ps: PsConfig) -> Self {
+        self.ps = Some(ps);
+        self
+    }
+
     /// Returns a copy with a different collective plan topology, kept in
     /// sync with the overlap engine's if one is configured.
     pub fn with_topology(mut self, topology: Topology) -> Self {
@@ -190,6 +207,7 @@ enum Mode {
         residual: Residual,
     },
     Overlap(Box<OverlapEngine>),
+    Ps(Box<PsEngine>),
 }
 
 /// Aggregation state captured at a checkpoint boundary — the engine-mode
@@ -203,26 +221,35 @@ enum EngineSnapshot {
     /// Per-bucket residuals and selector states (see
     /// [`OverlapEngine::snapshot`]).
     Overlap(OverlapSnapshot),
+    /// Dense copy of the PS worker's residual. Checkpoints are taken at
+    /// round boundaries with an empty pull pipeline (bulk-sync — the
+    /// only PS variant composing with checkpoints), so the residual is
+    /// the engine's entire state.
+    Ps(Vec<f32>),
 }
 
 impl StepEngine {
     fn new(cfg: &TrainConfig, segments: &[usize], rank: usize) -> Self {
-        let mode = match &cfg.overlap {
-            Some(ov) => Mode::Overlap(Box::new(OverlapEngine::with_algorithm(
-                ov,
-                segments,
-                cfg.compute_cost,
-                cfg.selector,
-                rank,
-                cfg.cost_model,
-                cfg.algorithm,
-            ))),
-            None => Mode::Serial {
-                aggregator: cfg
-                    .algorithm
-                    .aggregator_with_topology(cfg.selector, cfg.topology),
-                residual: Residual::new(segments.iter().sum()),
-            },
+        let mode = if let Some(ps) = &cfg.ps {
+            Mode::Ps(Box::new(PsEngine::new(*ps, segments.iter().sum())))
+        } else {
+            match &cfg.overlap {
+                Some(ov) => Mode::Overlap(Box::new(OverlapEngine::with_algorithm(
+                    ov,
+                    segments,
+                    cfg.compute_cost,
+                    cfg.selector,
+                    rank,
+                    cfg.cost_model,
+                    cfg.algorithm,
+                ))),
+                None => Mode::Serial {
+                    aggregator: cfg
+                        .algorithm
+                        .aggregator_with_topology(cfg.selector, cfg.topology),
+                    residual: Residual::new(segments.iter().sum()),
+                },
+            }
         };
         StepEngine { mode }
     }
@@ -230,7 +257,23 @@ impl StepEngine {
     fn overlap_engine(&self) -> Option<&OverlapEngine> {
         match &self.mode {
             Mode::Overlap(engine) => Some(engine),
-            Mode::Serial { .. } => None,
+            Mode::Serial { .. } | Mode::Ps(_) => None,
+        }
+    }
+
+    /// Applies any rounds still deferred in the wait-free PS pipeline
+    /// (a no-op for every other mode), returning the applied non-zero
+    /// count.
+    fn finish(
+        &mut self,
+        comm: &mut Communicator,
+        members: &[usize],
+        opt: &mut MomentumSgd,
+        model: &mut dyn Model,
+    ) -> Result<u64> {
+        match &mut self.mode {
+            Mode::Ps(engine) => engine.drain(comm, members, opt, model),
+            Mode::Serial { .. } | Mode::Overlap(_) => Ok(0),
         }
     }
 
@@ -267,6 +310,7 @@ impl StepEngine {
                 Ok(nnz)
             }
             Mode::Overlap(engine) => engine.step(comm, members, src, rho, opt, model),
+            Mode::Ps(engine) => engine.step(comm, members, src, k, opt, model),
         }
     }
 
@@ -274,6 +318,7 @@ impl StepEngine {
         match &self.mode {
             Mode::Serial { residual, .. } => EngineSnapshot::Serial(residual.dense().to_vec()),
             Mode::Overlap(engine) => EngineSnapshot::Overlap(engine.snapshot()),
+            Mode::Ps(engine) => EngineSnapshot::Ps(engine.residual_dense().to_vec()),
         }
     }
 
@@ -284,6 +329,7 @@ impl StepEngine {
                 residual.accumulate(saved);
             }
             (Mode::Overlap(engine), EngineSnapshot::Overlap(saved)) => engine.restore(saved),
+            (Mode::Ps(engine), EngineSnapshot::Ps(saved)) => engine.restore_residual(saved),
             _ => unreachable!("snapshot mode matches the engine that took it"),
         }
     }
@@ -309,6 +355,11 @@ impl StepEngine {
                     selectors: snap.selectors().iter().map(SelectorDump::capture).collect(),
                 }
             }
+            // PS regional selection is exact (no selector RNG), so the
+            // residual is the whole durable state.
+            Mode::Ps(engine) => ckpt::EngineState::Ps {
+                residual: engine.residual_dense().to_vec(),
+            },
         }
     }
 
@@ -342,6 +393,9 @@ impl StepEngine {
                     selectors.iter().map(SelectorDump::revive).collect(),
                 );
                 engine.restore(&snap);
+            }
+            (Mode::Ps(engine), ckpt::EngineState::Ps { residual }) => {
+                engine.restore_residual(residual);
             }
             _ => unreachable!("durable state mode matches the engine that took it"),
         }
@@ -572,6 +626,47 @@ fn validate(cfg: &TrainConfig, train_data: &dyn Dataset) -> usize {
              (gtopk, oktopk or spardl; got {})",
             cfg.algorithm.name()
         );
+    }
+    if let Some(ps) = &cfg.ps {
+        assert!(
+            cfg.algorithm == Algorithm::GTopK,
+            "the parameter-server mode drives the gTop-k sparse push path \
+             (got {}); run it with Algorithm::GTopK",
+            cfg.algorithm.name()
+        );
+        assert!(
+            cfg.overlap.is_none(),
+            "the parameter-server mode schedules its own push/pull pipeline; \
+             it cannot compose with the overlap engine"
+        );
+        assert!(
+            cfg.selector == Selector::Exact,
+            "the parameter-server mode selects exactly per shard region \
+             (budgeted wire sizes); sampled/threshold selectors are not supported"
+        );
+        assert!(
+            cfg.topology == Topology::Binomial,
+            "the parameter-server mode replaces the collective entirely; \
+             --topology has no effect there (leave it at the default binomial)"
+        );
+        assert!(
+            ps.shards >= 1 && ps.shards <= cfg.workers,
+            "--shards must be in [1, workers]: got {} shards for {} workers",
+            ps.shards,
+            cfg.workers
+        );
+        if let PsVariant::WaitFree { .. } = ps.variant {
+            assert!(
+                !cfg.fault_tolerant(),
+                "wait-free PS pipelines rounds across steps and cannot roll \
+                 back mid-pipeline; fault injection requires the bulk-sync variant"
+            );
+            assert!(
+                cfg.checkpoint_dir.is_none(),
+                "wait-free PS cannot compose with durable checkpoints \
+                 (rounds in flight are not checkpointable); use bulk-sync"
+            );
+        }
     }
     let iters_per_epoch = (train_data.len() / cfg.workers) / cfg.batch_per_worker;
     assert!(
@@ -973,6 +1068,15 @@ where
         }
     }
 
+    // Wait-free PS leaves up to `staleness_bound` rounds deferred in the
+    // pipeline; apply them so no gradient mass stays stranded in flight
+    // (replicas all drain identically). Every other mode is a no-op.
+    if !crashed {
+        update_nnz_sum += engine
+            .finish(comm, &members, &mut opt, &mut model)
+            .expect("draining the PS pipeline runs fault-free by construction");
+    }
+
     let params = model.flat_params();
     let stats = comm.stats();
     RankOutcome {
@@ -1254,6 +1358,7 @@ mod tests {
             checkpoint_interval: 4,
             checkpoint_dir: None,
             overlap: None,
+            ps: None,
         }
     }
 

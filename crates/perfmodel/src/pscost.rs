@@ -1,0 +1,361 @@
+//! Exact α-β cost of the sharded parameter-server rounds — the analytic
+//! twin of `gtopk::ps` ([`PlanClock`]'s sibling for the PS data flow).
+//!
+//! The executed PS round is deterministic: every message size is a
+//! static function of `(m, S, k, P)` (pushes are zero-padded to
+//! `2·k_s`, pulls are dense shards of `len_s`), matching is per
+//! `(src, tag)` over FIFO links, and every rank's program order is
+//! fixed by the code in `ps_push_round` / `ps_pull_round`. So the
+//! transport's charging rules can be replayed without running anything.
+//!
+//! Two of those rules need care beyond [`PlanClock`]'s send/recv sweeps:
+//!
+//! * **Incast serialization at each shard host is modelled explicitly**:
+//!   a host folding `P−1` pushes pays `max(arrival, rx_free + α + nβ)`
+//!   per delivery on its single inbound horizon, which is what makes
+//!   the `S = 1` star linear in `P` and is the cost the shard fan-out
+//!   divides.
+//! * **Inbound charging happens at *drain* time, not at recv-call
+//!   time**: the transport serializes a message against `rx_free` when
+//!   it is pulled off the per-source FIFO while *searching* for a tag,
+//!   and stashes non-matching messages with their delivery time already
+//!   fixed (`Communicator::recv_inner`). Under wait-free pipelining a
+//!   host draining for round `t`'s pushes first drains — and charges —
+//!   the round `t−1` replies still queued ahead of them, so a
+//!   sweep-per-phase replay would charge those replies too late. The
+//!   replay therefore mirrors the stash/drain machinery exactly.
+//!
+//! Bulk-synchronous execution pulls in the same round; wait-free
+//! execution with staleness bound `B` defers each round's pull until
+//! `B` newer rounds have pushed (then [`PsClock::drain`] flushes the
+//! tail), exactly like `PsEngine`. `tests/ps_plan_equivalence.rs` pins
+//! the replay against executed `Communicator::now_ms` to `< 1e-9` ms
+//! per rank across worker counts, shard counts and staleness bounds.
+//!
+//! [`PlanClock`]: crate::plancost::PlanClock
+
+use gtopk_comm::{CostModel, ShardMap};
+use std::collections::VecDeque;
+
+/// Replay tag: shard index with a push/pull discriminant (the two PS
+/// tag bands of `gtopk::ps`, reduced to what matters for matching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Push(usize),
+    Pull(usize),
+}
+
+/// Deterministic replay clock for sharded-PS rounds over a uniform
+/// network: one simulated clock and one inbound-link horizon per rank,
+/// plus the per-link FIFO streams and per-rank stashes that reproduce
+/// the transport's drain-time serialization (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PsClock {
+    net: CostModel,
+    map: ShardMap,
+    budgets: Vec<usize>,
+    p: usize,
+    staleness_bound: usize,
+    clocks: Vec<f64>,
+    rx_free: Vec<f64>,
+    /// `streams[src][dst]`: in-flight `(tag, arrival)` in send order.
+    streams: Vec<Vec<VecDeque<(Tag, f64)>>>,
+    /// `stash[rank][src]`: drained-but-unconsumed `(tag, delivery)`.
+    stash: Vec<Vec<VecDeque<(Tag, f64)>>>,
+    in_flight: usize,
+}
+
+impl PsClock {
+    /// A clock for `p` ranks training an `m`-parameter model under
+    /// `shards` server shards, per-round global budget `k`, and the
+    /// given staleness bound (`0` = bulk-synchronous).
+    ///
+    /// Shards are capped at `p` exactly as `PsEngine::effective_shards`
+    /// does, and hosts are `members[s % p]` with `members = 0..p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`, `shards == 0`, or `k > m` (the same
+    /// constraints the executed configuration enforces).
+    #[must_use]
+    pub fn new(
+        net: CostModel,
+        p: usize,
+        m: usize,
+        shards: usize,
+        k: usize,
+        staleness_bound: usize,
+    ) -> Self {
+        assert!(p > 0, "need at least one rank");
+        let map = ShardMap::new(m, shards.min(p));
+        let budgets = map.budgets(k);
+        PsClock {
+            net,
+            map,
+            budgets,
+            p,
+            staleness_bound,
+            clocks: vec![0.0; p],
+            rx_free: vec![0.0; p],
+            streams: vec![vec![VecDeque::new(); p]; p],
+            stash: vec![vec![VecDeque::new(); p]; p],
+            in_flight: 0,
+        }
+    }
+
+    /// Current simulated time at `rank`, ms.
+    #[must_use]
+    pub fn now(&self, rank: usize) -> f64 {
+        self.clocks[rank]
+    }
+
+    /// The latest clock across all ranks — the makespan so far.
+    #[must_use]
+    pub fn max_now(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Rounds pushed but not yet pulled (identical on every rank).
+    #[must_use]
+    pub fn lag(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Advances `rank` by `dt_ms` of local computation.
+    pub fn advance_compute(&mut self, rank: usize, dt_ms: f64) {
+        self.clocks[rank] += dt_ms;
+    }
+
+    fn host(&self, s: usize) -> usize {
+        s % self.p
+    }
+
+    fn cost(&self, tag: Tag) -> f64 {
+        match tag {
+            // `Payload::sparse` of the zero-padded k_s-entry slice.
+            Tag::Push(s) => self.net.transfer_ms(2 * self.budgets[s]),
+            // `Payload::dense_shared` of the selected dense region.
+            Tag::Pull(s) => self.net.transfer_ms(self.map.len(s)),
+        }
+    }
+
+    /// `Communicator::send`: charge the sender, stamp the arrival.
+    fn send(&mut self, src: usize, dst: usize, tag: Tag) {
+        self.clocks[src] += self.cost(tag);
+        self.streams[src][dst].push_back((tag, self.clocks[src]));
+    }
+
+    /// `Communicator::recv_inner`: consume a stashed match, or drain the
+    /// source stream — serializing each drained message against this
+    /// rank's inbound horizon *in drain order* and stashing
+    /// non-matches — until the tag matches. Only the consumed message
+    /// synchronizes the rank's clock.
+    fn recv(&mut self, rank: usize, src: usize, tag: Tag) {
+        if let Some(pos) = self.stash[rank][src].iter().position(|&(t, _)| t == tag) {
+            let (_, delivery) = self.stash[rank][src]
+                .remove(pos)
+                .expect("position just found");
+            if self.clocks[rank] < delivery {
+                self.clocks[rank] = delivery;
+            }
+            return;
+        }
+        loop {
+            let (t, arrival) = self.streams[src][rank]
+                .pop_front()
+                .expect("the replayed program never over-receives");
+            let delivery = arrival.max(self.rx_free[rank] + self.cost(t));
+            self.rx_free[rank] = delivery;
+            if t == tag {
+                if self.clocks[rank] < delivery {
+                    self.clocks[rank] = delivery;
+                }
+                return;
+            }
+            self.stash[rank][src].push_back((t, delivery));
+        }
+    }
+
+    /// Charges one PS round: every worker's pushes, every host's fold
+    /// (incast) and dense reply fan-out, and the pull sweep of the
+    /// oldest round(s) once more than `staleness_bound` rounds are in
+    /// flight — `PsEngine::step`'s exact schedule.
+    pub fn charge_round(&mut self) {
+        let s_count = self.map.num_shards();
+        // Pushes, per rank in ascending shard order.
+        for r in 0..self.p {
+            for s in 0..s_count {
+                if self.host(s) != r {
+                    self.send(r, self.host(s), Tag::Push(s));
+                }
+            }
+        }
+        // Hosts walk their shards in ascending order: fold the P−1
+        // pushes (ascending source), then reply to every worker
+        // (ascending destination).
+        for h in 0..self.p {
+            for s in (h..s_count).step_by(self.p) {
+                for src in 0..self.p {
+                    if src != h {
+                        self.recv(h, src, Tag::Push(s));
+                    }
+                }
+                for dst in 0..self.p {
+                    if dst != h {
+                        self.send(h, dst, Tag::Pull(s));
+                    }
+                }
+            }
+        }
+        self.in_flight += 1;
+        // `while pending > bound { apply_oldest }`.
+        while self.in_flight > self.staleness_bound {
+            self.charge_oldest_pull();
+        }
+    }
+
+    /// Charges the pull sweeps of every still-deferred round
+    /// (`PsEngine::drain` after the last step).
+    pub fn drain(&mut self) {
+        while self.in_flight > 0 {
+            self.charge_oldest_pull();
+        }
+    }
+
+    fn charge_oldest_pull(&mut self) {
+        // `ps_pull_round`: ascending shard order, hosted shards use the
+        // local copy (no wire traffic).
+        for r in 0..self.p {
+            for s in 0..self.map.num_shards() {
+                let h = self.host(s);
+                if h != r {
+                    self.recv(r, h, Tag::Pull(s));
+                }
+            }
+        }
+        self.in_flight -= 1;
+    }
+}
+
+/// Makespan of `rounds` sharded-PS rounds (including the final drain of
+/// wait-free pipelines) from time zero: the exact simulated time the
+/// executed rounds report.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `shards == 0`.
+#[must_use]
+pub fn ps_plan_ms(
+    net: &CostModel,
+    p: usize,
+    m: usize,
+    shards: usize,
+    k: usize,
+    staleness_bound: usize,
+    rounds: usize,
+) -> f64 {
+    let mut clock = PsClock::new(*net, p, m, shards, k, staleness_bound);
+    for _ in 0..rounds {
+        clock.charge_round();
+    }
+    clock.drain();
+    clock.max_now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plancost::gtopk_plan_ms;
+    use gtopk_comm::Topology;
+
+    #[test]
+    fn single_shard_star_has_the_closed_form_incast_cost() {
+        // S = 1: P−1 pushes serialize on the server's inbound link, then
+        // P−1 dense replies serialize on its outbound clock — the round
+        // costs exactly (P−1)·(push + pull) with the last reply's
+        // delivery landing at that same instant.
+        let net = CostModel::new(0.7, 0.003);
+        let (m, k) = (4096usize, 64usize);
+        for p in [2usize, 4, 8, 16] {
+            let got = ps_plan_ms(&net, p, m, 1, k, 0, 1);
+            let expect = (p as f64 - 1.0) * (net.transfer_ms(2 * k) + net.transfer_ms(m));
+            assert!((got - expect).abs() < 1e-9, "P={p}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sharding_cuts_the_star_incast() {
+        let net = CostModel::gigabit_ethernet();
+        let (p, m, k) = (16usize, 100_000usize, 1_000usize);
+        let star = ps_plan_ms(&net, p, m, 1, k, 0, 1);
+        let sharded = ps_plan_ms(&net, p, m, p, k, 0, 1);
+        assert!(
+            sharded * 2.0 < star,
+            "P-way sharding must at least halve the round: {star} vs {sharded}"
+        );
+    }
+
+    #[test]
+    fn wait_free_timing_stays_within_a_few_percent_of_bulk_sync() {
+        // A finding the replay makes precise: because every host still
+        // folds *all* of round t's pushes before replying, the fold is
+        // a full barrier and bounded staleness cannot shorten the
+        // critical path in this transport — even with a compute
+        // straggler, everything is already gated on the slowest push.
+        // Deferring the pulls only changes *when* replies are applied
+        // (the semantic pipeline `PsEngine` implements) and perturbs
+        // drain order slightly; the makespan stays within a few
+        // percent either way. DESIGN.md §15 discusses why.
+        let net = CostModel::new(1.0, 0.001);
+        let (p, m, k, rounds) = (8usize, 50_000usize, 500usize, 8usize);
+        let total = |bound: usize, straggle_ms: f64| {
+            let mut clock = PsClock::new(net, p, m, p, k, bound);
+            for _ in 0..rounds {
+                for r in 0..p {
+                    clock.advance_compute(r, if r == 0 { straggle_ms } else { 5.0 });
+                }
+                clock.charge_round();
+            }
+            clock.drain();
+            clock.max_now()
+        };
+        for straggle in [5.0f64, 120.0] {
+            let bulk = total(0, straggle);
+            let wait_free = total(2, straggle);
+            let ratio = wait_free / bulk;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "straggle={straggle}: {bulk} vs {wait_free} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn lag_is_bounded_and_drain_empties_the_pipeline() {
+        let net = CostModel::new(0.5, 0.002);
+        let mut clock = PsClock::new(net, 4, 1_000, 4, 40, 3);
+        for round in 0..10 {
+            clock.charge_round();
+            assert!(clock.lag() <= 3, "round {round}: lag {}", clock.lag());
+        }
+        assert_eq!(clock.lag(), 3);
+        clock.drain();
+        assert_eq!(clock.lag(), 0);
+    }
+
+    #[test]
+    fn tree_allreduce_beats_the_star_at_scale_but_not_tiny_p() {
+        // The crossover the benchmark maps: at P = 2 the star is one
+        // hop each way while the tree pays two rounds; by P = 32 the
+        // star's linear incast loses to the tree's log depth.
+        let net = CostModel::gigabit_ethernet();
+        let (m, k) = (1_000_000usize, 1_000usize);
+        let star = |p| ps_plan_ms(&net, p, m, 1, k, 0, 1);
+        let tree = |p| gtopk_plan_ms(&net, Topology::Binomial, p, k);
+        assert!(star(32) > tree(32), "the star must lose at P=32");
+        assert!(
+            ps_plan_ms(&net, 32, m, 32, k, 0, 1) < star(32),
+            "sharding must recover part of the gap"
+        );
+    }
+}

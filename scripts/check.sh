@@ -61,6 +61,17 @@ for threads in "${THREAD_MATRIX[@]}"; do
     cargo test -q --offline -p gtopk-core --lib zoo
     cargo test -q --offline -p gtopk-perfmodel --lib zoo
     cargo test -q --offline -p gtopk-sparse --test alloc_steadystate oktopk
+
+    # Sharded parameter server & multi-job orchestrator: the shard map,
+    # push/pull engine, incast cost twin, and fair-share orchestrator
+    # carry the same bitwise promises (the ps_parity / ps_staleness /
+    # ps_plan_equivalence suites run in the per-file loop above; these
+    # cover the crate-local units).
+    echo "==> parameter-server suites (GTOPK_THREADS=$threads GTOPK_SIMD=$simd)"
+    cargo test -q --offline -p gtopk-comm --lib shard
+    cargo test -q --offline -p gtopk-core --lib ps::
+    cargo test -q --offline -p gtopk-core --lib orchestrator::
+    cargo test -q --offline -p gtopk-perfmodel --lib pscost
   done
 done
 
@@ -80,6 +91,12 @@ if cargo run -q --offline -p gtopk-cli -- info >/dev/null 2>&1 \
   # rejoin, and heal the membership back to full strength.
   echo "==> chaos cluster (kill one worker, restart it, expect heal)"
   scripts/run_chaos_cluster.sh 4 24
+
+  # Sharded parameter server over real sockets: S = P co-located shards,
+  # one shard HOST is SIGKILLed mid-run; the survivors must remap its
+  # shard onto the shrunken membership and finish.
+  echo "==> PS cluster (kill one shard host mid-run)"
+  scripts/run_ps_cluster.sh 4 8
 else
   echo "    skipped: loopback sockets unavailable"
 fi

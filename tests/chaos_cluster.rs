@@ -70,6 +70,7 @@ fn cfg(epochs: usize, ckpt_dir: Option<PathBuf>) -> TrainConfig {
         checkpoint_interval: 10,
         overlap: None,
         checkpoint_dir: ckpt_dir,
+        ps: None,
     }
 }
 

@@ -199,6 +199,7 @@ fn training_volume_matches_aggregation_volume() {
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: None,
+        ps: None,
     };
     let dense = gtopk::train_distributed(
         &mk(Algorithm::Dense),

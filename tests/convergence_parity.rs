@@ -29,6 +29,7 @@ fn cfg(alg: Algorithm, epochs: usize, lr: f32, rho: f64) -> TrainConfig {
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: None,
+        ps: None,
     }
 }
 

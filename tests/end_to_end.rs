@@ -33,6 +33,7 @@ fn cfg(
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: None,
+        ps: None,
     }
 }
 

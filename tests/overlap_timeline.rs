@@ -40,6 +40,7 @@ fn overlap_cfg(workers: usize, buckets: usize, epochs: usize) -> TrainConfig {
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: Some(OverlapConfig::buckets(buckets)),
+        ps: None,
     }
 }
 

@@ -89,6 +89,7 @@ fn claim_convergence_parity_with_dense() {
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: None,
+        ps: None,
     };
     let build = || models::mlp(61, 12, 24, 4);
     let dense = train_distributed(&cfg(Algorithm::Dense), build, &data, None);
@@ -127,6 +128,7 @@ fn claim_speedup_grows_with_workers() {
             checkpoint_interval: 10,
             checkpoint_dir: None,
             overlap: None,
+            ps: None,
         };
         train_distributed(&cfg, || models::mlp(63, 32, 256, 4), &data, None).sim_time_ms
     };

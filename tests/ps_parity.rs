@@ -1,0 +1,178 @@
+//! Regression pin: the sharded PS engine at `S = 1` (bulk-synchronous)
+//! IS the old single-server star PS, bit for bit.
+//!
+//! PR 10 replaced the star-topology `ps_gtopk_all_reduce` with the
+//! sharded push/pull engine. Before deleting the old implementation it
+//! was pinned here *verbatim* (module [`old_star`]): one test checks a
+//! single collective round produces bitwise-identical global updates,
+//! and one reproduces a manual training loop built on the old collective
+//! and requires `train_distributed` with `PsConfig::bulk_sync(1)` to
+//! match its loss trajectory bit-for-bit at `P = 8`.
+//!
+//! Why equality is exact and not approximate: the new host folds pushes
+//! into a dense region starting from its own contribution and then
+//! ascending source order — per coordinate the very addition sequence
+//! of the old star's sparse fold — and the stratified extraction at
+//! `S = 1` degenerates to the old whole-vector `extract_topk` (pinned
+//! bitwise in `gtopk-sparse`'s unit tests).
+
+use gtopk::{ps_pull_round, ps_push_round, PsConfig, TrainConfig};
+use gtopk_comm::{Cluster, CostModel, ShardMap};
+use gtopk_data::{shard_indices, BatchIter, Dataset, GaussianMixture};
+use gtopk_nn::{models, softmax_cross_entropy, Model, MomentumSgd};
+use gtopk_sparse::{topk_sparse, Residual};
+
+/// The retired star-PS implementation, pinned verbatim from the
+/// pre-PR-10 `gtopk::ps` (tags included — they are long out of the live
+/// bands, so the pin can even run alongside new-code collectives).
+mod old_star {
+    use gtopk_comm::{Communicator, Message, Payload, Result};
+    use gtopk_sparse::{topk_sparse, Mask, SparseVec};
+
+    const TAG_PS_PUSH: u32 = Message::COLLECTIVE_TAG_BASE + 96;
+    const TAG_PS_PULL: u32 = Message::COLLECTIVE_TAG_BASE + 97;
+
+    pub fn ps_gtopk_all_reduce(
+        comm: &mut Communicator,
+        local: SparseVec,
+        k: usize,
+    ) -> Result<(SparseVec, Mask)> {
+        let p = comm.size();
+        let dim = local.dim();
+        let global = if comm.rank() == 0 {
+            let mut sum = local;
+            for src in 1..p {
+                let msg = comm.recv(src, TAG_PS_PUSH)?;
+                sum = sum.add(&msg.payload.into_sparse());
+            }
+            let dense = sum.to_dense();
+            let global = topk_sparse(&dense, k.min(sum.nnz()));
+            let shared = std::sync::Arc::new(global);
+            for dst in 1..p {
+                comm.send(dst, TAG_PS_PULL, Payload::sparse_shared(shared.clone()))?;
+            }
+            match std::sync::Arc::try_unwrap(shared) {
+                Ok(v) => v,
+                Err(shared) => {
+                    let mut owned = comm.pool().take_sparse(dim);
+                    owned.copy_from(&shared);
+                    owned
+                }
+            }
+        } else {
+            comm.send(0, TAG_PS_PUSH, Payload::sparse(local))?;
+            comm.recv(0, TAG_PS_PULL)?.payload.into_sparse()
+        };
+        debug_assert_eq!(global.dim(), dim);
+        let mask = Mask::of_sparse(&global);
+        Ok((global, mask))
+    }
+}
+
+fn grad(rank: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 29)
+                .wrapping_mul(rank as u64 + 3)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn single_round_is_bitwise_identical_to_the_old_star() {
+    for p in [2usize, 4, 8] {
+        let (dim, k) = (128usize, 10usize);
+        let out = Cluster::new(p, CostModel::zero()).run(move |comm| {
+            let members: Vec<usize> = (0..p).collect();
+            let map = ShardMap::new(dim, 1);
+            let budgets = map.budgets(k);
+            let mut residual = Residual::new(dim);
+            residual.accumulate(&grad(comm.rank(), dim));
+            let local = residual.extract_topk_range(map.range(0), k);
+            let old_local = topk_sparse(&grad(comm.rank(), dim), k);
+            assert_eq!(local, old_local, "stratified extraction at S=1");
+            let own = ps_push_round(comm, &members, &map, &budgets, vec![local]).unwrap();
+            let new_global = ps_pull_round(comm, &members, &map, &own).unwrap();
+            let (old_global, _mask) = old_star::ps_gtopk_all_reduce(comm, old_local, k).unwrap();
+            (new_global, old_global)
+        });
+        for (rank, (new_global, old_global)) in out.iter().enumerate() {
+            assert_eq!(
+                new_global.indices(),
+                old_global.indices(),
+                "P={p} rank {rank}: selection"
+            );
+            for (a, b) in new_global.values().iter().zip(old_global.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "P={p} rank {rank}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bulk_sync_s1_training_reproduces_the_old_star_loss_trajectory() {
+    let p = 8usize;
+    let cfg = TrainConfig::convergence(p, 4, 3, 0.2, 0.05).with_ps(PsConfig::bulk_sync(1));
+    let data = GaussianMixture::new(7, 512, 10, 4, 2.0, 0.4);
+    let build = || models::mlp(13, 10, 16, 4);
+
+    let new_report = gtopk::train_distributed(&cfg, build, &data, None);
+
+    // Manual loop: `run_rank`'s exact serial schedule with the old star
+    // collective in place of the engine step.
+    let ipe = (data.len() / p) / cfg.batch_per_worker;
+    let cfg2 = cfg.clone();
+    let data2 = data.clone();
+    let old_losses: Vec<Vec<f64>> = Cluster::new(p, cfg.cost_model).run(move |comm| {
+        let cfg = &cfg2;
+        let mut model = build();
+        let m = model.num_params();
+        let mut opt = MomentumSgd::new(m, cfg.lr.lr(0), cfg.momentum);
+        let mut residual = Residual::new(m);
+        let shard = shard_indices(data2.len(), comm.rank(), comm.size());
+        let mut batches = BatchIter::new(shard, cfg.batch_per_worker, cfg.data_seed);
+        let mut losses = Vec::new();
+        let mut epoch_loss = 0.0f64;
+        for it in 0..cfg.epochs * ipe {
+            let epoch = it / ipe;
+            opt.set_lr(cfg.lr.lr(epoch));
+            let k = cfg.density.k(epoch, m);
+            let idx = batches.next_batch().expect("shard fits").to_vec();
+            let (x, ys) = data2.batch(&idx);
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &ys);
+            model.backward(&grad);
+            let g = model.flat_grads();
+            residual.accumulate(&g);
+            let local = residual.extract_topk(k);
+            let (mut global, mask) = old_star::ps_gtopk_all_reduce(comm, local.clone(), k).unwrap();
+            let (_kept, rejected) = local.partition_by(&mask);
+            residual.put_back(&rejected);
+            global.scale(1.0 / comm.size() as f32);
+            opt.step_sparse(&mut model, &global);
+            epoch_loss += loss as f64;
+            if (it + 1) % ipe == 0 {
+                losses.push(epoch_loss / ipe as f64);
+                epoch_loss = 0.0;
+                batches.next_epoch();
+            }
+        }
+        losses
+    });
+
+    // The report's `train_loss` is the mean across ranks of each rank's
+    // epoch loss (shards differ, so per-rank losses do too); reproduce
+    // the same rank-ascending summation order for bitwise equality.
+    for (e, record) in new_report.epochs.iter().enumerate() {
+        let old = old_losses.iter().map(|r| r[e]).sum::<f64>() / p as f64;
+        assert_eq!(
+            old.to_bits(),
+            record.train_loss.to_bits(),
+            "epoch {e}: old star {old} vs sharded PS {}",
+            record.train_loss
+        );
+    }
+}

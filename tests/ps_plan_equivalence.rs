@@ -1,0 +1,110 @@
+//! The PS analytic twin is not a model — it *is* the executed time.
+//!
+//! `gtopk_perfmodel::PsClock` replays the transport's charging rules
+//! over the sharded-PS data flow (push incast per shard, dense reply
+//! fan-out, deferred pulls). These tests run the real rounds over the
+//! simulated cluster and require every rank's executed
+//! `Communicator::now_ms` to match the replay to `< 1e-9` ms across
+//! worker counts, shard counts and staleness bounds — the same
+//! plan-equals-execution discipline `tests/plan_equivalence.rs` pins
+//! for the allreduce family.
+
+use gtopk::{ps_pull_round, ps_push_round};
+use gtopk_comm::{Cluster, CostModel, ShardMap};
+use gtopk_perfmodel::PsClock;
+use gtopk_sparse::Residual;
+use std::collections::VecDeque;
+
+fn grad(rank: usize, round: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 17)
+                .wrapping_mul(rank as u64 + 5)
+                .wrapping_mul(round as u64 + 11)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Runs `rounds` executed PS rounds on every rank (the `PsEngine`
+/// schedule: push now, pull once more than `bound` rounds are in
+/// flight, drain at the end) and returns each rank's final clock.
+fn executed_ms(
+    net: CostModel,
+    p: usize,
+    dim: usize,
+    shards: usize,
+    k: usize,
+    bound: usize,
+    rounds: usize,
+) -> Vec<f64> {
+    Cluster::new(p, net).run(move |comm| {
+        let members: Vec<usize> = (0..p).collect();
+        let map = ShardMap::new(dim, shards.min(p));
+        let budgets = map.budgets(k);
+        let mut residual = Residual::new(dim);
+        let mut pending: VecDeque<Vec<(usize, Vec<f32>)>> = VecDeque::new();
+        for round in 0..rounds {
+            residual.accumulate(&grad(comm.rank(), round, dim));
+            let locals: Vec<_> = (0..map.num_shards())
+                .map(|s| residual.extract_topk_range(map.range(s), budgets[s]))
+                .collect();
+            let own = ps_push_round(comm, &members, &map, &budgets, locals).unwrap();
+            pending.push_back(own);
+            while pending.len() > bound {
+                let own = pending.pop_front().unwrap();
+                ps_pull_round(comm, &members, &map, &own).unwrap();
+            }
+        }
+        while let Some(own) = pending.pop_front() {
+            ps_pull_round(comm, &members, &map, &own).unwrap();
+        }
+        comm.now_ms()
+    })
+}
+
+fn assert_replay_matches(p: usize, shards: usize, bound: usize, rounds: usize) {
+    let net = CostModel::gigabit_ethernet();
+    let (dim, k) = (600usize, 30usize);
+    let got = executed_ms(net, p, dim, shards, k, bound, rounds);
+    let mut clock = PsClock::new(net, p, dim, shards, k, bound);
+    for _ in 0..rounds {
+        clock.charge_round();
+    }
+    clock.drain();
+    for (r, t) in got.iter().enumerate() {
+        assert!(
+            (t - clock.now(r)).abs() < 1e-9,
+            "P={p} S={shards} B={bound} rank {r}: executed {t} vs replay {}",
+            clock.now(r)
+        );
+    }
+}
+
+#[test]
+fn bulk_sync_replay_is_exact_across_worker_and_shard_counts() {
+    for p in [2usize, 3, 5, 8, 16] {
+        for shards in [1usize, 2, 7, p] {
+            assert_replay_matches(p, shards, 0, 2);
+        }
+    }
+}
+
+#[test]
+fn wait_free_replay_is_exact_including_the_drain() {
+    for p in [2usize, 4, 9] {
+        for bound in [1usize, 2, 5] {
+            assert_replay_matches(p, p, bound, 4);
+            assert_replay_matches(p, 3, bound, 4);
+        }
+    }
+}
+
+#[test]
+fn replay_is_exact_at_the_largest_supported_scale() {
+    // The acceptance envelope's upper end: P = 48 with co-located
+    // shards, both disciplines.
+    assert_replay_matches(48, 48, 0, 1);
+    assert_replay_matches(48, 16, 2, 3);
+}

@@ -1,0 +1,119 @@
+//! The bounded-staleness invariant of wait-free PS execution.
+//!
+//! `PsVariant::WaitFree { staleness_bound: B }` promises: no worker
+//! ever applies a shard update older than `B` rounds, every deferred
+//! round is eventually applied (the drain), and `B = 0` degenerates to
+//! bulk-synchronous execution exactly. The first two are property-tested
+//! over the engine itself (`lag()` is the observable); the degeneracy is
+//! pinned bitwise through the full trainer.
+
+use gtopk::{train_distributed, PsConfig, PsEngine, PsVariant, TrainConfig};
+use gtopk_comm::{Cluster, CostModel};
+use gtopk_data::GaussianMixture;
+use gtopk_nn::{models, Model, MomentumSgd};
+use proptest::prelude::*;
+
+fn grad(rank: usize, round: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = (i as u64 + 23)
+                .wrapping_mul(rank as u64 + 7)
+                .wrapping_mul(round as u64 + 13)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every step the pipeline holds at most `B` rounds; after the
+    /// drain it holds none — so no applied update is ever staler than
+    /// `B`, and no round is lost.
+    #[test]
+    fn lag_never_exceeds_the_bound_and_drain_empties(
+        p in 2usize..5,
+        shards in 1usize..6,
+        bound in 0usize..4,
+        rounds in 1usize..8,
+        k in 1usize..12,
+    ) {
+        let lags = Cluster::new(p, CostModel::zero()).run(move |comm| {
+            let members: Vec<usize> = (0..p).collect();
+            let mut model = models::mlp(3, 6, 8, 3);
+            let dim = model.num_params();
+            let mut opt = MomentumSgd::new(dim, 0.1, 0.9);
+            let mut engine = PsEngine::new(PsConfig::wait_free(shards, bound), dim);
+            let mut lags = Vec::with_capacity(rounds + 1);
+            for round in 0..rounds {
+                let g = grad(comm.rank(), round, dim);
+                engine
+                    .step(comm, &members, &g, k, &mut opt, &mut model)
+                    .expect("fault-free step");
+                lags.push(engine.lag());
+            }
+            engine
+                .drain(comm, &members, &mut opt, &mut model)
+                .expect("fault-free drain");
+            lags.push(engine.lag());
+            lags
+        });
+        for rank_lags in &lags {
+            let (after_drain, per_step) = rank_lags.split_last().unwrap();
+            for (round, lag) in per_step.iter().enumerate() {
+                prop_assert!(
+                    *lag <= bound,
+                    "round {round}: lag {lag} exceeds bound {bound}"
+                );
+            }
+            prop_assert_eq!(*after_drain, 0usize, "drain must empty the pipeline");
+        }
+    }
+}
+
+#[test]
+fn wait_free_with_bound_zero_is_bulk_sync_bitwise() {
+    let data = GaussianMixture::new(5, 256, 8, 4, 2.0, 0.4);
+    let build = || models::mlp(11, 8, 16, 4);
+    let base = TrainConfig::convergence(4, 8, 2, 0.2, 0.05);
+    let bulk = train_distributed(
+        &base.clone().with_ps(PsConfig::bulk_sync(3)),
+        build,
+        &data,
+        None,
+    );
+    let wf0 = train_distributed(
+        &base.with_ps(PsConfig {
+            shards: 3,
+            variant: PsVariant::WaitFree { staleness_bound: 0 },
+        }),
+        build,
+        &data,
+        None,
+    );
+    assert_eq!(bulk.sim_time_ms.to_bits(), wf0.sim_time_ms.to_bits());
+    for (a, b) in bulk.epochs.iter().zip(&wf0.epochs) {
+        assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+    }
+}
+
+#[test]
+fn wait_free_training_converges_with_stale_updates() {
+    // Staleness changes the trajectory (updates land B rounds late) but
+    // not the contract: replicas stay identical (asserted inside
+    // `train_distributed`) and the model still learns.
+    let data = GaussianMixture::new(5, 256, 8, 4, 2.0, 0.4);
+    let build = || models::mlp(11, 8, 16, 4);
+    let cfg = TrainConfig::convergence(4, 8, 3, 0.2, 0.05).with_ps(PsConfig::wait_free(4, 2));
+    let report = train_distributed(&cfg, build, &data, None);
+    assert!(
+        report.final_loss() < report.epochs[0].train_loss,
+        "wait-free PS must still converge: {:?}",
+        report
+            .epochs
+            .iter()
+            .map(|e| e.train_loss)
+            .collect::<Vec<_>>()
+    );
+}

@@ -52,6 +52,7 @@ fn cfg(workers: usize, epochs: usize, fault_plan: Option<FaultPlan>) -> TrainCon
         checkpoint_interval: 10,
         checkpoint_dir: None,
         overlap: None,
+        ps: None,
     }
 }
 
